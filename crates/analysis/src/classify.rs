@@ -1,0 +1,130 @@
+//! Data-flow-pattern classification (paper §4.2.1, Fig. 9).
+//!
+//! Both the static and dynamic passes reduce an API to a set of
+//! [`FlowOp`]s; this module turns that set into an [`ApiType`]:
+//!
+//! 1. **File-mediated copies are canonicalized away** — a
+//!    `W(FILE, R(MEM))` + `W(MEM, R(FILE))` pair is the temp-file idiom
+//!    and reduces to `W(MEM, R(MEM))` (§4.2.1 "Memory Copy via Files").
+//! 2. Any GUI-touching op ⇒ **Visualizing**.
+//! 3. `W(MEM, R(FILE|DEV))` ⇒ **Data Loading**.
+//! 4. `W(FILE|DEV, R(MEM))` ⇒ **Storing**.
+//! 5. Otherwise ⇒ **Data Processing** (the paper's default for pure
+//!    memory-to-memory APIs).
+
+use freepart_frameworks::api::ApiType;
+use freepart_frameworks::ir::{FlowOp, Storage};
+use std::collections::BTreeSet;
+
+/// Applies the temp-file reduction, returning the canonical flow set.
+pub fn reduce_flows(flows: &BTreeSet<FlowOp>) -> BTreeSet<FlowOp> {
+    let mut out = flows.clone();
+    let spill = FlowOp::write(Storage::File, Storage::Mem);
+    let refill = FlowOp::write(Storage::Mem, Storage::File);
+    if out.contains(&spill) && out.contains(&refill) {
+        out.remove(&spill);
+        out.remove(&refill);
+        out.insert(FlowOp::write(Storage::Mem, Storage::Mem));
+    }
+    out
+}
+
+/// Classifies a canonical flow set into one of the four API types.
+pub fn classify_flows(flows: &BTreeSet<FlowOp>) -> ApiType {
+    let flows = reduce_flows(flows);
+    if flows.iter().any(FlowOp::touches_gui) {
+        return ApiType::Visualizing;
+    }
+    let loads = flows.iter().any(|f| {
+        matches!(
+            f,
+            FlowOp::Write {
+                dst: Storage::Mem,
+                src: Storage::File | Storage::Dev,
+            }
+        )
+    });
+    if loads {
+        return ApiType::DataLoading;
+    }
+    let stores = flows.iter().any(|f| {
+        matches!(
+            f,
+            FlowOp::Write {
+                dst: Storage::File | Storage::Dev,
+                src: Storage::Mem,
+            }
+        )
+    });
+    if stores {
+        return ApiType::Storing;
+    }
+    ApiType::DataProcessing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ops: &[FlowOp]) -> BTreeSet<FlowOp> {
+        ops.iter().copied().collect()
+    }
+
+    #[test]
+    fn pure_memory_is_processing() {
+        let t = classify_flows(&set(&[FlowOp::write(Storage::Mem, Storage::Mem)]));
+        assert_eq!(t, ApiType::DataProcessing);
+        assert_eq!(classify_flows(&set(&[])), ApiType::DataProcessing);
+    }
+
+    #[test]
+    fn file_to_memory_is_loading() {
+        let t = classify_flows(&set(&[FlowOp::write(Storage::Mem, Storage::File)]));
+        assert_eq!(t, ApiType::DataLoading);
+        let t = classify_flows(&set(&[FlowOp::write(Storage::Mem, Storage::Dev)]));
+        assert_eq!(t, ApiType::DataLoading);
+    }
+
+    #[test]
+    fn memory_to_file_is_storing() {
+        let t = classify_flows(&set(&[FlowOp::write(Storage::File, Storage::Mem)]));
+        assert_eq!(t, ApiType::Storing);
+    }
+
+    #[test]
+    fn gui_wins_over_everything() {
+        let t = classify_flows(&set(&[
+            FlowOp::write(Storage::Mem, Storage::File),
+            FlowOp::write(Storage::Gui, Storage::Mem),
+        ]));
+        assert_eq!(t, ApiType::Visualizing);
+        assert_eq!(
+            classify_flows(&set(&[FlowOp::Read(Storage::Gui)])),
+            ApiType::Visualizing
+        );
+    }
+
+    #[test]
+    fn temp_file_roundtrip_reduces_to_loading_for_get_file() {
+        // get_file: download (DEV→MEM) + spill + refill.
+        let flows = set(&[
+            FlowOp::write(Storage::Mem, Storage::Dev),
+            FlowOp::write(Storage::File, Storage::Mem),
+            FlowOp::write(Storage::Mem, Storage::File),
+        ]);
+        assert_eq!(classify_flows(&flows), ApiType::DataLoading);
+        // Without the device read, a pure spill+refill is processing.
+        let flows = set(&[
+            FlowOp::write(Storage::File, Storage::Mem),
+            FlowOp::write(Storage::Mem, Storage::File),
+        ]);
+        assert_eq!(classify_flows(&flows), ApiType::DataProcessing);
+    }
+
+    #[test]
+    fn reduction_preserves_lone_sides() {
+        // A lone store does not reduce.
+        let flows = set(&[FlowOp::write(Storage::File, Storage::Mem)]);
+        assert_eq!(reduce_flows(&flows), flows);
+    }
+}

@@ -1,0 +1,179 @@
+//! Dynamic pass: categorization evidence from traced executions.
+//!
+//! The paper's dynamic analysis runs each API on the frameworks' own
+//! examples/test suites and observes concrete data flows. Coverage is
+//! high but not total (Table 11) — APIs outside the corpus keep only
+//! their static verdicts. [`TestCorpus`] models exactly that: which APIs
+//! the corpus exercises.
+
+use crate::classify::classify_flows;
+use crate::driver;
+use freepart_frameworks::api::{ApiId, ApiRegistry, ApiType, Framework};
+use freepart_frameworks::{ObjectStore, Trace};
+use freepart_simos::{Kernel, SyscallNo};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which APIs the dynamic test corpus can exercise.
+#[derive(Debug, Clone)]
+pub struct TestCorpus {
+    covered: BTreeSet<ApiId>,
+}
+
+impl TestCorpus {
+    /// A corpus covering every registered API.
+    pub fn full(reg: &ApiRegistry) -> TestCorpus {
+        TestCorpus {
+            covered: reg.iter().map(|s| s.id).collect(),
+        }
+    }
+
+    /// A corpus covering a per-framework fraction of APIs, never
+    /// dropping anything in `keep` (the paper's observation: uncovered
+    /// APIs are exactly those no evaluated program uses).
+    ///
+    /// Selection is deterministic: APIs are dropped in reverse
+    /// name-order until the target fraction is met.
+    pub fn with_coverage(
+        reg: &ApiRegistry,
+        fractions: &BTreeMap<Framework, f64>,
+        keep: &BTreeSet<ApiId>,
+    ) -> TestCorpus {
+        let mut covered: BTreeSet<ApiId> = reg.iter().map(|s| s.id).collect();
+        for (fw, frac) in fractions {
+            let mut of_fw: Vec<_> = reg.of_framework(*fw).iter().map(|s| (s.name.clone(), s.id)).collect();
+            of_fw.sort();
+            let total = of_fw.len();
+            let target = (total as f64 * frac).round() as usize;
+            let mut to_drop = total.saturating_sub(target);
+            for (_, id) in of_fw.iter().rev() {
+                if to_drop == 0 {
+                    break;
+                }
+                if keep.contains(id) {
+                    continue;
+                }
+                covered.remove(id);
+                to_drop -= 1;
+            }
+        }
+        TestCorpus { covered }
+    }
+
+    /// True when the corpus exercises this API.
+    pub fn covers(&self, id: ApiId) -> bool {
+        self.covered.contains(&id)
+    }
+
+    /// Number of covered APIs.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// True when nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+}
+
+/// Evidence gathered by one dynamic run of one API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicResult {
+    /// Observed data flows.
+    pub flows: BTreeSet<freepart_frameworks::FlowOp>,
+    /// Observed syscalls.
+    pub syscalls: BTreeSet<SyscallNo>,
+    /// Type implied by the observed flows.
+    pub inferred: ApiType,
+}
+
+impl DynamicResult {
+    fn from_trace(trace: &Trace) -> DynamicResult {
+        let flows: BTreeSet<_> = trace.flows.iter().copied().collect();
+        let syscalls: BTreeSet<_> = trace.syscalls.iter().copied().collect();
+        let inferred = classify_flows(&flows);
+        DynamicResult {
+            flows,
+            syscalls,
+            inferred,
+        }
+    }
+}
+
+/// Runs the dynamic pass over every covered API in a fresh sandbox
+/// kernel, returning per-API evidence.
+pub fn analyze_all(reg: &ApiRegistry, corpus: &TestCorpus) -> BTreeMap<ApiId, DynamicResult> {
+    let mut kernel = Kernel::new();
+    let pid = kernel.spawn("dynamic-analysis");
+    let mut objects = ObjectStore::new();
+    let mut out = BTreeMap::new();
+    for (i, spec) in reg.iter().enumerate() {
+        if !corpus.covers(spec.id) {
+            continue;
+        }
+        if let Ok((trace, _)) = driver::drive(reg, spec, &mut kernel, &mut objects, pid, i as u64)
+        {
+            out.insert(spec.id, DynamicResult::from_trace(&trace));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::registry::standard_registry;
+
+    #[test]
+    fn full_corpus_analyzes_everything() {
+        let reg = standard_registry();
+        let corpus = TestCorpus::full(&reg);
+        let results = analyze_all(&reg, &corpus);
+        assert_eq!(results.len(), reg.len());
+    }
+
+    #[test]
+    fn dynamic_sees_through_opacity() {
+        let reg = standard_registry();
+        let corpus = TestCorpus::full(&reg);
+        let results = analyze_all(&reg, &corpus);
+        // pd.read_csv is statically opaque but dynamically obvious.
+        let id = reg.id_of("pd.read_csv").unwrap();
+        assert_eq!(results[&id].inferred, ApiType::DataLoading);
+        let id = reg.id_of("plt.show").unwrap();
+        assert_eq!(results[&id].inferred, ApiType::Visualizing);
+    }
+
+    #[test]
+    fn partial_corpus_respects_fractions_and_keep_set() {
+        let reg = standard_registry();
+        let keep: BTreeSet<_> = [reg.id_of("cv2.imread").unwrap()].into_iter().collect();
+        let mut fractions = BTreeMap::new();
+        fractions.insert(Framework::OpenCv, 0.5);
+        let corpus = TestCorpus::with_coverage(&reg, &fractions, &keep);
+        let cv_total = reg.of_framework(Framework::OpenCv).len();
+        let cv_covered = reg
+            .of_framework(Framework::OpenCv)
+            .iter()
+            .filter(|s| corpus.covers(s.id))
+            .count();
+        assert!(cv_covered <= cv_total / 2 + 1, "{cv_covered}/{cv_total}");
+        assert!(corpus.covers(reg.id_of("cv2.imread").unwrap()));
+        // Other frameworks untouched.
+        assert!(corpus.covers(reg.id_of("torch.load").unwrap()));
+    }
+
+    #[test]
+    fn dynamic_matches_ground_truth_on_full_corpus() {
+        let reg = standard_registry();
+        let corpus = TestCorpus::full(&reg);
+        let results = analyze_all(&reg, &corpus);
+        let mut mismatches = Vec::new();
+        for spec in reg.iter() {
+            let got = results[&spec.id].inferred;
+            if got != spec.declared_type {
+                mismatches.push(format!("{}: {got:?} != {:?}", spec.name, spec.declared_type));
+            }
+        }
+        assert!(mismatches.is_empty(), "{mismatches:#?}");
+    }
+}

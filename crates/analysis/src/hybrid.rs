@@ -1,0 +1,175 @@
+//! Hybrid categorization: static first, dynamic where the static pass is
+//! blind or uncovered APIs keep their static verdicts (paper §4.2.2).
+
+use crate::dynamic::{analyze_all, DynamicResult, TestCorpus};
+use crate::static_analysis::{analyze, StaticResult};
+use freepart_frameworks::api::{ApiId, ApiRegistry, ApiType};
+use std::collections::BTreeMap;
+
+/// Where an API's final type label came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evidence {
+    /// Static analysis alone (API outside the dynamic corpus).
+    StaticOnly,
+    /// Dynamic trace alone (static was opaque).
+    DynamicOnly,
+    /// Both agreed / were merged.
+    Both,
+}
+
+/// Final categorization of one API.
+#[derive(Debug, Clone)]
+pub struct Categorization {
+    /// Which API.
+    pub api: ApiId,
+    /// The label the partitioner will use.
+    pub final_type: ApiType,
+    /// Static verdict, with its confidence.
+    pub static_result: StaticResult,
+    /// Dynamic verdict, when the corpus covered the API.
+    pub dynamic_result: Option<DynamicResult>,
+    /// Evidence provenance.
+    pub evidence: Evidence,
+}
+
+/// Hybrid-analysis output over a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct HybridReport {
+    /// Per-API categorizations.
+    pub per_api: BTreeMap<ApiId, Categorization>,
+}
+
+impl HybridReport {
+    /// The final type of an API.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id that was not categorized.
+    pub fn type_of(&self, id: ApiId) -> ApiType {
+        self.per_api[&id].final_type
+    }
+
+    /// Fraction of APIs whose final type matches the registry's declared
+    /// ground truth.
+    pub fn accuracy(&self, reg: &ApiRegistry) -> f64 {
+        if self.per_api.is_empty() {
+            return 1.0;
+        }
+        let correct = self
+            .per_api
+            .values()
+            .filter(|c| c.final_type == reg.spec(c.api).declared_type)
+            .count();
+        correct as f64 / self.per_api.len() as f64
+    }
+
+    /// APIs whose final type disagrees with ground truth (the
+    /// miscategorization set of §6).
+    pub fn miscategorized(&self, reg: &ApiRegistry) -> Vec<ApiId> {
+        self.per_api
+            .values()
+            .filter(|c| c.final_type != reg.spec(c.api).declared_type)
+            .map(|c| c.api)
+            .collect()
+    }
+
+    /// Count of APIs per final type.
+    pub fn counts_by_type(&self) -> BTreeMap<ApiType, usize> {
+        let mut out = BTreeMap::new();
+        for c in self.per_api.values() {
+            *out.entry(c.final_type).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Runs the full hybrid analysis over a registry with the given corpus.
+pub fn categorize(reg: &ApiRegistry, corpus: &TestCorpus) -> HybridReport {
+    let dynamic = analyze_all(reg, corpus);
+    let mut per_api = BTreeMap::new();
+    for spec in reg.iter() {
+        let static_result = analyze(spec);
+        let dynamic_result = dynamic.get(&spec.id).cloned();
+        let (final_type, evidence) = match (&static_result, &dynamic_result) {
+            (s, Some(d)) => {
+                // Union the evidence: flows observed either way count.
+                let mut flows = s.flows.clone();
+                flows.extend(d.flows.iter().copied());
+                let merged = crate::classify::classify_flows(&flows);
+                let ev = if s.confident() {
+                    Evidence::Both
+                } else {
+                    Evidence::DynamicOnly
+                };
+                (merged, ev)
+            }
+            (s, None) => (s.inferred, Evidence::StaticOnly),
+        };
+        per_api.insert(
+            spec.id,
+            Categorization {
+                api: spec.id,
+                final_type,
+                static_result,
+                dynamic_result,
+                evidence,
+            },
+        );
+    }
+    HybridReport { per_api }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::registry::standard_registry;
+
+    #[test]
+    fn hybrid_is_fully_accurate_with_full_corpus() {
+        let reg = standard_registry();
+        let report = categorize(&reg, &TestCorpus::full(&reg));
+        assert_eq!(report.accuracy(&reg), 1.0, "{:?}", report.miscategorized(&reg));
+        assert_eq!(report.per_api.len(), reg.len());
+    }
+
+    #[test]
+    fn opaque_apis_resolved_by_dynamic_evidence() {
+        let reg = standard_registry();
+        let report = categorize(&reg, &TestCorpus::full(&reg));
+        let id = reg.id_of("pd.read_csv").unwrap();
+        let c = &report.per_api[&id];
+        assert_eq!(c.final_type, ApiType::DataLoading);
+        assert_eq!(c.evidence, Evidence::DynamicOnly);
+        // A transparent API gets corroborated by both.
+        let id = reg.id_of("cv2.imread").unwrap();
+        assert_eq!(report.per_api[&id].evidence, Evidence::Both);
+    }
+
+    #[test]
+    fn uncovered_opaque_api_is_miscategorized_static_only() {
+        use freepart_frameworks::api::Framework;
+        use std::collections::{BTreeMap, BTreeSet};
+        let reg = standard_registry();
+        // Cover nothing in pandas: read_csv falls back to its (wrong)
+        // static verdict — the §6 miscategorization scenario.
+        let mut fractions = BTreeMap::new();
+        fractions.insert(Framework::Pandas, 0.0);
+        let corpus = crate::dynamic::TestCorpus::with_coverage(&reg, &fractions, &BTreeSet::new());
+        let report = categorize(&reg, &corpus);
+        let id = reg.id_of("pd.read_csv").unwrap();
+        assert_eq!(report.per_api[&id].evidence, Evidence::StaticOnly);
+        assert_eq!(report.per_api[&id].final_type, ApiType::DataProcessing);
+        assert!(report.miscategorized(&reg).contains(&id));
+        assert!(report.accuracy(&reg) < 1.0);
+    }
+
+    #[test]
+    fn counts_by_type_cover_all_four() {
+        let reg = standard_registry();
+        let report = categorize(&reg, &TestCorpus::full(&reg));
+        let counts = report.counts_by_type();
+        for t in ApiType::ALL {
+            assert!(counts.get(&t).copied().unwrap_or(0) > 0, "{t} empty");
+        }
+    }
+}

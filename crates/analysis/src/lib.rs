@@ -1,0 +1,50 @@
+//! # freepart-analysis — hybrid framework-API categorization
+//!
+//! The offline half of FreePart (paper §4.2, Fig. 5 left): given the
+//! framework API catalog, decide each API's type (loading / processing /
+//! visualizing / storing), its required syscalls, and its flags
+//! (type-neutral, stateful) — automatically.
+//!
+//! * [`static_analysis`] walks each API's body IR (the LLVM/PyCG
+//!   stand-in). It is complete for transparent bodies and blind behind
+//!   indirect calls.
+//! * [`driver`] + [`dynamic`] execute APIs on a canonical test corpus
+//!   under tracing and observe real flows and syscalls.
+//! * [`hybrid`] merges both, matching the paper's design: dynamic
+//!   evidence overrides static blindness; uncovered APIs keep static
+//!   verdicts.
+//! * [`classify`] holds the Fig. 9 pattern rules, including the
+//!   memory-copy-via-file reduction.
+//! * [`syscalls`] builds per-API and per-type syscall requirement sets
+//!   (Fig. 12 / Table 7 inputs).
+//! * [`coverage`] reports Table 11-style coverage.
+//! * [`neutral`] / [`stateful`] detect type-neutral and stateful APIs.
+//!
+//! ```
+//! use freepart_analysis::{dynamic::TestCorpus, hybrid};
+//! use freepart_frameworks::registry::standard_registry;
+//!
+//! let reg = standard_registry();
+//! let report = hybrid::categorize(&reg, &TestCorpus::full(&reg));
+//! assert_eq!(report.accuracy(&reg), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod coverage;
+pub mod driver;
+pub mod dynamic;
+pub mod hybrid;
+pub mod neutral;
+pub mod static_analysis;
+pub mod stateful;
+pub mod syscalls;
+
+pub use classify::{classify_flows, reduce_flows};
+pub use coverage::{coverage_table, CoverageRow};
+pub use dynamic::{DynamicResult, TestCorpus};
+pub use hybrid::{categorize, Categorization, Evidence, HybridReport};
+pub use static_analysis::{analyze, StaticResult};
+pub use syscalls::SyscallProfile;

@@ -1,0 +1,111 @@
+//! Type-neutral API detection (paper §4.2 "Type-neutral Framework
+//! APIs").
+//!
+//! An API is *type neutral* when (a) it only moves memory to memory, and
+//! (b) application traces show it being used adjacent to APIs of more
+//! than one type (`cvtColor` next to `imread` in one place and next to
+//! `GaussianBlur`/`imshow` in another). Such APIs are executed in the
+//! agent of their calling context instead of pinning a partition.
+
+use crate::hybrid::HybridReport;
+use freepart_frameworks::api::{ApiId, ApiRegistry, ApiType};
+use freepart_frameworks::ir::{FlowOp, Storage};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn is_mem_only(report: &HybridReport, id: ApiId) -> bool {
+    let c = &report.per_api[&id];
+    let mem_mem = FlowOp::write(Storage::Mem, Storage::Mem);
+    let flows: BTreeSet<FlowOp> = match &c.dynamic_result {
+        Some(d) => d.flows.iter().copied().collect(),
+        None => c.static_result.flows.clone(),
+    };
+    !flows.is_empty() && flows.iter().all(|f| *f == mem_mem)
+        || (flows.is_empty() && c.final_type == ApiType::DataProcessing)
+}
+
+/// Detects type-neutral APIs from observed application call sequences.
+///
+/// `sequences` are per-application API-call orders (as the offline
+/// profiling runs record them).
+pub fn detect_type_neutral(
+    reg: &ApiRegistry,
+    report: &HybridReport,
+    sequences: &[Vec<ApiId>],
+) -> BTreeSet<ApiId> {
+    // For each API, the set of *typed* neighbours it appears next to.
+    let mut neighbour_types: BTreeMap<ApiId, BTreeSet<ApiType>> = BTreeMap::new();
+    for seq in sequences {
+        for (i, &id) in seq.iter().enumerate() {
+            let mut note = |other: ApiId| {
+                let t = report.type_of(other);
+                neighbour_types.entry(id).or_default().insert(t);
+            };
+            if i > 0 {
+                note(seq[i - 1]);
+            }
+            if i + 1 < seq.len() {
+                note(seq[i + 1]);
+            }
+        }
+    }
+    reg.iter()
+        .filter(|s| {
+            report.per_api.contains_key(&s.id)
+                && is_mem_only(report, s.id)
+                && neighbour_types
+                    .get(&s.id)
+                    .is_some_and(|ts| ts.len() >= 2)
+        })
+        .map(|s| s.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::TestCorpus;
+    use crate::hybrid::categorize;
+    use freepart_frameworks::registry::standard_registry;
+
+    #[test]
+    fn cvtcolor_detected_as_neutral_from_mixed_contexts() {
+        let reg = standard_registry();
+        let report = categorize(&reg, &TestCorpus::full(&reg));
+        let imread = reg.id_of("cv2.imread").unwrap();
+        let cvt = reg.id_of("cv2.cvtColor").unwrap();
+        let blur = reg.id_of("cv2.GaussianBlur").unwrap();
+        let imshow = reg.id_of("cv2.imshow").unwrap();
+        // App A uses cvtColor right after loading; app B between
+        // processing and visualizing.
+        let sequences = vec![vec![imread, cvt, blur], vec![blur, cvt, imshow]];
+        let neutral = detect_type_neutral(&reg, &report, &sequences);
+        assert!(neutral.contains(&cvt));
+        // imread moves FILE→MEM: never neutral, whatever its neighbours.
+        assert!(!neutral.contains(&imread));
+    }
+
+    #[test]
+    fn single_context_api_is_not_neutral() {
+        let reg = standard_registry();
+        let report = categorize(&reg, &TestCorpus::full(&reg));
+        let cvt = reg.id_of("cv2.cvtColor").unwrap();
+        let blur = reg.id_of("cv2.GaussianBlur").unwrap();
+        let erode = reg.id_of("cv2.erode").unwrap();
+        // cvtColor only ever appears between processing APIs here.
+        let sequences = vec![vec![blur, cvt, erode]];
+        let neutral = detect_type_neutral(&reg, &report, &sequences);
+        assert!(!neutral.contains(&cvt));
+    }
+
+    #[test]
+    fn detection_agrees_with_registry_flags_on_catalog_examples() {
+        let reg = standard_registry();
+        let report = categorize(&reg, &TestCorpus::full(&reg));
+        let imread = reg.id_of("cv2.imread").unwrap();
+        let alloc = reg.id_of("cv2.cvAlloc").unwrap();
+        let imshow = reg.id_of("cv2.imshow").unwrap();
+        let sequences = vec![vec![imread, alloc, imshow]];
+        let neutral = detect_type_neutral(&reg, &report, &sequences);
+        assert!(neutral.contains(&alloc), "cvAlloc used across types");
+    }
+}

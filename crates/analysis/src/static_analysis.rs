@@ -1,0 +1,163 @@
+//! Static pass: data-flow patterns from API body IR.
+//!
+//! Mirrors the paper's LLVM/PyCG analysis: walk the body, collect
+//! syscalls and assignment-induced flows, flag GUI accesses. The pass is
+//! deliberately *incomplete* — it cannot see through
+//! [`IrStmt::IndirectCall`] — which is what makes an API "statically
+//! opaque" and forces the hybrid design.
+
+use crate::classify::classify_flows;
+use freepart_frameworks::api::{ApiSpec, ApiType};
+use freepart_frameworks::ir::{FlowOp, IrStmt};
+use freepart_simos::SyscallNo;
+use std::collections::BTreeSet;
+
+/// Result of statically analyzing one API body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticResult {
+    /// Flows visible without executing the body.
+    pub flows: BTreeSet<FlowOp>,
+    /// Syscalls visible without executing the body.
+    pub syscalls: BTreeSet<SyscallNo>,
+    /// True when an indirect call hid part of the body — the
+    /// classification below may be wrong and dynamic evidence is needed.
+    pub opaque: bool,
+    /// The type the visible flows imply.
+    pub inferred: ApiType,
+}
+
+impl StaticResult {
+    /// True when the static verdict can be trusted on its own.
+    pub fn confident(&self) -> bool {
+        !self.opaque
+    }
+}
+
+fn walk(
+    stmts: &[IrStmt],
+    flows: &mut BTreeSet<FlowOp>,
+    syscalls: &mut BTreeSet<SyscallNo>,
+    opaque: &mut bool,
+) {
+    for stmt in stmts {
+        match stmt {
+            IrStmt::Sys(no) => {
+                syscalls.insert(*no);
+            }
+            IrStmt::Assign { dst, src } => {
+                flows.insert(FlowOp::write(dst.storage(), src.storage()));
+            }
+            IrStmt::GuiCall(_) => {
+                flows.insert(FlowOp::Read(freepart_frameworks::Storage::Gui));
+            }
+            IrStmt::Call(_) => {}
+            IrStmt::IndirectCall(_) => {
+                // The analyzer cannot resolve the target; the hidden body
+                // is NOT walked.
+                *opaque = true;
+            }
+            IrStmt::TempFileRoundtrip => {
+                // Statically visible as a spill + refill pair; the
+                // classifier reduces it.
+                flows.insert(FlowOp::write(
+                    freepart_frameworks::Storage::File,
+                    freepart_frameworks::Storage::Mem,
+                ));
+                flows.insert(FlowOp::write(
+                    freepart_frameworks::Storage::Mem,
+                    freepart_frameworks::Storage::File,
+                ));
+                syscalls.insert(SyscallNo::Openat);
+                syscalls.insert(SyscallNo::Write);
+                syscalls.insert(SyscallNo::Read);
+            }
+            IrStmt::Loop(body) => walk(body, flows, syscalls, opaque),
+        }
+    }
+}
+
+/// Statically analyzes one API spec's body IR.
+pub fn analyze(spec: &ApiSpec) -> StaticResult {
+    let mut flows = BTreeSet::new();
+    let mut syscalls = BTreeSet::new();
+    let mut opaque = false;
+    walk(&spec.ir, &mut flows, &mut syscalls, &mut opaque);
+    let inferred = classify_flows(&flows);
+    StaticResult {
+        flows,
+        syscalls,
+        opaque,
+        inferred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::registry::standard_registry;
+
+    #[test]
+    fn transparent_loader_classified_statically() {
+        let reg = standard_registry();
+        let r = analyze(reg.by_name("cv2.imread").unwrap());
+        assert!(r.confident());
+        assert_eq!(r.inferred, ApiType::DataLoading);
+        assert!(r.syscalls.contains(&SyscallNo::Openat));
+    }
+
+    #[test]
+    fn opaque_apis_misclassify_statically() {
+        let reg = standard_registry();
+        // pd.read_csv hides its file I/O behind an indirect call: the
+        // static pass sees nothing and defaults to processing — the false
+        // negative the paper's hybrid analysis exists to fix.
+        let r = analyze(reg.by_name("pd.read_csv").unwrap());
+        assert!(!r.confident());
+        assert_eq!(r.inferred, ApiType::DataProcessing);
+        assert!(r.flows.is_empty());
+    }
+
+    #[test]
+    fn visualizer_detected_by_gui_access() {
+        let reg = standard_registry();
+        let r = analyze(reg.by_name("cv2.imshow").unwrap());
+        assert_eq!(r.inferred, ApiType::Visualizing);
+    }
+
+    #[test]
+    fn storer_detected() {
+        let reg = standard_registry();
+        let r = analyze(reg.by_name("cv2.imwrite").unwrap());
+        assert_eq!(r.inferred, ApiType::Storing);
+    }
+
+    #[test]
+    fn get_file_reduces_to_loading_statically() {
+        let reg = standard_registry();
+        let r = analyze(reg.by_name("tf.keras.utils.get_file").unwrap());
+        assert!(r.confident());
+        assert_eq!(r.inferred, ApiType::DataLoading);
+    }
+
+    #[test]
+    fn opaque_set_is_exactly_the_hybrid_only_apis() {
+        // The paper's Table 2 footnote names the APIs that *need* the
+        // hybrid analysis; nothing else in the catalog may be opaque.
+        let reg = standard_registry();
+        let opaque: Vec<&str> = reg
+            .iter()
+            .filter(|s| !analyze(s).confident())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(opaque, ["pd.read_csv", "json.load", "plt.show", "plt.savefig"]);
+    }
+
+    #[test]
+    fn loop_bodies_are_walked() {
+        let reg = standard_registry();
+        // process_in_memory puts its assignment inside a Loop.
+        let r = analyze(reg.by_name("cv2.GaussianBlur").unwrap());
+        assert!(!r.flows.is_empty());
+        assert_eq!(r.inferred, ApiType::DataProcessing);
+    }
+}

@@ -1,0 +1,26 @@
+//! # freepart-apps — the evaluation applications
+//!
+//! * [`spec`] + [`driver`]: the 23 Table 6 applications as data-driven
+//!   pipelines with exact per-type unique/total API call budgets,
+//!   runnable under any isolation scheme via `ApiSurface`.
+//! * [`omr`]: the OMRChecker motivating example (§3), hand-written,
+//!   with its attack hooks.
+//! * [`drone`], [`mcomix`], [`stegonet`]: the case studies of §5.4 and
+//!   §A.7.
+//! * [`study`]: the 56-application survey corpus behind Study 1,
+//!   Fig. 6, and Table 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod drone;
+pub mod mcomix;
+pub mod omr;
+pub mod spec;
+pub mod stegonet;
+pub mod study;
+
+pub use driver::{run_app, RunOptions, RunReport};
+pub use spec::{by_id, resolve, AppSpec, ResolvedApp, TABLE6};
+pub use study::{study_corpus, StudySketch};

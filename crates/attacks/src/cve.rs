@@ -1,0 +1,149 @@
+//! The CVE registry used by the evaluation (paper Table 5) plus the
+//! case-study CVEs.
+//!
+//! Each entry records the vulnerability class, the framework API it
+//! lives in (which fixes the agent process it compromises), and the
+//! evaluation-sample ids it affects — exactly the columns of Table 5.
+
+use freepart_frameworks::api::ApiType;
+use std::fmt;
+
+/// Vulnerability classes, matching Table 5's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum VulnClass {
+    /// Out-of-bounds / arbitrary memory write.
+    UnauthorizedMemWrite,
+    /// Information-disclosing memory read.
+    UnauthorizedMemRead,
+    /// Remote code execution.
+    RemoteCodeExecution,
+    /// Crash / hang.
+    DenialOfService,
+    /// Reads files it should not.
+    UnauthorizedFileRead,
+}
+
+impl fmt::Display for VulnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VulnClass::UnauthorizedMemWrite => "Unauthorized Mem. Write",
+            VulnClass::UnauthorizedMemRead => "Unauthorized Mem. Read",
+            VulnClass::RemoteCodeExecution => "Remote Code Execution",
+            VulnClass::DenialOfService => "Denial-of-Service (DoS)",
+            VulnClass::UnauthorizedFileRead => "Unauthorized File Read",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One CVE usable by the attack harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CveEntry {
+    /// The identifier (`CVE-2017-12597`, ...).
+    pub id: &'static str,
+    /// Vulnerability class.
+    pub class: VulnClass,
+    /// The qualified API name carrying the bug.
+    pub api: &'static str,
+    /// API type of the vulnerable function (Table 5's last column) —
+    /// also the agent process the exploit lands in.
+    pub api_type: ApiType,
+    /// Evaluation sample ids affected (Table 6 numbering).
+    pub samples: &'static [u32],
+}
+
+/// The 18 CVEs of Table 5.
+pub const TABLE5: &[CveEntry] = &[
+    // ---- unauthorized memory write (OpenCV imread family) ----
+    CveEntry { id: "CVE-2017-12604", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 9, 10, 12] },
+    CveEntry { id: "CVE-2017-12605", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 9, 10, 12] },
+    CveEntry { id: "CVE-2017-12606", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 9, 10, 12] },
+    CveEntry { id: "CVE-2017-12597", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 8, 9, 10, 12] },
+    // ---- remote code execution ----
+    CveEntry { id: "CVE-2017-17760", class: VulnClass::RemoteCodeExecution, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 7, 10, 12] },
+    CveEntry { id: "CVE-2019-5063", class: VulnClass::RemoteCodeExecution, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
+    CveEntry { id: "CVE-2019-5064", class: VulnClass::RemoteCodeExecution, api: "cv2.calcOpticalFlowFarneback", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
+    // ---- denial of service ----
+    CveEntry { id: "CVE-2017-14136", class: VulnClass::DenialOfService, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 7, 9, 10, 12] },
+    CveEntry { id: "CVE-2018-5269", class: VulnClass::DenialOfService, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 7, 9, 10, 12] },
+    CveEntry { id: "CVE-2019-14491", class: VulnClass::DenialOfService, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
+    CveEntry { id: "CVE-2019-14492", class: VulnClass::DenialOfService, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
+    CveEntry { id: "CVE-2019-14493", class: VulnClass::DenialOfService, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
+    CveEntry { id: "CVE-2021-29513", class: VulnClass::DenialOfService, api: "tf.nn.conv3d", api_type: ApiType::DataProcessing, samples: &[21, 23] },
+    CveEntry { id: "CVE-2021-29618", class: VulnClass::DenialOfService, api: "tf.reshape", api_type: ApiType::DataProcessing, samples: &[23] },
+    CveEntry { id: "CVE-2021-37661", class: VulnClass::DenialOfService, api: "tf.nn.avg_pool", api_type: ApiType::DataProcessing, samples: &[21, 22, 23] },
+    CveEntry { id: "CVE-2021-41198", class: VulnClass::DenialOfService, api: "tf.nn.max_pool", api_type: ApiType::DataProcessing, samples: &[20, 22] },
+    // ---- additional reproduced vulnerabilities (DoS family, Table 5's
+    // 17th/18th entries are imshow/resize-adjacent in our catalog) ----
+    CveEntry { id: "CVE-2018-5268", class: VulnClass::DenialOfService, api: "cv2.imshow", api_type: ApiType::Visualizing, samples: &[1, 8] },
+    CveEntry { id: "CVE-2021-25289", class: VulnClass::UnauthorizedMemWrite, api: "PIL.Image.open", api_type: ApiType::DataLoading, samples: &[4] },
+];
+
+/// Case-study CVEs (§5.4, §A.7).
+pub const CASE_STUDY: &[CveEntry] = &[
+    CveEntry { id: "CVE-2020-10378", class: VulnClass::UnauthorizedMemRead, api: "PIL.Image.open", api_type: ApiType::DataLoading, samples: &[] },
+];
+
+/// Looks up a Table 5 / case-study CVE by id.
+pub fn find(id: &str) -> Option<&'static CveEntry> {
+    TABLE5
+        .iter()
+        .chain(CASE_STUDY.iter())
+        .find(|c| c.id == id)
+}
+
+/// CVEs grouped by class, Table 5 row order.
+pub fn by_class(class: VulnClass) -> Vec<&'static CveEntry> {
+    TABLE5.iter().filter(|c| c.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::registry::standard_registry;
+
+    #[test]
+    fn table5_has_18_cves() {
+        assert_eq!(TABLE5.len(), 18);
+    }
+
+    #[test]
+    fn every_cve_points_at_a_registered_vulnerable_api() {
+        let reg = standard_registry();
+        for cve in TABLE5.iter().chain(CASE_STUDY.iter()) {
+            let spec = reg
+                .by_name(cve.api)
+                .unwrap_or_else(|| panic!("{}: API {} missing", cve.id, cve.api));
+            assert!(
+                spec.vulnerable_to(cve.id),
+                "{} not registered on {}",
+                cve.id,
+                cve.api
+            );
+            assert_eq!(spec.declared_type, cve.api_type, "{}", cve.id);
+        }
+    }
+
+    #[test]
+    fn classes_partition_table5() {
+        let total: usize = [
+            VulnClass::UnauthorizedMemWrite,
+            VulnClass::UnauthorizedMemRead,
+            VulnClass::RemoteCodeExecution,
+            VulnClass::DenialOfService,
+            VulnClass::UnauthorizedFileRead,
+        ]
+        .iter()
+        .map(|&c| by_class(c).len())
+        .sum();
+        assert_eq!(total, TABLE5.len());
+        assert_eq!(by_class(VulnClass::RemoteCodeExecution).len(), 3);
+    }
+
+    #[test]
+    fn find_resolves_ids() {
+        assert!(find("CVE-2017-12597").is_some());
+        assert!(find("CVE-2020-10378").is_some());
+        assert!(find("CVE-0000-0000").is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! # freepart-attacks — CVE registry, exploit payloads, attack verdicts
+//!
+//! The offensive half of the evaluation: the Table 5 CVE set wired to
+//! the synthetic frameworks' vulnerable APIs, payload builders for the
+//! attack classes (memory corruption, code rewriting, DoS,
+//! exfiltration, StegoNet fork bomb), the Fig. 7 study dataset, and
+//! ground-truth attack-outcome judgment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cve;
+pub mod judge;
+pub mod payloads;
+pub mod study;
+
+pub use cve::{by_class, find, CveEntry, VulnClass, CASE_STUDY, TABLE5};
+pub use judge::{judge, AttackGoal, Verdict};

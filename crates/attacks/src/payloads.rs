@@ -1,0 +1,89 @@
+//! Payload builders: the attacker programs the evaluation launches
+//! through the Table 5 CVEs.
+
+use freepart_frameworks::{ExploitAction, ExploitPayload};
+
+/// A denial-of-service payload: crash the process hosting the API.
+pub fn dos(cve: &str) -> ExploitPayload {
+    ExploitPayload {
+        cve: cve.to_owned(),
+        actions: vec![ExploitAction::CrashSelf],
+    }
+}
+
+/// A data-corruption payload: overwrite `len` bytes at a known address
+/// (the paper's powerful attacker knows exact addresses).
+pub fn corrupt(cve: &str, addr: u64, bytes: Vec<u8>) -> ExploitPayload {
+    ExploitPayload {
+        cve: cve.to_owned(),
+        actions: vec![ExploitAction::WriteMem { addr, bytes }],
+    }
+}
+
+/// A data-exfiltration payload: read a known buffer and `send()` it to
+/// an attacker-controlled destination (§5.3).
+pub fn exfiltrate(cve: &str, addr: u64, len: u64, dest: &str) -> ExploitPayload {
+    ExploitPayload {
+        cve: cve.to_owned(),
+        actions: vec![ExploitAction::ExfilMem {
+            addr,
+            len,
+            dest: dest.to_owned(),
+        }],
+    }
+}
+
+/// A code-manipulation payload: `mprotect` a code page writable and
+/// patch it (the "C" attack of Table 1).
+pub fn code_rewrite(cve: &str, code_addr: u64) -> ExploitPayload {
+    ExploitPayload {
+        cve: cve.to_owned(),
+        actions: vec![ExploitAction::RewriteCode { addr: code_addr }],
+    }
+}
+
+/// The StegoNet trojan payload (§A.7): a fork bomb smuggled in model
+/// weights, detonating inside whatever process loads/runs the model.
+pub fn stegonet_fork_bomb(cve: &str) -> ExploitPayload {
+    ExploitPayload {
+        cve: cve.to_owned(),
+        actions: vec![ExploitAction::ForkBomb],
+    }
+}
+
+/// A combined payload: corrupt first, then crash (the motivating
+/// example's two-stage attack).
+pub fn corrupt_then_crash(cve: &str, addr: u64, bytes: Vec<u8>) -> ExploitPayload {
+    ExploitPayload {
+        cve: cve.to_owned(),
+        actions: vec![
+            ExploitAction::WriteMem { addr, bytes },
+            ExploitAction::CrashSelf,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_carry_cve_and_actions() {
+        assert_eq!(dos("CVE-X").actions.len(), 1);
+        assert_eq!(corrupt("CVE-X", 0x10, vec![1, 2]).cve, "CVE-X");
+        let e = exfiltrate("CVE-X", 0x10, 8, "attacker:4444");
+        assert!(matches!(
+            e.actions[0],
+            ExploitAction::ExfilMem { len: 8, .. }
+        ));
+        assert!(matches!(
+            code_rewrite("CVE-X", 0x20).actions[0],
+            ExploitAction::RewriteCode { addr: 0x20 }
+        ));
+        assert!(matches!(
+            stegonet_fork_bomb("CVE-X").actions[0],
+            ExploitAction::ForkBomb
+        ));
+        assert_eq!(corrupt_then_crash("CVE-X", 1, vec![0]).actions.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! The 241-CVE study dataset behind Fig. 7 (paper §4.1, Study 2).
+//!
+//! The paper surveyed 241 public CVEs (Aug 2018 – Feb 2022) across
+//! TensorFlow (172), Pillow (44), OpenCV (22), and NumPy (3) and
+//! categorized each by the API type it lives in and its vulnerability
+//! class. The per-cell counts below reconstruct Fig. 7's histogram
+//! (peaks of 59 and 54 in processing/loading DoS; thin tails in storing
+//! and visualizing); they are data, not measurements — the figure
+//! regenerator prints them next to our own registry-derived
+//! distribution for comparison.
+
+use crate::cve::VulnClass;
+use freepart_frameworks::api::{ApiType, Framework};
+
+/// One cell of the Fig. 7 histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyCell {
+    /// API type the vulnerable functions belong to.
+    pub api_type: ApiType,
+    /// Vulnerability class.
+    pub class: VulnClass,
+    /// Number of CVEs in the cell.
+    pub count: u32,
+}
+
+/// Reconstructed Fig. 7 distribution (sums to 241).
+pub const FIG7_CELLS: &[StudyCell] = &[
+    // ---- Data Loading (89) ----
+    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::DenialOfService, count: 54 },
+    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::UnauthorizedMemWrite, count: 20 },
+    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::UnauthorizedMemRead, count: 11 },
+    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::UnauthorizedFileRead, count: 4 },
+    // ---- Data Processing (121) ----
+    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::DenialOfService, count: 59 },
+    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::UnauthorizedMemWrite, count: 50 },
+    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::UnauthorizedMemRead, count: 11 },
+    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::UnauthorizedFileRead, count: 1 },
+    // ---- Storing (15) ----
+    StudyCell { api_type: ApiType::Storing, class: VulnClass::DenialOfService, count: 10 },
+    StudyCell { api_type: ApiType::Storing, class: VulnClass::UnauthorizedMemWrite, count: 3 },
+    StudyCell { api_type: ApiType::Storing, class: VulnClass::UnauthorizedMemRead, count: 1 },
+    StudyCell { api_type: ApiType::Storing, class: VulnClass::UnauthorizedFileRead, count: 1 },
+    // ---- Visualizing (16) ----
+    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::DenialOfService, count: 11 },
+    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::UnauthorizedMemWrite, count: 1 },
+    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::UnauthorizedMemRead, count: 1 },
+    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::UnauthorizedFileRead, count: 3 },
+];
+
+/// Per-framework CVE totals of the study corpus.
+pub const FRAMEWORK_TOTALS: &[(Framework, u32)] = &[
+    (Framework::TensorFlow, 172),
+    (Framework::Pillow, 44),
+    (Framework::OpenCv, 22),
+    (Framework::NumPy, 3),
+];
+
+/// Total CVEs in the study.
+pub fn total() -> u32 {
+    FIG7_CELLS.iter().map(|c| c.count).sum()
+}
+
+/// Counts per API type.
+pub fn per_type(t: ApiType) -> u32 {
+    FIG7_CELLS
+        .iter()
+        .filter(|c| c.api_type == t)
+        .map(|c| c.count)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_to_241() {
+        assert_eq!(total(), 241);
+        assert_eq!(
+            FRAMEWORK_TOTALS.iter().map(|(_, n)| n).sum::<u32>(),
+            241
+        );
+    }
+
+    #[test]
+    fn loading_and_processing_dominate() {
+        let dl = per_type(ApiType::DataLoading);
+        let dp = per_type(ApiType::DataProcessing);
+        let st = per_type(ApiType::Storing);
+        let vz = per_type(ApiType::Visualizing);
+        assert!(dp > dl && dl > vz && dl > st, "{dl} {dp} {st} {vz}");
+        // Vulnerabilities exist across all four types (the study's
+        // takeaway motivating per-type isolation).
+        assert!(st > 0 && vz > 0);
+    }
+}

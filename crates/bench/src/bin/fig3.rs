@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 3**: the timeline of API calls, framework-state
+//! transitions, and data-protection events for the motivating example's
+//! first grading cycle.
+
+use freepart::{Policy, Runtime};
+use freepart_apps::omr::{self, OmrConfig};
+use freepart_bench::Table;
+use freepart_frameworks::registry::standard_registry;
+
+fn main() {
+    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    rt.kernel.reset_accounting();
+    omr::run(&mut rt, &OmrConfig::benign(2));
+
+    let mut t = Table::new(["virtual time", "framework state entered", "objects locked read-only"]);
+    for (ns, state, locked) in rt.state_timeline() {
+        t.row([
+            format!("{:.3} ms", ns as f64 / 1e6),
+            state.to_string(),
+            if locked > 0 {
+                format!("{locked} (previous stage sealed)")
+            } else {
+                "-".to_owned()
+            },
+        ]);
+    }
+    t.print("Fig. 3 — Timeline of API calls and data protection (measured)");
+    println!(
+        "\nAs in the paper's Fig. 3: the state starts at Initialization; the first\n\
+         imread() call moves it to Data Loading and seals the Initialization-defined\n\
+         `template`; each subsequent stage seals its predecessor's objects. Objects\n\
+         currently protected at exit: {}.",
+        rt.stats().protected_objects
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates the **Fig. 6 / Study 1** result: all 56 surveyed
+//! applications follow the load → process → visualize/store pipeline.
+
+use freepart_apps::study::study_corpus;
+use freepart_frameworks::api::ApiType;
+use freepart_frameworks::registry::standard_registry;
+
+fn main() {
+    let reg = standard_registry();
+    let corpus = study_corpus(&reg);
+    let mut pipeline_ok = 0;
+    let mut with_viz = 0;
+    let mut repeats = 0;
+    for s in &corpus {
+        if s.follows_pipeline(&reg) {
+            pipeline_ok += 1;
+        }
+        if !s.of_type(&reg, ApiType::Visualizing).is_empty() {
+            with_viz += 1;
+        }
+        // Video-style apps repeat the load/process cycle.
+        let loads: Vec<usize> = s
+            .calls
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| reg.spec(**id).declared_type == ApiType::DataLoading)
+            .map(|(i, _)| i)
+            .collect();
+        if loads.windows(2).any(|w| w[1] - w[0] > 3) {
+            repeats += 1;
+        }
+    }
+    println!("\n== Fig. 6 / Study 1 — Pipeline pattern over the 56-app corpus ==");
+    println!("apps following load→process→viz/store: {pipeline_ok}/56 (paper: 56/56)");
+    println!("apps with a GUI/visualizing stage:      {with_viz}/56 (paper: 'programs without GUI may not use visualizing APIs')");
+    println!("apps repeating the load/process cycle:  {repeats}/56 (video-style)");
+    assert_eq!(pipeline_ok, 56);
+}

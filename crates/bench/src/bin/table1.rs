@@ -1,0 +1,56 @@
+//! Regenerates **Table 1**: effectiveness of existing techniques and
+//! FreePart on the motivating example — attack outcomes (M/C/D),
+//! CVE-API isolation, granularity, process counts, and relative
+//! performance.
+
+use freepart_apps::omr::omr_universe;
+use freepart_baselines::SchemeKind;
+use freepart_bench::{cve_apis_isolated, granularity, mean_std, omr_attacks, omr_run, Table};
+use freepart_frameworks::registry::standard_registry;
+
+fn main() {
+    let reg = standard_registry();
+    let universe = omr_universe(&reg);
+    let base = omr_run(SchemeKind::Original).time_ns as f64;
+
+    let mut t = Table::new([
+        "Scheme",
+        "M",
+        "C",
+        "D",
+        "#CVE APIs isolated",
+        "σ(APIs/proc)",
+        "min",
+        "max",
+        "#proc",
+        "overhead",
+    ]);
+    for kind in SchemeKind::ALL {
+        if kind == SchemeKind::Original {
+            continue; // Table 1 compares protection schemes.
+        }
+        let attacks = omr_attacks(kind);
+        let run = omr_run(kind);
+        let g = granularity(kind, &reg, &universe);
+        let (_, std) = mean_std(&g);
+        let mark = |ok: bool| if ok { "prevented" } else { "FAILED" };
+        t.row([
+            kind.name().to_owned(),
+            mark(attacks.m_prevented).to_owned(),
+            mark(attacks.c_prevented).to_owned(),
+            mark(attacks.d_prevented).to_owned(),
+            cve_apis_isolated(kind).to_string(),
+            format!("{std:.1}"),
+            g.iter().min().unwrap().to_string(),
+            g.iter().max().unwrap().to_string(),
+            run.processes.to_string(),
+            format!("{:+.2}%", (run.time_ns as f64 / base - 1.0) * 100.0),
+        ]);
+    }
+    t.print("Table 1 — Effectiveness of existing techniques and FreePart (measured)");
+    println!(
+        "\nPaper (Table 1): Code API σ47.9 1..84 3proc | Code API&Data σ37.3 0..84 5proc |\n\
+         Entire Lib σ60.8 0..86 2proc | Individual σ0.1 1..1 87proc | Memory σ- 86..86 1proc |\n\
+         FreePart σ32.4 0..75 5proc; attacks: FreePart prevents M/C/D with 2 CVE APIs isolated."
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table 11** (appendix A.3): dynamic-analysis coverage
+//! per framework, under a paper-shaped partial test corpus.
+
+use freepart_analysis::{categorize, coverage_table, TestCorpus};
+use freepart_apps::{resolve, TABLE6};
+use freepart_bench::Table;
+use freepart_frameworks::api::Framework;
+use freepart_frameworks::registry::standard_registry;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn main() {
+    let reg = standard_registry();
+    // The paper's coverage fractions; uncovered APIs are exactly those
+    // no evaluated program uses, so the apps' universes are kept.
+    let mut fractions = BTreeMap::new();
+    fractions.insert(Framework::OpenCv, 0.804);
+    fractions.insert(Framework::PyTorch, 0.828);
+    fractions.insert(Framework::Caffe, 0.919);
+    fractions.insert(Framework::TensorFlow, 0.826);
+    let keep: BTreeSet<_> = TABLE6
+        .iter()
+        .flat_map(|s| resolve(s, &reg).universe())
+        .collect();
+    let corpus = TestCorpus::with_coverage(&reg, &fractions, &keep);
+
+    let paper: BTreeMap<Framework, (&str, &str)> = [
+        (Framework::OpenCv, ("80.4% (424/527)", "91%")),
+        (Framework::PyTorch, ("82.8% (111/134)", "84%")),
+        (Framework::Caffe, ("91.9% (103/112)", "76%")),
+        (Framework::TensorFlow, ("82.6% (2236/2704)", "73%")),
+    ]
+    .into_iter()
+    .collect();
+
+    let mut t = Table::new([
+        "Framework",
+        "API coverage (measured)",
+        "Code coverage (sim.)",
+        "API coverage (paper)",
+        "Code coverage (paper)",
+    ]);
+    for row in coverage_table(&reg, &corpus) {
+        let Some((api_p, code_p)) = paper.get(&row.framework) else {
+            continue;
+        };
+        t.row([
+            row.framework.to_string(),
+            format!("{:.1}% ({}/{})", row.api_pct, row.apis_covered, row.apis_total),
+            format!("{:.1}%", row.code_pct),
+            (*api_p).to_owned(),
+            (*code_p).to_owned(),
+        ]);
+    }
+    t.print("Table 11 — Dynamic-analysis coverage per framework");
+
+    // The analysis quality under the partial corpus: still near-perfect
+    // because uncovered APIs are statically transparent.
+    let report = categorize(&reg, &corpus);
+    println!(
+        "\nHybrid categorization accuracy under the partial corpus: {:.1}%\n\
+         (uncovered APIs fall back to static verdicts; the paper notes uncovered\n\
+         APIs are unused by the evaluated programs).",
+        report.accuracy(&reg) * 100.0
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 12** (appendix A.5): lazy vs non-lazy data-copy
+//! operations per application under FreePart.
+
+use freepart_bench::{fig13_sweep, Table};
+
+fn main() {
+    let rows = fig13_sweep();
+    let mut t = Table::new(["Application", "Lazy copies", "Non-lazy copies", "Lazy %"]);
+    let (mut lazy_total, mut nonlazy_total) = (0u64, 0u64);
+    for r in &rows {
+        lazy_total += r.ldc_copies;
+        nonlazy_total += r.host_copies;
+        let pct = 100.0 * r.ldc_copies as f64 / (r.ldc_copies + r.host_copies).max(1) as f64;
+        t.row([
+            r.name.to_owned(),
+            r.ldc_copies.to_string(),
+            r.host_copies.to_string(),
+            format!("{pct:.1}%"),
+        ]);
+    }
+    let pct = 100.0 * lazy_total as f64 / (lazy_total + nonlazy_total).max(1) as f64;
+    t.row([
+        "Total".to_owned(),
+        lazy_total.to_string(),
+        nonlazy_total.to_string(),
+        format!("{pct:.1}%"),
+    ]);
+    t.print("Table 12 — Lazy vs non-lazy copy operations (measured)");
+    println!("\nPaper (Table 12): 1,170,660 lazy vs 82,789 non-lazy = 95.08% lazy.");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 2**: framework APIs categorized for the
+//! motivating example (OMRChecker) — counts per type with examples,
+//! produced by the *hybrid analysis*, not the declared labels.
+
+use freepart_analysis::{categorize, TestCorpus};
+use freepart_apps::omr::omr_universe;
+use freepart_bench::Table;
+use freepart_frameworks::api::ApiType;
+use freepart_frameworks::registry::standard_registry;
+
+fn main() {
+    let reg = standard_registry();
+    let universe = omr_universe(&reg);
+    let report = categorize(&reg, &TestCorpus::full(&reg));
+
+    let mut t = Table::new(["Type", "# APIs (measured)", "# APIs (paper)", "Examples"]);
+    for (ty, paper) in [
+        (ApiType::DataLoading, 3),
+        (ApiType::DataProcessing, 75),
+        (ApiType::Visualizing, 6),
+        (ApiType::Storing, 2),
+    ] {
+        let members: Vec<&str> = universe
+            .iter()
+            .filter(|id| report.type_of(**id) == ty)
+            .map(|id| reg.spec(*id).name.as_str())
+            .collect();
+        let examples = members
+            .iter()
+            .take(4)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row([
+            ty.to_string(),
+            members.len().to_string(),
+            paper.to_string(),
+            format!("{examples}, ..."),
+        ]);
+    }
+    t.print("Table 2 — API categorization for the motivating example");
+    println!(
+        "\nNote: pd.read_csv / json.load / plt.show are statically opaque and were\n\
+         categorized by the hybrid (dynamic) pass, matching the paper's footnote."
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Table 4**: example API-type categorization per
+//! framework, as recovered by the hybrid analysis.
+
+use freepart_analysis::{categorize, TestCorpus};
+use freepart_bench::Table;
+use freepart_frameworks::api::{ApiType, Framework};
+use freepart_frameworks::registry::standard_registry;
+
+fn main() {
+    let reg = standard_registry();
+    let report = categorize(&reg, &TestCorpus::full(&reg));
+    let mut t = Table::new(["Framework", "Type", "Functions / Classes (first few)"]);
+    for fw in [
+        Framework::OpenCv,
+        Framework::Caffe,
+        Framework::PyTorch,
+        Framework::TensorFlow,
+    ] {
+        for ty in ApiType::ALL {
+            let names: Vec<&str> = reg
+                .of_framework(fw)
+                .iter()
+                .filter(|s| report.type_of(s.id) == ty)
+                .map(|s| s.name.as_str())
+                .take(3)
+                .collect();
+            if names.is_empty() {
+                continue;
+            }
+            t.row([fw.to_string(), ty.short().to_owned(), format!("{}, ...", names.join(", "))]);
+        }
+    }
+    t.print("Table 4 — API type categorization examples (hybrid analysis output)");
+    println!(
+        "\nAs in the paper, Caffe/PyTorch/TensorFlow contribute no visualizing APIs;\n\
+         accuracy vs ground truth: {:.1}%",
+        report.accuracy(&reg) * 100.0
+    );
+}

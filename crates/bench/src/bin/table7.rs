@@ -1,0 +1,34 @@
+//! Regenerates **Table 7**: system calls allowed for each agent type
+//! (per-type allowlist unions from the hybrid analysis).
+
+use freepart_bench::{table7_allowlists, Table};
+
+fn main() {
+    let lists = table7_allowlists();
+    let mut t = Table::new(["Type (count)", "Allowed system calls"]);
+    for (ty, names) in &lists {
+        let shown = names
+            .iter()
+            .take(10)
+            .copied()
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row([format!("{ty} ({})", names.len()), format!("{shown}, ...")]);
+    }
+    t.print("Table 7 — System calls allowed per agent type (measured)");
+    println!(
+        "\nPaper (Table 7): Loading 43, Processing 22, Visualizing 56, Storing 27.\n\
+         Our simulated syscall surface is smaller (~50 syscalls total), so absolute\n\
+         counts are lower; the *shape* holds: visualizing needs connect/send,\n\
+         processing needs neither, and no list contains fork or kill."
+    );
+    for (ty, names) in &lists {
+        let has = |n: &str| names.contains(&n);
+        assert!(!has("fork") && !has("kill"), "{ty}: fork/kill leaked in");
+    }
+    let viz = &lists[&freepart_frameworks::api::ApiType::Visualizing];
+    assert!(viz.contains(&"connect"));
+    let dp = &lists[&freepart_frameworks::api::ApiType::DataProcessing];
+    assert!(!dp.contains(&"send") && !dp.contains(&"connect"));
+    println!("Invariant checks passed.");
+}

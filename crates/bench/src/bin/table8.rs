@@ -1,0 +1,91 @@
+//! Regenerates **Table 8** (appendix A.1.1): the security-level rubric,
+//! evaluated mechanically against each scheme on the motivating example.
+
+use freepart_apps::omr::{self, OmrConfig};
+use freepart_attacks::payloads;
+use freepart_baselines::{build, SchemeKind};
+use freepart_bench::Table;
+use freepart_frameworks::registry::standard_registry;
+
+/// Evaluates the data-protection rubric rows for one scheme.
+fn data_rubric(kind: SchemeKind) -> (bool, bool) {
+    // Row: "memory-corruption on template is mitigated".
+    let reg = standard_registry();
+    let universe = omr::omr_universe(&reg);
+    let mut probe = build(kind, standard_registry(), &universe);
+    let r = omr::run(probe.as_mut(), &OmrConfig::benign(0));
+    let addr = probe.objects().meta(r.template).unwrap().buffer.unwrap().0;
+    drop(probe);
+
+    let mut s = build(kind, standard_registry(), &universe);
+    let cfg = OmrConfig {
+        samples: 2,
+        boxes_per_sample: 2,
+        evil_sample: Some((0, payloads::corrupt("CVE-2017-12597", addr.0, vec![9; 16]))),
+        evil_imshow: None,
+    };
+    let r = omr::run(s.as_mut(), &cfg);
+    let log = s.exploit_log().to_vec();
+    let (kernel, objects, host) = s.attack_view();
+    let mitigated = freepart_attacks::judge(
+        &freepart_attacks::AttackGoal::CorruptObject {
+            id: r.template,
+            original: r.template_original,
+        },
+        kernel,
+        objects,
+        host,
+        &log,
+    )
+    .prevented();
+    // Row: "template memory is not shared with APIs" — true when the
+    // template's home process runs no framework APIs: the host, or (for
+    // the code-based API & Data baseline) a dedicated data process.
+    let not_shared = (objects.meta(r.template).is_some_and(|m| m.home == host)
+        && !matches!(kind, SchemeKind::Original | SchemeKind::MemoryBased))
+        || kind == SchemeKind::CodeApiData;
+    (mitigated, not_shared)
+}
+
+/// API-side rubric rows: are the example's exploited APIs isolated, and
+/// how many processes partition the API surface?
+fn api_rubric(kind: SchemeKind) -> (bool, bool, bool, bool) {
+    use freepart_bench::{cve_apis_isolated, granularity};
+    let reg = standard_registry();
+    let universe = omr::omr_universe(&reg);
+    let isolated = cve_apis_isolated(kind);
+    let g = granularity(kind, &reg, &universe);
+    (
+        isolated >= 1,               // vulnerable imread isolated
+        isolated >= 2,               // vulnerable imshow isolated too
+        g.len() >= 4,                // APIs distributed in 5+ processes (incl. host)
+        g.len() >= universe.len(),   // APIs isolated in individual processes
+    )
+}
+
+fn main() {
+    let mut t = Table::new([
+        "Scheme",
+        "corruption mitigated",
+        "data not shared with APIs",
+        "imread isolated",
+        "imshow isolated",
+        "APIs in 5+ procs",
+        "per-API procs",
+    ]);
+    for kind in SchemeKind::ALL {
+        if kind == SchemeKind::Original {
+            continue;
+        }
+        let (mitigated, not_shared) = data_rubric(kind);
+        let (a, b, c, d) = api_rubric(kind);
+        let y = |b: bool| if b { "yes" } else { "no" };
+        t.row([kind.name(), y(mitigated), y(not_shared), y(a), y(b), y(c), y(d)]);
+    }
+    t.print("Table 8 — Security-level rubric (measured)");
+    println!(
+        "\nPaper rubric (Table 8): FreePart and the data-isolating baselines mitigate\n\
+         the corruption; only library-based schemes and FreePart keep critical data\n\
+         out of API-hosting processes; per-API isolation is alone in the last column."
+    );
+}

@@ -1,0 +1,118 @@
+//! Plain-text table rendering for the report binaries.
+
+/// A simple fixed-layout table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats bytes human-readably.
+pub fn bytes(n: u64) -> String {
+    if n >= 1 << 30 {
+        format!("{:.2} GiB", n as f64 / (1u64 << 30) as f64)
+    } else if n >= 1 << 20 {
+        format!("{:.2} MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.2} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Formats virtual nanoseconds as milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("alpha"));
+    }
+
+    #[test]
+    fn unit_formatters() {
+        assert_eq!(pct(0.0368), "3.68%");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.00 KiB");
+        assert_eq!(bytes(3 << 20), "3.00 MiB");
+        assert_eq!(ms(1_500_000), "1.500 ms");
+    }
+}

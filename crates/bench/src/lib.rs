@@ -1,0 +1,27 @@
+//! # freepart-bench — the evaluation harness
+//!
+//! One report binary per table and figure of the paper (see DESIGN.md's
+//! experiment index), all built on the [`experiments`] runners, plus
+//! Criterion micro-benchmarks of the underlying mechanisms.
+//!
+//! ```text
+//! cargo run -p freepart-bench --bin table1    # … table2 … table12
+//! cargo run -p freepart-bench --bin fig4      # fig6 fig7 fig13
+//! cargo run -p freepart-bench --bin security_analysis
+//! cargo run -p freepart-bench --bin case_studies
+//! cargo run -p freepart-bench --bin all_reports
+//! cargo bench -p freepart-bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::{
+    app_overhead, cve_apis_isolated, cve_sweep, fast_install, fig13_sweep, fig4_point, fig4_sweep,
+    granularity, mean_std, omr_attacks, omr_run, shared_analysis, table7_allowlists, AppOverhead,
+    CveVerdict, SchemeAttacks, SchemeRun,
+};
+pub use fmt::Table;

@@ -1,0 +1,262 @@
+//! Execution partitioning: which agent process runs which API.
+//!
+//! The canonical plan is the paper's four partitions — one per
+//! [`ApiType`]. Finer plans (used by the Fig. 4 / §A.1.4 experiments)
+//! split the data-processing partition into extra groups; coarser ones
+//! merge everything into a single "entire library" partition (the
+//! library-based baseline reuses this machinery).
+
+use freepart_frameworks::api::{ApiId, ApiRegistry, ApiType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one partition (and its agent process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "part{}", self.0)
+    }
+}
+
+/// A complete assignment of API types (and optionally individual APIs)
+/// to partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    base: BTreeMap<ApiType, PartitionId>,
+    overrides: BTreeMap<ApiId, PartitionId>,
+    count: u32,
+}
+
+impl PartitionPlan {
+    /// The paper's canonical four-partition plan.
+    pub fn four() -> PartitionPlan {
+        let mut base = BTreeMap::new();
+        for (i, t) in ApiType::ALL.into_iter().enumerate() {
+            base.insert(t, PartitionId(i as u32));
+        }
+        PartitionPlan {
+            base,
+            overrides: BTreeMap::new(),
+            count: 4,
+        }
+    }
+
+    /// A plan with an explicit type→partition map (the code-based
+    /// baselines' layouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four types are mapped.
+    pub fn custom(base: BTreeMap<ApiType, PartitionId>) -> PartitionPlan {
+        for t in ApiType::ALL {
+            assert!(base.contains_key(&t), "type {t} unmapped");
+        }
+        let count = base.values().map(|p| p.0 + 1).max().unwrap_or(1);
+        PartitionPlan {
+            base,
+            overrides: BTreeMap::new(),
+            count,
+        }
+    }
+
+    /// A single-partition plan (the "entire library in one process"
+    /// baseline).
+    pub fn single() -> PartitionPlan {
+        let mut base = BTreeMap::new();
+        for t in ApiType::ALL {
+            base.insert(t, PartitionId(0));
+        }
+        PartitionPlan {
+            base,
+            overrides: BTreeMap::new(),
+            count: 1,
+        }
+    }
+
+    /// One partition per individual API (the per-API isolation
+    /// baseline). `apis` is the application's API universe.
+    pub fn per_api<I: IntoIterator<Item = ApiId>>(apis: I, reg: &ApiRegistry) -> PartitionPlan {
+        let mut plan = PartitionPlan::four();
+        // Types keep partitions 0..3 as fallbacks; every known API gets
+        // its own partition above that.
+        let mut next = 4;
+        for api in apis {
+            let _ = reg.spec(api); // validates the id
+            plan.overrides.insert(api, PartitionId(next));
+            next += 1;
+        }
+        plan.count = next;
+        plan
+    }
+
+    /// The Fig. 4 experiment: start from four partitions and randomly
+    /// split the data-processing APIs in `universe` into
+    /// `n_total - 3` processing groups, yielding `n_total` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_total < 4`.
+    pub fn random_split(
+        reg: &ApiRegistry,
+        universe: &[ApiId],
+        n_total: u32,
+        seed: u64,
+    ) -> PartitionPlan {
+        assert!(n_total >= 4, "need at least the four canonical partitions");
+        let mut plan = PartitionPlan::four();
+        if n_total == 4 {
+            return plan;
+        }
+        let processing: Vec<ApiId> = universe
+            .iter()
+            .copied()
+            .filter(|id| reg.spec(*id).declared_type == ApiType::DataProcessing)
+            .collect();
+        let groups = (n_total - 3) as usize; // processing splits into these
+        let mut rng = StdRng::seed_from_u64(seed);
+        for api in processing {
+            let g = rng.gen_range(0..groups) as u32;
+            // Group 0 stays in the canonical processing partition (id 1);
+            // the rest take fresh ids 4, 5, ...
+            let pid = if g == 0 {
+                PartitionId(1)
+            } else {
+                PartitionId(3 + g)
+            };
+            plan.overrides.insert(api, pid);
+        }
+        plan.count = n_total;
+        plan
+    }
+
+    /// Pins one API to a partition (manual sub-partitioning, §A.6).
+    pub fn pin(&mut self, api: ApiId, partition: PartitionId) {
+        self.overrides.insert(api, partition);
+        self.count = self.count.max(partition.0 + 1);
+    }
+
+    /// The partition an API runs in.
+    pub fn partition_of(&self, api: ApiId, api_type: ApiType) -> PartitionId {
+        self.overrides
+            .get(&api)
+            .copied()
+            .unwrap_or_else(|| self.base[&api_type])
+    }
+
+    /// The canonical partition of a type (ignoring overrides).
+    pub fn partition_of_type(&self, api_type: ApiType) -> PartitionId {
+        self.base[&api_type]
+    }
+
+    /// Number of partitions in the plan.
+    pub fn partition_count(&self) -> u32 {
+        self.count
+    }
+
+    /// All partition ids the plan can route to.
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        let mut ids: Vec<PartitionId> = self.base.values().copied().collect();
+        ids.extend(self.overrides.values().copied());
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Groups an API universe by assigned partition — the per-process
+    /// API counts of Table 10.
+    pub fn group(
+        &self,
+        universe: &[ApiId],
+        type_of: impl Fn(ApiId) -> ApiType,
+    ) -> BTreeMap<PartitionId, Vec<ApiId>> {
+        let mut out: BTreeMap<PartitionId, Vec<ApiId>> = BTreeMap::new();
+        for &api in universe {
+            out.entry(self.partition_of(api, type_of(api)))
+                .or_default()
+                .push(api);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::registry::standard_registry;
+
+    #[test]
+    fn four_plan_routes_by_type() {
+        let plan = PartitionPlan::four();
+        assert_eq!(plan.partition_count(), 4);
+        let a = plan.partition_of(ApiId(0), ApiType::DataLoading);
+        let b = plan.partition_of(ApiId(1), ApiType::Storing);
+        assert_ne!(a, b);
+        assert_eq!(
+            plan.partition_of_type(ApiType::DataLoading),
+            PartitionId(0)
+        );
+    }
+
+    #[test]
+    fn single_plan_routes_everything_together() {
+        let plan = PartitionPlan::single();
+        for t in ApiType::ALL {
+            assert_eq!(plan.partition_of(ApiId(7), t), PartitionId(0));
+        }
+    }
+
+    #[test]
+    fn per_api_plan_gives_unique_partitions() {
+        let reg = standard_registry();
+        let apis: Vec<ApiId> = reg.iter().take(10).map(|s| s.id).collect();
+        let plan = PartitionPlan::per_api(apis.clone(), &reg);
+        let mut seen = std::collections::BTreeSet::new();
+        for &a in &apis {
+            let p = plan.partition_of(a, reg.spec(a).declared_type);
+            assert!(seen.insert(p), "duplicate partition {p}");
+        }
+        assert_eq!(plan.partition_count(), 14);
+    }
+
+    #[test]
+    fn random_split_partitions_processing_only() {
+        let reg = standard_registry();
+        let universe: Vec<ApiId> = reg.iter().map(|s| s.id).collect();
+        let plan = PartitionPlan::random_split(&reg, &universe, 8, 42);
+        assert_eq!(plan.partition_count(), 8);
+        // Loading APIs stay in partition 0.
+        let imread = reg.id_of("cv2.imread").unwrap();
+        assert_eq!(
+            plan.partition_of(imread, ApiType::DataLoading),
+            PartitionId(0)
+        );
+        // Processing APIs land in {1} ∪ {4..8}.
+        let blur = reg.id_of("cv2.GaussianBlur").unwrap();
+        let p = plan.partition_of(blur, ApiType::DataProcessing).0;
+        assert!(p == 1 || (4..8).contains(&p), "partition {p}");
+        // Deterministic per seed.
+        let plan2 = PartitionPlan::random_split(&reg, &universe, 8, 42);
+        assert_eq!(plan, plan2);
+        let plan3 = PartitionPlan::random_split(&reg, &universe, 8, 43);
+        assert_ne!(plan, plan3);
+    }
+
+    #[test]
+    fn group_counts_match_assignment() {
+        let reg = standard_registry();
+        let universe: Vec<ApiId> = reg
+            .of_framework(freepart_frameworks::Framework::OpenCv)
+            .iter()
+            .map(|s| s.id)
+            .collect();
+        let plan = PartitionPlan::four();
+        let groups = plan.group(&universe, |id| reg.spec(id).declared_type);
+        let total: usize = groups.values().map(Vec::len).sum();
+        assert_eq!(total, universe.len());
+        assert!(groups[&PartitionId(1)].len() >= 75, "processing dominates");
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime policy: the knobs the paper's ablations — and the baseline
+//! isolation schemes of Table 1 — turn.
+
+use crate::partition::PartitionPlan;
+use freepart_frameworks::api::ApiType;
+
+/// How aggressively agents' syscalls are restricted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandboxLevel {
+    /// No filtering at all (monolithic / memory-based baselines).
+    None,
+    /// One coarse allowlist: the union of *every* catalog API's profile
+    /// plus `mprotect` (a whole-library sandbox must permit everything
+    /// the library ever does — which is why code-rewriting still works
+    /// inside it).
+    CoarseUnion,
+    /// FreePart's per-agent union of the assigned APIs' profiles, with
+    /// fd/destination rules, sealed after first execution.
+    PerAgent,
+}
+
+/// How bytes cross process boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// FreePart's shared-memory rings: one memcpy per move.
+    SharedMemory,
+    /// Pipe/socket RPC (sandboxed-api / PtrSplit style): serialization
+    /// plus kernel buffering make each byte several times dearer.
+    Pipe,
+}
+
+impl Transport {
+    /// Extra per-copy cost multiplier relative to shared memory.
+    pub fn penalty_factor(self) -> u64 {
+        match self {
+            Transport::SharedMemory => 1,
+            Transport::Pipe => 16,
+        }
+    }
+}
+
+/// Where host-application data objects live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostDataPlacement {
+    /// In the host process (FreePart; the library-based schemes).
+    Host,
+    /// Co-located with the agent of one API type — the code-based API
+    /// isolation baseline puts `template` in the same process as
+    /// `imread()` (Fig. 2-a), which is exactly its weakness.
+    WithType(ApiType),
+    /// Each critical object in its own dedicated process, shipped to
+    /// users per access (Fig. 2-b, PtrSplit/PM-style) — strong but
+    /// IPC-heavy.
+    OwnProcessEach,
+}
+
+/// What happens when an agent process crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Respawn the agent, restore stateful snapshots, re-execute the
+    /// in-flight request once (at-least-once RPC, §4.4.2).
+    Restart,
+    /// Leave the agent dead — security over availability.
+    StayDown,
+}
+
+/// Full runtime configuration.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Partition plan (four canonical partitions by default).
+    pub plan: PartitionPlan,
+    /// Lazy Data Copy: pass objects by reference, move bytes directly
+    /// agent→agent on dereference (§4.3.2). Off = eager deep copy
+    /// through the host on every call.
+    pub lazy_data_copy: bool,
+    /// Syscall-restriction strength (§4.4.1).
+    pub sandbox: SandboxLevel,
+    /// Placement of host-annotated critical data.
+    pub host_data: HostDataPlacement,
+    /// Cross-process byte transport.
+    pub transport: Transport,
+    /// Temporal memory permissions: previous-state objects become
+    /// read-only on state transitions (§4.4.3).
+    pub temporal_protection: bool,
+    /// Crash handling.
+    pub restart: RestartPolicy,
+    /// Snapshot stateful objects every this-many calls per agent
+    /// (§A.2.4); `0` disables snapshotting.
+    pub snapshot_interval: u64,
+    /// Route type-neutral APIs to the calling context's agent instead of
+    /// their own type's agent (§4.2).
+    pub colocate_type_neutral: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            plan: PartitionPlan::four(),
+            lazy_data_copy: true,
+            sandbox: SandboxLevel::PerAgent,
+            host_data: HostDataPlacement::Host,
+            transport: Transport::SharedMemory,
+            temporal_protection: true,
+            restart: RestartPolicy::Restart,
+            snapshot_interval: 8,
+            colocate_type_neutral: true,
+        }
+    }
+}
+
+impl Policy {
+    /// The paper's full FreePart configuration.
+    pub fn freepart() -> Policy {
+        Policy::default()
+    }
+
+    /// FreePart minus Lazy Data Copy (the 9.7%-overhead ablation).
+    pub fn without_ldc() -> Policy {
+        Policy {
+            lazy_data_copy: false,
+            ..Policy::default()
+        }
+    }
+
+    /// Security-over-availability variant.
+    pub fn no_restart() -> Policy {
+        Policy {
+            restart: RestartPolicy::StayDown,
+            ..Policy::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_freepart() {
+        let p = Policy::default();
+        assert!(p.lazy_data_copy);
+        assert_eq!(p.sandbox, SandboxLevel::PerAgent);
+        assert_eq!(p.host_data, HostDataPlacement::Host);
+        assert!(p.temporal_protection);
+        assert_eq!(p.restart, RestartPolicy::Restart);
+        assert_eq!(p.plan.partition_count(), 4);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(!Policy::without_ldc().lazy_data_copy);
+        assert_eq!(Policy::no_restart().restart, RestartPolicy::StayDown);
+    }
+}

@@ -1,0 +1,172 @@
+//! RPC framing between the host and agent processes (paper §4.3).
+//!
+//! The hooked API interface marshals `(sequence, api id, args)` into a
+//! frame sent over the shared-memory ring; the agent answers with
+//! `(sequence, result)`. Objects travel as 16-byte references; their
+//! payload movement is the Lazy-Data-Copy policy's job, not the frame's.
+//!
+//! Sequence numbers give the **exactly-once** guarantee for healthy
+//! agents (duplicate deliveries are answered from a completion cache
+//! without re-execution) and the **at-least-once** fallback across
+//! restarts (an unacknowledged request is re-sent to the respawned
+//! agent and re-executed).
+
+use freepart_frameworks::api::ApiId;
+use freepart_frameworks::Value;
+use std::collections::BTreeMap;
+
+/// A marshalled API-call request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Monotone per-runtime sequence number.
+    pub seq: u64,
+    /// Which API to execute.
+    pub api: ApiId,
+    /// Arguments (objects by reference).
+    pub args: Vec<Value>,
+}
+
+impl Request {
+    /// Serialized wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("request serializes")
+    }
+
+    /// Decodes wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Option<Request> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Wire size used for cost accounting: header + per-arg sizes
+    /// (object payloads excluded — they are moved by the data plane).
+    pub fn wire_size(&self) -> u64 {
+        16 + self.args.iter().map(Value::wire_size).sum::<u64>()
+    }
+}
+
+/// A marshalled API-call response.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Response {
+    /// Echoed sequence number.
+    pub seq: u64,
+    /// The API's return value (objects by reference).
+    pub result: Value,
+}
+
+impl Response {
+    /// Serialized wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("response serializes")
+    }
+
+    /// Decodes wire bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Response> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Wire size for cost accounting.
+    pub fn wire_size(&self) -> u64 {
+        16 + self.result.wire_size()
+    }
+}
+
+/// Agent-side completion cache implementing exactly-once delivery.
+#[derive(Debug, Default)]
+pub struct CompletionCache {
+    done: BTreeMap<u64, Value>,
+    capacity: usize,
+}
+
+impl CompletionCache {
+    /// A cache remembering up to `capacity` completions.
+    pub fn new(capacity: usize) -> CompletionCache {
+        CompletionCache {
+            done: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Looks up a previously-completed sequence (duplicate delivery).
+    pub fn replay(&self, seq: u64) -> Option<&Value> {
+        self.done.get(&seq)
+    }
+
+    /// Records a completion, evicting the oldest entries past capacity.
+    pub fn complete(&mut self, seq: u64, result: Value) {
+        self.done.insert(seq, result);
+        while self.done.len() > self.capacity {
+            let oldest = *self.done.keys().next().expect("non-empty");
+            self.done.remove(&oldest);
+        }
+    }
+
+    /// Number of cached completions.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::ObjectId;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            seq: 42,
+            api: ApiId(7),
+            args: vec![Value::from("path"), Value::Obj(ObjectId(3))],
+        };
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert!(Request::decode(b"garbage").is_none());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response {
+            seq: 42,
+            result: Value::Rects(vec![]),
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn wire_size_counts_references_not_payloads() {
+        let small = Request {
+            seq: 1,
+            api: ApiId(0),
+            args: vec![Value::Obj(ObjectId(1))],
+        };
+        // 16-byte header + 16-byte reference, regardless of object size.
+        assert_eq!(small.wire_size(), 32);
+        let bytes = Request {
+            seq: 1,
+            api: ApiId(0),
+            args: vec![Value::Bytes(vec![0; 1000])],
+        };
+        assert!(bytes.wire_size() > 1000);
+    }
+
+    #[test]
+    fn completion_cache_replays_and_evicts() {
+        let mut cache = CompletionCache::new(2);
+        cache.complete(1, Value::I64(10));
+        cache.complete(2, Value::I64(20));
+        assert_eq!(cache.replay(1), Some(&Value::I64(10)));
+        cache.complete(3, Value::I64(30));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.replay(1).is_none(), "oldest evicted");
+        assert_eq!(cache.replay(3), Some(&Value::I64(30)));
+    }
+}

@@ -1,0 +1,889 @@
+//! The FreePart runtime: hooked API calls become RPCs into isolated
+//! agent processes (paper §4.3–§4.4, Fig. 5 right).
+//!
+//! [`Runtime::install`] spawns the host process plus one agent process
+//! per partition, each with its own address space, shared-memory ring to
+//! the host, and an RX code page (the target of code-rewrite exploits).
+//! [`Runtime::call`] is the hooked interface: it marshals the request,
+//! routes it to the right agent (type-neutral APIs follow the calling
+//! context), moves object payloads according to the Lazy-Data-Copy
+//! policy, drives the framework-state machine's temporal permissions,
+//! executes the API *in the agent's process context*, and handles agent
+//! crashes with optional restart (at-least-once re-execution).
+//!
+//! Per-agent seccomp-style filters are sealed after each agent's first
+//! completed call — the paper's "first execution unrestricted, then
+//! restrict" design.
+
+use crate::partition::PartitionId;
+use crate::policy::{HostDataPlacement, Policy, RestartPolicy, SandboxLevel};
+use crate::rpc::{CompletionCache, Request, Response};
+use crate::state::{FrameworkState, StateMachine};
+use crate::syscall_policy::build_filter;
+use freepart_analysis::{HybridReport, SyscallProfile, TestCorpus};
+use freepart_frameworks::api::{ApiId, ApiRegistry};
+use freepart_frameworks::exec::execute;
+use freepart_frameworks::{
+    ActionReport, ApiCtx, FrameworkError, ObjectId, ObjectKind, ObjectStore, Value,
+};
+use freepart_simos::{Addr, ChannelId, Kernel, Perms, Pid};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of an application thread. Per the paper's §6, every
+/// thread gets its **own set of agent processes** (and its own
+/// framework-state machine), avoiding cross-thread races on agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The application's main thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread{}", self.0)
+    }
+}
+
+/// Partition-id namespace stride per thread: thread `t`'s instance of
+/// partition `p` is `PartitionId(t * THREAD_STRIDE + p)`.
+const THREAD_STRIDE: u32 = 1_000;
+
+fn thread_partition(thread: ThreadId, p: PartitionId) -> PartitionId {
+    PartitionId(thread.0 * THREAD_STRIDE + p.0)
+}
+
+/// One isolated agent process.
+#[derive(Debug)]
+pub struct Agent {
+    /// The partition this agent serves.
+    pub partition: PartitionId,
+    /// Its current process (changes across restarts).
+    pub pid: Pid,
+    /// Ring channel to the host.
+    pub chan: ChannelId,
+    /// RX code page — what a code-rewrite exploit tries to patch.
+    pub code_page: Addr,
+    /// APIs assigned to this agent (filter-building universe).
+    pub apis: BTreeSet<ApiId>,
+    /// True once the syscall filter is installed and locked.
+    pub sealed: bool,
+    /// Completed calls.
+    pub calls: u64,
+    cache: CompletionCache,
+}
+
+/// A snapshotted stateful object (for restart restoration, §A.2.4).
+#[derive(Debug, Clone)]
+struct SnapshotEntry {
+    object: ObjectId,
+    kind: ObjectKind,
+    label: String,
+    bytes: Vec<u8>,
+}
+
+/// Errors surfaced by [`Runtime::call`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallError {
+    /// The API name is not in the registry.
+    UnknownApi(String),
+    /// The target agent is dead and restart is disabled.
+    AgentUnavailable(PartitionId),
+    /// The agent crashed (again) while executing this call.
+    AgentCrashed(PartitionId),
+    /// An argument object's payload died with a crashed process and
+    /// could not be restored (§6 "Restoring States of Crashed Process").
+    StateLost(ObjectId),
+    /// Ordinary framework failure (bad args, missing file, parse error).
+    Framework(FrameworkError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::UnknownApi(n) => write!(f, "unknown API {n}"),
+            CallError::AgentUnavailable(p) => write!(f, "agent {p} is down"),
+            CallError::AgentCrashed(p) => write!(f, "agent {p} crashed"),
+            CallError::StateLost(id) => write!(f, "object {id} lost in a crash"),
+            CallError::Framework(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// Aggregated runtime statistics for the evaluation tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Completed hooked API calls.
+    pub rpc_calls: u64,
+    /// Direct agent→agent payload moves (lazy copies).
+    pub ldc_copies: u64,
+    /// Through-host payload moves (eager / host-dereference copies).
+    pub host_copies: u64,
+    /// Agent restarts performed.
+    pub restarts: u64,
+    /// Framework-state transitions taken.
+    pub transitions: u64,
+    /// Objects currently under read-only protection.
+    pub protected_objects: u64,
+}
+
+/// The installed FreePart runtime for one application.
+pub struct Runtime {
+    /// The simulated OS everything runs on.
+    pub kernel: Kernel,
+    /// Live framework objects.
+    pub objects: ObjectStore,
+    reg: ApiRegistry,
+    report: HybridReport,
+    profile: SyscallProfile,
+    policy: Policy,
+    host: Pid,
+    agents: BTreeMap<PartitionId, Agent>,
+    states: BTreeMap<ThreadId, StateMachine>,
+    seq: u64,
+    /// Exploit actions observed inside agents (drained by the harness).
+    pub exploit_log: Vec<ActionReport>,
+    call_log: Vec<ApiId>,
+    stats: RuntimeStats,
+    snapshots: BTreeMap<PartitionId, Vec<SnapshotEntry>>,
+    /// Objects pinned to a dedicated data process (code-based API+data
+    /// baseline): shipped to users per call and returned afterwards.
+    pinned: BTreeMap<ObjectId, Pid>,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("host", &self.host)
+            .field("agents", &self.agents.len())
+            .field("state", &self.state_of(ThreadId::MAIN))
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Installs FreePart: runs the hybrid analysis on the full corpus,
+    /// spawns host + agents, and wires the IPC channels.
+    pub fn install(reg: ApiRegistry, policy: Policy) -> Runtime {
+        let corpus = TestCorpus::full(&reg);
+        let report = freepart_analysis::categorize(&reg, &corpus);
+        let profile = SyscallProfile::build(&reg, &corpus);
+        Runtime::install_with(reg, report, profile, policy)
+    }
+
+    /// Installs FreePart with precomputed analysis results.
+    pub fn install_with(
+        reg: ApiRegistry,
+        report: HybridReport,
+        profile: SyscallProfile,
+        policy: Policy,
+    ) -> Runtime {
+        let mut kernel = Kernel::new();
+        let host = kernel.spawn("host");
+        let temporal = policy.temporal_protection;
+        let mut states = BTreeMap::new();
+        states.insert(ThreadId::MAIN, StateMachine::new(temporal));
+        let mut rt = Runtime {
+            kernel,
+            objects: ObjectStore::new(),
+            reg,
+            report,
+            profile,
+            policy,
+            host,
+            agents: BTreeMap::new(),
+            states,
+            seq: 0,
+            exploit_log: Vec::new(),
+            call_log: Vec::new(),
+            stats: RuntimeStats::default(),
+            snapshots: BTreeMap::new(),
+            pinned: BTreeMap::new(),
+        };
+        // Assign every catalog API to its partition and spawn agents.
+        let universe: Vec<ApiId> = rt.reg.iter().map(|s| s.id).collect();
+        let report = &rt.report;
+        let groups = rt
+            .policy
+            .plan
+            .group(&universe, |id| report.type_of(id));
+        let mut partitions: BTreeSet<PartitionId> =
+            rt.policy.plan.partitions().into_iter().collect();
+        partitions.extend(groups.keys().copied());
+        for p in partitions {
+            let apis = groups.get(&p).cloned().unwrap_or_default();
+            rt.spawn_agent(p, apis.into_iter().collect());
+        }
+        rt
+    }
+
+    fn spawn_agent(&mut self, partition: PartitionId, apis: BTreeSet<ApiId>) {
+        let pid = self.kernel.spawn(&format!("agent:{partition}"));
+        let code_page = self
+            .kernel
+            .alloc(pid, freepart_simos::PAGE_SIZE, Perms::RX)
+            .expect("fresh agent allocates");
+        let chan = self
+            .kernel
+            .create_channel(self.host, pid, 1 << 22)
+            .expect("host and agent are alive");
+        self.agents.insert(
+            partition,
+            Agent {
+                partition,
+                pid,
+                chan,
+                code_page,
+                apis,
+                sealed: false,
+                calls: 0,
+                cache: CompletionCache::new(64),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The API registry in force.
+    pub fn registry(&self) -> &ApiRegistry {
+        &self.reg
+    }
+
+    /// The hybrid categorization in force.
+    pub fn report(&self) -> &HybridReport {
+        &self.report
+    }
+
+    /// The host process id.
+    pub fn host_pid(&self) -> Pid {
+        self.host
+    }
+
+    /// The current framework state of the main thread.
+    pub fn current_state(&self) -> FrameworkState {
+        self.state_of(ThreadId::MAIN)
+    }
+
+    /// The main thread's Fig. 3 state timeline:
+    /// `(virtual ns, state entered, objects newly locked)`.
+    pub fn state_timeline(&self) -> Vec<(u64, FrameworkState, usize)> {
+        self.states
+            .get(&ThreadId::MAIN)
+            .map(|s| s.timeline().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The current framework state of one thread.
+    pub fn state_of(&self, thread: ThreadId) -> FrameworkState {
+        self.states
+            .get(&thread)
+            .map_or(FrameworkState::Initialization, StateMachine::current)
+    }
+
+    /// Spawns a fresh set of agent processes (one per partition) for a
+    /// new application thread, with its own framework-state machine —
+    /// the paper's multi-threading model (§6). Returns the thread id to
+    /// pass to [`Runtime::call_on`].
+    pub fn spawn_thread(&mut self) -> ThreadId {
+        let thread = ThreadId(
+            self.states.keys().map(|t| t.0).max().unwrap_or(0) + 1,
+        );
+        self.states
+            .insert(thread, StateMachine::new(self.policy.temporal_protection));
+        let universe: Vec<ApiId> = self.reg.iter().map(|s| s.id).collect();
+        let report = &self.report;
+        let groups = self
+            .policy
+            .plan
+            .group(&universe, |id| report.type_of(id));
+        let mut partitions: BTreeSet<PartitionId> =
+            self.policy.plan.partitions().into_iter().collect();
+        partitions.extend(groups.keys().copied());
+        for p in partitions {
+            let apis = groups.get(&p).cloned().unwrap_or_default();
+            self.spawn_agent(thread_partition(thread, p), apis.into_iter().collect());
+        }
+        thread
+    }
+
+    /// The agent serving a partition, if any.
+    pub fn agent(&self, partition: PartitionId) -> Option<&Agent> {
+        self.agents.get(&partition)
+    }
+
+    /// All partitions with live agent records.
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        self.agents.keys().copied().collect()
+    }
+
+    /// The partition an API is routed to in the *canonical* (non-neutral)
+    /// case.
+    pub fn partition_of(&self, api: ApiId) -> PartitionId {
+        self.policy.plan.partition_of(api, self.report.type_of(api))
+    }
+
+    /// Runtime statistics (state-machine counters summed over threads).
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            transitions: self.states.values().map(|s| s.transitions).sum(),
+            protected_objects: self
+                .states
+                .values()
+                .map(|s| s.protected().len() as u64)
+                .sum(),
+            ..self.stats
+        }
+    }
+
+    /// Sequence of API calls completed so far.
+    pub fn call_log(&self) -> &[ApiId] {
+        &self.call_log
+    }
+
+    /// Whether any thread's state machine protects a given object.
+    pub fn is_protected(&self, id: ObjectId) -> bool {
+        self.states.values().any(|s| s.is_protected(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side data
+    // ------------------------------------------------------------------
+
+    /// Allocates host-resident application data (the paper's annotated
+    /// critical data structures, e.g. OMRChecker's `template`). The
+    /// object participates in temporal protection.
+    pub fn host_data(&mut self, label: &str, bytes: &[u8]) -> ObjectId {
+        let home = match self.policy.host_data {
+            HostDataPlacement::Host => self.host,
+            HostDataPlacement::WithType(t) => {
+                let p = self.policy.plan.partition_of_type(t);
+                self.agents.get(&p).map_or(self.host, |a| a.pid)
+            }
+            HostDataPlacement::OwnProcessEach => {
+                self.kernel.spawn(&format!("data:{label}"))
+            }
+        };
+        let id = self
+            .objects
+            .create_with_data(&mut self.kernel, home, ObjectKind::Blob, label, bytes)
+            .expect("data home is alive");
+        if self.policy.host_data == HostDataPlacement::OwnProcessEach {
+            self.pinned.insert(id, home);
+        }
+        self.define_on(ThreadId::MAIN, id);
+        id
+    }
+
+    /// Creates a host-homed object of an arbitrary kind (driver-level
+    /// plumbing for pipelines that need a pre-existing tensor/Mat).
+    pub fn host_object(
+        &mut self,
+        kind: ObjectKind,
+        label: &str,
+        bytes: &[u8],
+    ) -> ObjectId {
+        let id = self
+            .objects
+            .create_with_data(&mut self.kernel, self.host, kind, label, bytes)
+            .expect("host is alive");
+        self.define_on(ThreadId::MAIN, id);
+        id
+    }
+
+    fn define_on(&mut self, thread: ThreadId, id: ObjectId) {
+        self.states
+            .entry(thread)
+            .or_insert_with(|| StateMachine::new(self.policy.temporal_protection))
+            .define(id);
+    }
+
+    /// Reads an object's payload from the host's perspective — a host
+    /// dereference. Remote payloads are *copied* to the host (a counted
+    /// non-lazy copy) without moving the object's home: reading a
+    /// variable does not relocate it.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::StateLost`] when the payload died with a crashed
+    /// agent.
+    pub fn fetch_bytes(&mut self, id: ObjectId) -> Result<Vec<u8>, CallError> {
+        let meta = self
+            .objects
+            .meta(id)
+            .ok_or(CallError::StateLost(id))?
+            .clone();
+        if meta.home != self.host {
+            if let Some((addr, len)) = meta.buffer {
+                let bytes = self
+                    .kernel
+                    .mem_read(meta.home, addr, len)
+                    .map_err(|_| CallError::StateLost(id))?;
+                self.kernel.charge_copy(len);
+                self.stats.host_copies += 1;
+                self.charge_transport(len);
+                return Ok(bytes);
+            }
+        }
+        self.objects
+            .read_bytes(&mut self.kernel, id)
+            .map_err(|_| CallError::StateLost(id))
+    }
+
+    /// Ships a pinned object back to its dedicated data process after a
+    /// use (the per-access IPC of the code-based API+data baseline).
+    fn return_pinned(&mut self, id: ObjectId) -> Result<(), CallError> {
+        if let Some(&pin) = self.pinned.get(&id) {
+            let home = self.objects.meta(id).map(|m| m.home);
+            if home != Some(pin) && self.kernel.is_running(pin) {
+                let len = self.objects.meta(id).map_or(0, |m| m.len());
+                self.objects
+                    .migrate_direct(&mut self.kernel, id, pin)
+                    .map_err(|_| CallError::StateLost(id))?;
+                self.stats.host_copies += 1;
+                self.charge_transport(len);
+                self.reapply_all(id);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The hooked call path
+    // ------------------------------------------------------------------
+
+    /// Calls a framework API by qualified name.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, CallError> {
+        self.call_on(ThreadId::MAIN, name, args)
+    }
+
+    /// Calls a framework API by name on a specific application thread:
+    /// the call routes to *that thread's* agent set and drives that
+    /// thread's framework-state machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call_on(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        let api = self
+            .reg
+            .id_of(name)
+            .ok_or_else(|| CallError::UnknownApi(name.to_owned()))?;
+        self.call_id_on(thread, api, args)
+    }
+
+    /// Calls a framework API by id on the main thread.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call_id(&mut self, api: ApiId, args: &[Value]) -> Result<Value, CallError> {
+        self.call_id_on(ThreadId::MAIN, api, args)
+    }
+
+    /// Calls a framework API by id on a specific thread.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call_id_on(
+        &mut self,
+        thread: ThreadId,
+        api: ApiId,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        if !self.states.contains_key(&thread) {
+            return Err(CallError::UnknownApi(format!("{thread} not spawned")));
+        }
+        let api_type = self.report.type_of(api);
+        let neutral = self.reg.spec(api).type_neutral && self.policy.colocate_type_neutral;
+
+        // Type-neutral APIs run in the calling context's agent and do not
+        // move the framework state (§4.2).
+        let base_partition = if neutral {
+            match self.state_of(thread) {
+                FrameworkState::InType(t) => self.policy.plan.partition_of_type(t),
+                FrameworkState::Initialization => self.policy.plan.partition_of(api, api_type),
+            }
+        } else {
+            // Temporal protection fires on the state change, *before* the
+            // API executes (Fig. 3).
+            let sm = self.states.get_mut(&thread).expect("checked");
+            sm.observe(api_type, &mut self.kernel, &self.objects).ok();
+            self.policy.plan.partition_of(api, api_type)
+        };
+        let partition = thread_partition(thread, base_partition);
+
+        let first_attempt = self.dispatch(thread, partition, api, args);
+        match first_attempt {
+            Err(CallError::AgentCrashed(p)) if self.policy.restart == RestartPolicy::Restart => {
+                // At-least-once: respawn and re-execute once.
+                self.restart_agent(p);
+                self.dispatch(thread, p, api, args)
+            }
+            other => other,
+        }
+    }
+
+    /// One delivery attempt to an agent.
+    fn dispatch(
+        &mut self,
+        thread: ThreadId,
+        partition: PartitionId,
+        api: ApiId,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        let agent_pid = self
+            .agents
+            .get(&partition)
+            .ok_or(CallError::AgentUnavailable(partition))?
+            .pid;
+        if !self.kernel.is_running(agent_pid) {
+            if self.policy.restart == RestartPolicy::Restart {
+                self.restart_agent(partition);
+            } else {
+                return Err(CallError::AgentUnavailable(partition));
+            }
+        }
+        let agent_pid = self.agents[&partition].pid;
+
+        // --- request frame host → agent ---
+        self.seq += 1;
+        let req = Request {
+            seq: self.seq,
+            api,
+            args: args.to_vec(),
+        };
+        let chan = self.agents[&partition].chan;
+        self.kernel
+            .ipc_send(self.host, chan, &req.encode())
+            .map_err(|_| CallError::AgentUnavailable(partition))?;
+        let delivered = self
+            .kernel
+            .ipc_recv(agent_pid, chan)
+            .map_err(|_| CallError::AgentUnavailable(partition))?
+            .expect("request just sent");
+        let req = Request::decode(&delivered).expect("self-encoded frame");
+
+        // Exactly-once: replay from the completion cache on duplicates.
+        if let Some(cached) = self.agents[&partition].cache.replay(req.seq) {
+            let cached = cached.clone();
+            return Ok(cached);
+        }
+
+        // --- data plane: move object arguments ---
+        let mut needed = Vec::new();
+        for a in &req.args {
+            a.collect_objects(&mut needed);
+        }
+        for obj in &needed {
+            self.move_to_agent(thread, *obj, agent_pid)?;
+        }
+
+        // --- execute in the agent's process context ---
+        let watermark = self.objects.next_id_watermark();
+        let mut ctx = ApiCtx::new(&mut self.kernel, &mut self.objects, agent_pid);
+        let exec_result = execute(&self.reg, api, &req.args, &mut ctx);
+        let exploit_log = std::mem::take(&mut ctx.exploit_log);
+        drop(ctx);
+        self.exploit_log.extend(exploit_log);
+
+        let result = match exec_result {
+            Ok(v) => v,
+            Err(e) if e.is_crash() => return Err(CallError::AgentCrashed(partition)),
+            Err(e) => return Err(CallError::Framework(e)),
+        };
+
+        // Track objects defined during this call in the current state.
+        let new_ids: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .map(|m| m.id)
+            .filter(|id| id.0 >= watermark)
+            .collect();
+        for id in new_ids {
+            self.define_on(thread, id);
+        }
+
+        // --- eager copy-back without LDC ---
+        if !self.policy.lazy_data_copy {
+            let mut back: Vec<ObjectId> = needed.clone();
+            back.extend(result.as_obj());
+            for obj in back {
+                if let Some(meta) = self.objects.meta(obj) {
+                    if meta.home == agent_pid {
+                        let len = meta.len();
+                        self.objects
+                            .migrate_direct(&mut self.kernel, obj, self.host)
+                            .map_err(|_| CallError::StateLost(obj))?;
+                        self.stats.host_copies += 1;
+                        self.charge_transport(len);
+                        self.reapply_all(obj);
+                    }
+                }
+            }
+        }
+
+        // --- response frame agent → host ---
+        let resp = Response {
+            seq: req.seq,
+            result: result.clone(),
+        };
+        self.kernel
+            .ipc_send(agent_pid, chan, &resp.encode())
+            .map_err(|_| CallError::AgentCrashed(partition))?;
+        self.kernel
+            .ipc_recv(self.host, chan)
+            .map_err(|_| CallError::AgentCrashed(partition))?;
+
+        // --- bookkeeping ---
+        let agent = self.agents.get_mut(&partition).expect("agent exists");
+        agent.cache.complete(req.seq, result.clone());
+        agent.calls += 1;
+        let calls = agent.calls;
+        self.stats.rpc_calls += 1;
+        self.call_log.push(api);
+
+        // Ship pinned objects back to their data processes.
+        if !self.pinned.is_empty() {
+            let mut back = needed;
+            back.extend(result.as_obj());
+            for obj in back {
+                self.return_pinned(obj)?;
+            }
+        }
+
+        // Seal the filter after the first completed call (§4.4.1).
+        if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
+            self.seal_agent(partition);
+        }
+        // Periodic stateful snapshots (§A.2.4).
+        if self.policy.snapshot_interval > 0 && calls.is_multiple_of(self.policy.snapshot_interval) {
+            self.take_snapshot(partition);
+        }
+        Ok(result)
+    }
+
+    /// Charges the transport penalty for moving `bytes` over a pipe
+    /// instead of shared memory.
+    fn charge_transport(&mut self, bytes: u64) {
+        let factor = self.policy.transport.penalty_factor();
+        if factor > 1 {
+            let base = self.kernel.cost_model().copy_cost(bytes);
+            self.kernel.charge_time(base * (factor - 1));
+        }
+    }
+
+    /// Re-applies temporal protection from whichever thread's machine
+    /// tracks the object (after a migration re-materialized it writable).
+    fn reapply_all(&mut self, obj: ObjectId) {
+        let threads: Vec<ThreadId> = self
+            .states
+            .iter()
+            .filter(|(_, s)| s.is_protected(obj))
+            .map(|(t, _)| *t)
+            .collect();
+        for t in threads {
+            if let Some(sm) = self.states.get(&t) {
+                sm.reapply(&mut self.kernel, &self.objects, obj).ok();
+            }
+        }
+    }
+
+    /// Moves one object into the executing agent according to the LDC
+    /// policy, re-applying temporal protection afterwards.
+    fn move_to_agent(
+        &mut self,
+        _thread: ThreadId,
+        obj: ObjectId,
+        agent_pid: Pid,
+    ) -> Result<(), CallError> {
+        let meta = self
+            .objects
+            .meta(obj)
+            .ok_or(CallError::StateLost(obj))?
+            .clone();
+        if meta.home == agent_pid {
+            return Ok(());
+        }
+        if meta.buffer.is_none() {
+            // Buffer-less handles (windows, captures) carry no payload:
+            // re-homing them is free and never lossy.
+            self.objects
+                .migrate_direct(&mut self.kernel, obj, agent_pid)
+                .map_err(|_| CallError::StateLost(obj))?;
+            return Ok(());
+        }
+        if !self.kernel.is_running(meta.home) {
+            return Err(CallError::StateLost(obj));
+        }
+        if self.policy.lazy_data_copy {
+            // Direct move from wherever the payload lives (Fig. 11-a).
+            self.objects
+                .migrate_direct(&mut self.kernel, obj, agent_pid)
+                .map_err(|_| CallError::StateLost(obj))?;
+            if meta.buffer.is_some() {
+                self.stats.ldc_copies += 1;
+                self.charge_transport(meta.len());
+            }
+        } else {
+            // Eager path through the host (Fig. 11-b).
+            if meta.home != self.host {
+                self.objects
+                    .migrate_direct(&mut self.kernel, obj, self.host)
+                    .map_err(|_| CallError::StateLost(obj))?;
+                if meta.buffer.is_some() {
+                    self.stats.host_copies += 1;
+                    self.charge_transport(meta.len());
+                }
+            }
+            self.objects
+                .migrate_direct(&mut self.kernel, obj, agent_pid)
+                .map_err(|_| CallError::StateLost(obj))?;
+            if meta.buffer.is_some() {
+                self.stats.host_copies += 1;
+                self.charge_transport(meta.len());
+            }
+        }
+        self.reapply_all(obj);
+        Ok(())
+    }
+
+    fn seal_agent(&mut self, partition: PartitionId) {
+        let agent = self.agents.get_mut(&partition).expect("agent exists");
+        let pid = agent.pid;
+        let apis = agent.apis.clone();
+        let Ok(process) = self.kernel.process(pid) else {
+            return;
+        };
+        let mut filter = match self.policy.sandbox {
+            SandboxLevel::None => return,
+            SandboxLevel::PerAgent => build_filter(&self.reg, &self.profile, &apis, process),
+            SandboxLevel::CoarseUnion => {
+                // Whole-library sandbox: everything the library could
+                // ever need, including mprotect for lazy loading — the
+                // hole code-rewriting exploits walk through.
+                let all: BTreeSet<ApiId> = self.reg.iter().map(|s| s.id).collect();
+                let mut f = build_filter(&self.reg, &self.profile, &all, process);
+                f.allow(freepart_simos::SyscallNo::Mprotect);
+                f
+            }
+        };
+        filter.lock();
+        if self.kernel.install_filter(pid, filter).is_ok() {
+            // PR_SET_NO_NEW_PRIVS: the configuration is now immutable
+            // even from inside the process.
+            if let Ok(p) = self.kernel.process_mut(pid) {
+                p.no_new_privs = true;
+            }
+            self.agents.get_mut(&partition).expect("agent exists").sealed = true;
+        }
+    }
+
+    fn take_snapshot(&mut self, partition: PartitionId) {
+        let pid = self.agents[&partition].pid;
+        let stateful: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|m| {
+                m.home == pid
+                    && matches!(
+                        m.kind,
+                        ObjectKind::Capture { .. }
+                            | ObjectKind::Model { .. }
+                            | ObjectKind::Classifier { .. }
+                    )
+            })
+            .map(|m| m.id)
+            .collect();
+        let mut entries = Vec::new();
+        for id in stateful {
+            let meta = self.objects.meta(id).expect("listed above").clone();
+            let bytes = self
+                .objects
+                .read_bytes(&mut self.kernel, id)
+                .unwrap_or_default();
+            entries.push(SnapshotEntry {
+                object: id,
+                kind: meta.kind,
+                label: meta.label,
+                bytes,
+            });
+        }
+        self.snapshots.insert(partition, entries);
+    }
+
+    /// Respawns a crashed agent: new process, new code page, channel
+    /// rebound, filter back to the unsealed first-execution phase, and
+    /// stateful snapshots restored. Crashed-process variable values are
+    /// deliberately **not** restored (§6).
+    pub fn restart_agent(&mut self, partition: PartitionId) {
+        let Some(agent) = self.agents.get(&partition) else {
+            return;
+        };
+        let chan = agent.chan;
+        let apis = agent.apis.clone();
+        let calls = agent.calls;
+        let was_sealed = agent.sealed;
+        let new_pid = self.kernel.spawn(&format!("agent:{partition}+"));
+        let code_page = self
+            .kernel
+            .alloc(new_pid, freepart_simos::PAGE_SIZE, Perms::RX)
+            .expect("fresh agent allocates");
+        self.kernel
+            .rebind_channel(chan, new_pid)
+            .expect("channel exists");
+        self.agents.insert(
+            partition,
+            Agent {
+                partition,
+                pid: new_pid,
+                chan,
+                code_page,
+                apis,
+                sealed: false,
+                calls,
+                cache: CompletionCache::new(64),
+            },
+        );
+        // Restore snapshotted stateful objects into the new process.
+        if let Some(entries) = self.snapshots.get(&partition).cloned() {
+            for entry in entries {
+                if let Ok(addr) = self
+                    .kernel
+                    .alloc(new_pid, entry.bytes.len().max(1) as u64, Perms::RW)
+                {
+                    if self.kernel.mem_write(new_pid, addr, &entry.bytes).is_ok() {
+                        if let Some(meta) = self.objects.meta_mut(entry.object) {
+                            meta.home = new_pid;
+                            meta.buffer = Some((addr, entry.bytes.len() as u64));
+                            meta.kind = entry.kind.clone();
+                            meta.label = entry.label.clone();
+                        }
+                    }
+                }
+            }
+        }
+        // A previously-sealed partition stays sealed across restarts:
+        // the sandbox must not reopen in the respawn window (the
+        // profile is already known; only descriptor designations reset).
+        if was_sealed && self.policy.sandbox != SandboxLevel::None {
+            self.seal_agent(partition);
+        }
+        self.stats.restarts += 1;
+    }
+}

@@ -1,0 +1,309 @@
+//! The framework-state machine and temporal memory protection
+//! (paper §4.4.3, Fig. 3).
+//!
+//! The runtime infers the application's pipeline position from the type
+//! of the framework API being invoked. On a state *transition*, every
+//! data object defined during the previous state is made read-only via
+//! `mprotect` — so an exploit firing later in the pipeline cannot
+//! corrupt earlier-stage data (OMRChecker's `template` after
+//! `imread()` starts).
+
+use freepart_frameworks::api::ApiType;
+use freepart_frameworks::{ObjectId, ObjectStore};
+use freepart_simos::{Kernel, Perms, SimResult};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The five framework states (Initialization + the four API types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FrameworkState {
+    /// Before any framework API has run.
+    Initialization,
+    /// Inside a run of APIs of one type.
+    InType(ApiType),
+}
+
+impl fmt::Display for FrameworkState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkState::Initialization => f.write_str("Initialization"),
+            FrameworkState::InType(t) => t.fmt(f),
+        }
+    }
+}
+
+/// Tracks the current state, which objects were defined in which state,
+/// and enforces the read-only transition rule.
+#[derive(Debug)]
+pub struct StateMachine {
+    current: FrameworkState,
+    /// Objects defined during each state, in definition order.
+    defined_in: BTreeMap<ObjectId, FrameworkState>,
+    /// Objects currently locked read-only.
+    protected: Vec<ObjectId>,
+    /// Total state transitions taken.
+    pub transitions: u64,
+    /// `(virtual ns, new state, objects newly locked)` per transition —
+    /// the Fig. 3 timeline.
+    timeline: Vec<(u64, FrameworkState, usize)>,
+    enabled: bool,
+}
+
+impl StateMachine {
+    /// A fresh machine in the Initialization state.
+    pub fn new(enabled: bool) -> StateMachine {
+        StateMachine {
+            current: FrameworkState::Initialization,
+            defined_in: BTreeMap::new(),
+            protected: Vec::new(),
+            transitions: 0,
+            timeline: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// The current framework state.
+    pub fn current(&self) -> FrameworkState {
+        self.current
+    }
+
+    /// Registers an object as defined in the current state.
+    pub fn define(&mut self, id: ObjectId) {
+        self.defined_in.entry(id).or_insert(self.current);
+    }
+
+    /// The state an object was defined in, if tracked.
+    pub fn defined_state(&self, id: ObjectId) -> Option<FrameworkState> {
+        self.defined_in.get(&id).copied()
+    }
+
+    /// True when the object has been locked read-only.
+    pub fn is_protected(&self, id: ObjectId) -> bool {
+        self.protected.contains(&id)
+    }
+
+    /// Objects currently protected.
+    pub fn protected(&self) -> &[ObjectId] {
+        &self.protected
+    }
+
+    /// Observes an API call of type `t`; on a state change, locks every
+    /// object defined during the previous state and — per Fig. 2-e's
+    /// "writable *during* data loading APIs" — unlocks objects whose
+    /// defining state is being re-entered (cyclic pipelines: video
+    /// frames, training loops). Initialization-defined objects are never
+    /// re-entered and stay locked forever (the motivating example's
+    /// `template`). Returns the number of objects newly protected.
+    pub fn observe(
+        &mut self,
+        t: ApiType,
+        kernel: &mut Kernel,
+        objects: &ObjectStore,
+    ) -> SimResult<usize> {
+        let next = FrameworkState::InType(t);
+        if next == self.current {
+            return Ok(0);
+        }
+        let prev = self.current;
+        self.current = next;
+        self.transitions += 1;
+        if !self.enabled {
+            self.timeline.push((kernel.clock().now_ns(), next, 0));
+            return Ok(0);
+        }
+        // Lock everything defined during the state we just left.
+        let mut newly = 0;
+        let ids: Vec<ObjectId> = self
+            .defined_in
+            .iter()
+            .filter(|(id, s)| **s == prev && !self.protected.contains(id))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            if Self::lock_object(kernel, objects, id)? {
+                self.protected.push(id);
+                newly += 1;
+            }
+        }
+        // Unlock objects owned by the state we are re-entering.
+        let reentered: Vec<ObjectId> = self
+            .defined_in
+            .iter()
+            .filter(|(id, s)| **s == next && self.protected.contains(id))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in reentered {
+            Self::unlock_object(kernel, objects, id)?;
+            self.protected.retain(|p| *p != id);
+        }
+        self.timeline.push((kernel.clock().now_ns(), next, newly));
+        Ok(newly)
+    }
+
+    /// The Fig. 3 timeline: `(virtual ns, state entered, objects newly
+    /// locked)` per transition.
+    pub fn timeline(&self) -> &[(u64, FrameworkState, usize)] {
+        &self.timeline
+    }
+
+    fn lock_object(kernel: &mut Kernel, objects: &ObjectStore, id: ObjectId) -> SimResult<bool> {
+        let Some(meta) = objects.meta(id) else {
+            return Ok(false);
+        };
+        let Some((addr, len)) = meta.buffer else {
+            return Ok(false);
+        };
+        if !kernel.is_running(meta.home) {
+            return Ok(false);
+        }
+        kernel.protect(meta.home, addr, len, Perms::R)?;
+        Ok(true)
+    }
+
+    fn unlock_object(kernel: &mut Kernel, objects: &ObjectStore, id: ObjectId) -> SimResult<()> {
+        let Some(meta) = objects.meta(id) else {
+            return Ok(());
+        };
+        let Some((addr, len)) = meta.buffer else {
+            return Ok(());
+        };
+        if !kernel.is_running(meta.home) {
+            return Ok(());
+        }
+        kernel.protect(meta.home, addr, len, Perms::RW)?;
+        Ok(())
+    }
+
+    /// Re-applies protection to one object (after the runtime migrated
+    /// its payload to a new process, which re-materializes it writable).
+    pub fn reapply(
+        &self,
+        kernel: &mut Kernel,
+        objects: &ObjectStore,
+        id: ObjectId,
+    ) -> SimResult<()> {
+        if self.is_protected(id) {
+            Self::lock_object(kernel, objects, id)?;
+        }
+        Ok(())
+    }
+
+    /// Forgets an object (destroyed).
+    pub fn forget(&mut self, id: ObjectId) {
+        self.defined_in.remove(&id);
+        self.protected.retain(|p| *p != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart_frameworks::ObjectKind;
+    use freepart_simos::SimError;
+
+    fn setup() -> (Kernel, ObjectStore, freepart_simos::Pid) {
+        let mut k = Kernel::new();
+        let pid = k.spawn("host");
+        (k, ObjectStore::new(), pid)
+    }
+
+    #[test]
+    fn transition_protects_previous_state_objects() {
+        let (mut k, mut store, pid) = setup();
+        let mut sm = StateMachine::new(true);
+        let template = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "template", &[1; 64])
+            .unwrap();
+        sm.define(template);
+        // Initialization → Loading: template (defined in Initialization)
+        // becomes read-only.
+        let n = sm
+            .observe(ApiType::DataLoading, &mut k, &store)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(sm.is_protected(template));
+        let meta = store.meta(template).unwrap();
+        let err = k
+            .mem_write(pid, meta.buffer.unwrap().0, &[9])
+            .unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)));
+    }
+
+    #[test]
+    fn same_state_calls_do_not_transition() {
+        let (mut k, store, _) = setup();
+        let mut sm = StateMachine::new(true);
+        sm.observe(ApiType::DataProcessing, &mut k, &store).unwrap();
+        sm.observe(ApiType::DataProcessing, &mut k, &store).unwrap();
+        assert_eq!(sm.transitions, 1);
+        assert_eq!(
+            sm.current(),
+            FrameworkState::InType(ApiType::DataProcessing)
+        );
+    }
+
+    #[test]
+    fn pipeline_progression_locks_stage_by_stage() {
+        let (mut k, mut store, pid) = setup();
+        let mut sm = StateMachine::new(true);
+        sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
+        let loaded = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "input", &[2; 32])
+            .unwrap();
+        sm.define(loaded);
+        // Loading → Processing: `input` locks.
+        let n = sm.observe(ApiType::DataProcessing, &mut k, &store).unwrap();
+        assert_eq!(n, 1);
+        let processed = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "result", &[3; 32])
+            .unwrap();
+        sm.define(processed);
+        assert!(!sm.is_protected(processed), "current-state object writable");
+        // Processing → Visualizing: `result` locks too.
+        let n = sm.observe(ApiType::Visualizing, &mut k, &store).unwrap();
+        assert_eq!(n, 1);
+        assert!(sm.is_protected(processed));
+    }
+
+    #[test]
+    fn disabled_machine_tracks_but_never_locks() {
+        let (mut k, mut store, pid) = setup();
+        let mut sm = StateMachine::new(false);
+        let obj = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "x", &[0; 8])
+            .unwrap();
+        sm.define(obj);
+        let n = sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
+        assert_eq!(n, 0);
+        assert!(!sm.is_protected(obj));
+        assert_eq!(sm.transitions, 1, "state still tracked");
+    }
+
+    #[test]
+    fn dead_home_processes_are_skipped() {
+        let (mut k, mut store, pid) = setup();
+        let mut sm = StateMachine::new(true);
+        let obj = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "x", &[0; 8])
+            .unwrap();
+        sm.define(obj);
+        k.deliver_fault(pid, freepart_simos::FaultKind::Abort, None);
+        let n = sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
+        assert_eq!(n, 0, "cannot protect memory of a dead process");
+    }
+
+    #[test]
+    fn forget_unprotects_tracking() {
+        let (mut k, mut store, pid) = setup();
+        let mut sm = StateMachine::new(true);
+        let obj = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "x", &[0; 8])
+            .unwrap();
+        sm.define(obj);
+        sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
+        assert!(sm.is_protected(obj));
+        sm.forget(obj);
+        assert!(!sm.is_protected(obj));
+        assert!(sm.defined_state(obj).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the runtime: for *any* benign pipeline, FreePart
+//! must be functionally transparent (same results as no isolation) and
+//! must never destabilize the system.
+
+use freepart::{Policy, Runtime};
+use freepart_frameworks::api::ApiKind;
+use freepart_frameworks::exec::execute;
+use freepart_frameworks::registry::standard_registry;
+use freepart_frameworks::{fileio, image::Image, ApiCtx, ObjectStore, Value};
+use freepart_simos::Kernel;
+use proptest::prelude::*;
+
+/// Runs a random filter chain monolithically, returning final bytes.
+fn run_monolithic(picks: &[u16], side: u32) -> Vec<u8> {
+    let reg = standard_registry();
+    let filters: Vec<_> = reg
+        .iter()
+        .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+        .map(|s| s.id)
+        .collect();
+    let mut kernel = Kernel::new();
+    let pid = kernel.spawn("mono");
+    let mut objects = ObjectStore::new();
+    kernel.fs.put(
+        "/in.simg",
+        fileio::encode_image(&Image::new(side, side, 3), None),
+    );
+    let imread = reg.id_of("cv2.imread").unwrap();
+    let mut ctx = ApiCtx::new(&mut kernel, &mut objects, pid);
+    let mut cur = execute(&reg, imread, &[Value::from("/in.simg")], &mut ctx).unwrap();
+    for p in picks {
+        let api = filters[*p as usize % filters.len()];
+        cur = execute(&reg, api, &[cur], &mut ctx).unwrap();
+    }
+    let id = cur.as_obj().unwrap();
+    ctx.objects.read_bytes(ctx.kernel, id).unwrap()
+}
+
+/// Runs the same chain under full FreePart isolation.
+fn run_freepart(picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
+    let reg = standard_registry();
+    let filters: Vec<_> = reg
+        .iter()
+        .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+        .map(|s| s.id)
+        .collect();
+    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    rt.kernel.fs.put(
+        "/in.simg",
+        fileio::encode_image(&Image::new(side, side, 3), None),
+    );
+    let mut cur = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    for p in picks {
+        let api = filters[*p as usize % filters.len()];
+        cur = rt.call_id(api, &[cur]).unwrap();
+    }
+    let bytes = rt.fetch_bytes(cur.as_obj().unwrap()).unwrap();
+    (bytes, rt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Isolation transparency: any random filter chain produces byte-
+    /// identical results under FreePart and under no isolation.
+    #[test]
+    fn freepart_is_functionally_transparent(
+        picks in proptest::collection::vec(any::<u16>(), 1..8),
+        side in 4u32..16,
+    ) {
+        let mono = run_monolithic(&picks, side);
+        let (fp, rt) = run_freepart(&picks, side);
+        prop_assert_eq!(mono, fp);
+        // System-stability invariants, for any pipeline:
+        prop_assert!(rt.kernel.is_running(rt.host_pid()));
+        for p in rt.partitions() {
+            prop_assert!(rt.kernel.is_running(rt.agent(p).unwrap().pid));
+        }
+        prop_assert!(rt.exploit_log.is_empty());
+        prop_assert_eq!(rt.stats().restarts, 0);
+        prop_assert_eq!(rt.kernel.metrics().filter_kills, 0, "no benign call killed");
+    }
+
+    /// The LDC invariant: for any chain, lazy copies never exceed the
+    /// number of hooked calls (at most one object move per call in a
+    /// unary pipeline), and disabling LDC never changes results.
+    #[test]
+    fn ldc_bounds_and_equivalence(
+        picks in proptest::collection::vec(any::<u16>(), 1..6),
+    ) {
+        let (with_ldc, rt) = run_freepart(&picks, 8);
+        prop_assert!(rt.stats().ldc_copies <= rt.stats().rpc_calls);
+        // Without LDC: identical output bytes.
+        let reg = standard_registry();
+        let filters: Vec<_> = reg
+            .iter()
+            .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+            .map(|s| s.id)
+            .collect();
+        let mut rt2 = Runtime::install(standard_registry(), Policy::without_ldc());
+        rt2.kernel.fs.put(
+            "/in.simg",
+            fileio::encode_image(&Image::new(8, 8, 3), None),
+        );
+        let mut cur = rt2.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+        for p in &picks {
+            let api = filters[*p as usize % filters.len()];
+            cur = rt2.call_id(api, &[cur]).unwrap();
+        }
+        let without = rt2.fetch_bytes(cur.as_obj().unwrap()).unwrap();
+        prop_assert_eq!(with_ldc, without);
+        // And eager mode always costs at least as much virtual time.
+        prop_assert!(rt2.kernel.clock().now_ns() >= rt.kernel.clock().now_ns());
+    }
+}

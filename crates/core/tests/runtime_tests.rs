@@ -1,0 +1,477 @@
+//! End-to-end tests of the FreePart runtime: partition routing, lazy
+//! data copy, temporal permissions, syscall sealing, crash containment,
+//! and restart semantics.
+
+use freepart::{CallError, FrameworkState, PartitionPlan, Policy, Runtime};
+use freepart_frameworks::api::ApiType;
+use freepart_frameworks::exec::CAMERA_FRAME_LEN;
+use freepart_frameworks::registry::standard_registry;
+use freepart_frameworks::{fileio, image::Image, ExploitAction, ExploitPayload, Value};
+use freepart_simos::device::Camera;
+
+fn rt_with(policy: Policy) -> Runtime {
+    Runtime::install(standard_registry(), policy)
+}
+
+fn seed_image(rt: &mut Runtime, path: &str, side: u32) {
+    let mut img = Image::new(side, side, 3);
+    for y in 0..side {
+        for x in 0..side {
+            for c in 0..3 {
+                img.put(x, y, c, ((x * 7 + y * 11 + c) % 256) as u8);
+            }
+        }
+    }
+    rt.kernel.fs.put(path, fileio::encode_image(&img, None));
+}
+
+fn seed_evil_image(rt: &mut Runtime, path: &str, payload: &ExploitPayload) {
+    let img = Image::new(16, 16, 3);
+    rt.kernel
+        .fs
+        .put(path, fileio::encode_image(&img, Some(payload)));
+}
+
+#[test]
+fn five_processes_and_type_routing() {
+    let mut rt = rt_with(Policy::freepart());
+    // Host + 4 agents.
+    assert_eq!(rt.kernel.process_count(), 5);
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    // The loaded Mat lives in the *loading agent*, not the host.
+    let home = rt.objects.meta(img.as_obj().unwrap()).unwrap().home;
+    let loading = rt
+        .agent(rt.partition_of(rt.registry().id_of("cv2.imread").unwrap()))
+        .unwrap()
+        .pid;
+    assert_eq!(home, loading);
+    assert_ne!(home, rt.host_pid());
+    // A processing call moves it into the processing agent.
+    let blur = rt.call("cv2.GaussianBlur", &[img.clone()]).unwrap();
+    let processing = rt
+        .agent(rt.partition_of(rt.registry().id_of("cv2.GaussianBlur").unwrap()))
+        .unwrap()
+        .pid;
+    assert_eq!(
+        rt.objects.meta(blur.as_obj().unwrap()).unwrap().home,
+        processing
+    );
+    assert_ne!(loading, processing);
+}
+
+#[test]
+fn full_pipeline_is_functionally_correct() {
+    // The hooked pipeline must produce byte-identical output to a
+    // monolithic run — FreePart's correctness claim (§5, "Correctness").
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    let gray = rt.call("cv2.cvtColor", &[img]).unwrap();
+    let eq = rt.call("cv2.equalizeHist", &[gray]).unwrap();
+    rt.call("cv2.imwrite", &[Value::from("/out.simg"), eq]).unwrap();
+    let hooked = rt.kernel.fs.get("/out.simg").unwrap().clone();
+
+    // Monolithic reference using the raw exec layer.
+    use freepart_frameworks::{exec, ApiCtx, ObjectStore};
+    let reg = standard_registry();
+    let mut kernel = freepart_simos::Kernel::new();
+    let pid = kernel.spawn("mono");
+    seed_direct(&mut kernel, "/in.simg", 16);
+    let mut objects = ObjectStore::new();
+    let mut ctx = ApiCtx::new(&mut kernel, &mut objects, pid);
+    let img = exec::execute(&reg, reg.id_of("cv2.imread").unwrap(), &[Value::from("/in.simg")], &mut ctx).unwrap();
+    let gray = exec::execute(&reg, reg.id_of("cv2.cvtColor").unwrap(), &[img], &mut ctx).unwrap();
+    let eq = exec::execute(&reg, reg.id_of("cv2.equalizeHist").unwrap(), &[gray], &mut ctx).unwrap();
+    exec::execute(&reg, reg.id_of("cv2.imwrite").unwrap(), &[Value::from("/out.simg"), eq], &mut ctx).unwrap();
+    let mono = kernel.fs.get("/out.simg").unwrap().clone();
+    assert_eq!(hooked, mono, "isolation must not change results");
+}
+
+fn seed_direct(kernel: &mut freepart_simos::Kernel, path: &str, side: u32) {
+    let mut img = Image::new(side, side, 3);
+    for y in 0..side {
+        for x in 0..side {
+            for c in 0..3 {
+                img.put(x, y, c, ((x * 7 + y * 11 + c) % 256) as u8);
+            }
+        }
+    }
+    kernel.fs.put(path, fileio::encode_image(&img, None));
+}
+
+#[test]
+fn ldc_moves_data_agent_to_agent_directly() {
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    let s0 = rt.stats();
+    rt.call("cv2.GaussianBlur", &[img]).unwrap();
+    let s1 = rt.stats();
+    assert_eq!(s1.ldc_copies - s0.ldc_copies, 1, "one direct move");
+    assert_eq!(s1.host_copies, s0.host_copies, "host never touched");
+}
+
+#[test]
+fn non_ldc_copies_through_host_and_back() {
+    let mut rt = rt_with(Policy::without_ldc());
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    // Without LDC the imread result was already copied back to the host.
+    assert_eq!(
+        rt.objects.meta(img.as_obj().unwrap()).unwrap().home,
+        rt.host_pid()
+    );
+    let before = rt.stats().host_copies;
+    rt.call("cv2.GaussianBlur", &[img]).unwrap();
+    let after = rt.stats().host_copies;
+    // host→agent for the argument, agent→host for arg + result.
+    assert!(after - before >= 2, "eager copies: {}", after - before);
+    assert_eq!(rt.stats().ldc_copies, 0);
+}
+
+#[test]
+fn ldc_transfers_far_fewer_bytes() {
+    let run = |policy: Policy| {
+        let mut rt = rt_with(policy);
+        seed_image(&mut rt, "/in.simg", 32);
+        let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+        let a = rt.call("cv2.GaussianBlur", &[img]).unwrap();
+        let b = rt.call("cv2.erode", &[a]).unwrap();
+        let c = rt.call("cv2.Canny", &[b]).unwrap();
+        rt.call("cv2.imwrite", &[Value::from("/o.simg"), c]).unwrap();
+        rt.kernel.metrics().copied_bytes
+    };
+    let with_ldc = run(Policy::freepart());
+    let without = run(Policy::without_ldc());
+    assert!(
+        without as f64 >= 1.8 * with_ldc as f64,
+        "LDC {with_ldc}B vs eager {without}B"
+    );
+}
+
+#[test]
+fn state_machine_follows_pipeline_and_protects() {
+    let mut rt = rt_with(Policy::freepart());
+    assert_eq!(rt.current_state(), FrameworkState::Initialization);
+    let template = rt.host_data("template", &[7u8; 256]);
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    assert_eq!(
+        rt.current_state(),
+        FrameworkState::InType(ApiType::DataLoading)
+    );
+    // Initialization-defined template is now read-only.
+    assert!(rt.is_protected(template));
+    let gray = rt.call("cv2.cvtColor", &[img.clone()]).unwrap();
+    // cvtColor is type-neutral: state unchanged.
+    assert_eq!(
+        rt.current_state(),
+        FrameworkState::InType(ApiType::DataLoading)
+    );
+    let blur = rt.call("cv2.GaussianBlur", &[gray]).unwrap();
+    assert_eq!(
+        rt.current_state(),
+        FrameworkState::InType(ApiType::DataProcessing)
+    );
+    // The loading-stage image is locked once processing starts.
+    assert!(rt.is_protected(img.as_obj().unwrap()));
+    assert!(!rt.is_protected(blur.as_obj().unwrap()));
+    rt.call("cv2.imshow", &[Value::from("w"), blur.clone()]).unwrap();
+    assert!(rt.is_protected(blur.as_obj().unwrap()));
+}
+
+#[test]
+fn protected_template_survives_memory_corruption_exploit() {
+    // The motivating example: CVE-2017-12597 in imread tries to corrupt
+    // `template`. Two defenses stack: the write lands in the loading
+    // agent's address space (template lives in the host), where the
+    // address is unmapped.
+    let mut rt = rt_with(Policy::freepart());
+    let template = rt.host_data("template", b"answer-key-coordinates!!");
+    let t_addr = rt.objects.meta(template).unwrap().buffer.unwrap().0;
+    seed_image(&mut rt, "/warmup.simg", 16);
+    rt.call("cv2.imread", &[Value::from("/warmup.simg")]).unwrap();
+
+    let payload = ExploitPayload {
+        cve: "CVE-2017-12597".into(),
+        actions: vec![ExploitAction::WriteMem {
+            addr: t_addr.0,
+            bytes: vec![0x41; 8],
+        }],
+    };
+    seed_evil_image(&mut rt, "/evil.simg", &payload);
+    let _ = rt.call("cv2.imread", &[Value::from("/evil.simg")]);
+
+    // template is intact in the host.
+    assert_eq!(
+        rt.fetch_bytes(template).unwrap(),
+        b"answer-key-coordinates!!"
+    );
+    // And the attack was observed to fault, not succeed.
+    assert!(rt
+        .exploit_log
+        .iter()
+        .all(|r| !r.outcome.achieved()));
+}
+
+#[test]
+fn dos_exploit_crashes_only_the_loading_agent() {
+    let mut rt = rt_with(Policy::no_restart());
+    seed_image(&mut rt, "/ok.simg", 16);
+    rt.call("cv2.imread", &[Value::from("/ok.simg")]).unwrap();
+    let payload = ExploitPayload {
+        cve: "CVE-2017-14136".into(),
+        actions: vec![ExploitAction::CrashSelf],
+    };
+    seed_evil_image(&mut rt, "/evil.simg", &payload);
+    let err = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+    assert!(matches!(
+        err,
+        CallError::AgentCrashed(_) | CallError::AgentUnavailable(_)
+    ));
+    // Host alive; processing/visualizing/storing agents alive.
+    assert!(rt.kernel.is_running(rt.host_pid()));
+    let imread = rt.registry().id_of("cv2.imread").unwrap();
+    let loading = rt.partition_of(imread);
+    for p in rt.partitions() {
+        let alive = rt.kernel.is_running(rt.agent(p).unwrap().pid);
+        if p == loading {
+            assert!(!alive, "loading agent should be down");
+        } else {
+            assert!(alive, "agent {p} should be unaffected");
+        }
+    }
+    // Without restart, further loading calls fail...
+    let err = rt.call("cv2.imread", &[Value::from("/ok.simg")]).unwrap_err();
+    assert_eq!(err, CallError::AgentUnavailable(loading));
+    // ...but other partitions keep working (drone stays in the air).
+    rt.call("cv2.pollKey", &[]).unwrap();
+}
+
+#[test]
+fn restart_policy_recovers_the_agent() {
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/ok.simg", 16);
+    rt.call("cv2.imread", &[Value::from("/ok.simg")]).unwrap();
+    let payload = ExploitPayload {
+        cve: "CVE-2017-14136".into(),
+        actions: vec![ExploitAction::CrashSelf],
+    };
+    seed_evil_image(&mut rt, "/evil.simg", &payload);
+    // The malicious input crashes the agent; the runtime restarts it and
+    // re-executes (at-least-once) — the exploit fires again and the call
+    // ultimately fails, but the *system* stays up.
+    let err = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+    assert!(matches!(err, CallError::AgentCrashed(_)));
+    assert!(rt.stats().restarts >= 1);
+    // A clean follow-up call succeeds on the restarted agent.
+    let again = rt.call("cv2.imread", &[Value::from("/ok.simg")]);
+    assert!(again.is_ok(), "{again:?}");
+    assert!(rt.stats().restarts >= 2, "evil call consumed one restart");
+}
+
+#[test]
+fn sealed_filter_blocks_exfiltration_from_processing_agent() {
+    let mut rt = rt_with(Policy::freepart());
+    let secret = rt.host_data("user-profile", b"SSN=123-45-6789");
+    let s_addr = rt.objects.meta(secret).unwrap().buffer.unwrap().0;
+    seed_image(&mut rt, "/in.simg", 32);
+    // Warm up + seal the processing agent.
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    rt.call("cv2.GaussianBlur", &[img.clone()]).unwrap();
+    let processing = rt.partition_of(rt.registry().id_of("cv2.GaussianBlur").unwrap());
+    assert!(rt.agent(processing).unwrap().sealed);
+
+    // Tainted input fires CVE-2019-14491 inside detectMultiScale: the
+    // payload tries to read the secret and send it out.
+    let payload = ExploitPayload {
+        cve: "CVE-2019-14491".into(),
+        actions: vec![ExploitAction::ExfilMem {
+            addr: s_addr.0,
+            len: 15,
+            dest: "attacker:4444".into(),
+        }],
+    };
+    seed_evil_image(&mut rt, "/evil.simg", &payload);
+    let tainted = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap();
+    rt.kernel.fs.put("/c.xml", vec![1; 16]);
+    let clf = rt
+        .call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")])
+        .unwrap();
+    let _ = rt.call(
+        "cv2.CascadeClassifier.detectMultiScale",
+        &[clf, tainted],
+    );
+    // Nothing reached the network. (The read itself also faulted: the
+    // secret's address is not mapped in the processing agent.)
+    assert!(!rt.kernel.network.leaked(b"SSN=123-45-6789"));
+    assert!(rt.exploit_log.iter().all(|r| !r.outcome.achieved()));
+}
+
+#[test]
+fn sealed_filter_blocks_code_rewrite() {
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/in.simg", 16);
+    rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    let imread = rt.registry().id_of("cv2.imread").unwrap();
+    let loading = rt.partition_of(imread);
+    let code = rt.agent(loading).unwrap().code_page;
+    assert!(rt.agent(loading).unwrap().sealed);
+
+    let payload = ExploitPayload {
+        cve: "CVE-2017-17760".into(),
+        actions: vec![ExploitAction::RewriteCode { addr: code.0 }],
+    };
+    seed_evil_image(&mut rt, "/evil.simg", &payload);
+    let _ = rt.call("cv2.imread", &[Value::from("/evil.simg")]);
+    use freepart_frameworks::ActionOutcome;
+    assert!(matches!(
+        rt.exploit_log.last().unwrap().outcome,
+        ActionOutcome::SyscallKilled
+    ));
+}
+
+#[test]
+fn unsealed_first_execution_allows_init_syscalls() {
+    // The very first visualizing call needs connect(); it must succeed
+    // because sealing happens after the first execution.
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    rt.call("cv2.imshow", &[Value::from("w"), img.clone()]).unwrap();
+    assert!(rt.kernel.display.is_connected());
+    let viz = rt.partition_of(rt.registry().id_of("cv2.imshow").unwrap());
+    assert!(rt.agent(viz).unwrap().sealed);
+    // Subsequent draws keep working under the sealed filter.
+    rt.call("cv2.imshow", &[Value::from("w"), img]).unwrap();
+}
+
+#[test]
+fn type_neutral_api_runs_in_context_agent() {
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    // cvtColor right after loading: runs in the loading agent.
+    let gray = rt.call("cv2.cvtColor", &[img]).unwrap();
+    let loading_pid = rt
+        .agent(rt.partition_of(rt.registry().id_of("cv2.imread").unwrap()))
+        .unwrap()
+        .pid;
+    assert_eq!(
+        rt.objects.meta(gray.as_obj().unwrap()).unwrap().home,
+        loading_pid
+    );
+    // The same API mid-processing runs in the processing agent.
+    let blur = rt.call("cv2.GaussianBlur", &[gray]).unwrap();
+    let gray2 = rt.call("cv2.cvtColor", &[blur]).unwrap();
+    let processing_pid = rt
+        .agent(rt.partition_of(rt.registry().id_of("cv2.GaussianBlur").unwrap()))
+        .unwrap()
+        .pid;
+    assert_eq!(
+        rt.objects.meta(gray2.as_obj().unwrap()).unwrap().home,
+        processing_pid
+    );
+}
+
+#[test]
+fn capture_state_survives_restart_via_snapshot() {
+    let mut rt = rt_with(Policy {
+        snapshot_interval: 1,
+        ..Policy::freepart()
+    });
+    rt.kernel.camera = Some(Camera::new(3, CAMERA_FRAME_LEN));
+    let cap = rt.call("cv2.VideoCapture", &[Value::I64(0)]).unwrap();
+    rt.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
+    rt.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
+    // Kill the loading agent out from under the runtime.
+    let loading = rt.partition_of(rt.registry().id_of("cv2.VideoCapture.read").unwrap());
+    let pid = rt.agent(loading).unwrap().pid;
+    rt.kernel
+        .deliver_fault(pid, freepart_simos::FaultKind::Abort, None);
+    // Next read triggers restart; the capture handle still works.
+    let frame = rt.call("cv2.VideoCapture.read", &[cap.clone()]);
+    assert!(frame.is_ok(), "{frame:?}");
+    assert!(rt.stats().restarts >= 1);
+    use freepart_frameworks::ObjectKind;
+    match rt.objects.meta(cap.as_obj().unwrap()).unwrap().kind {
+        ObjectKind::Capture { frames_read } => assert!(frames_read >= 3),
+        ref k => panic!("unexpected kind {k:?}"),
+    }
+}
+
+#[test]
+fn per_api_plan_isolates_each_api() {
+    let reg = standard_registry();
+    let apis = vec![
+        reg.id_of("cv2.imread").unwrap(),
+        reg.id_of("cv2.GaussianBlur").unwrap(),
+        reg.id_of("cv2.erode").unwrap(),
+    ];
+    let plan = PartitionPlan::per_api(apis.clone(), &reg);
+    let mut rt = Runtime::install(
+        standard_registry(),
+        Policy {
+            plan,
+            ..Policy::freepart()
+        },
+    );
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    let a = rt.call("cv2.GaussianBlur", &[img]).unwrap();
+    rt.call("cv2.erode", &[a]).unwrap();
+    // Three distinct agent pids served the three APIs.
+    let pids: std::collections::BTreeSet<_> = apis
+        .iter()
+        .map(|&id| rt.agent(rt.partition_of(id)).unwrap().pid)
+        .collect();
+    assert_eq!(pids.len(), 3);
+}
+
+#[test]
+fn stats_and_metrics_accumulate() {
+    let mut rt = rt_with(Policy::freepart());
+    seed_image(&mut rt, "/in.simg", 16);
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    rt.call("cv2.GaussianBlur", &[img]).unwrap();
+    let s = rt.stats();
+    assert_eq!(s.rpc_calls, 2);
+    assert!(s.transitions >= 2);
+    let m = rt.kernel.metrics();
+    assert!(m.ipc_messages >= 4, "2 requests + 2 responses");
+    assert!(rt.kernel.clock().now_ns() > 0);
+    assert_eq!(rt.call_log().len(), 2);
+}
+
+#[test]
+fn unknown_api_is_reported() {
+    let mut rt = rt_with(Policy::freepart());
+    assert!(matches!(
+        rt.call("cv2.notAnApi", &[]),
+        Err(CallError::UnknownApi(_))
+    ));
+}
+
+#[test]
+fn framework_errors_pass_through_without_crash() {
+    let mut rt = rt_with(Policy::freepart());
+    let err = rt.call("cv2.imread", &[Value::from("/missing.simg")]).unwrap_err();
+    assert!(matches!(err, CallError::Framework(_)));
+    // Agent is still alive.
+    let loading = rt.partition_of(rt.registry().id_of("cv2.imread").unwrap());
+    assert!(rt.kernel.is_running(rt.agent(loading).unwrap().pid));
+}
+
+#[test]
+fn restart_disabled_keeps_agent_down_but_host_operational() {
+    let mut rt = rt_with(Policy::no_restart());
+    let payload = ExploitPayload {
+        cve: "CVE-2017-14136".into(),
+        actions: vec![ExploitAction::CrashSelf],
+    };
+    seed_evil_image(&mut rt, "/evil.simg", &payload);
+    let _ = rt.call("cv2.imread", &[Value::from("/evil.simg")]);
+    assert_eq!(rt.stats().restarts, 0);
+    assert!(rt.kernel.is_running(rt.host_pid()));
+}

@@ -1,0 +1,462 @@
+//! API identities, types, and specifications.
+//!
+//! Every framework entry point is described by an [`ApiSpec`]: its
+//! framework, its execution semantics ([`ApiKind`], interpreted by the
+//! `exec` module), its ground-truth [`ApiType`] (the label the hybrid
+//! analysis must recover), its syscall profile, its body IR for the
+//! static pass, its statefulness/type-neutrality flags (§4.2 "type
+//! neutral APIs", §A.2.4 stateful APIs), and the CVEs it is vulnerable
+//! to. The [`ApiRegistry`] is the catalog the partitioner, the analyses,
+//! and the applications all share.
+
+use crate::ir::IrStmt;
+use freepart_simos::SyscallNo;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The four framework-API types of the paper (§4.1) — one isolated agent
+/// process per type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ApiType {
+    /// Brings bytes from files/devices into memory.
+    DataLoading,
+    /// Memory-to-memory algorithms.
+    DataProcessing,
+    /// Presents memory on the GUI / reads GUI state.
+    Visualizing,
+    /// Writes memory out to files/devices.
+    Storing,
+}
+
+impl ApiType {
+    /// All four types, pipeline order.
+    pub const ALL: [ApiType; 4] = [
+        ApiType::DataLoading,
+        ApiType::DataProcessing,
+        ApiType::Visualizing,
+        ApiType::Storing,
+    ];
+
+    /// Short label used in reports ("DL", "DP", "VZ", "ST").
+    pub fn short(self) -> &'static str {
+        match self {
+            ApiType::DataLoading => "DL",
+            ApiType::DataProcessing => "DP",
+            ApiType::Visualizing => "VZ",
+            ApiType::Storing => "ST",
+        }
+    }
+}
+
+impl fmt::Display for ApiType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ApiType::DataLoading => "Data Loading",
+            ApiType::DataProcessing => "Data Processing",
+            ApiType::Visualizing => "Visualizing",
+            ApiType::Storing => "Storing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The frameworks modeled by this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum Framework {
+    OpenCv,
+    Caffe,
+    PyTorch,
+    TensorFlow,
+    Keras,
+    Pillow,
+    NumPy,
+    Pandas,
+    Json,
+    Matplotlib,
+    Gtk,
+}
+
+impl Framework {
+    /// Size of the real framework's public API catalog, for coverage
+    /// denominators comparable with the paper's Table 11.
+    pub fn catalog_size(self) -> u32 {
+        match self {
+            Framework::OpenCv => 527,
+            Framework::PyTorch => 134,
+            Framework::Caffe => 112,
+            Framework::TensorFlow => 2704,
+            Framework::Keras => 180,
+            Framework::Pillow => 120,
+            Framework::NumPy => 600,
+            Framework::Pandas => 400,
+            Framework::Json => 8,
+            Framework::Matplotlib => 300,
+            Framework::Gtk => 900,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::OpenCv => "OpenCV",
+            Framework::Caffe => "Caffe",
+            Framework::PyTorch => "PyTorch",
+            Framework::TensorFlow => "TensorFlow",
+            Framework::Keras => "Keras",
+            Framework::Pillow => "Pillow",
+            Framework::NumPy => "NumPy",
+            Framework::Pandas => "pandas",
+            Framework::Json => "json",
+            Framework::Matplotlib => "Matplotlib",
+            Framework::Gtk => "GTK",
+        }
+    }
+}
+
+impl fmt::Display for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unary image-filter algorithms (the bulk of OpenCV's processing APIs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum FilterOp {
+    Gaussian,
+    Box,
+    Median,
+    Laplacian,
+    Sharpen,
+    Erode,
+    Dilate,
+    MorphOpen,
+    MorphClose,
+    MorphGradient,
+    Canny,
+    Sobel,
+    EqualizeHist,
+    Threshold,
+    ToGray,
+    ToBgr,
+    FlipH,
+    PyrDown,
+    Warp,
+    Identity,
+}
+
+/// Two-image operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    AbsDiff,
+    AddWeighted,
+}
+
+/// GUI window operations (visualizing type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum WindowOp {
+    Named,
+    Move,
+    SetTitle,
+    DestroyAll,
+    PollKey,
+    WaitKey,
+    MouseWheel,
+}
+
+/// Elementwise tensor operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum TensorUnaryOp {
+    Relu,
+    Sigmoid,
+    Softmax,
+    Argmax,
+    Sum,
+    Reshape,
+}
+
+/// Execution semantics of an API, interpreted by [`crate::exec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ApiKind {
+    /// Load an image file into a `Mat` (`imread`) — syscall-heavy, CVE
+    /// hot spot.
+    ImRead,
+    /// Store a `Mat` to a file (`imwrite`).
+    ImWrite,
+    /// Present a `Mat` in a window (`imshow`).
+    ImShow,
+    /// Open a camera capture (`VideoCapture()`), stateful.
+    VideoCaptureNew,
+    /// Grab the next frame (`VideoCapture.read`).
+    VideoCaptureRead,
+    /// Append a frame to a video file (`VideoWriter.write`).
+    VideoWriterWrite,
+    /// Load a cascade/model definition file into a classifier object.
+    ClassifierLoad,
+    /// Run the sliding-window detector.
+    DetectMultiScale,
+    /// Unary image filter.
+    Filter(FilterOp),
+    /// Two-image operation.
+    Binary(BinaryOp),
+    /// `resize(img, w, h)`.
+    Resize,
+    /// `crop(img, rect)` / ROI extraction.
+    Crop,
+    /// Draw a rectangle outline in place.
+    DrawRect,
+    /// Stamp text in place.
+    PutText,
+    /// Connected components → rects.
+    FindContours,
+    /// Image → scalar statistic (mean & friends).
+    Reduce,
+    /// GUI window management / input.
+    Window(WindowOp),
+    /// Load a tensor/model file into memory.
+    TensorLoad,
+    /// Save a tensor/model to a file.
+    TensorSave,
+    /// Elementwise tensor op.
+    TensorUnary(TensorUnaryOp),
+    /// Valid 2-D convolution with a stored kernel.
+    TensorConv,
+    /// Max pooling with window 2.
+    TensorPoolMax,
+    /// Avg pooling with window 2.
+    TensorPoolAvg,
+    /// Matrix multiply with a stored weight matrix.
+    TensorMatmul,
+    /// Full forward pass: conv → relu → pool → matmul.
+    Forward,
+    /// One SGD step (stateful: updates the weight object in place).
+    TrainStep,
+    /// Construct a tensor from bytes/values in memory.
+    TensorNew,
+    /// Download to a temp file, then read it back
+    /// (`tf.keras.utils.get_file` — the MEM-copy-via-FILE case).
+    DownloadViaFile,
+    /// Read a directory of image files into one tensor batch.
+    DatasetLoad,
+    /// Parse a CSV file into a `Table`.
+    ReadCsv,
+    /// Write a `Table` out as CSV.
+    WriteCsv,
+    /// Parse a JSON file into memory.
+    JsonLoad,
+    /// Serialize memory to a JSON file.
+    JsonDump,
+    /// Render current plot state to the GUI (`plt.show`).
+    PlotShow,
+    /// Render current plot state to a file (`plt.savefig`).
+    PlotSavefig,
+    /// Append a series to plot state (`plt.plot`).
+    PlotAdd,
+    /// Write a summary/log entry (`SummaryWriter`).
+    SummaryWrite,
+    /// Type-neutral allocator utility (`cvAlloc`,
+    /// `cvCreateMemStorage`).
+    AllocUtil,
+    /// Read retained GUI state (GTK recent files, etc.), stateful.
+    GuiStateRead,
+}
+
+/// Index of an API in its registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ApiId(pub u16);
+
+impl fmt::Display for ApiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "api{}", self.0)
+    }
+}
+
+/// Full description of one framework API.
+#[derive(Debug, Clone)]
+pub struct ApiSpec {
+    /// Registry index.
+    pub id: ApiId,
+    /// Qualified name (`cv2.imread`, `torch.save`, ...).
+    pub name: String,
+    /// Owning framework.
+    pub framework: Framework,
+    /// Execution semantics.
+    pub kind: ApiKind,
+    /// Ground-truth type (what the hybrid analysis should recover).
+    pub declared_type: ApiType,
+    /// True for memory-to-memory utilities whose partition follows the
+    /// calling context (§4.2 "Type-neutral Framework APIs").
+    pub type_neutral: bool,
+    /// True when the API keeps internal state across calls (§A.2.4).
+    pub stateful: bool,
+    /// CVE identifiers this API is vulnerable to.
+    pub vulns: Vec<String>,
+    /// Syscalls the API's implementation requires.
+    pub syscall_profile: Vec<SyscallNo>,
+    /// Relative compute weight (work units per KiB of input).
+    pub work_factor: u64,
+    /// Body IR consumed by the static analyzer.
+    pub ir: Vec<IrStmt>,
+}
+
+impl ApiSpec {
+    /// True when the API is vulnerable to `cve`.
+    pub fn vulnerable_to(&self, cve: &str) -> bool {
+        self.vulns.iter().any(|v| v == cve)
+    }
+}
+
+/// The shared API catalog.
+#[derive(Debug, Default)]
+pub struct ApiRegistry {
+    specs: Vec<ApiSpec>,
+    by_name: HashMap<String, ApiId>,
+}
+
+impl ApiRegistry {
+    /// An empty registry (the standard catalog lives in
+    /// [`crate::registry::standard_registry`]).
+    pub fn new() -> ApiRegistry {
+        ApiRegistry::default()
+    }
+
+    /// Registers a spec, assigning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate API names — the catalog is keyed by name.
+    pub fn register(&mut self, mut spec: ApiSpec) -> ApiId {
+        let id = ApiId(self.specs.len() as u16);
+        spec.id = id;
+        let prior = self.by_name.insert(spec.name.clone(), id);
+        assert!(prior.is_none(), "duplicate API name {}", spec.name);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Spec by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different registry.
+    pub fn spec(&self, id: ApiId) -> &ApiSpec {
+        &self.specs[id.0 as usize]
+    }
+
+    /// Spec lookup by qualified name.
+    pub fn by_name(&self, name: &str) -> Option<&ApiSpec> {
+        self.by_name.get(name).map(|id| self.spec(*id))
+    }
+
+    /// Id lookup by qualified name.
+    pub fn id_of(&self, name: &str) -> Option<ApiId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Every spec.
+    pub fn iter(&self) -> impl Iterator<Item = &ApiSpec> {
+        self.specs.iter()
+    }
+
+    /// Number of registered APIs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All APIs of one framework.
+    pub fn of_framework(&self, fw: Framework) -> Vec<&ApiSpec> {
+        self.specs.iter().filter(|s| s.framework == fw).collect()
+    }
+
+    /// All APIs of one declared type.
+    pub fn of_type(&self, t: ApiType) -> Vec<&ApiSpec> {
+        self.specs
+            .iter()
+            .filter(|s| s.declared_type == t)
+            .collect()
+    }
+
+    /// All APIs vulnerable to at least one CVE.
+    pub fn vulnerable(&self) -> Vec<&ApiSpec> {
+        self.specs.iter().filter(|s| !s.vulns.is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build;
+
+    fn dummy_spec(name: &str) -> ApiSpec {
+        ApiSpec {
+            id: ApiId(0),
+            name: name.to_owned(),
+            framework: Framework::OpenCv,
+            kind: ApiKind::Filter(FilterOp::Gaussian),
+            declared_type: ApiType::DataProcessing,
+            type_neutral: false,
+            stateful: false,
+            vulns: vec!["CVE-X".into()],
+            syscall_profile: vec![SyscallNo::Brk],
+            work_factor: 3,
+            ir: build::process_in_memory(),
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ApiRegistry::new();
+        let id = reg.register(dummy_spec("cv2.test"));
+        assert_eq!(reg.spec(id).name, "cv2.test");
+        assert_eq!(reg.id_of("cv2.test"), Some(id));
+        assert!(reg.by_name("missing").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate API name")]
+    fn duplicate_names_rejected() {
+        let mut reg = ApiRegistry::new();
+        reg.register(dummy_spec("cv2.dup"));
+        reg.register(dummy_spec("cv2.dup"));
+    }
+
+    #[test]
+    fn filters_by_framework_type_and_vulnerability() {
+        let mut reg = ApiRegistry::new();
+        reg.register(dummy_spec("a"));
+        let mut clean = dummy_spec("b");
+        clean.vulns.clear();
+        clean.declared_type = ApiType::Storing;
+        reg.register(clean);
+        assert_eq!(reg.of_framework(Framework::OpenCv).len(), 2);
+        assert_eq!(reg.of_type(ApiType::Storing).len(), 1);
+        assert_eq!(reg.vulnerable().len(), 1);
+        assert!(reg.spec(ApiId(0)).vulnerable_to("CVE-X"));
+        assert!(!reg.spec(ApiId(0)).vulnerable_to("CVE-Y"));
+    }
+
+    #[test]
+    fn api_type_labels() {
+        assert_eq!(ApiType::DataLoading.short(), "DL");
+        assert_eq!(ApiType::ALL.len(), 4);
+        assert_eq!(ApiType::Visualizing.to_string(), "Visualizing");
+    }
+
+    #[test]
+    fn framework_catalog_sizes_match_paper_denominators() {
+        assert_eq!(Framework::OpenCv.catalog_size(), 527);
+        assert_eq!(Framework::PyTorch.catalog_size(), 134);
+        assert_eq!(Framework::Caffe.catalog_size(), 112);
+        assert_eq!(Framework::TensorFlow.catalog_size(), 2704);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-call execution context for framework APIs.
+//!
+//! Every API invocation runs inside an [`ApiCtx`] that binds the kernel,
+//! the object store, and — critically — the **pid the API body executes
+//! as**. All memory traffic and syscalls the body performs are attributed
+//! to that pid and mediated by its page permissions and syscall filter;
+//! swapping the pid is how an isolation runtime moves an API into an
+//! agent process.
+//!
+//! The context doubles as the dynamic-analysis tap: with tracing enabled
+//! it records the concrete [`FlowOp`]s and syscalls the body performed,
+//! which is exactly the evidence the paper's dynamic categorization pass
+//! collects.
+
+use crate::exploit::ActionReport;
+use crate::ir::FlowOp;
+use crate::object::ObjectStore;
+use freepart_simos::{Kernel, Pid, SimResult, Syscall, SyscallNo, SyscallRet};
+
+/// Dynamic trace of one API execution: observed data flows + syscalls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Data-transfer operations in execution order.
+    pub flows: Vec<FlowOp>,
+    /// Syscall numbers in execution order.
+    pub syscalls: Vec<SyscallNo>,
+}
+
+/// Execution context for one framework-API call.
+#[derive(Debug)]
+pub struct ApiCtx<'a> {
+    /// The kernel mediating everything.
+    pub kernel: &'a mut Kernel,
+    /// Live framework objects.
+    pub objects: &'a mut ObjectStore,
+    /// The process this API body runs as.
+    pub pid: Pid,
+    /// Dynamic-analysis trace, when enabled.
+    pub trace: Option<Trace>,
+    /// Reports from exploit payloads that fired during this call.
+    pub exploit_log: Vec<ActionReport>,
+}
+
+impl<'a> ApiCtx<'a> {
+    /// A context without tracing.
+    pub fn new(kernel: &'a mut Kernel, objects: &'a mut ObjectStore, pid: Pid) -> ApiCtx<'a> {
+        ApiCtx {
+            kernel,
+            objects,
+            pid,
+            trace: None,
+            exploit_log: Vec::new(),
+        }
+    }
+
+    /// A context with dynamic-analysis tracing enabled.
+    pub fn traced(kernel: &'a mut Kernel, objects: &'a mut ObjectStore, pid: Pid) -> ApiCtx<'a> {
+        ApiCtx {
+            trace: Some(Trace::default()),
+            ..ApiCtx::new(kernel, objects, pid)
+        }
+    }
+
+    /// Issues a syscall as the current process, recording it in the
+    /// trace when tracing is on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors, including filter kills.
+    pub fn syscall(&mut self, call: Syscall) -> SimResult<SyscallRet> {
+        if let Some(t) = &mut self.trace {
+            t.syscalls.push(call.number());
+        }
+        self.kernel.syscall(self.pid, call)
+    }
+
+    /// Records an observed data-flow operation (API bodies call this at
+    /// each semantic transfer point).
+    pub fn record_flow(&mut self, op: FlowOp) {
+        if let Some(t) = &mut self.trace {
+            t.flows.push(op);
+        }
+    }
+
+    /// Charges `units` of compute to the current process.
+    pub fn charge_compute(&mut self, units: u64) {
+        self.kernel.charge_compute(self.pid, units);
+    }
+
+    /// Takes the trace out of the context (after a traced run).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Storage;
+
+    #[test]
+    fn traced_context_records_syscalls_and_flows() {
+        let mut k = Kernel::new();
+        let pid = k.spawn("p");
+        let mut store = ObjectStore::new();
+        let mut ctx = ApiCtx::traced(&mut k, &mut store, pid);
+        ctx.syscall(Syscall::Getpid).unwrap();
+        ctx.record_flow(FlowOp::write(Storage::Mem, Storage::File));
+        let t = ctx.take_trace().unwrap();
+        assert_eq!(t.syscalls, vec![SyscallNo::Getpid]);
+        assert_eq!(t.flows, vec![FlowOp::write(Storage::Mem, Storage::File)]);
+        assert!(ctx.trace.is_none());
+    }
+
+    #[test]
+    fn untraced_context_records_nothing() {
+        let mut k = Kernel::new();
+        let pid = k.spawn("p");
+        let mut store = ObjectStore::new();
+        let mut ctx = ApiCtx::new(&mut k, &mut store, pid);
+        ctx.syscall(Syscall::Getpid).unwrap();
+        ctx.record_flow(FlowOp::Read(Storage::Gui));
+        assert!(ctx.take_trace().is_none());
+    }
+
+    #[test]
+    fn compute_charges_to_context_pid() {
+        let mut k = Kernel::new();
+        let pid = k.spawn("p");
+        let mut store = ObjectStore::new();
+        let mut ctx = ApiCtx::new(&mut k, &mut store, pid);
+        ctx.charge_compute(500);
+        assert!(k.process(pid).unwrap().cpu_ns > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! A miniature intermediate representation for framework-API bodies.
+//!
+//! The paper's static pass (LLVM for C/C++, PyCG for Python) inspects API
+//! *source* for data-flow patterns: syscalls that move bytes between
+//! storage classes, assignment statements, and GUI accesses. Our
+//! reproduction gives every registered API a machine-readable body in
+//! this IR; the `freepart-analysis` crate's static analyzer walks it.
+//!
+//! Crucially the IR can *hide* flows the way real code does — behind
+//! [`IrStmt::IndirectCall`] — which is what forces the hybrid (static +
+//! dynamic) design: statically invisible flows are only recovered by
+//! tracing actual executions.
+
+use freepart_simos::SyscallNo;
+
+/// Storage classes of the paper's Fig. 8 data-flow definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Storage {
+    /// Process memory.
+    Mem,
+    /// GUI objects (windows, widgets) and the display connection.
+    Gui,
+    /// Files in the file system.
+    File,
+    /// Devices: cameras, network endpoints.
+    Dev,
+}
+
+/// One observed or declared data-transfer operation:
+/// `W(dst, R(src))` from the paper, plus bare GUI reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum FlowOp {
+    /// `W(dst, R(src))` — bytes read from `src` are written to `dst`.
+    Write {
+        /// Destination storage class.
+        dst: Storage,
+        /// Source storage class.
+        src: Storage,
+    },
+    /// `R(storage)` without a memory-visible write (e.g. polling GUI
+    /// state).
+    Read(Storage),
+}
+
+impl FlowOp {
+    /// Convenience constructor for `W(dst, R(src))`.
+    pub fn write(dst: Storage, src: Storage) -> FlowOp {
+        FlowOp::Write { dst, src }
+    }
+
+    /// True when the op touches the GUI storage class at all.
+    pub fn touches_gui(&self) -> bool {
+        match self {
+            FlowOp::Write { dst, src } => *dst == Storage::Gui || *src == Storage::Gui,
+            FlowOp::Read(s) => *s == Storage::Gui,
+        }
+    }
+}
+
+/// A place an assignment statement can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum IrPlace {
+    /// An ordinary memory variable.
+    Mem,
+    /// A buffer populated from / destined for a file.
+    FileBuf,
+    /// A buffer populated from / destined for a device.
+    DevBuf,
+    /// A GUI object (window handle, widget state).
+    GuiObj,
+}
+
+impl IrPlace {
+    /// The storage class this place belongs to.
+    pub fn storage(self) -> Storage {
+        match self {
+            IrPlace::Mem => Storage::Mem,
+            IrPlace::FileBuf => Storage::File,
+            IrPlace::DevBuf => Storage::Dev,
+            IrPlace::GuiObj => Storage::Gui,
+        }
+    }
+}
+
+/// One statement of an API body.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum IrStmt {
+    /// The body issues this syscall.
+    Sys(SyscallNo),
+    /// An assignment `dst = src` (the static analyzer's bread and
+    /// butter).
+    Assign {
+        /// Left-hand side.
+        dst: IrPlace,
+        /// Right-hand side.
+        src: IrPlace,
+    },
+    /// A call into a named GUI helper (`cvNamedWindow`, `g_windows`
+    /// access, ...).
+    GuiCall(String),
+    /// A direct call to a named helper whose body is *not* in the IR —
+    /// treated as opaque-but-benign by the static pass.
+    Call(String),
+    /// An indirect call (function pointer / dynamic dispatch). The
+    /// static pass cannot see through it; whatever flows happen inside
+    /// are only visible dynamically.
+    IndirectCall(Vec<IrStmt>),
+    /// The memory-copy-via-temp-file idiom (§4.2.1 "Memory Copy via
+    /// Files"): write a buffer to a temp file, then read it back. The
+    /// analyzer must reduce the pair to a MEM→MEM move.
+    TempFileRoundtrip,
+    /// A loop body (flows inside count once for classification).
+    Loop(Vec<IrStmt>),
+}
+
+/// Builder helpers producing the common body shapes.
+pub mod build {
+    use super::*;
+
+    /// `buf = read(file); mem = buf` — a data-loading body.
+    pub fn load_from_file() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Openat),
+            IrStmt::Sys(SyscallNo::Fstat),
+            IrStmt::Sys(SyscallNo::Read),
+            IrStmt::Assign {
+                dst: IrPlace::Mem,
+                src: IrPlace::FileBuf,
+            },
+            IrStmt::Sys(SyscallNo::Close),
+        ]
+    }
+
+    /// Reads from a device (camera) into memory.
+    pub fn load_from_device() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Ioctl),
+            IrStmt::Sys(SyscallNo::Select),
+            IrStmt::Sys(SyscallNo::Read),
+            IrStmt::Assign {
+                dst: IrPlace::Mem,
+                src: IrPlace::DevBuf,
+            },
+        ]
+    }
+
+    /// Pure compute: a loop of MEM→MEM assignments.
+    pub fn process_in_memory() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Brk),
+            IrStmt::Loop(vec![IrStmt::Assign {
+                dst: IrPlace::Mem,
+                src: IrPlace::Mem,
+            }]),
+        ]
+    }
+
+    /// Writes memory out to a file.
+    pub fn store_to_file() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Openat),
+            IrStmt::Assign {
+                dst: IrPlace::FileBuf,
+                src: IrPlace::Mem,
+            },
+            IrStmt::Sys(SyscallNo::Write),
+            IrStmt::Sys(SyscallNo::Close),
+        ]
+    }
+
+    /// Presents memory on the GUI.
+    pub fn visualize() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Connect),
+            IrStmt::GuiCall("cvNamedWindow".to_owned()),
+            IrStmt::Assign {
+                dst: IrPlace::GuiObj,
+                src: IrPlace::Mem,
+            },
+            IrStmt::Sys(SyscallNo::Send),
+        ]
+    }
+
+    /// Reads GUI state (key polling, window queries).
+    pub fn gui_read() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Poll),
+            IrStmt::Assign {
+                dst: IrPlace::Mem,
+                src: IrPlace::GuiObj,
+            },
+        ]
+    }
+
+    /// The download→temp-file→read idiom (`tf.keras.utils.get_file`).
+    pub fn download_via_temp_file() -> Vec<IrStmt> {
+        vec![
+            IrStmt::Sys(SyscallNo::Socket),
+            IrStmt::Sys(SyscallNo::Connect),
+            IrStmt::Sys(SyscallNo::Recvfrom),
+            IrStmt::Assign {
+                dst: IrPlace::Mem,
+                src: IrPlace::DevBuf,
+            },
+            IrStmt::TempFileRoundtrip,
+        ]
+    }
+
+    /// Wraps a body behind an indirect call — static analysis goes
+    /// blind, dynamic tracing still sees the flows.
+    pub fn hidden(body: Vec<IrStmt>) -> Vec<IrStmt> {
+        vec![IrStmt::IndirectCall(body)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flowop_gui_detection() {
+        assert!(FlowOp::write(Storage::Gui, Storage::Mem).touches_gui());
+        assert!(FlowOp::Read(Storage::Gui).touches_gui());
+        assert!(!FlowOp::write(Storage::Mem, Storage::File).touches_gui());
+    }
+
+    #[test]
+    fn place_storage_mapping() {
+        assert_eq!(IrPlace::FileBuf.storage(), Storage::File);
+        assert_eq!(IrPlace::GuiObj.storage(), Storage::Gui);
+    }
+
+    #[test]
+    fn builders_shape() {
+        assert!(build::load_from_file()
+            .iter()
+            .any(|s| matches!(s, IrStmt::Assign { dst: IrPlace::Mem, src: IrPlace::FileBuf })));
+        let hidden = build::hidden(build::load_from_file());
+        assert!(matches!(hidden[0], IrStmt::IndirectCall(_)));
+        assert!(build::download_via_temp_file()
+            .iter()
+            .any(|s| matches!(s, IrStmt::TempFileRoundtrip)));
+    }
+}

@@ -1,0 +1,508 @@
+//! Framework data objects and the object store.
+//!
+//! Framework APIs exchange *objects* — images (`Mat`), tensors, models,
+//! captures, tables, windows. An object's metadata lives in the
+//! [`ObjectStore`] (the simulation's stand-in for the object header), but
+//! its **payload bytes live in simulated process memory**, which is what
+//! makes FreePart's page-permission enforcement and cross-process
+//! isolation meaningful: an exploit can only touch buffers mapped — and
+//! writable — in its own process.
+//!
+//! The store also implements the two data-movement strategies the paper
+//! compares: eager deep copy through the host process and direct
+//! agent-to-agent transfer (the Lazy Data Copy fast path).
+
+use freepart_simos::{Addr, Kernel, Perms, Pid, SimError, WindowId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a framework object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// What kind of framework object this is.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ObjectKind {
+    /// An image matrix (`cv::Mat`): height × width × channels bytes.
+    Mat {
+        /// Width in pixels.
+        w: u32,
+        /// Height in pixels.
+        h: u32,
+        /// Channels (1 = gray, 3 = BGR).
+        ch: u32,
+    },
+    /// An n-dimensional tensor of `f32` values.
+    Tensor {
+        /// Dimension sizes, outermost first.
+        shape: Vec<u32>,
+    },
+    /// A loaded model (weights tensor + layer count).
+    Model {
+        /// Number of layers.
+        layers: u32,
+    },
+    /// A video/camera capture handle (stateful: frame cursor).
+    Capture {
+        /// Frames served so far — state that must survive restarts.
+        frames_read: u64,
+    },
+    /// A trained cascade classifier.
+    Classifier {
+        /// Number of boosting stages.
+        stages: u32,
+    },
+    /// A tabular dataset (CSV-backed).
+    Table {
+        /// Row count.
+        rows: u32,
+        /// Column count.
+        cols: u32,
+    },
+    /// A GUI window handle.
+    Window {
+        /// Display-subsystem window id.
+        id: WindowId,
+    },
+    /// An opaque byte blob (serialized state, protos, plots).
+    Blob,
+}
+
+impl ObjectKind {
+    /// Payload length in bytes implied by the kind, where fixed.
+    pub fn natural_len(&self) -> Option<u64> {
+        match self {
+            ObjectKind::Mat { w, h, ch } => Some(*w as u64 * *h as u64 * *ch as u64),
+            ObjectKind::Tensor { shape } => {
+                Some(4 * shape.iter().map(|d| *d as u64).product::<u64>())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Metadata for one live object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// The object's identity.
+    pub id: ObjectId,
+    /// Structural kind.
+    pub kind: ObjectKind,
+    /// Process whose address space holds the payload.
+    pub home: Pid,
+    /// Payload location in `home`'s address space (`None` for
+    /// buffer-less objects like windows).
+    pub buffer: Option<(Addr, u64)>,
+    /// Human-readable tag ("template", "OMRCrop", ...), used by the
+    /// protection annotations and the evaluation reports.
+    pub label: String,
+    /// Exploit payload riding along in malformed content (a crafted file
+    /// decoded by a *patched* loader still yields malformed data that can
+    /// trigger a CVE in a downstream processing API).
+    pub taint: Option<crate::exploit::ExploitPayload>,
+}
+
+impl ObjectMeta {
+    /// Payload length (0 for buffer-less objects).
+    pub fn len(&self) -> u64 {
+        self.buffer.map_or(0, |(_, l)| l)
+    }
+
+    /// True when the object carries no payload buffer.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_none()
+    }
+}
+
+/// Central table of live framework objects.
+///
+/// # Example
+///
+/// ```
+/// use freepart_simos::Kernel;
+/// use freepart_frameworks::object::{ObjectKind, ObjectStore};
+///
+/// let mut k = Kernel::new();
+/// let pid = k.spawn("host");
+/// let mut store = ObjectStore::new();
+/// let id = store
+///     .create_with_data(&mut k, pid, ObjectKind::Mat { w: 2, h: 2, ch: 1 }, "img", &[1, 2, 3, 4])
+///     .unwrap();
+/// assert_eq!(store.read_bytes(&mut k, id).unwrap(), vec![1, 2, 3, 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    next: u64,
+    objects: BTreeMap<ObjectId, ObjectMeta>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    /// Registers a buffer-less object (e.g. a window handle).
+    pub fn create_handle(&mut self, home: Pid, kind: ObjectKind, label: &str) -> ObjectId {
+        let id = ObjectId(self.next);
+        self.next += 1;
+        self.objects.insert(
+            id,
+            ObjectMeta {
+                id,
+                kind,
+                home,
+                buffer: None,
+                label: label.to_owned(),
+                taint: None,
+            },
+        );
+        id
+    }
+
+    /// Allocates a payload buffer in `home` and registers the object.
+    pub fn create_with_data(
+        &mut self,
+        kernel: &mut Kernel,
+        home: Pid,
+        kind: ObjectKind,
+        label: &str,
+        data: &[u8],
+    ) -> Result<ObjectId, SimError> {
+        let len = data.len().max(1) as u64;
+        let addr = kernel.alloc(home, len, Perms::RW)?;
+        kernel.mem_write(home, addr, data)?;
+        let id = ObjectId(self.next);
+        self.next += 1;
+        self.objects.insert(
+            id,
+            ObjectMeta {
+                id,
+                kind,
+                home,
+                buffer: Some((addr, data.len() as u64)),
+                label: label.to_owned(),
+                taint: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks up an object's metadata.
+    pub fn meta(&self, id: ObjectId) -> Option<&ObjectMeta> {
+        self.objects.get(&id)
+    }
+
+    /// Mutable metadata access (kind updates for stateful objects).
+    pub fn meta_mut(&mut self, id: ObjectId) -> Option<&mut ObjectMeta> {
+        self.objects.get_mut(&id)
+    }
+
+    /// Relabels an object (host-side annotation of critical data).
+    pub fn set_label(&mut self, id: ObjectId, label: &str) {
+        if let Some(m) = self.objects.get_mut(&id) {
+            m.label = label.to_owned();
+        }
+    }
+
+    /// Finds the first live object with the given label.
+    pub fn find_by_label(&self, label: &str) -> Option<&ObjectMeta> {
+        self.objects.values().find(|m| m.label == label)
+    }
+
+    /// Reads the full payload of an object *through the kernel* (so page
+    /// permissions apply to the reading process's view — here the home
+    /// process reads its own buffer).
+    pub fn read_bytes(&self, kernel: &mut Kernel, id: ObjectId) -> Result<Vec<u8>, SimError> {
+        let meta = self
+            .objects
+            .get(&id)
+            .ok_or(SimError::BadChannel)
+            .expect("object id must be live");
+        match meta.buffer {
+            Some((addr, len)) => kernel.mem_read(meta.home, addr, len),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Overwrites the payload in place (same length) or reallocates when
+    /// the size changed.
+    pub fn write_bytes(
+        &mut self,
+        kernel: &mut Kernel,
+        id: ObjectId,
+        data: &[u8],
+    ) -> Result<(), SimError> {
+        let meta = self.objects.get_mut(&id).expect("object id must be live");
+        match meta.buffer {
+            Some((addr, len)) if len == data.len() as u64 => {
+                kernel.mem_write(meta.home, addr, data)
+            }
+            _ => {
+                let addr = kernel.alloc(meta.home, data.len().max(1) as u64, Perms::RW)?;
+                kernel.mem_write(meta.home, addr, data)?;
+                meta.buffer = Some((addr, data.len() as u64));
+                Ok(())
+            }
+        }
+    }
+
+    /// Moves an object's payload directly into `dst` (the LDC fast path:
+    /// one cross-address-space copy, agent → agent).
+    pub fn migrate_direct(
+        &mut self,
+        kernel: &mut Kernel,
+        id: ObjectId,
+        dst: Pid,
+    ) -> Result<(), SimError> {
+        let meta = self.objects.get(&id).expect("object id must be live");
+        if meta.home == dst {
+            return Ok(());
+        }
+        match meta.buffer {
+            None => {
+                self.objects.get_mut(&id).expect("live").home = dst;
+                Ok(())
+            }
+            Some((addr, len)) => {
+                let data = kernel.mem_read(meta.home, addr, len)?;
+                let new_addr = kernel.alloc(dst, len.max(1), Perms::RW)?;
+                kernel.mem_write(dst, new_addr, &data)?;
+                kernel.charge_copy(len);
+                let meta = self.objects.get_mut(&id).expect("live");
+                meta.home = dst;
+                meta.buffer = Some((new_addr, len));
+                Ok(())
+            }
+        }
+    }
+
+    /// Moves an object's payload into `dst` *via* an intermediate process
+    /// (the non-LDC path: two copies, src → host → dst), as eager
+    /// marshalling would.
+    pub fn migrate_via(
+        &mut self,
+        kernel: &mut Kernel,
+        id: ObjectId,
+        via: Pid,
+        dst: Pid,
+    ) -> Result<(), SimError> {
+        let meta = self.objects.get(&id).expect("object id must be live");
+        if meta.home == dst {
+            return Ok(());
+        }
+        match meta.buffer {
+            None => {
+                self.objects.get_mut(&id).expect("live").home = dst;
+                Ok(())
+            }
+            Some((addr, len)) => {
+                let data = kernel.mem_read(meta.home, addr, len)?;
+                // Hop 1: into the intermediary.
+                let via_addr = kernel.alloc(via, len.max(1), Perms::RW)?;
+                kernel.mem_write(via, via_addr, &data)?;
+                kernel.charge_copy(len);
+                // Hop 2: into the destination.
+                let dst_addr = kernel.alloc(dst, len.max(1), Perms::RW)?;
+                kernel.mem_write(dst, dst_addr, &data)?;
+                kernel.charge_copy(len);
+                let meta = self.objects.get_mut(&id).expect("live");
+                meta.home = dst;
+                meta.buffer = Some((dst_addr, len));
+                Ok(())
+            }
+        }
+    }
+
+    /// Duplicates an object's payload into `dst`, leaving the original in
+    /// place (deep copy of an argument, as the paper's hooking does for
+    /// `Mat` references).
+    pub fn deep_copy_to(
+        &mut self,
+        kernel: &mut Kernel,
+        id: ObjectId,
+        dst: Pid,
+    ) -> Result<ObjectId, SimError> {
+        let meta = self.objects.get(&id).expect("object id must be live").clone();
+        let new_id = match meta.buffer {
+            None => self.create_handle(dst, meta.kind, &meta.label),
+            Some((addr, len)) => {
+                let data = kernel.mem_read(meta.home, addr, len)?;
+                kernel.charge_copy(len);
+                self.create_with_data(kernel, dst, meta.kind, &meta.label, &data)?
+            }
+        };
+        // Malformed content stays malformed when copied.
+        self.objects.get_mut(&new_id).expect("just created").taint = meta.taint;
+        Ok(new_id)
+    }
+
+    /// Drops an object (its buffer stays mapped; the simulation never
+    /// reuses addresses, so dangling references fault realistically).
+    pub fn destroy(&mut self, id: ObjectId) -> Option<ObjectMeta> {
+        self.objects.remove(&id)
+    }
+
+    /// All live objects homed in `pid`.
+    pub fn objects_in(&self, pid: Pid) -> Vec<ObjectId> {
+        self.objects
+            .values()
+            .filter(|m| m.home == pid)
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The id the *next* created object will receive — a monotone
+    /// watermark callers use to identify objects created during a window.
+    pub fn next_id_watermark(&self) -> u64 {
+        self.next
+    }
+
+    /// True when no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterator over all live objects.
+    pub fn iter(&self) -> impl Iterator<Item = &ObjectMeta> {
+        self.objects.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Kernel, Pid, Pid, ObjectStore) {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        (k, a, b, ObjectStore::new())
+    }
+
+    #[test]
+    fn create_and_read_roundtrip() {
+        let (mut k, a, _, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[5, 6])
+            .unwrap();
+        assert_eq!(store.read_bytes(&mut k, id).unwrap(), vec![5, 6]);
+        assert_eq!(store.meta(id).unwrap().len(), 2);
+        assert_eq!(store.meta(id).unwrap().home, a);
+    }
+
+    #[test]
+    fn write_bytes_realloc_on_resize() {
+        let (mut k, a, _, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[1])
+            .unwrap();
+        store.write_bytes(&mut k, id, &[7, 8, 9]).unwrap();
+        assert_eq!(store.read_bytes(&mut k, id).unwrap(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn migrate_direct_charges_one_copy() {
+        let (mut k, a, b, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[1; 2048])
+            .unwrap();
+        let before = k.metrics();
+        store.migrate_direct(&mut k, id, b).unwrap();
+        let d = k.metrics().since(&before);
+        assert_eq!(d.copy_ops, 1);
+        assert_eq!(d.copied_bytes, 2048);
+        assert_eq!(store.meta(id).unwrap().home, b);
+        assert_eq!(store.read_bytes(&mut k, id).unwrap(), vec![1; 2048]);
+    }
+
+    #[test]
+    fn migrate_via_charges_two_copies() {
+        let (mut k, a, b, mut store) = setup();
+        let host = k.spawn("host");
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[2; 1024])
+            .unwrap();
+        let before = k.metrics();
+        store.migrate_via(&mut k, id, host, b).unwrap();
+        let d = k.metrics().since(&before);
+        assert_eq!(d.copy_ops, 2);
+        assert_eq!(d.copied_bytes, 2048);
+        assert_eq!(store.meta(id).unwrap().home, b);
+    }
+
+    #[test]
+    fn migrate_to_same_home_is_free() {
+        let (mut k, a, _, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[0; 512])
+            .unwrap();
+        let before = k.metrics();
+        store.migrate_direct(&mut k, id, a).unwrap();
+        assert_eq!(k.metrics().since(&before).copy_ops, 0);
+    }
+
+    #[test]
+    fn deep_copy_leaves_original() {
+        let (mut k, a, b, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[3, 4])
+            .unwrap();
+        let dup = store.deep_copy_to(&mut k, id, b).unwrap();
+        assert_ne!(id, dup);
+        assert_eq!(store.meta(id).unwrap().home, a);
+        assert_eq!(store.meta(dup).unwrap().home, b);
+        assert_eq!(store.read_bytes(&mut k, dup).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let (mut k, a, _, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "tmp", &[0])
+            .unwrap();
+        store.set_label(id, "template");
+        assert_eq!(store.find_by_label("template").unwrap().id, id);
+        assert!(store.find_by_label("nope").is_none());
+    }
+
+    #[test]
+    fn objects_in_filters_by_home() {
+        let (mut k, a, b, mut store) = setup();
+        let x = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[0])
+            .unwrap();
+        let y = store
+            .create_with_data(&mut k, b, ObjectKind::Blob, "y", &[0])
+            .unwrap();
+        assert_eq!(store.objects_in(a), vec![x]);
+        assert_eq!(store.objects_in(b), vec![y]);
+    }
+
+    #[test]
+    fn natural_len_for_mats_and_tensors() {
+        assert_eq!(
+            ObjectKind::Mat { w: 4, h: 3, ch: 3 }.natural_len(),
+            Some(36)
+        );
+        assert_eq!(
+            ObjectKind::Tensor {
+                shape: vec![2, 3]
+            }
+            .natural_len(),
+            Some(24)
+        );
+        assert_eq!(ObjectKind::Blob.natural_len(), None);
+    }
+}

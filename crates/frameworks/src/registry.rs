@@ -1,0 +1,697 @@
+//! The standard API catalog: every framework entry point this
+//! reproduction models, with its semantics, type ground truth, syscall
+//! profile, body IR, CVE links, and type-neutral/stateful flags.
+//!
+//! The catalog mirrors the paper's artifacts: the OpenCV surface is big
+//! enough to express the motivating example's 86 APIs (Table 2), the
+//! ML frameworks carry the CVEs of Table 5, and the odd corners —
+//! `pd.read_csv`, `json.load`, `plt.show` needing hybrid analysis
+//! (Table 2 footnote), `tf.keras.utils.get_file`'s copy-via-file idiom,
+//! `cvtColor`'s type-neutrality, GTK's stateful recent-files list — are
+//! all present because specific experiments depend on them.
+
+use crate::api::{
+    ApiId, ApiKind, ApiRegistry, ApiSpec, ApiType, BinaryOp, FilterOp, Framework, TensorUnaryOp,
+    WindowOp,
+};
+use crate::ir::{build, IrStmt};
+use freepart_simos::SyscallNo;
+
+/// Declarative row for one catalog entry.
+struct Def {
+    name: &'static str,
+    kind: ApiKind,
+    neutral: bool,
+    stateful: bool,
+    vulns: &'static [&'static str],
+    /// Hide the body behind an indirect call: static analysis fails,
+    /// dynamic tracing required.
+    opaque: bool,
+    work: u64,
+}
+
+fn api(name: &'static str, kind: ApiKind) -> Def {
+    Def {
+        name,
+        kind,
+        neutral: false,
+        stateful: false,
+        vulns: &[],
+        opaque: false,
+        work: default_work(&kind),
+    }
+}
+
+impl Def {
+    fn neutral(mut self) -> Def {
+        self.neutral = true;
+        self
+    }
+    fn stateful(mut self) -> Def {
+        self.stateful = true;
+        self
+    }
+    fn vulns(mut self, v: &'static [&'static str]) -> Def {
+        self.vulns = v;
+        self
+    }
+    fn opaque(mut self) -> Def {
+        self.opaque = true;
+        self
+    }
+    fn work(mut self, w: u64) -> Def {
+        self.work = w;
+        self
+    }
+}
+
+fn default_work(kind: &ApiKind) -> u64 {
+    match kind {
+        ApiKind::DetectMultiScale => 12,
+        ApiKind::Forward => 8,
+        ApiKind::TensorConv => 4,
+        ApiKind::Filter(FilterOp::Median | FilterOp::Canny) => 6,
+        ApiKind::Filter(_) | ApiKind::Binary(_) => 3,
+        ApiKind::FindContours => 4,
+        ApiKind::Window(_) | ApiKind::AllocUtil | ApiKind::GuiStateRead => 1,
+        ApiKind::DrawRect | ApiKind::PutText => 1,
+        _ => 2,
+    }
+}
+
+/// Ground-truth type implied by execution semantics.
+pub fn type_of_kind(kind: &ApiKind) -> ApiType {
+    use ApiKind as K;
+    match kind {
+        K::ImRead
+        | K::VideoCaptureNew
+        | K::VideoCaptureRead
+        | K::ClassifierLoad
+        | K::TensorLoad
+        | K::DownloadViaFile
+        | K::DatasetLoad
+        | K::ReadCsv
+        | K::JsonLoad => ApiType::DataLoading,
+        K::ImWrite
+        | K::VideoWriterWrite
+        | K::TensorSave
+        | K::WriteCsv
+        | K::JsonDump
+        | K::PlotSavefig
+        | K::SummaryWrite => ApiType::Storing,
+        K::ImShow | K::Window(_) | K::PlotShow | K::GuiStateRead => ApiType::Visualizing,
+        _ => ApiType::DataProcessing,
+    }
+}
+
+/// Syscall profile (what the API's implementation needs) per kind.
+pub fn profile_of_kind(kind: &ApiKind) -> Vec<SyscallNo> {
+    use ApiKind as K;
+    use SyscallNo as S;
+    match kind {
+        K::ImRead | K::ClassifierLoad | K::TensorLoad | K::ReadCsv | K::JsonLoad => {
+            vec![S::Openat, S::Close, S::Brk, S::Fstat, S::Read, S::Lseek]
+        }
+        K::VideoCaptureNew => vec![S::Openat, S::Close, S::Ioctl, S::Mmap],
+        K::VideoCaptureRead => vec![S::Brk, S::Ioctl, S::Select, S::Read, S::Openat],
+        K::DatasetLoad => vec![
+            S::Getdents,
+            S::Openat,
+            S::Fstat,
+            S::Read,
+            S::Close,
+            S::Brk,
+            S::Lseek,
+        ],
+        K::DownloadViaFile => vec![
+            S::Socket,
+            S::Connect,
+            S::Recvfrom,
+            S::Close,
+            S::Openat,
+            S::Write,
+            S::Fstat,
+            S::Read,
+            S::Brk,
+        ],
+        K::ImWrite | K::WriteCsv | K::JsonDump | K::PlotSavefig => {
+            vec![S::Openat, S::Write, S::Close, S::Umask, S::Mkdir]
+        }
+        K::VideoWriterWrite | K::SummaryWrite => {
+            vec![S::Openat, S::Fstat, S::Lseek, S::Write, S::Close, S::Mkdir]
+        }
+        K::TensorSave => vec![S::Openat, S::Write, S::Close, S::Mkdir, S::Umask],
+        K::ImShow | K::PlotShow => {
+            vec![S::Socket, S::Connect, S::Send, S::Select, S::Futex, S::Eventfd2]
+        }
+        K::Window(WindowOp::PollKey | WindowOp::WaitKey | WindowOp::MouseWheel)
+        | K::GuiStateRead => vec![S::Poll, S::Select],
+        K::Window(_) => vec![S::Socket, S::Connect, S::Send, S::Select, S::Poll, S::Eventfd2],
+        K::TrainStep => vec![S::Brk, S::Mmap, S::ClockGettime, S::Getrandom],
+        K::DetectMultiScale => vec![S::Brk, S::Mmap, S::ClockGettime],
+        K::AllocUtil | K::DrawRect | K::PutText => vec![S::Brk],
+        _ => vec![S::Brk, S::Mmap],
+    }
+}
+
+/// Body IR per kind; `opaque` hides it behind an indirect call.
+pub fn ir_of_kind(kind: &ApiKind, opaque: bool) -> Vec<IrStmt> {
+    use ApiKind as K;
+    let body = match kind {
+        K::ImRead | K::ClassifierLoad | K::TensorLoad | K::ReadCsv | K::JsonLoad
+        | K::DatasetLoad => build::load_from_file(),
+        K::VideoCaptureNew | K::VideoCaptureRead => build::load_from_device(),
+        K::DownloadViaFile => build::download_via_temp_file(),
+        K::ImWrite | K::VideoWriterWrite | K::TensorSave | K::WriteCsv | K::JsonDump
+        | K::PlotSavefig | K::SummaryWrite => build::store_to_file(),
+        K::ImShow | K::PlotShow | K::Window(WindowOp::Named | WindowOp::Move
+            | WindowOp::SetTitle | WindowOp::DestroyAll) => build::visualize(),
+        K::Window(_) | K::GuiStateRead => build::gui_read(),
+        _ => build::process_in_memory(),
+    };
+    if opaque {
+        build::hidden(body)
+    } else {
+        body
+    }
+}
+
+fn register_all(reg: &mut ApiRegistry, fw: Framework, defs: Vec<Def>) {
+    for d in defs {
+        let declared_type = type_of_kind(&d.kind);
+        reg.register(ApiSpec {
+            id: ApiId(0),
+            name: d.name.to_owned(),
+            framework: fw,
+            kind: d.kind,
+            declared_type,
+            type_neutral: d.neutral,
+            stateful: d.stateful,
+            vulns: d.vulns.iter().map(|s| (*s).to_owned()).collect(),
+            syscall_profile: profile_of_kind(&d.kind),
+            work_factor: d.work,
+            ir: ir_of_kind(&d.kind, d.opaque),
+        });
+    }
+}
+
+/// Builds the full standard catalog.
+pub fn standard_registry() -> ApiRegistry {
+    let mut reg = ApiRegistry::new();
+    register_opencv(&mut reg);
+    register_caffe(&mut reg);
+    register_pytorch(&mut reg);
+    register_tensorflow(&mut reg);
+    register_keras(&mut reg);
+    register_pillow(&mut reg);
+    register_numpy(&mut reg);
+    register_pandas_json_plt(&mut reg);
+    register_gtk(&mut reg);
+    reg
+}
+
+fn register_opencv(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use BinaryOp as B;
+    use FilterOp as F;
+    use TensorUnaryOp as T;
+    use WindowOp as W;
+    let defs = vec![
+        // ---- data loading (6) ----
+        api("cv2.imread", K::ImRead).vulns(&[
+            "CVE-2017-12597",
+            "CVE-2017-12604",
+            "CVE-2017-12605",
+            "CVE-2017-12606",
+            "CVE-2017-17760",
+            "CVE-2017-14136",
+            "CVE-2018-5269",
+        ]),
+        api("cv2.VideoCapture", K::VideoCaptureNew).stateful(),
+        api("cv2.VideoCapture.read", K::VideoCaptureRead).stateful(),
+        api("cv2.cvLoad", K::ClassifierLoad).vulns(&["CVE-2017-17760"]),
+        api("cv2.readOpticalFlow", K::ImRead),
+        api("cv2.CascadeClassifier.load", K::ClassifierLoad),
+        // ---- data processing (75) ----
+        api("cv2.GaussianBlur", K::Filter(F::Gaussian)),
+        api("cv2.blur", K::Filter(F::Box)),
+        api("cv2.medianBlur", K::Filter(F::Median)),
+        api("cv2.bilateralFilter", K::Filter(F::Gaussian)).work(8),
+        api("cv2.Laplacian", K::Filter(F::Laplacian)),
+        api("cv2.Sobel", K::Filter(F::Sobel)),
+        api("cv2.Scharr", K::Filter(F::Sobel)),
+        api("cv2.Canny", K::Filter(F::Canny)),
+        api("cv2.erode", K::Filter(F::Erode)),
+        api("cv2.dilate", K::Filter(F::Dilate)),
+        api("cv2.morphologyEx", K::Filter(F::MorphOpen)).work(6),
+        api("cv2.threshold", K::Filter(F::Threshold)),
+        api("cv2.adaptiveThreshold", K::Filter(F::Threshold)).work(5),
+        api("cv2.resize", K::Resize),
+        api("cv2.warpPerspective", K::Filter(F::Warp)).work(5),
+        api("cv2.warpAffine", K::Filter(F::Warp)),
+        api("cv2.getPerspectiveTransform", K::Reduce).work(1),
+        api("cv2.cvtColor", K::Filter(F::ToGray)).neutral(),
+        api("cv2.equalizeHist", K::Filter(F::EqualizeHist)),
+        api("cv2.calcHist", K::Reduce),
+        api("cv2.normalize", K::Filter(F::EqualizeHist)),
+        api("cv2.findContours", K::FindContours),
+        api("cv2.drawContours", K::DrawRect),
+        api("cv2.boundingRect", K::Reduce).work(1),
+        api("cv2.contourArea", K::Reduce).work(1),
+        api("cv2.arcLength", K::Reduce).work(1),
+        api("cv2.approxPolyDP", K::Reduce).work(1),
+        api("cv2.convexHull", K::FindContours).work(2),
+        api("cv2.moments", K::Reduce),
+        api("cv2.matchTemplate", K::Binary(B::AbsDiff)).work(10),
+        api("cv2.minMaxLoc", K::Reduce).work(1),
+        api(
+            "cv2.CascadeClassifier.detectMultiScale",
+            K::DetectMultiScale,
+        )
+        .vulns(&["CVE-2019-5063", "CVE-2019-14491", "CVE-2019-14492", "CVE-2019-14493"]),
+        api("cv2.HoughLines", K::Filter(F::Canny)).work(9),
+        api("cv2.HoughCircles", K::Filter(F::Canny)).work(9),
+        api("cv2.goodFeaturesToTrack", K::FindContours).work(5),
+        api("cv2.cornerHarris", K::Filter(F::Sobel)).work(5),
+        api("cv2.calcOpticalFlowPyrLK", K::Binary(B::AbsDiff)).work(8),
+        api("cv2.calcOpticalFlowFarneback", K::Binary(B::AbsDiff))
+            .work(10)
+            .vulns(&["CVE-2019-5064"]),
+        api("cv2.filter2D", K::Filter(F::Sharpen)),
+        api("cv2.sepFilter2D", K::Filter(F::Gaussian)),
+        api("cv2.pyrDown", K::Filter(F::PyrDown)),
+        api("cv2.pyrUp", K::Resize),
+        api("cv2.flip", K::Filter(F::FlipH)).work(1),
+        api("cv2.transpose", K::Filter(F::FlipH)).work(1),
+        api("cv2.rotate", K::Filter(F::FlipH)).work(1),
+        api("cv2.copyMakeBorder", K::Crop).work(1),
+        api("cv2.addWeighted", K::Binary(B::AddWeighted)),
+        api("cv2.absdiff", K::Binary(B::AbsDiff)),
+        api("cv2.add", K::Binary(B::AddWeighted)).work(1),
+        api("cv2.subtract", K::Binary(B::AbsDiff)).work(1),
+        api("cv2.multiply", K::Binary(B::AddWeighted)).work(1),
+        api("cv2.divide", K::Binary(B::AddWeighted)).work(1),
+        api("cv2.bitwise_and", K::Binary(B::AbsDiff)).work(1),
+        api("cv2.bitwise_or", K::Binary(B::AddWeighted)).work(1),
+        api("cv2.bitwise_xor", K::Binary(B::AbsDiff)).work(1),
+        api("cv2.bitwise_not", K::Filter(F::Identity)).work(1),
+        api("cv2.inRange", K::Filter(F::Threshold)),
+        api("cv2.split", K::Filter(F::ToGray)).work(1),
+        api("cv2.merge", K::Filter(F::ToBgr)).work(1),
+        api("cv2.mixChannels", K::Filter(F::Identity)).work(1),
+        api("cv2.convertScaleAbs", K::Filter(F::Identity)).neutral().work(1),
+        api("cv2.LUT", K::Filter(F::Identity)).work(1),
+        api("cv2.mean", K::Reduce),
+        api("cv2.meanStdDev", K::Reduce),
+        api("cv2.reduce", K::Reduce),
+        api("cv2.repeat", K::Filter(F::Identity)).work(1),
+        api("cv2.hconcat", K::Binary(B::AddWeighted)).work(1),
+        api("cv2.vconcat", K::Binary(B::AddWeighted)).work(1),
+        api("cv2.rectangle", K::DrawRect),
+        api("cv2.putText", K::PutText),
+        api("cv2.circle", K::DrawRect).work(1),
+        api("cv2.line", K::DrawRect).work(1),
+        api("cv2.polylines", K::DrawRect).work(1),
+        api("cv2.fillPoly", K::DrawRect).work(2),
+        api("cv2.getStructuringElement", K::AllocUtil).neutral(),
+        api("cv2.remap", K::Filter(F::Warp)).work(5),
+        api("cv2.undistort", K::Filter(F::Warp)).work(5),
+        api("cv2.getOptimalNewCameraMatrix", K::Reduce).work(1),
+        api("cv2.norm", K::TensorUnary(T::Sum)).work(1),
+        // ---- visualizing (8) ----
+        api("cv2.imshow", K::ImShow).vulns(&["CVE-2018-5268"]),
+        api("cv2.namedWindow", K::Window(W::Named)),
+        api("cv2.moveWindow", K::Window(W::Move)),
+        api("cv2.setWindowTitle", K::Window(W::SetTitle)),
+        api("cv2.destroyAllWindows", K::Window(W::DestroyAll)),
+        api("cv2.pollKey", K::Window(W::PollKey)),
+        api("cv2.waitKey", K::Window(W::WaitKey)),
+        api("cv2.getMouseWheelDelta", K::Window(W::MouseWheel)),
+        // ---- storing (3) ----
+        api("cv2.imwrite", K::ImWrite),
+        api("cv2.VideoWriter.write", K::VideoWriterWrite),
+        api("cv2.writeOpticalFlow", K::ImWrite),
+        // ---- type-neutral utilities (2) ----
+        api("cv2.cvAlloc", K::AllocUtil).neutral(),
+        api("cv2.cvCreateMemStorage", K::AllocUtil).neutral(),
+    ];
+    register_all(reg, Framework::OpenCv, defs);
+}
+
+fn register_caffe(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use TensorUnaryOp as T;
+    let defs = vec![
+        api("caffe.ReadProtoFromTextFile", K::TensorLoad),
+        api("caffe.ReadProtoFromBinaryFile", K::TensorLoad),
+        api("caffe.ReadNetParamsFromTextFile", K::TensorLoad),
+        api("caffe.ReadNetParamsFromBinaryFile", K::TensorLoad),
+        api("caffe.db.Open", K::JsonLoad),
+        api("caffe.ReadImageToDatum", K::ImRead),
+        api("caffe.Net.Forward", K::Forward),
+        api("caffe.Net.Backward", K::TrainStep).stateful(),
+        api("caffe.Net.CopyTrainedLayersFrom", K::TensorLoad),
+        api("caffe.Blob.Update", K::TensorUnary(T::Relu)),
+        api("caffe.Blob.Reshape", K::TensorUnary(T::Reshape)),
+        api("caffe.Layer.Setup", K::AllocUtil).neutral(),
+        api("caffe.Solver.Step", K::TrainStep).stateful(),
+        api("caffe.Net.ToProto", K::TensorUnary(T::Reshape)),
+        api("caffe.hdf5_save_string", K::SummaryWrite),
+        api("caffe.WriteProtoToTextFile", K::TensorSave),
+        api("caffe.SGDSolver.Snapshot", K::TensorSave).stateful(),
+    ];
+    register_all(reg, Framework::Caffe, defs);
+}
+
+fn register_pytorch(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use TensorUnaryOp as T;
+    let defs = vec![
+        api("torch.load", K::TensorLoad).vulns(&["CVE-2022-45907"]),
+        api("torch.hub.load", K::DownloadViaFile),
+        api("torch.utils.model_zoo.load_url", K::DownloadViaFile),
+        api("torchvision.datasets.MNIST", K::DatasetLoad).stateful(),
+        api("torch.utils.data.DataLoader", K::DatasetLoad).stateful(),
+        api("torch.tensor", K::TensorNew),
+        api("torch.argmax", K::TensorUnary(T::Argmax)),
+        api("torch.nn.Conv2d", K::TensorConv),
+        api("torch.nn.MaxPool2d", K::TensorPoolMax),
+        api("torch.nn.AvgPool2d", K::TensorPoolAvg),
+        api("torch.nn.Linear", K::TensorMatmul),
+        api("torch.nn.ReLU", K::TensorUnary(T::Relu)),
+        api("torch.nn.Sigmoid", K::TensorUnary(T::Sigmoid)),
+        api("torch.softmax", K::TensorUnary(T::Softmax)),
+        api("torch.matmul", K::TensorMatmul),
+        api("torch.combinations", K::TensorUnary(T::Reshape)),
+        api("torch.cat", K::TensorUnary(T::Reshape)),
+        api("torch.reshape", K::TensorUnary(T::Reshape)).neutral(),
+        api("torch.optim.SGD.step", K::TrainStep).stateful(),
+        api("torch.nn.Module.forward", K::Forward),
+        api("torch.sum", K::TensorUnary(T::Sum)),
+        api("torch.norm", K::TensorUnary(T::Sum)),
+        api("torch.add", K::TensorUnary(T::Relu)).work(1),
+        api("torch.sub", K::TensorUnary(T::Relu)).work(1),
+        api("torch.mul", K::TensorUnary(T::Sigmoid)).work(1),
+        api("torch.div", K::TensorUnary(T::Sigmoid)).work(1),
+        api("torch.exp", K::TensorUnary(T::Sigmoid)).work(1),
+        api("torch.sqrt", K::TensorUnary(T::Sigmoid)).work(1),
+        api("torch.abs", K::TensorUnary(T::Relu)).work(1),
+        api("torch.mean", K::TensorUnary(T::Sum)).work(1),
+        api("torch.max", K::TensorUnary(T::Argmax)).work(1),
+        api("torch.min", K::TensorUnary(T::Argmax)).work(1),
+        api("torch.squeeze", K::TensorUnary(T::Reshape)).work(1),
+        api("torch.unsqueeze", K::TensorUnary(T::Reshape)).work(1),
+        api("torch.stack", K::TensorUnary(T::Reshape)).work(1),
+        api("torch.split", K::TensorUnary(T::Reshape)).work(1),
+        api("torch.flatten", K::TensorUnary(T::Reshape)).work(1),
+        api("torch.transpose", K::TensorUnary(T::Reshape)).work(1),
+        api("torch.clamp", K::TensorUnary(T::Relu)).work(1),
+        api("torch.sigmoid", K::TensorUnary(T::Sigmoid)),
+        api("torch.tanh", K::TensorUnary(T::Sigmoid)),
+        api("torch.nn.BatchNorm2d", K::TensorUnary(T::Softmax)).work(2),
+        api("torch.nn.Dropout", K::TensorUnary(T::Relu)).work(1),
+        api("torch.nn.LeakyReLU", K::TensorUnary(T::Relu)),
+        api("torch.nn.Tanh", K::TensorUnary(T::Sigmoid)),
+        api("torch.nn.Embedding", K::TensorMatmul).work(2),
+        api("torch.nn.LSTM", K::TensorMatmul).work(6),
+        api("torch.nn.ConvTranspose2d", K::TensorConv).work(4),
+        api("torch.zeros", K::TensorNew).work(1),
+        api("torch.ones", K::TensorNew).work(1),
+        api("torch.randn", K::TensorNew).work(1),
+        api("torch.save", K::TensorSave),
+        api("torch.utils.tensorboard.SummaryWriter", K::SummaryWrite).stateful(),
+    ];
+    register_all(reg, Framework::PyTorch, defs);
+}
+
+fn register_tensorflow(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use TensorUnaryOp as T;
+    let defs = vec![
+        api("tf.keras.utils.get_file", K::DownloadViaFile),
+        api(
+            "tf.keras.preprocessing.image_dataset_from_directory",
+            K::DatasetLoad,
+        ),
+        api("tf.io.read_file", K::JsonLoad),
+        api("tf.data.Dataset.from_tensor_slices", K::TensorUnary(T::Reshape)),
+        api("tf.nn.conv2d", K::TensorConv).vulns(&["CVE-2021-29513"]),
+        api("tf.nn.conv3d", K::TensorConv).vulns(&["CVE-2021-29513"]),
+        api("tf.nn.avg_pool", K::TensorPoolAvg).vulns(&["CVE-2021-37661"]),
+        api("tf.nn.max_pool", K::TensorPoolMax).vulns(&["CVE-2021-41198"]),
+        api("tf.nn.relu", K::TensorUnary(T::Relu)),
+        api("tf.nn.softmax", K::TensorUnary(T::Softmax)),
+        api("tf.matmul", K::TensorMatmul),
+        api("tf.reshape", K::TensorUnary(T::Reshape)).vulns(&["CVE-2021-29618"]).neutral(),
+        api("tf.argmax", K::TensorUnary(T::Argmax)),
+        api("tf.reduce_mean", K::TensorUnary(T::Sum)),
+        api("tf.concat", K::TensorUnary(T::Reshape)),
+        api("tf.transpose", K::TensorUnary(T::Reshape)),
+        api("tf.estimator.DNNClassifier.train", K::TrainStep).stateful(),
+        api("tf.keras.Model.fit", K::TrainStep).stateful(),
+        api(
+            "tf.debugging.experimental.enable_dump_debug_info",
+            K::SummaryWrite,
+        )
+        .stateful(),
+        api("tf.image.resize", K::TensorUnary(T::Reshape)),
+        api("tf.keras.preprocessing.image.save_img", K::ImWrite),
+        api("tf.keras.Model.save_weights", K::TensorSave),
+        api("tf.nn.conv1d", K::TensorConv).work(2),
+        api("tf.nn.depthwise_conv2d", K::TensorConv).work(3),
+        api("tf.nn.bias_add", K::TensorUnary(T::Relu)).work(1),
+        api("tf.nn.sigmoid", K::TensorUnary(T::Sigmoid)),
+        api("tf.nn.tanh", K::TensorUnary(T::Sigmoid)),
+        api("tf.nn.leaky_relu", K::TensorUnary(T::Relu)),
+        api("tf.nn.elu", K::TensorUnary(T::Relu)),
+        api("tf.nn.relu6", K::TensorUnary(T::Relu)),
+        api("tf.nn.softplus", K::TensorUnary(T::Sigmoid)),
+        api("tf.nn.dropout", K::TensorUnary(T::Relu)).work(1),
+        api("tf.nn.batch_normalization", K::TensorUnary(T::Softmax)).work(2),
+        api("tf.nn.l2_normalize", K::TensorUnary(T::Softmax)).work(2),
+        api("tf.nn.moments", K::TensorUnary(T::Sum)).work(1),
+        api("tf.reduce_sum", K::TensorUnary(T::Sum)).work(1),
+        api("tf.reduce_max", K::TensorUnary(T::Argmax)).work(1),
+        api("tf.reduce_min", K::TensorUnary(T::Argmax)).work(1),
+        api("tf.add", K::TensorUnary(T::Relu)).work(1),
+        api("tf.subtract", K::TensorUnary(T::Relu)).work(1),
+        api("tf.multiply", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.divide", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.square", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.sqrt", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.exp", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.tanh", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.sigmoid", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.abs", K::TensorUnary(T::Relu)).work(1),
+        api("tf.clip_by_value", K::TensorUnary(T::Relu)).work(1),
+        api("tf.expand_dims", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.squeeze", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.stack", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.split", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.tile", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.pad", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.gather", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.one_hot", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.cast", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.math.log", K::TensorUnary(T::Sigmoid)).work(1),
+        api("tf.math.reduce_std", K::TensorUnary(T::Sum)).work(1),
+        api("tf.round", K::TensorUnary(T::Relu)).work(1),
+        api("tf.floor", K::TensorUnary(T::Relu)).work(1),
+        api("tf.sign", K::TensorUnary(T::Relu)).work(1),
+        api("tf.maximum", K::TensorUnary(T::Argmax)).work(1),
+        api("tf.minimum", K::TensorUnary(T::Argmax)).work(1),
+        api("tf.where", K::TensorUnary(T::Reshape)).work(1),
+        api("tf.sort", K::TensorUnary(T::Reshape)).work(2),
+        api("tf.cumsum", K::TensorUnary(T::Sum)).work(1),
+        api("tf.random.normal", K::TensorNew).work(1),
+        api("tf.zeros", K::TensorNew).work(1),
+        api("tf.ones", K::TensorNew).work(1),
+        api("tf.summary.create_file_writer", K::SummaryWrite).stateful(),
+        api("tf.io.write_file", K::JsonDump),
+    ];
+    register_all(reg, Framework::TensorFlow, defs);
+}
+
+fn register_keras(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    let defs = vec![
+        api("keras.models.load_model", K::TensorLoad).vulns(&["CVE-2021-37678"]),
+        api("keras.Model.predict", K::Forward),
+        api("keras.Model.save", K::TensorSave),
+    ];
+    register_all(reg, Framework::Keras, defs);
+}
+
+fn register_pillow(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use FilterOp as F;
+    let defs = vec![
+        api("PIL.Image.open", K::ImRead).vulns(&["CVE-2020-10378", "CVE-2021-25289"]),
+        api("PIL.Image.save", K::ImWrite),
+        api("PIL.Image.filter", K::Filter(F::Gaussian)),
+        api("PIL.Image.thumbnail", K::Resize),
+        api("PIL.Image.show", K::ImShow),
+    ];
+    register_all(reg, Framework::Pillow, defs);
+}
+
+fn register_numpy(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use TensorUnaryOp as T;
+    let defs = vec![
+        api("np.load", K::TensorLoad).vulns(&["CVE-2019-6446"]),
+        api("np.save", K::TensorSave),
+        api("np.dot", K::TensorMatmul),
+        api("np.fft.fft", K::TensorUnary(T::Softmax)).work(4),
+        api("np.mean", K::TensorUnary(T::Sum)),
+        api("np.reshape", K::TensorUnary(T::Reshape)).neutral(),
+        api("np.sum", K::TensorUnary(T::Sum)).work(1),
+        api("np.max", K::TensorUnary(T::Argmax)).work(1),
+        api("np.min", K::TensorUnary(T::Argmax)).work(1),
+        api("np.argmax", K::TensorUnary(T::Argmax)).work(1),
+        api("np.transpose", K::TensorUnary(T::Reshape)).work(1),
+        api("np.concatenate", K::TensorUnary(T::Reshape)).work(1),
+        api("np.stack", K::TensorUnary(T::Reshape)).work(1),
+        api("np.clip", K::TensorUnary(T::Relu)).work(1),
+        api("np.exp", K::TensorUnary(T::Sigmoid)).work(1),
+        api("np.sqrt", K::TensorUnary(T::Sigmoid)).work(1),
+        api("np.linalg.norm", K::TensorUnary(T::Sum)).work(1),
+        api("np.zeros", K::TensorNew).work(1),
+        api("np.ones", K::TensorNew).work(1),
+    ];
+    register_all(reg, Framework::NumPy, defs);
+}
+
+fn register_pandas_json_plt(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    // These are exactly the APIs the paper's Table 2 footnote says need
+    // hybrid analysis — their bodies hide behind indirect calls.
+    let defs = vec![api("pd.read_csv", K::ReadCsv).opaque(), api("pd.DataFrame.to_csv", K::WriteCsv)];
+    register_all(reg, Framework::Pandas, defs);
+    let defs = vec![
+        api("json.load", K::JsonLoad).opaque(),
+        api("json.dump", K::JsonDump),
+    ];
+    register_all(reg, Framework::Json, defs);
+    let defs = vec![
+        api("plt.plot", K::PlotAdd),
+        api("plt.show", K::PlotShow).opaque(),
+        api("plt.savefig", K::PlotSavefig).opaque(),
+    ];
+    register_all(reg, Framework::Matplotlib, defs);
+}
+
+fn register_gtk(reg: &mut ApiRegistry) {
+    use ApiKind as K;
+    use WindowOp as W;
+    let defs = vec![
+        api("Gtk.RecentManager.get_items", K::GuiStateRead).stateful(),
+        api("Gtk.Window.show_all", K::Window(W::Named)),
+        api("Gtk.main_iteration", K::Window(W::PollKey)),
+    ];
+    register_all(reg, Framework::Gtk, defs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_large_and_well_formed() {
+        let reg = standard_registry();
+        assert!(reg.len() >= 160, "catalog has {} APIs", reg.len());
+        // Every spec's declared type matches its kind-derived type.
+        for spec in reg.iter() {
+            assert_eq!(spec.declared_type, type_of_kind(&spec.kind), "{}", spec.name);
+            assert!(!spec.syscall_profile.is_empty(), "{}", spec.name);
+            assert!(!spec.ir.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn opencv_surface_covers_motivating_example() {
+        let reg = standard_registry();
+        for name in [
+            "cv2.imread",
+            "cv2.imshow",
+            "cv2.imwrite",
+            "cv2.GaussianBlur",
+            "cv2.erode",
+            "cv2.Canny",
+            "cv2.warpPerspective",
+            "cv2.morphologyEx",
+            "cv2.findContours",
+            "cv2.rectangle",
+            "cv2.putText",
+        ] {
+            assert!(reg.by_name(name).is_some(), "missing {name}");
+        }
+        let cv = reg.of_framework(Framework::OpenCv);
+        let processing = cv
+            .iter()
+            .filter(|s| s.declared_type == ApiType::DataProcessing)
+            .count();
+        assert!(processing >= 75, "OpenCV has {processing} processing APIs");
+    }
+
+    #[test]
+    fn imread_carries_the_table5_cves() {
+        let reg = standard_registry();
+        let imread = reg.by_name("cv2.imread").unwrap();
+        for cve in ["CVE-2017-12597", "CVE-2017-14136", "CVE-2018-5269"] {
+            assert!(imread.vulnerable_to(cve), "imread missing {cve}");
+        }
+    }
+
+    #[test]
+    fn type_neutral_apis_flagged() {
+        let reg = standard_registry();
+        assert!(reg.by_name("cv2.cvtColor").unwrap().type_neutral);
+        assert!(reg.by_name("cv2.cvAlloc").unwrap().type_neutral);
+        assert!(!reg.by_name("cv2.GaussianBlur").unwrap().type_neutral);
+    }
+
+    #[test]
+    fn stateful_apis_flagged() {
+        let reg = standard_registry();
+        assert!(reg.by_name("cv2.VideoCapture").unwrap().stateful);
+        assert!(reg
+            .by_name("tf.estimator.DNNClassifier.train")
+            .unwrap()
+            .stateful);
+        assert!(!reg.by_name("cv2.erode").unwrap().stateful);
+    }
+
+    #[test]
+    fn hybrid_only_apis_have_opaque_ir() {
+        use crate::ir::IrStmt;
+        let reg = standard_registry();
+        for name in ["pd.read_csv", "json.load", "plt.show"] {
+            let spec = reg.by_name(name).unwrap();
+            assert!(
+                matches!(spec.ir[0], IrStmt::IndirectCall(_)),
+                "{name} should be statically opaque"
+            );
+        }
+        // Ordinary APIs are statically visible.
+        assert!(!matches!(
+            reg.by_name("cv2.imread").unwrap().ir[0],
+            IrStmt::IndirectCall(_)
+        ));
+    }
+
+    #[test]
+    fn tensorflow_dos_cves_sit_on_processing_apis() {
+        let reg = standard_registry();
+        for (name, cve) in [
+            ("tf.nn.conv3d", "CVE-2021-29513"),
+            ("tf.reshape", "CVE-2021-29618"),
+            ("tf.nn.avg_pool", "CVE-2021-37661"),
+            ("tf.nn.max_pool", "CVE-2021-41198"),
+        ] {
+            let spec = reg.by_name(name).unwrap();
+            assert!(spec.vulnerable_to(cve));
+            assert_eq!(spec.declared_type, ApiType::DataProcessing);
+        }
+    }
+}

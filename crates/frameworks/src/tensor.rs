@@ -1,0 +1,346 @@
+//! Dense `f32` tensors and neural-network kernels for the ML frameworks
+//! (`caffelite`, `torchlite`, `tflite`).
+//!
+//! Conv/pool/matmul/activation are implemented for real so that "data
+//! processing" agents perform genuine data-dependent compute, and so the
+//! StegoNet case study can hide payload bytes in model weights.
+
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Dimension sizes, outermost first.
+    pub shape: Vec<u32>,
+    /// Flat data, product-of-shape long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape or a zero dimension.
+    pub fn zeros(shape: &[u32]) -> Tensor {
+        assert!(!shape.is_empty(), "scalar tensors take shape [1]");
+        assert!(shape.iter().all(|&d| d > 0), "zero dimension");
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().map(|&d| d as usize).product()],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the data length does not match the shape.
+    pub fn from_data(shape: &[u32], data: Vec<f32>) -> Tensor {
+        let expect: usize = shape.iter().map(|&d| d as usize).product();
+        assert_eq!(data.len(), expect, "shape/data mismatch");
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A tensor filled by `f(flat_index)` — handy for deterministic
+    /// weights in tests and workloads.
+    pub fn generate(shape: &[u32], f: impl Fn(usize) -> f32) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        for (i, v) in t.data.iter_mut().enumerate() {
+            *v = f(i);
+        }
+        t
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements (unreachable for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Serializes to little-endian bytes (shape-free; callers keep shape).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.data.iter().flat_map(|f| f.to_le_bytes()).collect()
+    }
+
+    /// Deserializes from little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when byte length disagrees with the shape.
+    pub fn from_bytes(shape: &[u32], bytes: &[u8]) -> Tensor {
+        let expect: usize = shape.iter().map(|&d| d as usize).product();
+        assert_eq!(bytes.len(), expect * 4, "byte/shape mismatch");
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Tensor::from_data(shape, data)
+    }
+
+    /// Index of the maximum element (`argmax`); ties go to the first.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Sum of elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+/// 2-D valid convolution of a `[h, w]` input with a `[kh, kw]` kernel.
+///
+/// # Panics
+///
+/// Panics unless both tensors are rank-2 and the kernel fits.
+pub fn conv2d(input: &Tensor, kernel: &Tensor) -> Tensor {
+    assert_eq!(input.shape.len(), 2, "conv2d wants rank-2 input");
+    assert_eq!(kernel.shape.len(), 2, "conv2d wants rank-2 kernel");
+    let (h, w) = (input.shape[0] as usize, input.shape[1] as usize);
+    let (kh, kw) = (kernel.shape[0] as usize, kernel.shape[1] as usize);
+    assert!(kh <= h && kw <= w, "kernel larger than input");
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let mut out = Tensor::zeros(&[oh as u32, ow as u32]);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    acc += input.data[(oy + ky) * w + ox + kx] * kernel.data[ky * kw + kx];
+                }
+            }
+            out.data[oy * ow + ox] = acc;
+        }
+    }
+    out
+}
+
+/// Pooling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Mean over the window.
+    Avg,
+}
+
+/// 2-D pooling with a square window and equal stride.
+///
+/// # Panics
+///
+/// Panics unless the input is rank-2 and `window > 0`.
+pub fn pool2d(input: &Tensor, window: usize, kind: PoolKind) -> Tensor {
+    assert_eq!(input.shape.len(), 2, "pool2d wants rank-2 input");
+    assert!(window > 0, "zero pooling window");
+    let (h, w) = (input.shape[0] as usize, input.shape[1] as usize);
+    let (oh, ow) = ((h / window).max(1), (w / window).max(1));
+    let mut out = Tensor::zeros(&[oh as u32, ow as u32]);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut best = f32::NEG_INFINITY;
+            let mut sum = 0.0;
+            let mut n = 0;
+            for ky in 0..window {
+                for kx in 0..window {
+                    let (y, x) = (oy * window + ky, ox * window + kx);
+                    if y < h && x < w {
+                        let v = input.data[y * w + x];
+                        best = best.max(v);
+                        sum += v;
+                        n += 1;
+                    }
+                }
+            }
+            out.data[oy * ow + ox] = match kind {
+                PoolKind::Max => best,
+                PoolKind::Avg => sum / n as f32,
+            };
+        }
+    }
+    out
+}
+
+/// Matrix multiply of `[m, k] × [k, n]`.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape.len(), 2, "matmul wants rank-2 lhs");
+    assert_eq!(b.shape.len(), 2, "matmul wants rank-2 rhs");
+    assert_eq!(a.shape[1], b.shape[0], "inner dimension mismatch");
+    let (m, k, n) = (
+        a.shape[0] as usize,
+        a.shape[1] as usize,
+        b.shape[1] as usize,
+    );
+    let mut out = Tensor::zeros(&[m as u32, n as u32]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.data[i * k + p] * b.data[p * n + j];
+            }
+            out.data[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Elementwise ReLU.
+pub fn relu(input: &Tensor) -> Tensor {
+    Tensor::from_data(
+        &input.shape,
+        input.data.iter().map(|&v| v.max(0.0)).collect(),
+    )
+}
+
+/// Elementwise sigmoid.
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    Tensor::from_data(
+        &input.shape,
+        input.data.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect(),
+    )
+}
+
+/// Numerically-stable softmax over the flat data.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let max = input.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = input.data.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_data(&input.shape, exps.iter().map(|&e| e / sum).collect())
+}
+
+/// One SGD step on a linear model: returns updated weights given an
+/// input/target pair — the "stateful training" kernel the snapshotting
+/// machinery (§A.2.4) exercises.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `weights` and `input`.
+pub fn sgd_step(weights: &Tensor, input: &Tensor, target: f32, lr: f32) -> Tensor {
+    assert_eq!(weights.shape, input.shape, "weights/input mismatch");
+    let pred: f32 = weights
+        .data
+        .iter()
+        .zip(&input.data)
+        .map(|(w, x)| w * x)
+        .sum();
+    let err = pred - target;
+    Tensor::from_data(
+        &weights.shape,
+        weights
+            .data
+            .iter()
+            .zip(&input.data)
+            .map(|(w, x)| w - lr * err * x)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_from_data_agree_on_len() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+        let u = Tensor::from_data(&[2, 3], vec![1.0; 6]);
+        assert_eq!(u.sum(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_data_validates() {
+        Tensor::from_data(&[2, 2], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let t = Tensor::generate(&[3, 2], |i| i as f32 * 0.5);
+        let back = Tensor::from_bytes(&[3, 2], &t.to_bytes());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let input = Tensor::generate(&[4, 4], |i| i as f32);
+        let kernel = Tensor::from_data(&[1, 1], vec![1.0]);
+        assert_eq!(conv2d(&input, &kernel), input);
+    }
+
+    #[test]
+    fn conv2d_box_kernel_sums_window() {
+        let input = Tensor::from_data(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let kernel = Tensor::from_data(&[2, 2], vec![1.0; 4]);
+        let out = conv2d(&input, &kernel);
+        assert_eq!(out.shape, vec![1, 1]);
+        assert_eq!(out.data[0], 10.0);
+    }
+
+    #[test]
+    fn pooling_max_and_avg() {
+        let input = Tensor::from_data(&[2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        assert_eq!(pool2d(&input, 2, PoolKind::Max).data[0], 5.0);
+        assert_eq!(pool2d(&input, 2, PoolKind::Avg).data[0], 2.75);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_data(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_data(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_validates_shapes() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn activations() {
+        let t = Tensor::from_data(&[3], vec![-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&t).data, vec![0.0, 0.0, 2.0]);
+        let s = sigmoid(&t);
+        assert!(s.data[0] < 0.5 && s.data[2] > 0.5);
+        let p = softmax(&t);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert_eq!(p.argmax(), 2);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn sgd_step_reduces_error() {
+        let w = Tensor::from_data(&[2], vec![0.0, 0.0]);
+        let x = Tensor::from_data(&[2], vec![1.0, 1.0]);
+        let target = 2.0;
+        let mut cur = w;
+        for _ in 0..100 {
+            cur = sgd_step(&cur, &x, target, 0.1);
+        }
+        let pred: f32 = cur.data.iter().zip(&x.data).map(|(w, x)| w * x).sum();
+        assert!((pred - target).abs() < 0.05, "converged to {pred}");
+    }
+}

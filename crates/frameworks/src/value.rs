@@ -1,0 +1,172 @@
+//! Argument / return values exchanged with framework APIs.
+//!
+//! [`Value`] is what crosses the hooked API boundary — and therefore what
+//! FreePart's RPC layer marshals between processes. Scalars travel by
+//! value; objects travel as [`Value::Obj`] references whose payload
+//! movement is the Lazy-Data-Copy policy's business.
+
+use crate::image::Rect;
+use crate::object::ObjectId;
+use std::fmt;
+
+/// A dynamically-typed API argument or return value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// No value (procedures).
+    Unit,
+    /// Boolean flag.
+    Bool(bool),
+    /// Integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String (paths, window titles, text).
+    Str(String),
+    /// Raw bytes travelling by value.
+    Bytes(Vec<u8>),
+    /// Reference to a framework object (payload stays in some process).
+    Obj(ObjectId),
+    /// Detection results.
+    Rects(Vec<Rect>),
+    /// Heterogeneous list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Bytes this value occupies on the wire when marshalled *by
+    /// reference* (objects cost one descriptor, not their payload).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::F64(_) => 8,
+            Value::Str(s) => s.len() as u64 + 4,
+            Value::Bytes(b) => b.len() as u64 + 4,
+            Value::Obj(_) => 16,
+            Value::Rects(r) => r.len() as u64 * 16 + 4,
+            Value::List(vs) => 4 + vs.iter().map(Value::wire_size).sum::<u64>(),
+        }
+    }
+
+    /// The object reference, if this is one.
+    pub fn as_obj(&self) -> Option<ObjectId> {
+        match self {
+            Value::Obj(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float, accepting integers too.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Every object reference reachable in this value (recursing into
+    /// lists) — what the RPC layer scans to plan data movement.
+    pub fn collect_objects(&self, out: &mut Vec<ObjectId>) {
+        match self {
+            Value::Obj(id) => out.push(*id),
+            Value::List(vs) => {
+                for v in vs {
+                    v.collect_objects(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Bool(b) => b.fmt(f),
+            Value::I64(i) => i.fmt(f),
+            Value::F64(x) => x.fmt(f),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Obj(id) => id.fmt(f),
+            Value::Rects(r) => write!(f, "<{} rects>", r.len()),
+            Value::List(vs) => write!(f, "<list of {}>", vs.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<ObjectId> for Value {
+    fn from(v: ObjectId) -> Self {
+        Value::Obj(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_is_reference_based_for_objects() {
+        // A huge object costs the same as a tiny one — only the
+        // reference travels.
+        assert_eq!(Value::Obj(ObjectId(0)).wire_size(), 16);
+        assert_eq!(Value::Bytes(vec![0; 100]).wire_size(), 104);
+        assert_eq!(Value::Str("ab".into()).wire_size(), 6);
+    }
+
+    #[test]
+    fn collect_objects_recurses_lists() {
+        let v = Value::List(vec![
+            Value::Obj(ObjectId(1)),
+            Value::I64(4),
+            Value::List(vec![Value::Obj(ObjectId(2))]),
+        ]);
+        let mut out = Vec::new();
+        v.collect_objects(&mut out);
+        assert_eq!(out, vec![ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(ObjectId(9)).as_obj(), Some(ObjectId(9)));
+        assert_eq!(Value::Unit.as_i64(), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! An in-memory file system for the simulated OS.
+//!
+//! Data-loading and storing agents exercise this through `openat`/`read`/
+//! `write`/`lseek`; it is deliberately tiny — a flat path → bytes map with
+//! directory prefixes — because FreePart's behaviour depends only on *that
+//! file traffic happens*, not on a realistic VFS.
+
+use crate::error::Errno;
+use std::collections::BTreeMap;
+
+/// Flat in-memory file system.
+///
+/// # Example
+///
+/// ```
+/// use freepart_simos::SimFs;
+///
+/// let mut fs = SimFs::new();
+/// fs.put("/data/img0.png", vec![1, 2, 3]);
+/// assert_eq!(fs.get("/data/img0.png").unwrap(), &[1, 2, 3]);
+/// assert!(fs.get("/nope").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    files: BTreeMap<String, Vec<u8>>,
+    dirs: BTreeMap<String, ()>,
+}
+
+impl SimFs {
+    /// An empty file system containing only the root directory.
+    pub fn new() -> SimFs {
+        let mut fs = SimFs::default();
+        fs.dirs.insert("/".to_owned(), ());
+        fs
+    }
+
+    /// Creates or replaces a file (harness-side seeding; bypasses syscalls).
+    pub fn put(&mut self, path: &str, bytes: Vec<u8>) {
+        self.files.insert(path.to_owned(), bytes);
+    }
+
+    /// Reads a whole file (harness-side inspection; bypasses syscalls).
+    pub fn get(&self, path: &str) -> Option<&Vec<u8>> {
+        self.files.get(path)
+    }
+
+    /// True when the path names an existing file.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// File size in bytes.
+    pub fn size(&self, path: &str) -> Result<u64, Errno> {
+        self.files
+            .get(path)
+            .map(|f| f.len() as u64)
+            .ok_or(Errno::Enoent)
+    }
+
+    /// Creates an empty file if absent; errors if absent and `!create`.
+    pub fn open(&mut self, path: &str, create: bool) -> Result<(), Errno> {
+        if self.files.contains_key(path) {
+            Ok(())
+        } else if create {
+            self.files.insert(path.to_owned(), Vec::new());
+            Ok(())
+        } else {
+            Err(Errno::Enoent)
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, Errno> {
+        let file = self.files.get(path).ok_or(Errno::Enoent)?;
+        let start = (offset as usize).min(file.len());
+        let end = (start + len as usize).min(file.len());
+        Ok(file[start..end].to_vec())
+    }
+
+    /// Writes bytes at `offset`, growing the file as needed. Returns the
+    /// number of bytes written.
+    pub fn write_at(&mut self, path: &str, offset: u64, bytes: &[u8]) -> Result<u64, Errno> {
+        let file = self.files.get_mut(path).ok_or(Errno::Enoent)?;
+        let end = offset as usize + bytes.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(bytes);
+        Ok(bytes.len() as u64)
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        self.files.remove(path).map(|_| ()).ok_or(Errno::Enoent)
+    }
+
+    /// Renames a file.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
+        let bytes = self.files.remove(from).ok_or(Errno::Enoent)?;
+        self.files.insert(to.to_owned(), bytes);
+        Ok(())
+    }
+
+    /// Records a directory (no hierarchy enforcement).
+    pub fn mkdir(&mut self, path: &str) {
+        self.dirs.insert(path.to_owned(), ());
+    }
+
+    /// Lists files whose path starts with `prefix`.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_respects_create_flag() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.open("/a", false), Err(Errno::Enoent));
+        fs.open("/a", true).unwrap();
+        assert!(fs.exists("/a"));
+        fs.open("/a", false).unwrap();
+    }
+
+    #[test]
+    fn read_write_at_offsets() {
+        let mut fs = SimFs::new();
+        fs.put("/f", b"hello world".to_vec());
+        assert_eq!(fs.read_at("/f", 6, 5).unwrap(), b"world");
+        fs.write_at("/f", 6, b"simos").unwrap();
+        assert_eq!(fs.get("/f").unwrap(), b"hello simos");
+        // Writing past the end grows the file.
+        fs.write_at("/f", 20, b"!").unwrap();
+        assert_eq!(fs.size("/f").unwrap(), 21);
+    }
+
+    #[test]
+    fn read_past_end_is_short() {
+        let mut fs = SimFs::new();
+        fs.put("/f", vec![1, 2, 3]);
+        assert_eq!(fs.read_at("/f", 2, 10).unwrap(), vec![3]);
+        assert_eq!(fs.read_at("/f", 9, 10).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rename_and_unlink() {
+        let mut fs = SimFs::new();
+        fs.put("/a", vec![7]);
+        fs.rename("/a", "/b").unwrap();
+        assert!(!fs.exists("/a"));
+        assert_eq!(fs.get("/b").unwrap(), &[7]);
+        fs.unlink("/b").unwrap();
+        assert_eq!(fs.unlink("/b"), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut fs = SimFs::new();
+        fs.put("/imgs/0.png", vec![]);
+        fs.put("/imgs/1.png", vec![]);
+        fs.put("/out/r.csv", vec![]);
+        assert_eq!(fs.list("/imgs/").len(), 2);
+        assert_eq!(fs.list("/out/").len(), 1);
+    }
+}

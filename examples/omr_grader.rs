@@ -1,0 +1,73 @@
+//! The motivating example end-to-end: OMRChecker grading a batch of
+//! submissions, first unprotected, then under FreePart, with the
+//! grade-tampering attack of Fig. 1 in the middle of the batch.
+//!
+//! ```text
+//! cargo run --example omr_grader
+//! ```
+
+use freepart_suite::apps::omr::{self, OmrConfig};
+use freepart_suite::attacks::{judge, AttackGoal};
+use freepart_suite::baselines::{ApiSurface, MonolithicRuntime};
+use freepart_suite::core::{Policy, Runtime};
+use freepart_suite::frameworks::registry::standard_registry;
+
+fn attack_config(template_addr: u64) -> OmrConfig {
+    OmrConfig {
+        samples: 6,
+        boxes_per_sample: 4,
+        // Submission #2 is the malicious student's crafted image: it
+        // exploits CVE-2017-12597 in imread to move the answer-mark
+        // coordinates (Fig. 1-c).
+        evil_sample: Some((
+            2,
+            freepart_suite::attacks::payloads::corrupt(
+                "CVE-2017-12597",
+                template_addr,
+                vec![0xFF; 64],
+            ),
+        )),
+        evil_imshow: None,
+    }
+}
+
+fn template_addr_of<S: ApiSurface>(mut probe: S) -> u64 {
+    let r = omr::run(&mut probe, &OmrConfig::benign(0));
+    probe.objects().meta(r.template).unwrap().buffer.unwrap().0 .0
+}
+
+fn main() {
+    println!("=== OMRChecker, unprotected ===");
+    let addr = template_addr_of(MonolithicRuntime::original(standard_registry()));
+    let mut orig = MonolithicRuntime::original(standard_registry());
+    let r = omr::run(&mut orig, &attack_config(addr));
+    println!("graded {} of 6 submissions; scores: {:?}", r.completed, r.scores);
+    let log = orig.exploit_log().to_vec();
+    let (kernel, objects, host) = orig.attack_view();
+    let verdict = judge(
+        &AttackGoal::CorruptObject { id: r.template, original: r.template_original },
+        kernel,
+        objects,
+        host,
+        &log,
+    );
+    println!("template corruption: {verdict:?}  <-- every later submission is misgraded\n");
+
+    println!("=== OMRChecker under FreePart ===");
+    let addr = template_addr_of(Runtime::install(standard_registry(), Policy::freepart()));
+    let mut fp = Runtime::install(standard_registry(), Policy::freepart());
+    let r = omr::run(&mut fp, &attack_config(addr));
+    println!("graded {} of 6 submissions; scores: {:?}", r.completed, r.scores);
+    println!("containment events: {:?}", r.errors);
+    let log = fp.exploit_log.clone();
+    let (kernel, objects, host) = fp.attack_view();
+    let verdict = judge(
+        &AttackGoal::CorruptObject { id: r.template, original: r.template_original },
+        kernel,
+        objects,
+        host,
+        &log,
+    );
+    println!("template corruption: {verdict:?}  <-- write faulted in the loading agent");
+    println!("results written: {}, restarts: {}", r.results_written, fp.stats().restarts);
+}

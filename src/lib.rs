@@ -1,0 +1,14 @@
+//! Umbrella crate for the FreePart reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the root-level examples
+//! and integration tests have a single dependency surface. Library users
+//! should depend on the individual crates (`freepart`, `freepart-simos`,
+//! ...) directly.
+
+pub use freepart as core;
+pub use freepart_analysis as analysis;
+pub use freepart_apps as apps;
+pub use freepart_attacks as attacks;
+pub use freepart_baselines as baselines;
+pub use freepart_frameworks as frameworks;
+pub use freepart_simos as simos;
