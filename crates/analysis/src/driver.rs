@@ -140,7 +140,8 @@ pub fn canonical_args(
             if kernel.camera.is_none() {
                 kernel.camera = Some(Camera::new(11, CAMERA_FRAME_LEN));
             }
-            let id = objects.create_handle(pid, ObjectKind::Capture { frames_read: 0 }, "drive:cap");
+            let id =
+                objects.create_handle(pid, ObjectKind::Capture { frames_read: 0 }, "drive:cap");
             vec![Value::Obj(id)]
         }
         K::ImWrite | K::VideoWriterWrite => {
@@ -172,7 +173,11 @@ pub fn canonical_args(
             seed_mat(kernel, objects, pid, 16),
             seed_mat(kernel, objects, pid, 16),
         ],
-        K::Resize => vec![seed_mat(kernel, objects, pid, 16), Value::I64(8), Value::I64(8)],
+        K::Resize => vec![
+            seed_mat(kernel, objects, pid, 16),
+            Value::I64(8),
+            Value::I64(8),
+        ],
         K::Crop => vec![
             seed_mat(kernel, objects, pid, 16),
             Value::I64(2),
@@ -201,7 +206,10 @@ pub fn canonical_args(
             let t = seed_tensor(kernel, objects, pid, 16);
             vec![Value::Str(out_path), t]
         }
-        K::TensorUnary(_) | K::TensorConv | K::TensorPoolMax | K::TensorPoolAvg
+        K::TensorUnary(_)
+        | K::TensorConv
+        | K::TensorPoolMax
+        | K::TensorPoolAvg
         | K::TensorMatmul => vec![seed_tensor(kernel, objects, pid, 36)],
         K::Forward => vec![
             seed_tensor(kernel, objects, pid, 36),
@@ -286,8 +294,6 @@ mod tests {
         let spec = reg.by_name("cv2.imread").unwrap();
         let (trace, _) = drive(&reg, spec, &mut kernel, &mut objects, pid, 0).unwrap();
         assert!(!trace.flows.is_empty());
-        assert!(trace
-            .syscalls
-            .contains(&freepart_simos::SyscallNo::Openat));
+        assert!(trace.syscalls.contains(&freepart_simos::SyscallNo::Openat));
     }
 }

@@ -40,7 +40,11 @@ impl TestCorpus {
     ) -> TestCorpus {
         let mut covered: BTreeSet<ApiId> = reg.iter().map(|s| s.id).collect();
         for (fw, frac) in fractions {
-            let mut of_fw: Vec<_> = reg.of_framework(*fw).iter().map(|s| (s.name.clone(), s.id)).collect();
+            let mut of_fw: Vec<_> = reg
+                .of_framework(*fw)
+                .iter()
+                .map(|s| (s.name.clone(), s.id))
+                .collect();
             of_fw.sort();
             let total = of_fw.len();
             let target = (total as f64 * frac).round() as usize;
@@ -110,8 +114,7 @@ pub fn analyze_all(reg: &ApiRegistry, corpus: &TestCorpus) -> BTreeMap<ApiId, Dy
         if !corpus.covers(spec.id) {
             continue;
         }
-        if let Ok((trace, _)) = driver::drive(reg, spec, &mut kernel, &mut objects, pid, i as u64)
-        {
+        if let Ok((trace, _)) = driver::drive(reg, spec, &mut kernel, &mut objects, pid, i as u64) {
             out.insert(spec.id, DynamicResult::from_trace(&trace));
         }
     }
@@ -171,7 +174,10 @@ mod tests {
         for spec in reg.iter() {
             let got = results[&spec.id].inferred;
             if got != spec.declared_type {
-                mismatches.push(format!("{}: {got:?} != {:?}", spec.name, spec.declared_type));
+                mismatches.push(format!(
+                    "{}: {got:?} != {:?}",
+                    spec.name, spec.declared_type
+                ));
             }
         }
         assert!(mismatches.is_empty(), "{mismatches:#?}");

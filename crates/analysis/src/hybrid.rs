@@ -128,7 +128,12 @@ mod tests {
     fn hybrid_is_fully_accurate_with_full_corpus() {
         let reg = standard_registry();
         let report = categorize(&reg, &TestCorpus::full(&reg));
-        assert_eq!(report.accuracy(&reg), 1.0, "{:?}", report.miscategorized(&reg));
+        assert_eq!(
+            report.accuracy(&reg),
+            1.0,
+            "{:?}",
+            report.miscategorized(&reg)
+        );
         assert_eq!(report.per_api.len(), reg.len());
     }
 

@@ -38,8 +38,8 @@ pub mod driver;
 pub mod dynamic;
 pub mod hybrid;
 pub mod neutral;
-pub mod static_analysis;
 pub mod stateful;
+pub mod static_analysis;
 pub mod syscalls;
 
 pub use classify::{classify_flows, reduce_flows};

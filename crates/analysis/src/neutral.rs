@@ -52,9 +52,7 @@ pub fn detect_type_neutral(
         .filter(|s| {
             report.per_api.contains_key(&s.id)
                 && is_mem_only(report, s.id)
-                && neighbour_types
-                    .get(&s.id)
-                    .is_some_and(|ts| ts.len() >= 2)
+                && neighbour_types.get(&s.id).is_some_and(|ts| ts.len() >= 2)
         })
         .map(|s| s.id)
         .collect()

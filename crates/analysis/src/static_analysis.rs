@@ -149,7 +149,10 @@ mod tests {
             .filter(|s| !analyze(s).confident())
             .map(|s| s.name.as_str())
             .collect();
-        assert_eq!(opaque, ["pd.read_csv", "json.load", "plt.show", "plt.savefig"]);
+        assert_eq!(
+            opaque,
+            ["pd.read_csv", "json.load", "plt.show", "plt.savefig"]
+        );
     }
 
     #[test]

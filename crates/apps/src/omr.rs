@@ -123,10 +123,10 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &OmrConfig) -> OmrResult {
         .kernel_mut()
         .fs
         .put("/omr/template.json", b"{\"qblocks\": 16}".to_vec());
-    surface
-        .kernel_mut()
-        .fs
-        .put("/omr/roster.csv", fileio::encode_csv(&[vec![1.0], vec![2.0]]));
+    surface.kernel_mut().fs.put(
+        "/omr/roster.csv",
+        fileio::encode_csv(&[vec![1.0], vec![2.0]]),
+    );
     let mut errors = Vec::new();
     let mut scores = Vec::new();
     let mut completed = 0;
@@ -170,15 +170,15 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &OmrConfig) -> OmrResult {
         let Some(warped) = call(surface, "cv2.warpPerspective", &[thresh]) else {
             continue;
         };
-        let Some(morph) = call(surface, "cv2.morphologyEx", &[warped.clone()]) else {
+        let Some(morph) = call(surface, "cv2.morphologyEx", std::slice::from_ref(&warped)) else {
             continue;
         };
         // Rebuild the 3-channel annotation canvas (cv2.merge) — the
         // object the hot-loop pair shares.
-        let Some(annotated) = call(surface, "cv2.merge", &[morph.clone()]) else {
+        let Some(annotated) = call(surface, "cv2.merge", std::slice::from_ref(&morph)) else {
             continue;
         };
-        let marks = call(surface, "cv2.findContours", &[morph.clone()]);
+        let marks = call(surface, "cv2.findContours", std::slice::from_ref(&morph));
         let found = match marks {
             Some(Value::Rects(r)) => r.len() as f64,
             _ => 0.0,
@@ -201,12 +201,23 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &OmrConfig) -> OmrResult {
             call(
                 surface,
                 "cv2.rectangle",
-                &[annotated.clone(), Value::I64(x), Value::I64(x), Value::I64(6), Value::I64(6)],
+                &[
+                    annotated.clone(),
+                    Value::I64(x),
+                    Value::I64(x),
+                    Value::I64(6),
+                    Value::I64(6),
+                ],
             );
             call(
                 surface,
                 "cv2.putText",
-                &[annotated.clone(), Value::from("A"), Value::I64(x), Value::I64(40)],
+                &[
+                    annotated.clone(),
+                    Value::from("A"),
+                    Value::I64(x),
+                    Value::I64(40),
+                ],
             );
         }
 
@@ -246,7 +257,13 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &OmrConfig) -> OmrResult {
         _ => call(surface, "pd.read_csv", &[Value::from("/omr/roster.csv")]),
     };
     if let Some(r) = roster {
-        if call(surface, "pd.DataFrame.to_csv", &[Value::from("/omr/scores.csv"), r]).is_some() {
+        if call(
+            surface,
+            "pd.DataFrame.to_csv",
+            &[Value::from("/omr/scores.csv"), r],
+        )
+        .is_some()
+        {
             results_written = surface.kernel().fs.exists("/omr/scores.csv");
         }
     }
@@ -322,11 +339,7 @@ mod tests {
             let r = run(&mut p, &OmrConfig::benign(0));
             p.objects.meta(r.template).unwrap().buffer.unwrap().0
         };
-        let payload = freepart_attacks::payloads::corrupt(
-            "CVE-2017-12597",
-            addr.0,
-            vec![0xFF; 32],
-        );
+        let payload = freepart_attacks::payloads::corrupt("CVE-2017-12597", addr.0, vec![0xFF; 32]);
         let cfg = OmrConfig {
             samples: 3,
             boxes_per_sample: 2,

@@ -41,33 +41,334 @@ pub struct AppSpec {
     pub uses_camera: bool,
 }
 
-use Framework::{Caffe, Json, Keras, Matplotlib, NumPy, OpenCv, Pandas, Pillow, PyTorch, TensorFlow};
+use Framework::{
+    Caffe, Json, Keras, Matplotlib, NumPy, OpenCv, Pandas, Pillow, PyTorch, TensorFlow,
+};
 
 /// The 23 applications of Table 6.
 pub const TABLE6: &[AppSpec] = &[
-    AppSpec { id: 1, name: "Face_classification", lang: "Python", sloc: 7_082, size: "280K", frameworks: &[OpenCv, Keras, NumPy], loading: (4, 4), processing: (5, 10), visualizing: (4, 4), storing: (1, 1), description: "Face, emotion, gender detection", uses_camera: false },
-    AppSpec { id: 2, name: "FaceTracker", lang: "C/C++", sloc: 3_012, size: "588K", frameworks: &[OpenCv], loading: (2, 5), processing: (19, 99), visualizing: (3, 3), storing: (3, 6), description: "Real-time deformable face tracking", uses_camera: true },
-    AppSpec { id: 3, name: "Face_Recognition", lang: "Python", sloc: 3_205, size: "14.8M", frameworks: &[OpenCv, NumPy], loading: (1, 8), processing: (5, 26), visualizing: (3, 15), storing: (2, 3), description: "Face recognition application", uses_camera: false },
-    AppSpec { id: 4, name: "lbpcascade_anime", lang: "Python", sloc: 6_671, size: "224K", frameworks: &[OpenCv, Pillow], loading: (1, 1), processing: (4, 4), visualizing: (3, 3), storing: (1, 1), description: "Image classification/object detection", uses_camera: false },
-    AppSpec { id: 5, name: "EyeLike", lang: "C/C++", sloc: 742, size: "44K", frameworks: &[OpenCv], loading: (5, 5), processing: (21, 100), visualizing: (4, 18), storing: (1, 2), description: "Webcam based pupil tracking", uses_camera: true },
-    AppSpec { id: 6, name: "Video-to-ascii", lang: "Python", sloc: 483, size: "48K", frameworks: &[OpenCv], loading: (4, 7), processing: (2, 2), visualizing: (1, 1), storing: (0, 0), description: "Plays videos in terminal", uses_camera: false },
-    AppSpec { id: 7, name: "Libfacedetection", lang: "C/C++", sloc: 14_016, size: "8.8M", frameworks: &[OpenCv], loading: (4, 6), processing: (14, 62), visualizing: (4, 4), storing: (1, 1), description: "Library for face detection", uses_camera: false },
-    AppSpec { id: 8, name: "OMRChecker", lang: "Python", sloc: 1_797, size: "6.2M", frameworks: &[OpenCv, Pandas, Json, Matplotlib], loading: (2, 4), processing: (42, 88), visualizing: (4, 5), storing: (1, 1), description: "Grading application", uses_camera: false },
-    AppSpec { id: 9, name: "EmoRecon", lang: "Python", sloc: 1_773, size: "53K", frameworks: &[Caffe, OpenCv], loading: (6, 10), processing: (11, 32), visualizing: (5, 6), storing: (1, 1), description: "Real-time emotion recognition", uses_camera: true },
-    AppSpec { id: 10, name: "Openpose", lang: "C/C++", sloc: 459_373, size: "6.8M", frameworks: &[Caffe, OpenCv], loading: (10, 12), processing: (44, 171), visualizing: (0, 0), storing: (2, 2), description: "Real-time person keypoint detection", uses_camera: false },
-    AppSpec { id: 11, name: "MTCNN", lang: "Python", sloc: 425, size: "129K", frameworks: &[Caffe, OpenCv], loading: (1, 1), processing: (11, 18), visualizing: (0, 0), storing: (2, 2), description: "MTCNN face detector", uses_camera: false },
-    AppSpec { id: 12, name: "SiamMask", lang: "Python", sloc: 39_999, size: "1.4M", frameworks: &[PyTorch, OpenCv], loading: (2, 9), processing: (19, 103), visualizing: (4, 10), storing: (2, 11), description: "Object tracking and segmentation", uses_camera: false },
-    AppSpec { id: 13, name: "CycleGAN-and-pix2pix", lang: "Python", sloc: 1_963, size: "7.64M", frameworks: &[PyTorch, OpenCv, NumPy], loading: (5, 7), processing: (50, 103), visualizing: (0, 0), storing: (1, 2), description: "Image-to-image translation", uses_camera: false },
-    AppSpec { id: 14, name: "FAIRSEQ", lang: "Python", sloc: 39_800, size: "5.9M", frameworks: &[PyTorch, NumPy, Json], loading: (8, 19), processing: (20, 65), visualizing: (0, 0), storing: (4, 4), description: "Sequence modeling toolkit", uses_camera: false },
-    AppSpec { id: 15, name: "PyTorch-GAN", lang: "Python", sloc: 6_199, size: "31.1M", frameworks: &[PyTorch, NumPy], loading: (3, 105), processing: (41, 1_747), visualizing: (0, 0), storing: (1, 37), description: "PyTorch implementations of GANs", uses_camera: false },
-    AppSpec { id: 16, name: "YOLO-V3", lang: "Python", sloc: 2_759, size: "1.98M", frameworks: &[PyTorch, OpenCv, NumPy, Matplotlib], loading: (3, 9), processing: (68, 254), visualizing: (3, 3), storing: (2, 6), description: "PyTorch implementation of YOLOv3", uses_camera: false },
-    AppSpec { id: 17, name: "StarGAN", lang: "Python", sloc: 740, size: "2.07M", frameworks: &[PyTorch, NumPy], loading: (1, 2), processing: (32, 105), visualizing: (0, 0), storing: (1, 4), description: "PyTorch implementation of StarGAN", uses_camera: false },
-    AppSpec { id: 18, name: "EfficientNet-Pytorch", lang: "Python", sloc: 2_554, size: "2.48M", frameworks: &[PyTorch, Pillow, NumPy], loading: (4, 8), processing: (37, 86), visualizing: (0, 0), storing: (2, 2), description: "PyTorch implementation of EfficientNet", uses_camera: false },
-    AppSpec { id: 19, name: "Semantic-Segmentation", lang: "Python", sloc: 3_699, size: "5.53M", frameworks: &[PyTorch, OpenCv, NumPy, Matplotlib, Pillow], loading: (2, 2), processing: (136, 304), visualizing: (0, 0), storing: (1, 3), description: "Semantic segmentation/scene parsing", uses_camera: false },
-    AppSpec { id: 20, name: "DCGAN-Tensorflow", lang: "Python", sloc: 3_142, size: "67.4M", frameworks: &[TensorFlow, NumPy], loading: (3, 6), processing: (54, 137), visualizing: (0, 0), storing: (1, 1), description: "TensorFlow implementation of DCGAN", uses_camera: false },
-    AppSpec { id: 21, name: "See in the Dark", lang: "Python", sloc: 610, size: "836K", frameworks: &[TensorFlow, NumPy], loading: (1, 8), processing: (31, 244), visualizing: (0, 0), storing: (2, 10), description: "Learning-to-See-in-the-Dark (CVPR'18)", uses_camera: false },
-    AppSpec { id: 22, name: "CapsNet", lang: "Python", sloc: 679, size: "486K", frameworks: &[TensorFlow, NumPy], loading: (1, 8), processing: (43, 108), visualizing: (0, 0), storing: (4, 6), description: "TensorFlow implementation of CapsNet", uses_camera: false },
-    AppSpec { id: 23, name: "Style-Transfer", lang: "Python", sloc: 731, size: "1M", frameworks: &[TensorFlow, NumPy, Pillow], loading: (3, 4), processing: (37, 61), visualizing: (0, 0), storing: (3, 5), description: "Add styles from images to any photo", uses_camera: false },
+    AppSpec {
+        id: 1,
+        name: "Face_classification",
+        lang: "Python",
+        sloc: 7_082,
+        size: "280K",
+        frameworks: &[OpenCv, Keras, NumPy],
+        loading: (4, 4),
+        processing: (5, 10),
+        visualizing: (4, 4),
+        storing: (1, 1),
+        description: "Face, emotion, gender detection",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 2,
+        name: "FaceTracker",
+        lang: "C/C++",
+        sloc: 3_012,
+        size: "588K",
+        frameworks: &[OpenCv],
+        loading: (2, 5),
+        processing: (19, 99),
+        visualizing: (3, 3),
+        storing: (3, 6),
+        description: "Real-time deformable face tracking",
+        uses_camera: true,
+    },
+    AppSpec {
+        id: 3,
+        name: "Face_Recognition",
+        lang: "Python",
+        sloc: 3_205,
+        size: "14.8M",
+        frameworks: &[OpenCv, NumPy],
+        loading: (1, 8),
+        processing: (5, 26),
+        visualizing: (3, 15),
+        storing: (2, 3),
+        description: "Face recognition application",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 4,
+        name: "lbpcascade_anime",
+        lang: "Python",
+        sloc: 6_671,
+        size: "224K",
+        frameworks: &[OpenCv, Pillow],
+        loading: (1, 1),
+        processing: (4, 4),
+        visualizing: (3, 3),
+        storing: (1, 1),
+        description: "Image classification/object detection",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 5,
+        name: "EyeLike",
+        lang: "C/C++",
+        sloc: 742,
+        size: "44K",
+        frameworks: &[OpenCv],
+        loading: (5, 5),
+        processing: (21, 100),
+        visualizing: (4, 18),
+        storing: (1, 2),
+        description: "Webcam based pupil tracking",
+        uses_camera: true,
+    },
+    AppSpec {
+        id: 6,
+        name: "Video-to-ascii",
+        lang: "Python",
+        sloc: 483,
+        size: "48K",
+        frameworks: &[OpenCv],
+        loading: (4, 7),
+        processing: (2, 2),
+        visualizing: (1, 1),
+        storing: (0, 0),
+        description: "Plays videos in terminal",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 7,
+        name: "Libfacedetection",
+        lang: "C/C++",
+        sloc: 14_016,
+        size: "8.8M",
+        frameworks: &[OpenCv],
+        loading: (4, 6),
+        processing: (14, 62),
+        visualizing: (4, 4),
+        storing: (1, 1),
+        description: "Library for face detection",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 8,
+        name: "OMRChecker",
+        lang: "Python",
+        sloc: 1_797,
+        size: "6.2M",
+        frameworks: &[OpenCv, Pandas, Json, Matplotlib],
+        loading: (2, 4),
+        processing: (42, 88),
+        visualizing: (4, 5),
+        storing: (1, 1),
+        description: "Grading application",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 9,
+        name: "EmoRecon",
+        lang: "Python",
+        sloc: 1_773,
+        size: "53K",
+        frameworks: &[Caffe, OpenCv],
+        loading: (6, 10),
+        processing: (11, 32),
+        visualizing: (5, 6),
+        storing: (1, 1),
+        description: "Real-time emotion recognition",
+        uses_camera: true,
+    },
+    AppSpec {
+        id: 10,
+        name: "Openpose",
+        lang: "C/C++",
+        sloc: 459_373,
+        size: "6.8M",
+        frameworks: &[Caffe, OpenCv],
+        loading: (10, 12),
+        processing: (44, 171),
+        visualizing: (0, 0),
+        storing: (2, 2),
+        description: "Real-time person keypoint detection",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 11,
+        name: "MTCNN",
+        lang: "Python",
+        sloc: 425,
+        size: "129K",
+        frameworks: &[Caffe, OpenCv],
+        loading: (1, 1),
+        processing: (11, 18),
+        visualizing: (0, 0),
+        storing: (2, 2),
+        description: "MTCNN face detector",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 12,
+        name: "SiamMask",
+        lang: "Python",
+        sloc: 39_999,
+        size: "1.4M",
+        frameworks: &[PyTorch, OpenCv],
+        loading: (2, 9),
+        processing: (19, 103),
+        visualizing: (4, 10),
+        storing: (2, 11),
+        description: "Object tracking and segmentation",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 13,
+        name: "CycleGAN-and-pix2pix",
+        lang: "Python",
+        sloc: 1_963,
+        size: "7.64M",
+        frameworks: &[PyTorch, OpenCv, NumPy],
+        loading: (5, 7),
+        processing: (50, 103),
+        visualizing: (0, 0),
+        storing: (1, 2),
+        description: "Image-to-image translation",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 14,
+        name: "FAIRSEQ",
+        lang: "Python",
+        sloc: 39_800,
+        size: "5.9M",
+        frameworks: &[PyTorch, NumPy, Json],
+        loading: (8, 19),
+        processing: (20, 65),
+        visualizing: (0, 0),
+        storing: (4, 4),
+        description: "Sequence modeling toolkit",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 15,
+        name: "PyTorch-GAN",
+        lang: "Python",
+        sloc: 6_199,
+        size: "31.1M",
+        frameworks: &[PyTorch, NumPy],
+        loading: (3, 105),
+        processing: (41, 1_747),
+        visualizing: (0, 0),
+        storing: (1, 37),
+        description: "PyTorch implementations of GANs",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 16,
+        name: "YOLO-V3",
+        lang: "Python",
+        sloc: 2_759,
+        size: "1.98M",
+        frameworks: &[PyTorch, OpenCv, NumPy, Matplotlib],
+        loading: (3, 9),
+        processing: (68, 254),
+        visualizing: (3, 3),
+        storing: (2, 6),
+        description: "PyTorch implementation of YOLOv3",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 17,
+        name: "StarGAN",
+        lang: "Python",
+        sloc: 740,
+        size: "2.07M",
+        frameworks: &[PyTorch, NumPy],
+        loading: (1, 2),
+        processing: (32, 105),
+        visualizing: (0, 0),
+        storing: (1, 4),
+        description: "PyTorch implementation of StarGAN",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 18,
+        name: "EfficientNet-Pytorch",
+        lang: "Python",
+        sloc: 2_554,
+        size: "2.48M",
+        frameworks: &[PyTorch, Pillow, NumPy],
+        loading: (4, 8),
+        processing: (37, 86),
+        visualizing: (0, 0),
+        storing: (2, 2),
+        description: "PyTorch implementation of EfficientNet",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 19,
+        name: "Semantic-Segmentation",
+        lang: "Python",
+        sloc: 3_699,
+        size: "5.53M",
+        frameworks: &[PyTorch, OpenCv, NumPy, Matplotlib, Pillow],
+        loading: (2, 2),
+        processing: (136, 304),
+        visualizing: (0, 0),
+        storing: (1, 3),
+        description: "Semantic segmentation/scene parsing",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 20,
+        name: "DCGAN-Tensorflow",
+        lang: "Python",
+        sloc: 3_142,
+        size: "67.4M",
+        frameworks: &[TensorFlow, NumPy],
+        loading: (3, 6),
+        processing: (54, 137),
+        visualizing: (0, 0),
+        storing: (1, 1),
+        description: "TensorFlow implementation of DCGAN",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 21,
+        name: "See in the Dark",
+        lang: "Python",
+        sloc: 610,
+        size: "836K",
+        frameworks: &[TensorFlow, NumPy],
+        loading: (1, 8),
+        processing: (31, 244),
+        visualizing: (0, 0),
+        storing: (2, 10),
+        description: "Learning-to-See-in-the-Dark (CVPR'18)",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 22,
+        name: "CapsNet",
+        lang: "Python",
+        sloc: 679,
+        size: "486K",
+        frameworks: &[TensorFlow, NumPy],
+        loading: (1, 8),
+        processing: (43, 108),
+        visualizing: (0, 0),
+        storing: (4, 6),
+        description: "TensorFlow implementation of CapsNet",
+        uses_camera: false,
+    },
+    AppSpec {
+        id: 23,
+        name: "Style-Transfer",
+        lang: "Python",
+        sloc: 731,
+        size: "1M",
+        frameworks: &[TensorFlow, NumPy, Pillow],
+        loading: (3, 4),
+        processing: (37, 61),
+        visualizing: (0, 0),
+        storing: (3, 5),
+        description: "Add styles from images to any photo",
+        uses_camera: false,
+    },
 ];
 
 /// Looks up a Table 6 application by sample id.
@@ -289,17 +590,11 @@ mod tests {
                 (ApiType::Storing, spec.storing),
             ] {
                 let sched = &resolved.schedules[&t];
-                assert_eq!(
-                    sched.total(),
-                    total,
-                    "{}: {t} total mismatch",
-                    spec.name
-                );
+                assert_eq!(sched.total(), total, "{}: {t} total mismatch", spec.name);
                 // Unique matches unless the pool capped it.
                 if total >= unique {
                     assert!(
-                        sched.unique() as u32 == unique
-                            || (sched.unique() as u32) < unique,
+                        sched.unique() as u32 == unique || (sched.unique() as u32) < unique,
                         "{}: {t} unique overshoot",
                         spec.name
                     );
@@ -347,7 +642,12 @@ mod tests {
             .iter()
             .map(|(id, _)| reg.spec(*id).name.as_str())
             .collect();
-        for n in ["cv2.rectangle", "cv2.putText", "cv2.warpPerspective", "cv2.morphologyEx"] {
+        for n in [
+            "cv2.rectangle",
+            "cv2.putText",
+            "cv2.warpPerspective",
+            "cv2.morphologyEx",
+        ] {
             assert!(names.contains(&n), "OMR missing {n}");
         }
     }

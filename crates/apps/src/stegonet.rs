@@ -104,7 +104,14 @@ mod tests {
     fn benign_sessions_classify_everything() {
         for app in [StegoApp::MedicalCt, StegoApp::InvoiceOcr] {
             let mut rt = MonolithicRuntime::original(standard_registry());
-            let r = run(&mut rt, &StegoConfig { app, inputs: 3, trojan: None });
+            let r = run(
+                &mut rt,
+                &StegoConfig {
+                    app,
+                    inputs: 3,
+                    trojan: None,
+                },
+            );
             assert_eq!(r.processed, 3);
         }
     }
@@ -129,7 +136,8 @@ mod tests {
             "/models/warm.stsr",
             fileio::encode_tensor(&Tensor::generate(&[4], |_| 0.0), None),
         );
-        rt.call("torch.load", &[Value::from("/models/warm.stsr")]).unwrap();
+        rt.call("torch.load", &[Value::from("/models/warm.stsr")])
+            .unwrap();
         run(&mut rt, &cfg);
         assert!(matches!(
             rt.exploit_log.last().unwrap().outcome,
@@ -145,7 +153,11 @@ mod tests {
             let mut p = Runtime::install(standard_registry(), Policy::freepart());
             let r = run(
                 &mut p,
-                &StegoConfig { app: StegoApp::InvoiceOcr, inputs: 1, trojan: None },
+                &StegoConfig {
+                    app: StegoApp::InvoiceOcr,
+                    inputs: 1,
+                    trojan: None,
+                },
             );
             p.objects.meta(r.pii).unwrap().buffer.unwrap().0
         };
@@ -163,7 +175,9 @@ mod tests {
         let log = rt.exploit_log.clone();
         let (kernel, objects, host) = rt.attack_view();
         let v = judge(
-            &AttackGoal::Exfiltrate { marker: b"TIN-998877".to_vec() },
+            &AttackGoal::Exfiltrate {
+                marker: b"TIN-998877".to_vec(),
+            },
             kernel,
             objects,
             host,

@@ -39,12 +39,7 @@ impl StudySketch {
     }
 
     /// Vulnerable APIs of one framework and type used by this sketch.
-    pub fn vulnerable_of(
-        &self,
-        reg: &ApiRegistry,
-        fw: Framework,
-        t: ApiType,
-    ) -> Vec<ApiId> {
+    pub fn vulnerable_of(&self, reg: &ApiRegistry, fw: Framework, t: ApiType) -> Vec<ApiId> {
         let mut v: Vec<ApiId> = self
             .calls
             .iter()
@@ -98,11 +93,31 @@ pub fn study_corpus(reg: &ApiRegistry) -> Vec<StudySketch> {
     // Framework population of the survey: CV-heavy, then the three ML
     // frameworks, plus Pillow/NumPy-flavoured utilities.
     let mixes: [(&str, Framework, &[Framework]); 5] = [
-        ("vision", Framework::OpenCv, &[Framework::OpenCv, Framework::NumPy]),
-        ("torch", Framework::PyTorch, &[Framework::PyTorch, Framework::OpenCv, Framework::NumPy]),
-        ("tf", Framework::TensorFlow, &[Framework::TensorFlow, Framework::NumPy]),
-        ("caffe", Framework::Caffe, &[Framework::Caffe, Framework::OpenCv]),
-        ("imaging", Framework::Pillow, &[Framework::Pillow, Framework::NumPy, Framework::Matplotlib]),
+        (
+            "vision",
+            Framework::OpenCv,
+            &[Framework::OpenCv, Framework::NumPy],
+        ),
+        (
+            "torch",
+            Framework::PyTorch,
+            &[Framework::PyTorch, Framework::OpenCv, Framework::NumPy],
+        ),
+        (
+            "tf",
+            Framework::TensorFlow,
+            &[Framework::TensorFlow, Framework::NumPy],
+        ),
+        (
+            "caffe",
+            Framework::Caffe,
+            &[Framework::Caffe, Framework::OpenCv],
+        ),
+        (
+            "imaging",
+            Framework::Pillow,
+            &[Framework::Pillow, Framework::NumPy, Framework::Matplotlib],
+        ),
     ];
     for i in 0..56u32 {
         let (tag, main, fws) = mixes[(i % 5) as usize];
@@ -116,11 +131,26 @@ pub fn study_corpus(reg: &ApiRegistry) -> Vec<StudySketch> {
         // load/process cycle.
         let cycles = if i % 7 == 0 { 2 } else { 1 };
         for _ in 0..cycles {
-            pick(ApiType::DataLoading, rng.gen_range(1..=3), &mut rng, &mut calls);
-            pick(ApiType::DataProcessing, rng.gen_range(3..=12), &mut rng, &mut calls);
+            pick(
+                ApiType::DataLoading,
+                rng.gen_range(1..=3),
+                &mut rng,
+                &mut calls,
+            );
+            pick(
+                ApiType::DataProcessing,
+                rng.gen_range(3..=12),
+                &mut rng,
+                &mut calls,
+            );
         }
         if rng.gen_bool(0.55) {
-            pick(ApiType::Visualizing, rng.gen_range(1..=3), &mut rng, &mut calls);
+            pick(
+                ApiType::Visualizing,
+                rng.gen_range(1..=3),
+                &mut rng,
+                &mut calls,
+            );
         }
         pick(ApiType::Storing, rng.gen_range(1..=2), &mut rng, &mut calls);
         out.push(StudySketch {
@@ -144,12 +174,7 @@ pub struct Table3Cell {
 }
 
 /// Computes the Table 3 matrix from the corpus.
-pub fn table3(
-    reg: &ApiRegistry,
-    corpus: &[StudySketch],
-    fw: Framework,
-    t: ApiType,
-) -> Table3Cell {
+pub fn table3(reg: &ApiRegistry, corpus: &[StudySketch], fw: Framework, t: ApiType) -> Table3Cell {
     let counts: Vec<usize> = corpus
         .iter()
         .map(|s| s.vulnerable_of(reg, fw, t).len())
@@ -192,7 +217,12 @@ mod tests {
         // Each app uses only a handful of vulnerable APIs per type — the
         // paper's takeaway (loading/processing agents hold 2~3 on
         // average, never dozens).
-        for fw in [Framework::OpenCv, Framework::TensorFlow, Framework::Pillow, Framework::NumPy] {
+        for fw in [
+            Framework::OpenCv,
+            Framework::TensorFlow,
+            Framework::Pillow,
+            Framework::NumPy,
+        ] {
             for t in ApiType::ALL {
                 let cell = table3(&reg, &corpus, fw, t);
                 assert!(cell.avg < 4.0, "{fw} {t}: avg {}", cell.avg);

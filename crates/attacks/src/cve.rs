@@ -9,7 +9,7 @@ use freepart_frameworks::api::ApiType;
 use std::fmt;
 
 /// Vulnerability classes, matching Table 5's grouping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum VulnClass {
     /// Out-of-bounds / arbitrary memory write.
     UnauthorizedMemWrite,
@@ -55,41 +55,150 @@ pub struct CveEntry {
 /// The 18 CVEs of Table 5.
 pub const TABLE5: &[CveEntry] = &[
     // ---- unauthorized memory write (OpenCV imread family) ----
-    CveEntry { id: "CVE-2017-12604", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 9, 10, 12] },
-    CveEntry { id: "CVE-2017-12605", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 9, 10, 12] },
-    CveEntry { id: "CVE-2017-12606", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 9, 10, 12] },
-    CveEntry { id: "CVE-2017-12597", class: VulnClass::UnauthorizedMemWrite, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 8, 9, 10, 12] },
+    CveEntry {
+        id: "CVE-2017-12604",
+        class: VulnClass::UnauthorizedMemWrite,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 9, 10, 12],
+    },
+    CveEntry {
+        id: "CVE-2017-12605",
+        class: VulnClass::UnauthorizedMemWrite,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 9, 10, 12],
+    },
+    CveEntry {
+        id: "CVE-2017-12606",
+        class: VulnClass::UnauthorizedMemWrite,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 9, 10, 12],
+    },
+    CveEntry {
+        id: "CVE-2017-12597",
+        class: VulnClass::UnauthorizedMemWrite,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 8, 9, 10, 12],
+    },
     // ---- remote code execution ----
-    CveEntry { id: "CVE-2017-17760", class: VulnClass::RemoteCodeExecution, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 7, 10, 12] },
-    CveEntry { id: "CVE-2019-5063", class: VulnClass::RemoteCodeExecution, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
-    CveEntry { id: "CVE-2019-5064", class: VulnClass::RemoteCodeExecution, api: "cv2.calcOpticalFlowFarneback", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
+    CveEntry {
+        id: "CVE-2017-17760",
+        class: VulnClass::RemoteCodeExecution,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 7, 10, 12],
+    },
+    CveEntry {
+        id: "CVE-2019-5063",
+        class: VulnClass::RemoteCodeExecution,
+        api: "cv2.CascadeClassifier.detectMultiScale",
+        api_type: ApiType::DataProcessing,
+        samples: &[1, 9, 10],
+    },
+    CveEntry {
+        id: "CVE-2019-5064",
+        class: VulnClass::RemoteCodeExecution,
+        api: "cv2.calcOpticalFlowFarneback",
+        api_type: ApiType::DataProcessing,
+        samples: &[1, 9, 10],
+    },
     // ---- denial of service ----
-    CveEntry { id: "CVE-2017-14136", class: VulnClass::DenialOfService, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 7, 9, 10, 12] },
-    CveEntry { id: "CVE-2018-5269", class: VulnClass::DenialOfService, api: "cv2.imread", api_type: ApiType::DataLoading, samples: &[1, 7, 9, 10, 12] },
-    CveEntry { id: "CVE-2019-14491", class: VulnClass::DenialOfService, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
-    CveEntry { id: "CVE-2019-14492", class: VulnClass::DenialOfService, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
-    CveEntry { id: "CVE-2019-14493", class: VulnClass::DenialOfService, api: "cv2.CascadeClassifier.detectMultiScale", api_type: ApiType::DataProcessing, samples: &[1, 9, 10] },
-    CveEntry { id: "CVE-2021-29513", class: VulnClass::DenialOfService, api: "tf.nn.conv3d", api_type: ApiType::DataProcessing, samples: &[21, 23] },
-    CveEntry { id: "CVE-2021-29618", class: VulnClass::DenialOfService, api: "tf.reshape", api_type: ApiType::DataProcessing, samples: &[23] },
-    CveEntry { id: "CVE-2021-37661", class: VulnClass::DenialOfService, api: "tf.nn.avg_pool", api_type: ApiType::DataProcessing, samples: &[21, 22, 23] },
-    CveEntry { id: "CVE-2021-41198", class: VulnClass::DenialOfService, api: "tf.nn.max_pool", api_type: ApiType::DataProcessing, samples: &[20, 22] },
+    CveEntry {
+        id: "CVE-2017-14136",
+        class: VulnClass::DenialOfService,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 7, 9, 10, 12],
+    },
+    CveEntry {
+        id: "CVE-2018-5269",
+        class: VulnClass::DenialOfService,
+        api: "cv2.imread",
+        api_type: ApiType::DataLoading,
+        samples: &[1, 7, 9, 10, 12],
+    },
+    CveEntry {
+        id: "CVE-2019-14491",
+        class: VulnClass::DenialOfService,
+        api: "cv2.CascadeClassifier.detectMultiScale",
+        api_type: ApiType::DataProcessing,
+        samples: &[1, 9, 10],
+    },
+    CveEntry {
+        id: "CVE-2019-14492",
+        class: VulnClass::DenialOfService,
+        api: "cv2.CascadeClassifier.detectMultiScale",
+        api_type: ApiType::DataProcessing,
+        samples: &[1, 9, 10],
+    },
+    CveEntry {
+        id: "CVE-2019-14493",
+        class: VulnClass::DenialOfService,
+        api: "cv2.CascadeClassifier.detectMultiScale",
+        api_type: ApiType::DataProcessing,
+        samples: &[1, 9, 10],
+    },
+    CveEntry {
+        id: "CVE-2021-29513",
+        class: VulnClass::DenialOfService,
+        api: "tf.nn.conv3d",
+        api_type: ApiType::DataProcessing,
+        samples: &[21, 23],
+    },
+    CveEntry {
+        id: "CVE-2021-29618",
+        class: VulnClass::DenialOfService,
+        api: "tf.reshape",
+        api_type: ApiType::DataProcessing,
+        samples: &[23],
+    },
+    CveEntry {
+        id: "CVE-2021-37661",
+        class: VulnClass::DenialOfService,
+        api: "tf.nn.avg_pool",
+        api_type: ApiType::DataProcessing,
+        samples: &[21, 22, 23],
+    },
+    CveEntry {
+        id: "CVE-2021-41198",
+        class: VulnClass::DenialOfService,
+        api: "tf.nn.max_pool",
+        api_type: ApiType::DataProcessing,
+        samples: &[20, 22],
+    },
     // ---- additional reproduced vulnerabilities (DoS family, Table 5's
     // 17th/18th entries are imshow/resize-adjacent in our catalog) ----
-    CveEntry { id: "CVE-2018-5268", class: VulnClass::DenialOfService, api: "cv2.imshow", api_type: ApiType::Visualizing, samples: &[1, 8] },
-    CveEntry { id: "CVE-2021-25289", class: VulnClass::UnauthorizedMemWrite, api: "PIL.Image.open", api_type: ApiType::DataLoading, samples: &[4] },
+    CveEntry {
+        id: "CVE-2018-5268",
+        class: VulnClass::DenialOfService,
+        api: "cv2.imshow",
+        api_type: ApiType::Visualizing,
+        samples: &[1, 8],
+    },
+    CveEntry {
+        id: "CVE-2021-25289",
+        class: VulnClass::UnauthorizedMemWrite,
+        api: "PIL.Image.open",
+        api_type: ApiType::DataLoading,
+        samples: &[4],
+    },
 ];
 
 /// Case-study CVEs (§5.4, §A.7).
-pub const CASE_STUDY: &[CveEntry] = &[
-    CveEntry { id: "CVE-2020-10378", class: VulnClass::UnauthorizedMemRead, api: "PIL.Image.open", api_type: ApiType::DataLoading, samples: &[] },
-];
+pub const CASE_STUDY: &[CveEntry] = &[CveEntry {
+    id: "CVE-2020-10378",
+    class: VulnClass::UnauthorizedMemRead,
+    api: "PIL.Image.open",
+    api_type: ApiType::DataLoading,
+    samples: &[],
+}];
 
 /// Looks up a Table 5 / case-study CVE by id.
 pub fn find(id: &str) -> Option<&'static CveEntry> {
-    TABLE5
-        .iter()
-        .chain(CASE_STUDY.iter())
-        .find(|c| c.id == id)
+    TABLE5.iter().chain(CASE_STUDY.iter()).find(|c| c.id == id)
 }
 
 /// CVEs grouped by class, Table 5 row order.

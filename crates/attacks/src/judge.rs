@@ -84,8 +84,7 @@ pub fn judge(
                 .iter()
                 .filter(|s| !s.dest.starts_with("gui"))
                 .any(|s| {
-                    !marker.is_empty()
-                        && s.bytes.windows(marker.len()).any(|w| w == &marker[..])
+                    !marker.is_empty() && s.bytes.windows(marker.len()).any(|w| w == &marker[..])
                 });
             if leaked {
                 Verdict::Succeeded

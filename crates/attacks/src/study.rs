@@ -26,25 +26,89 @@ pub struct StudyCell {
 /// Reconstructed Fig. 7 distribution (sums to 241).
 pub const FIG7_CELLS: &[StudyCell] = &[
     // ---- Data Loading (89) ----
-    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::DenialOfService, count: 54 },
-    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::UnauthorizedMemWrite, count: 20 },
-    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::UnauthorizedMemRead, count: 11 },
-    StudyCell { api_type: ApiType::DataLoading, class: VulnClass::UnauthorizedFileRead, count: 4 },
+    StudyCell {
+        api_type: ApiType::DataLoading,
+        class: VulnClass::DenialOfService,
+        count: 54,
+    },
+    StudyCell {
+        api_type: ApiType::DataLoading,
+        class: VulnClass::UnauthorizedMemWrite,
+        count: 20,
+    },
+    StudyCell {
+        api_type: ApiType::DataLoading,
+        class: VulnClass::UnauthorizedMemRead,
+        count: 11,
+    },
+    StudyCell {
+        api_type: ApiType::DataLoading,
+        class: VulnClass::UnauthorizedFileRead,
+        count: 4,
+    },
     // ---- Data Processing (121) ----
-    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::DenialOfService, count: 59 },
-    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::UnauthorizedMemWrite, count: 50 },
-    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::UnauthorizedMemRead, count: 11 },
-    StudyCell { api_type: ApiType::DataProcessing, class: VulnClass::UnauthorizedFileRead, count: 1 },
+    StudyCell {
+        api_type: ApiType::DataProcessing,
+        class: VulnClass::DenialOfService,
+        count: 59,
+    },
+    StudyCell {
+        api_type: ApiType::DataProcessing,
+        class: VulnClass::UnauthorizedMemWrite,
+        count: 50,
+    },
+    StudyCell {
+        api_type: ApiType::DataProcessing,
+        class: VulnClass::UnauthorizedMemRead,
+        count: 11,
+    },
+    StudyCell {
+        api_type: ApiType::DataProcessing,
+        class: VulnClass::UnauthorizedFileRead,
+        count: 1,
+    },
     // ---- Storing (15) ----
-    StudyCell { api_type: ApiType::Storing, class: VulnClass::DenialOfService, count: 10 },
-    StudyCell { api_type: ApiType::Storing, class: VulnClass::UnauthorizedMemWrite, count: 3 },
-    StudyCell { api_type: ApiType::Storing, class: VulnClass::UnauthorizedMemRead, count: 1 },
-    StudyCell { api_type: ApiType::Storing, class: VulnClass::UnauthorizedFileRead, count: 1 },
+    StudyCell {
+        api_type: ApiType::Storing,
+        class: VulnClass::DenialOfService,
+        count: 10,
+    },
+    StudyCell {
+        api_type: ApiType::Storing,
+        class: VulnClass::UnauthorizedMemWrite,
+        count: 3,
+    },
+    StudyCell {
+        api_type: ApiType::Storing,
+        class: VulnClass::UnauthorizedMemRead,
+        count: 1,
+    },
+    StudyCell {
+        api_type: ApiType::Storing,
+        class: VulnClass::UnauthorizedFileRead,
+        count: 1,
+    },
     // ---- Visualizing (16) ----
-    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::DenialOfService, count: 11 },
-    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::UnauthorizedMemWrite, count: 1 },
-    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::UnauthorizedMemRead, count: 1 },
-    StudyCell { api_type: ApiType::Visualizing, class: VulnClass::UnauthorizedFileRead, count: 3 },
+    StudyCell {
+        api_type: ApiType::Visualizing,
+        class: VulnClass::DenialOfService,
+        count: 11,
+    },
+    StudyCell {
+        api_type: ApiType::Visualizing,
+        class: VulnClass::UnauthorizedMemWrite,
+        count: 1,
+    },
+    StudyCell {
+        api_type: ApiType::Visualizing,
+        class: VulnClass::UnauthorizedMemRead,
+        count: 1,
+    },
+    StudyCell {
+        api_type: ApiType::Visualizing,
+        class: VulnClass::UnauthorizedFileRead,
+        count: 3,
+    },
 ];
 
 /// Per-framework CVE totals of the study corpus.
@@ -76,10 +140,7 @@ mod tests {
     #[test]
     fn totals_sum_to_241() {
         assert_eq!(total(), 241);
-        assert_eq!(
-            FRAMEWORK_TOTALS.iter().map(|(_, n)| n).sum::<u32>(),
-            241
-        );
+        assert_eq!(FRAMEWORK_TOTALS.iter().map(|(_, n)| n).sum::<u32>(), 241);
     }
 
     #[test]

@@ -190,7 +190,11 @@ mod tests {
         rt.call("cv2.GaussianBlur", &[img]).unwrap();
         assert_eq!(rt.process_count(), 1);
         assert_eq!(rt.kernel.metrics().ipc_messages, 0, "no IPC at all");
-        assert_eq!(rt.kernel.metrics().copied_bytes, 0, "no cross-process copies");
+        assert_eq!(
+            rt.kernel.metrics().copied_bytes,
+            0,
+            "no cross-process copies"
+        );
     }
 
     #[test]
@@ -208,7 +212,11 @@ mod tests {
         };
         seed(&mut rt, "/evil.simg", Some(&payload));
         rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap();
-        assert_eq!(rt.fetch_bytes(secret).unwrap(), b"EVIL", "corruption landed");
+        assert_eq!(
+            rt.fetch_bytes(secret).unwrap(),
+            b"EVIL",
+            "corruption landed"
+        );
     }
 
     #[test]
@@ -225,7 +233,9 @@ mod tests {
             }],
         };
         seed(&mut rt, "/evil.simg", Some(&payload));
-        let err = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+        let err = rt
+            .call("cv2.imread", &[Value::from("/evil.simg")])
+            .unwrap_err();
         // The write faulted — data protected — but the fault killed the
         // only process: the DoS the paper's Table 1 row 5 concedes.
         assert!(matches!(err, CallError::AgentCrashed(_)));
@@ -241,10 +251,7 @@ mod tests {
     fn memory_based_does_not_stop_code_rewrite() {
         let mut rt = MonolithicRuntime::memory_based(standard_registry());
         rt.finish_setup();
-        let code = rt
-            .kernel
-            .alloc(rt.host_pid(), 4096, Perms::RX)
-            .unwrap();
+        let code = rt.kernel.alloc(rt.host_pid(), 4096, Perms::RX).unwrap();
         let payload = ExploitPayload {
             cve: "CVE-2017-12597".into(),
             actions: vec![ExploitAction::RewriteCode { addr: code.0 }],

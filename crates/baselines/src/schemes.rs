@@ -115,7 +115,10 @@ pub fn build(kind: SchemeKind, reg: ApiRegistry, app_universe: &[ApiId]) -> Box<
                 transport: Transport::Pipe,
                 ..Policy::default()
             });
-            Box::new(Named(Runtime::install(reg, policy), "Code-based: API & Data"))
+            Box::new(Named(
+                Runtime::install(reg, policy),
+                "Code-based: API & Data",
+            ))
         }
         SchemeKind::LibraryEntire => {
             let policy = baseline_common(Policy {
@@ -230,10 +233,16 @@ mod tests {
     use freepart_frameworks::{fileio, image::Image, ExploitAction, ExploitPayload, Value};
 
     fn universe(reg: &ApiRegistry) -> Vec<ApiId> {
-        ["cv2.imread", "cv2.GaussianBlur", "cv2.erode", "cv2.imshow", "cv2.imwrite"]
-            .iter()
-            .map(|n| reg.id_of(n).unwrap())
-            .collect()
+        [
+            "cv2.imread",
+            "cv2.GaussianBlur",
+            "cv2.erode",
+            "cv2.imshow",
+            "cv2.imwrite",
+        ]
+        .iter()
+        .map(|n| reg.id_of(n).unwrap())
+        .collect()
     }
 
     fn seed(surface: &mut dyn ApiSurface, path: &str, payload: Option<&ExploitPayload>) {
@@ -254,7 +263,8 @@ mod tests {
             s.finish_setup();
             let img = s.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
             let b = s.call("cv2.GaussianBlur", &[img]).unwrap();
-            s.call("cv2.imwrite", &[Value::from("/out.simg"), b]).unwrap();
+            s.call("cv2.imwrite", &[Value::from("/out.simg"), b])
+                .unwrap();
             assert!(
                 s.kernel().fs.exists("/out.simg"),
                 "{}: output missing",
@@ -356,7 +366,10 @@ mod tests {
             .next()
             .map(|m| m.home)
             .expect("library object exists");
-        let code = s.kernel_mut().alloc(lib_pid, 4096, freepart_simos::Perms::RX).unwrap();
+        let code = s
+            .kernel_mut()
+            .alloc(lib_pid, 4096, freepart_simos::Perms::RX)
+            .unwrap();
         let payload = ExploitPayload {
             cve: "CVE-2017-12597".into(),
             actions: vec![ExploitAction::RewriteCode { addr: code.0 }],

@@ -57,9 +57,7 @@ pub trait ApiSurface {
 
     /// Simultaneous access to the pieces attack judgment needs:
     /// mutable kernel (memory reads), object store, and host pid.
-    fn attack_view(
-        &mut self,
-    ) -> (&mut Kernel, &freepart_frameworks::ObjectStore, Pid);
+    fn attack_view(&mut self) -> (&mut Kernel, &freepart_frameworks::ObjectStore, Pid);
 
     /// Address of an executable code page in the process that runs
     /// `cv2.imread` — the target of code-rewriting exploits.
@@ -120,9 +118,7 @@ impl ApiSurface for Runtime {
         &self.exploit_log
     }
 
-    fn attack_view(
-        &mut self,
-    ) -> (&mut Kernel, &freepart_frameworks::ObjectStore, Pid) {
+    fn attack_view(&mut self) -> (&mut Kernel, &freepart_frameworks::ObjectStore, Pid) {
         let host = Runtime::host_pid(self);
         (&mut self.kernel, &self.objects, host)
     }

@@ -59,7 +59,9 @@ fn bench_hook_overhead(c: &mut Criterion) {
     group.bench_function("hooked_rpc", |b| {
         let mut rt = Runtime::install(standard_registry(), Policy::freepart());
         let img = Image::new(16, 16, 3);
-        rt.kernel.fs.put("/b.simg", fileio::encode_image(&img, None));
+        rt.kernel
+            .fs
+            .put("/b.simg", fileio::encode_image(&img, None));
         b.iter(|| {
             std::hint::black_box(rt.call("cv2.imread", &[Value::from("/b.simg")]).unwrap());
         });
@@ -85,22 +87,26 @@ fn bench_data_movement(c: &mut Criterion) {
                 std::mem::swap(&mut to, &mut from);
             });
         });
-        group.bench_with_input(BenchmarkId::new("eager_via_host", size), &size, |b, &size| {
-            let mut kernel = Kernel::new();
-            let host = kernel.spawn("host");
-            let a = kernel.spawn("a");
-            let bb = kernel.spawn("b");
-            let mut store = ObjectStore::new();
-            let id = store
-                .create_with_data(&mut kernel, a, ObjectKind::Blob, "x", &vec![1u8; size])
-                .unwrap();
-            let mut to = bb;
-            let mut from = a;
-            b.iter(|| {
-                store.migrate_via(&mut kernel, id, host, to).unwrap();
-                std::mem::swap(&mut to, &mut from);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eager_via_host", size),
+            &size,
+            |b, &size| {
+                let mut kernel = Kernel::new();
+                let host = kernel.spawn("host");
+                let a = kernel.spawn("a");
+                let bb = kernel.spawn("b");
+                let mut store = ObjectStore::new();
+                let id = store
+                    .create_with_data(&mut kernel, a, ObjectKind::Blob, "x", &vec![1u8; size])
+                    .unwrap();
+                let mut to = bb;
+                let mut from = a;
+                b.iter(|| {
+                    store.migrate_via(&mut kernel, id, host, to).unwrap();
+                    std::mem::swap(&mut to, &mut from);
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -128,7 +134,8 @@ fn bench_temporal_transition(c: &mut Criterion) {
                 (kernel, store, sm)
             },
             |(mut kernel, store, mut sm)| {
-                sm.observe(ApiType::DataLoading, &mut kernel, &store).unwrap();
+                sm.observe(ApiType::DataLoading, &mut kernel, &store)
+                    .unwrap();
                 sm.observe(ApiType::DataProcessing, &mut kernel, &store)
                     .unwrap();
             },

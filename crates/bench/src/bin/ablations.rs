@@ -64,7 +64,9 @@ fn m2_temporal_prevented(policy: Policy) -> bool {
         let gray_id = gray.as_obj().unwrap();
         // Processing begins: gray migrates into the processing agent and
         // (with temporal protection) locks.
-        let blurred = rt.call("cv2.GaussianBlur", &[gray.clone()]).unwrap();
+        let blurred = rt
+            .call("cv2.GaussianBlur", std::slice::from_ref(&gray))
+            .unwrap();
         let clf = rt
             .call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")])
             .unwrap();
@@ -85,7 +87,10 @@ fn m2_temporal_prevented(policy: Policy) -> bool {
     let log = rt.exploit_log.clone();
     let (kernel, objects, host) = rt.attack_view();
     judge(
-        &AttackGoal::CorruptObject { id: gray_id, original },
+        &AttackGoal::CorruptObject {
+            id: gray_id,
+            original,
+        },
         kernel,
         objects,
         host,
@@ -153,19 +158,34 @@ fn dos_completed(policy: Policy) -> u32 {
 
 fn main() {
     let ablations: [Ablation; 5] = [
-        Ablation { name: "full FreePart", policy: Policy::freepart },
-        Ablation { name: "without LDC", policy: Policy::without_ldc },
+        Ablation {
+            name: "full FreePart",
+            policy: Policy::freepart,
+        },
+        Ablation {
+            name: "without LDC",
+            policy: Policy::without_ldc,
+        },
         Ablation {
             name: "without syscall restriction",
-            policy: || Policy { sandbox: SandboxLevel::None, ..Policy::freepart() },
+            policy: || Policy {
+                sandbox: SandboxLevel::None,
+                ..Policy::freepart()
+            },
         },
         Ablation {
             name: "without temporal protection",
-            policy: || Policy { temporal_protection: false, ..Policy::freepart() },
+            policy: || Policy {
+                temporal_protection: false,
+                ..Policy::freepart()
+            },
         },
         Ablation {
             name: "without restart",
-            policy: || Policy { restart: RestartPolicy::StayDown, ..Policy::freepart() },
+            policy: || Policy {
+                restart: RestartPolicy::StayDown,
+                ..Policy::freepart()
+            },
         },
     ];
     let base = time_of(Policy::freepart());

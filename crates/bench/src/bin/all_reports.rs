@@ -5,9 +5,26 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-        "table9", "table10", "table11", "table12", "fig3", "fig4", "fig6", "fig7", "fig13",
-        "security_analysis", "case_studies", "ablations",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "table10",
+        "table11",
+        "table12",
+        "fig3",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig13",
+        "security_analysis",
+        "case_studies",
+        "ablations",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

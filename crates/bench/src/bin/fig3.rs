@@ -12,7 +12,11 @@ fn main() {
     rt.kernel.reset_accounting();
     omr::run(&mut rt, &OmrConfig::benign(2));
 
-    let mut t = Table::new(["virtual time", "framework state entered", "objects locked read-only"]);
+    let mut t = Table::new([
+        "virtual time",
+        "framework state entered",
+        "objects locked read-only",
+    ]);
     for (ns, state, locked) in rt.state_timeline() {
         t.row([
             format!("{:.3} ms", ns as f64 / 1e6),

@@ -9,7 +9,10 @@ fn main() {
     let points = fig4_sweep(25, seeds);
     let base = points[0].1;
     println!("\n== Fig. 4 — Runtime vs number of partitions (measured, {seeds} seeds/point) ==");
-    println!("{:>10} {:>12} {:>10}  bar", "partitions", "avg time ms", "vs 4-part");
+    println!(
+        "{:>10} {:>12} {:>10}  bar",
+        "partitions", "avg time ms", "vs 4-part"
+    );
     let max = points.iter().map(|p| p.1).fold(0.0f64, f64::max);
     for (n, t) in &points {
         let bar_len = (t / max * 40.0) as usize;

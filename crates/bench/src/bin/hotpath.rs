@@ -1,0 +1,181 @@
+//! Hooked-call **data-plane hot path** benchmark.
+//!
+//! Drives the two end-to-end pipelines — the OMR grader and the drone
+//! control loop — under every scheme in [`SchemeKind::ALL`] plus
+//! FreePart with lazy data copy disabled, and reports each run's
+//! virtual time as overhead relative to the monolithic original.
+//!
+//! Results land in `BENCH_hotpath.json` at the repo root (hand-rolled
+//! JSON; the suite carries no serde) and as a table on stdout.
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p freepart-bench --bin hotpath
+//! ```
+
+use freepart::Policy;
+use freepart_apps::{drone, omr};
+use freepart_baselines::{build, ApiSurface, SchemeKind};
+use freepart_bench::experiments::omr_workload;
+use freepart_bench::fmt::pct;
+use freepart_bench::{fast_install, Table};
+use freepart_frameworks::api::{ApiId, ApiRegistry};
+use freepart_frameworks::registry::standard_registry;
+
+/// One scheme × pipeline measurement.
+struct Run {
+    scheme: &'static str,
+    pipeline: &'static str,
+    time_ns: u64,
+    ipc: u64,
+    transfer_bytes: u64,
+    copy_ops: u64,
+    processes: usize,
+    /// `time / original_time - 1`; 0 for the baseline itself.
+    overhead: f64,
+}
+
+/// APIs the drone control loop touches (its per-API baseline universe).
+fn drone_universe(reg: &ApiRegistry) -> Vec<ApiId> {
+    [
+        "cv2.VideoCapture",
+        "cv2.VideoCapture.read",
+        "cv2.imwrite",
+        "cv2.imread",
+        "cv2.cvtColor",
+        "cv2.findContours",
+    ]
+    .iter()
+    .map(|n| reg.id_of(n).expect("catalog API"))
+    .collect()
+}
+
+fn drone_workload() -> drone::DroneConfig {
+    drone::DroneConfig {
+        frames: 12,
+        evil_frame: None,
+    }
+}
+
+/// Runs one pipeline on a surface and returns its metrics row.
+fn measure(scheme: &'static str, pipeline: &'static str, surface: &mut dyn ApiSurface) -> Run {
+    surface.kernel_mut().reset_accounting();
+    match pipeline {
+        "omr" => {
+            let r = omr::run(surface, &omr_workload());
+            assert!(r.completed > 0, "workload must actually run");
+        }
+        "drone" => {
+            let r = drone::run(surface, &drone_workload());
+            assert!(r.frames_processed > 0, "workload must actually run");
+        }
+        _ => unreachable!(),
+    }
+    let m = surface.kernel().metrics();
+    Run {
+        scheme,
+        pipeline,
+        time_ns: surface.kernel().clock().now_ns(),
+        ipc: m.ipc_messages,
+        transfer_bytes: m.total_transfer_bytes(),
+        copy_ops: m.copy_ops,
+        processes: surface.process_count(),
+        overhead: 0.0,
+    }
+}
+
+fn pipeline_runs(pipeline: &'static str, universe: &[ApiId]) -> Vec<Run> {
+    let mut rows = Vec::new();
+    for kind in SchemeKind::ALL {
+        let mut surface = build(kind, standard_registry(), universe);
+        rows.push(measure(kind.name(), pipeline, surface.as_mut()));
+    }
+    // FreePart with eager (through-host) copies instead of LDC.
+    let mut rt = fast_install(Policy::without_ldc());
+    rows.push(measure("FreePart (no LDC)", pipeline, &mut rt));
+
+    let base_ns = rows
+        .iter()
+        .find(|r| r.scheme == SchemeKind::Original.name())
+        .expect("original baseline present")
+        .time_ns
+        .max(1);
+    for r in &mut rows {
+        r.overhead = r.time_ns as f64 / base_ns as f64 - 1.0;
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(rows: &[Run]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"pipeline\": \"{}\", \"time_ns\": {}, \
+             \"overhead_vs_original\": {:.6}, \"ipc\": {}, \"transfer_bytes\": {}, \
+             \"copy_ops\": {}, \"processes\": {}}}{}\n",
+            json_escape(r.scheme),
+            r.pipeline,
+            r.time_ns,
+            r.overhead,
+            r.ipc,
+            r.transfer_bytes,
+            r.copy_ops,
+            r.processes,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let reg = standard_registry();
+    let mut rows = pipeline_runs("omr", &omr::omr_universe(&reg));
+    rows.extend(pipeline_runs("drone", &drone_universe(&reg)));
+
+    let mut table = Table::new([
+        "Pipeline",
+        "Scheme",
+        "Time (ms)",
+        "Overhead",
+        "IPC",
+        "Copies",
+        "Procs",
+    ]);
+    for r in &rows {
+        table.row([
+            r.pipeline.to_owned(),
+            r.scheme.to_owned(),
+            format!("{:.3}", r.time_ns as f64 / 1e6),
+            pct(r.overhead),
+            r.ipc.to_string(),
+            r.copy_ops.to_string(),
+            r.processes.to_string(),
+        ]);
+    }
+    table.print("Hooked-call data-plane overhead (virtual time)");
+
+    // The whole point of LDC: on the OMR pipeline, lazy copies must not
+    // be slower than eager through-host copies.
+    let omr_time = |scheme: &str| {
+        rows.iter()
+            .find(|r| r.pipeline == "omr" && r.scheme == scheme)
+            .expect("row present")
+            .time_ns
+    };
+    let ldc = omr_time(SchemeKind::FreePart.name());
+    let eager = omr_time("FreePart (no LDC)");
+    assert!(
+        ldc <= eager,
+        "LDC regressed: {ldc} ns with LDC vs {eager} ns eager"
+    );
+    println!("\nLDC check: {ldc} ns (lazy) <= {eager} ns (eager) ✓");
+
+    let json = to_json(&rows);
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json ({} runs)", rows.len());
+}

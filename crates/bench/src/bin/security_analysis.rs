@@ -11,7 +11,13 @@ use freepart_frameworks::{fileio, image::Image, Value};
 
 fn main() {
     // ---- per-CVE containment sweep ----
-    let mut t = Table::new(["CVE", "API", "exploit fired", "host survived", "fully prevented"]);
+    let mut t = Table::new([
+        "CVE",
+        "API",
+        "exploit fired",
+        "host survived",
+        "fully prevented",
+    ]);
     let mut all_ok = true;
     for v in cve_sweep() {
         all_ok &= v.fired && v.host_survived && v.fully_prevented;

@@ -45,7 +45,10 @@ fn main() {
         };
         t.row([
             row.framework.to_string(),
-            format!("{:.1}% ({}/{})", row.api_pct, row.apis_covered, row.apis_total),
+            format!(
+                "{:.1}% ({}/{})",
+                row.api_pct, row.apis_covered, row.apis_total
+            ),
             format!("{:.1}%", row.code_pct),
             (*api_p).to_owned(),
             (*code_p).to_owned(),

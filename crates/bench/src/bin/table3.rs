@@ -10,8 +10,19 @@ fn main() {
     let reg = standard_registry();
     let corpus = study_corpus(&reg);
     let mut t = Table::new([
-        "Framework", "DL avg", "DL max", "DL tot", "DP avg", "DP max", "DP tot", "VZ avg",
-        "VZ max", "VZ tot", "ST avg", "ST max", "ST tot",
+        "Framework",
+        "DL avg",
+        "DL max",
+        "DL tot",
+        "DP avg",
+        "DP max",
+        "DP tot",
+        "VZ avg",
+        "VZ max",
+        "VZ tot",
+        "ST avg",
+        "ST max",
+        "ST tot",
     ]);
     let fws = [
         Framework::OpenCv,

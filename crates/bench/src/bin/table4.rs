@@ -27,7 +27,11 @@ fn main() {
             if names.is_empty() {
                 continue;
             }
-            t.row([fw.to_string(), ty.short().to_owned(), format!("{}, ...", names.join(", "))]);
+            t.row([
+                fw.to_string(),
+                ty.short().to_owned(),
+                format!("{}, ...", names.join(", ")),
+            ]);
         }
     }
     t.print("Table 4 — API type categorization examples (hybrid analysis output)");

@@ -12,7 +12,15 @@ use std::collections::{BTreeMap, BTreeSet};
 fn main() {
     let reg = standard_registry();
     let mut t = Table::new([
-        "ID", "Name", "Lang", "SLOC", "DL u/t", "DP u/t", "VZ u/t", "ST u/t", "Description",
+        "ID",
+        "Name",
+        "Lang",
+        "SLOC",
+        "DL u/t",
+        "DP u/t",
+        "VZ u/t",
+        "ST u/t",
+        "Description",
     ]);
     for spec in TABLE6 {
         let app = resolve(spec, &reg);

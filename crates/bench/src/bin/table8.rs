@@ -56,10 +56,10 @@ fn api_rubric(kind: SchemeKind) -> (bool, bool, bool, bool) {
     let isolated = cve_apis_isolated(kind);
     let g = granularity(kind, &reg, &universe);
     (
-        isolated >= 1,               // vulnerable imread isolated
-        isolated >= 2,               // vulnerable imshow isolated too
-        g.len() >= 4,                // APIs distributed in 5+ processes (incl. host)
-        g.len() >= universe.len(),   // APIs isolated in individual processes
+        isolated >= 1,             // vulnerable imread isolated
+        isolated >= 2,             // vulnerable imshow isolated too
+        g.len() >= 4,              // APIs distributed in 5+ processes (incl. host)
+        g.len() >= universe.len(), // APIs isolated in individual processes
     )
 }
 
@@ -80,7 +80,15 @@ fn main() {
         let (mitigated, not_shared) = data_rubric(kind);
         let (a, b, c, d) = api_rubric(kind);
         let y = |b: bool| if b { "yes" } else { "no" };
-        t.row([kind.name(), y(mitigated), y(not_shared), y(a), y(b), y(c), y(d)]);
+        t.row([
+            kind.name(),
+            y(mitigated),
+            y(not_shared),
+            y(a),
+            y(b),
+            y(c),
+            y(d),
+        ]);
     }
     t.print("Table 8 — Security-level rubric (measured)");
     println!(

@@ -7,7 +7,6 @@
 
 use freepart::{PartitionPlan, Policy, Runtime};
 use freepart_analysis::{HybridReport, SyscallProfile};
-use std::sync::OnceLock;
 use freepart_apps::omr::{self, OmrConfig};
 use freepart_apps::{resolve, run_app, RunOptions, TABLE6};
 use freepart_attacks::{judge, payloads, AttackGoal};
@@ -15,6 +14,7 @@ use freepart_baselines::{build, ApiSurface, SchemeKind};
 use freepart_frameworks::api::{ApiId, ApiRegistry, ApiType};
 use freepart_frameworks::registry::standard_registry;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Hybrid analysis over the standard catalog, computed once per process
 /// (every `Runtime::install` would otherwise redo the full dynamic pass).
@@ -112,18 +112,15 @@ pub fn omr_attacks(kind: SchemeKind) -> SchemeAttacks {
         let addr = {
             let (_, _, mut probe) = fresh(kind);
             let r = omr::run(probe.as_mut(), &OmrConfig::benign(0));
-            probe
-                .objects()
-                .meta(r.template)
-                .unwrap()
-                .buffer
-                .unwrap()
-                .0
+            probe.objects().meta(r.template).unwrap().buffer.unwrap().0
         };
         let cfg = OmrConfig {
             samples: 3,
             boxes_per_sample: 2,
-            evil_sample: Some((1, payloads::corrupt("CVE-2017-12597", addr.0, vec![0xEE; 32]))),
+            evil_sample: Some((
+                1,
+                payloads::corrupt("CVE-2017-12597", addr.0, vec![0xEE; 32]),
+            )),
             evil_imshow: None,
         };
         let r = omr::run(s.as_mut(), &cfg);
@@ -224,11 +221,7 @@ pub fn mean_std(v: &[usize]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = v.iter().sum::<usize>() as f64 / v.len() as f64;
-    let var = v
-        .iter()
-        .map(|&x| (x as f64 - mean).powi(2))
-        .sum::<f64>()
-        / v.len() as f64;
+    let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -459,10 +452,8 @@ pub fn cve_sweep() -> Vec<CveVerdict> {
             && rt.exploit_log.iter().all(|r| {
                 // CrashSelf "achieves" a crash — of the agent only; the
                 // DoS goal (host down) is what's judged.
-                matches!(
-                    r.action,
-                    freepart_frameworks::ExploitAction::CrashSelf
-                ) || !r.outcome.achieved()
+                matches!(r.action, freepart_frameworks::ExploitAction::CrashSelf)
+                    || !r.outcome.achieved()
             });
         out.push(CveVerdict {
             id: cve.id,
@@ -606,7 +597,11 @@ mod tests {
     fn sample_app_overhead_is_small() {
         // OMRChecker (id 8) through the generic driver.
         let o = app_overhead(8);
-        assert!(o.overhead() > 0.0 && o.overhead() < 0.15, "{}", o.overhead());
+        assert!(
+            o.overhead() > 0.0 && o.overhead() < 0.15,
+            "{}",
+            o.overhead()
+        );
         assert!(
             o.overhead_no_ldc() > o.overhead(),
             "LDC must help: {} vs {}",

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of one partition (and its agent process).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionId(pub u32);
 
 impl fmt::Display for PartitionId {
@@ -195,10 +195,7 @@ mod tests {
         let a = plan.partition_of(ApiId(0), ApiType::DataLoading);
         let b = plan.partition_of(ApiId(1), ApiType::Storing);
         assert_ne!(a, b);
-        assert_eq!(
-            plan.partition_of_type(ApiType::DataLoading),
-            PartitionId(0)
-        );
+        assert_eq!(plan.partition_of_type(ApiType::DataLoading), PartitionId(0));
     }
 
     #[test]

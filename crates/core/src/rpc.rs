@@ -16,7 +16,7 @@ use freepart_frameworks::Value;
 use std::collections::BTreeMap;
 
 /// A marshalled API-call request.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Monotone per-runtime sequence number.
     pub seq: u64,
@@ -26,10 +26,31 @@ pub struct Request {
     pub args: Vec<Value>,
 }
 
+/// Frame magic distinguishing request frames from stray ring bytes.
+const REQ_MAGIC: u16 = 0xF9A1;
+/// Frame magic for response frames.
+const RESP_MAGIC: u16 = 0xF9A2;
+
 impl Request {
-    /// Serialized wire bytes.
+    /// Appends the binary frame to `out` without intermediate
+    /// allocations: `[magic][seq][api][argc][tag-prefixed args...]`.
+    /// Callers on the hot path keep one scratch buffer and `clear()` it
+    /// between calls.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&REQ_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.api.0.to_le_bytes());
+        out.extend_from_slice(&(self.args.len() as u32).to_le_bytes());
+        for arg in &self.args {
+            arg.encode_into(out);
+        }
+    }
+
+    /// Serialized wire bytes (fresh buffer convenience).
     pub fn encode(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("request serializes")
+        let mut out = Vec::with_capacity(self.wire_size() as usize);
+        self.encode_into(&mut out);
+        out
     }
 
     /// Decodes wire bytes.
@@ -38,7 +59,22 @@ impl Request {
     ///
     /// Returns `None` on malformed frames.
     pub fn decode(bytes: &[u8]) -> Option<Request> {
-        serde_json::from_slice(bytes).ok()
+        let magic = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?);
+        if magic != REQ_MAGIC {
+            return None;
+        }
+        let seq = u64::from_le_bytes(bytes.get(2..10)?.try_into().ok()?);
+        let api = ApiId(u16::from_le_bytes(bytes.get(10..12)?.try_into().ok()?));
+        let argc = u32::from_le_bytes(bytes.get(12..16)?.try_into().ok()?) as usize;
+        let mut pos = 16;
+        let mut args = Vec::with_capacity(argc.min(64));
+        for _ in 0..argc {
+            args.push(Value::decode_from(bytes, &mut pos)?);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(Request { seq, api, args })
     }
 
     /// Wire size used for cost accounting: header + per-arg sizes
@@ -49,7 +85,7 @@ impl Request {
 }
 
 /// A marshalled API-call response.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Echoed sequence number.
     pub seq: u64,
@@ -58,14 +94,33 @@ pub struct Response {
 }
 
 impl Response {
-    /// Serialized wire bytes.
+    /// Appends the binary frame to `out`: `[magic][seq][result]`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&RESP_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        self.result.encode_into(out);
+    }
+
+    /// Serialized wire bytes (fresh buffer convenience).
     pub fn encode(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("response serializes")
+        let mut out = Vec::with_capacity(self.wire_size() as usize);
+        self.encode_into(&mut out);
+        out
     }
 
     /// Decodes wire bytes.
     pub fn decode(bytes: &[u8]) -> Option<Response> {
-        serde_json::from_slice(bytes).ok()
+        let magic = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?);
+        if magic != RESP_MAGIC {
+            return None;
+        }
+        let seq = u64::from_le_bytes(bytes.get(2..10)?.try_into().ok()?);
+        let mut pos = 10;
+        let result = Value::decode_from(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(Response { seq, result })
     }
 
     /// Wire size for cost accounting.
@@ -139,6 +194,34 @@ mod tests {
             result: Value::Rects(vec![]),
         };
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn frames_are_magic_tagged_and_length_checked() {
+        let req = Request {
+            seq: 9,
+            api: ApiId(2),
+            args: vec![Value::I64(5)],
+        };
+        let resp = Response {
+            seq: 9,
+            result: Value::Unit,
+        };
+        // A request frame is not a response frame and vice versa.
+        assert!(Response::decode(&req.encode()).is_none());
+        assert!(Request::decode(&resp.encode()).is_none());
+        // Trailing garbage is rejected, not silently ignored.
+        let mut padded = req.encode();
+        padded.push(0);
+        assert!(Request::decode(&padded).is_none());
+        // encode_into appends to an existing scratch buffer.
+        let mut scratch = Vec::new();
+        req.encode_into(&mut scratch);
+        let first_len = scratch.len();
+        scratch.clear();
+        req.encode_into(&mut scratch);
+        assert_eq!(scratch.len(), first_len);
+        assert_eq!(Request::decode(&scratch).unwrap(), req);
     }
 
     #[test]

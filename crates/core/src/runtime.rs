@@ -26,7 +26,7 @@ use freepart_frameworks::exec::execute;
 use freepart_frameworks::{
     ActionReport, ApiCtx, FrameworkError, ObjectId, ObjectKind, ObjectStore, Value,
 };
-use freepart_simos::{Addr, ChannelId, Kernel, Perms, Pid};
+use freepart_simos::{Addr, ChannelId, FaultKind, Kernel, Perms, Pid};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -53,6 +53,40 @@ const THREAD_STRIDE: u32 = 1_000;
 
 fn thread_partition(thread: ThreadId, p: PartitionId) -> PartitionId {
     PartitionId(thread.0 * THREAD_STRIDE + p.0)
+}
+
+/// Precomputed `ApiId → PartitionId` routing, shared by install-time
+/// agent creation, per-thread agent spawning, and the per-call hot path.
+/// Built once from the partition plan and the hybrid categorization so
+/// no caller re-runs the full `plan.group` computation.
+#[derive(Debug, Clone)]
+struct RoutingTable {
+    /// Canonical partition per catalog API.
+    by_api: BTreeMap<ApiId, PartitionId>,
+    /// API universe per partition (each agent's filter-building set).
+    groups: BTreeMap<PartitionId, BTreeSet<ApiId>>,
+    /// Every partition an agent set must cover (plan partitions plus
+    /// any partition the grouping routed an API to).
+    partitions: BTreeSet<PartitionId>,
+}
+
+impl RoutingTable {
+    fn build(reg: &ApiRegistry, report: &HybridReport, policy: &Policy) -> RoutingTable {
+        let mut by_api = BTreeMap::new();
+        let mut groups: BTreeMap<PartitionId, BTreeSet<ApiId>> = BTreeMap::new();
+        for spec in reg.iter() {
+            let p = policy.plan.partition_of(spec.id, report.type_of(spec.id));
+            by_api.insert(spec.id, p);
+            groups.entry(p).or_default().insert(spec.id);
+        }
+        let mut partitions: BTreeSet<PartitionId> = policy.plan.partitions().into_iter().collect();
+        partitions.extend(groups.keys().copied());
+        RoutingTable {
+            by_api,
+            groups,
+            partitions,
+        }
+    }
 }
 
 /// One isolated agent process.
@@ -142,9 +176,13 @@ pub struct Runtime {
     profile: SyscallProfile,
     policy: Policy,
     host: Pid,
+    routes: RoutingTable,
     agents: BTreeMap<PartitionId, Agent>,
     states: BTreeMap<ThreadId, StateMachine>,
     seq: u64,
+    /// One-shot fault injection: kill this partition's agent after its
+    /// next successful execution but before the response is delivered.
+    crash_before_response: Option<PartitionId>,
     /// Exploit actions observed inside agents (drained by the harness).
     pub exploit_log: Vec<ActionReport>,
     call_log: Vec<ApiId>,
@@ -187,6 +225,10 @@ impl Runtime {
         let temporal = policy.temporal_protection;
         let mut states = BTreeMap::new();
         states.insert(ThreadId::MAIN, StateMachine::new(temporal));
+        // Route every catalog API to its partition once; install-time
+        // agent creation, spawn_thread, and the call hot path all read
+        // this table instead of recomputing the grouping.
+        let routes = RoutingTable::build(&reg, &report, &policy);
         let mut rt = Runtime {
             kernel,
             objects: ObjectStore::new(),
@@ -195,30 +237,29 @@ impl Runtime {
             profile,
             policy,
             host,
+            routes,
             agents: BTreeMap::new(),
             states,
             seq: 0,
+            crash_before_response: None,
             exploit_log: Vec::new(),
             call_log: Vec::new(),
             stats: RuntimeStats::default(),
             snapshots: BTreeMap::new(),
             pinned: BTreeMap::new(),
         };
-        // Assign every catalog API to its partition and spawn agents.
-        let universe: Vec<ApiId> = rt.reg.iter().map(|s| s.id).collect();
-        let report = &rt.report;
-        let groups = rt
-            .policy
-            .plan
-            .group(&universe, |id| report.type_of(id));
-        let mut partitions: BTreeSet<PartitionId> =
-            rt.policy.plan.partitions().into_iter().collect();
-        partitions.extend(groups.keys().copied());
-        for p in partitions {
-            let apis = groups.get(&p).cloned().unwrap_or_default();
-            rt.spawn_agent(p, apis.into_iter().collect());
-        }
+        rt.spawn_agent_set(ThreadId::MAIN);
         rt
+    }
+
+    /// Spawns one agent per routed partition for `thread`, each with the
+    /// routing table's API set for that partition.
+    fn spawn_agent_set(&mut self, thread: ThreadId) {
+        let partitions: Vec<PartitionId> = self.routes.partitions.iter().copied().collect();
+        for p in partitions {
+            let apis = self.routes.groups.get(&p).cloned().unwrap_or_default();
+            self.spawn_agent(thread_partition(thread, p), apis);
+        }
     }
 
     fn spawn_agent(&mut self, partition: PartitionId, apis: BTreeSet<ApiId>) {
@@ -291,24 +332,10 @@ impl Runtime {
     /// the paper's multi-threading model (§6). Returns the thread id to
     /// pass to [`Runtime::call_on`].
     pub fn spawn_thread(&mut self) -> ThreadId {
-        let thread = ThreadId(
-            self.states.keys().map(|t| t.0).max().unwrap_or(0) + 1,
-        );
+        let thread = ThreadId(self.states.keys().map(|t| t.0).max().unwrap_or(0) + 1);
         self.states
             .insert(thread, StateMachine::new(self.policy.temporal_protection));
-        let universe: Vec<ApiId> = self.reg.iter().map(|s| s.id).collect();
-        let report = &self.report;
-        let groups = self
-            .policy
-            .plan
-            .group(&universe, |id| report.type_of(id));
-        let mut partitions: BTreeSet<PartitionId> =
-            self.policy.plan.partitions().into_iter().collect();
-        partitions.extend(groups.keys().copied());
-        for p in partitions {
-            let apis = groups.get(&p).cloned().unwrap_or_default();
-            self.spawn_agent(thread_partition(thread, p), apis.into_iter().collect());
-        }
+        self.spawn_agent_set(thread);
         thread
     }
 
@@ -323,20 +350,26 @@ impl Runtime {
     }
 
     /// The partition an API is routed to in the *canonical* (non-neutral)
-    /// case.
+    /// case — a routing-table lookup, not a plan recomputation.
     pub fn partition_of(&self, api: ApiId) -> PartitionId {
-        self.policy.plan.partition_of(api, self.report.type_of(api))
+        self.routes
+            .by_api
+            .get(&api)
+            .copied()
+            .unwrap_or_else(|| self.policy.plan.partition_of(api, self.report.type_of(api)))
     }
 
-    /// Runtime statistics (state-machine counters summed over threads).
+    /// Runtime statistics. Transition counts sum over threads;
+    /// `protected_objects` is a true gauge — the number of *distinct*
+    /// objects currently locked, however many threads track them.
     pub fn stats(&self) -> RuntimeStats {
+        let mut distinct: BTreeSet<ObjectId> = BTreeSet::new();
+        for s in self.states.values() {
+            distinct.extend(s.protected().iter().copied());
+        }
         RuntimeStats {
             transitions: self.states.values().map(|s| s.transitions).sum(),
-            protected_objects: self
-                .states
-                .values()
-                .map(|s| s.protected().len() as u64)
-                .sum(),
+            protected_objects: distinct.len() as u64,
             ..self.stats
         }
     }
@@ -365,9 +398,7 @@ impl Runtime {
                 let p = self.policy.plan.partition_of_type(t);
                 self.agents.get(&p).map_or(self.host, |a| a.pid)
             }
-            HostDataPlacement::OwnProcessEach => {
-                self.kernel.spawn(&format!("data:{label}"))
-            }
+            HostDataPlacement::OwnProcessEach => self.kernel.spawn(&format!("data:{label}")),
         };
         let id = self
             .objects
@@ -376,23 +407,18 @@ impl Runtime {
         if self.policy.host_data == HostDataPlacement::OwnProcessEach {
             self.pinned.insert(id, home);
         }
-        self.define_on(ThreadId::MAIN, id);
+        self.define_everywhere(id);
         id
     }
 
     /// Creates a host-homed object of an arbitrary kind (driver-level
     /// plumbing for pipelines that need a pre-existing tensor/Mat).
-    pub fn host_object(
-        &mut self,
-        kind: ObjectKind,
-        label: &str,
-        bytes: &[u8],
-    ) -> ObjectId {
+    pub fn host_object(&mut self, kind: ObjectKind, label: &str, bytes: &[u8]) -> ObjectId {
         let id = self
             .objects
             .create_with_data(&mut self.kernel, self.host, kind, label, bytes)
             .expect("host is alive");
-        self.define_on(ThreadId::MAIN, id);
+        self.define_everywhere(id);
         id
     }
 
@@ -401,6 +427,15 @@ impl Runtime {
             .entry(thread)
             .or_insert_with(|| StateMachine::new(self.policy.temporal_protection))
             .define(id);
+    }
+
+    /// Registers annotated host data with *every* live thread's state
+    /// machine: critical data must stay protected no matter which thread
+    /// drives the pipeline past its defining state.
+    fn define_everywhere(&mut self, id: ObjectId) {
+        for sm in self.states.values_mut() {
+            sm.define(id);
+        }
     }
 
     /// Reads an object's payload from the host's perspective — a host
@@ -517,33 +552,53 @@ impl Runtime {
         let base_partition = if neutral {
             match self.state_of(thread) {
                 FrameworkState::InType(t) => self.policy.plan.partition_of_type(t),
-                FrameworkState::Initialization => self.policy.plan.partition_of(api, api_type),
+                FrameworkState::Initialization => self.partition_of(api),
             }
         } else {
             // Temporal protection fires on the state change, *before* the
             // API executes (Fig. 3).
             let sm = self.states.get_mut(&thread).expect("checked");
             sm.observe(api_type, &mut self.kernel, &self.objects).ok();
-            self.policy.plan.partition_of(api, api_type)
+            self.partition_of(api)
         };
         let partition = thread_partition(thread, base_partition);
 
-        let first_attempt = self.dispatch(thread, partition, api, args);
+        // One sequence number per *logical* call: a crash-retry re-sends
+        // the same seq, so an agent that completed the call just before
+        // dying answers the retry from its completion journal instead of
+        // executing the side effects a second time.
+        self.seq += 1;
+        let seq = self.seq;
+
+        let first_attempt = self.dispatch(thread, partition, seq, api, args);
         match first_attempt {
             Err(CallError::AgentCrashed(p)) if self.policy.restart == RestartPolicy::Restart => {
-                // At-least-once: respawn and re-execute once.
+                // At-least-once re-delivery of the *same* request; the
+                // completion journal upgrades it to exactly-once when the
+                // crash happened after execution.
                 self.restart_agent(p);
-                self.dispatch(thread, p, api, args)
+                self.dispatch(thread, p, seq, api, args)
             }
             other => other,
         }
     }
 
-    /// One delivery attempt to an agent.
+    /// Test hook: makes the agent serving `partition` crash right after
+    /// its next successful execution, before the response frame is
+    /// delivered — the window where a call has completed in the agent but
+    /// the host cannot know it. One-shot; used by the exactly-once
+    /// regression tests.
+    pub fn inject_crash_before_response(&mut self, partition: PartitionId) {
+        self.crash_before_response = Some(partition);
+    }
+
+    /// One delivery attempt to an agent. `seq` identifies the logical
+    /// call and is reused verbatim on crash-retries.
     fn dispatch(
         &mut self,
         thread: ThreadId,
         partition: PartitionId,
+        seq: u64,
         api: ApiId,
         args: &[Value],
     ) -> Result<Value, CallError> {
@@ -562,9 +617,8 @@ impl Runtime {
         let agent_pid = self.agents[&partition].pid;
 
         // --- request frame host → agent ---
-        self.seq += 1;
         let req = Request {
-            seq: self.seq,
+            seq,
             api,
             args: args.to_vec(),
         };
@@ -579,9 +633,18 @@ impl Runtime {
             .expect("request just sent");
         let req = Request::decode(&delivered).expect("self-encoded frame");
 
-        // Exactly-once: replay from the completion cache on duplicates.
+        // Exactly-once: a re-delivered request whose execution already
+        // completed (the agent died in the response window) is answered
+        // from the completion journal without re-running side effects.
         if let Some(cached) = self.agents[&partition].cache.replay(req.seq) {
             let cached = cached.clone();
+            let agent = self.agents.get_mut(&partition).expect("agent exists");
+            agent.calls += 1;
+            self.stats.rpc_calls += 1;
+            self.call_log.push(api);
+            if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
+                self.seal_agent(partition);
+            }
             return Ok(cached);
         }
 
@@ -608,13 +671,9 @@ impl Runtime {
             Err(e) => return Err(CallError::Framework(e)),
         };
 
-        // Track objects defined during this call in the current state.
-        let new_ids: Vec<ObjectId> = self
-            .objects
-            .iter()
-            .map(|m| m.id)
-            .filter(|id| id.0 >= watermark)
-            .collect();
+        // Track objects defined during this call in the current state —
+        // a range scan over ids past the watermark, not a store-wide one.
+        let new_ids: Vec<ObjectId> = self.objects.ids_since(watermark).collect();
         for id in new_ids {
             self.define_on(thread, id);
         }
@@ -638,6 +697,22 @@ impl Runtime {
             }
         }
 
+        // The call is now complete agent-side: journal it *before* the
+        // response leg, so a crash in the response window is recoverable
+        // by replaying the journal instead of re-executing side effects.
+        self.agents
+            .get_mut(&partition)
+            .expect("agent exists")
+            .cache
+            .complete(req.seq, result.clone());
+
+        // One-shot injected crash in exactly that window (test hook).
+        if self.crash_before_response == Some(partition) {
+            self.crash_before_response = None;
+            self.kernel.deliver_fault(agent_pid, FaultKind::Abort, None);
+            return Err(CallError::AgentCrashed(partition));
+        }
+
         // --- response frame agent → host ---
         let resp = Response {
             seq: req.seq,
@@ -652,7 +727,6 @@ impl Runtime {
 
         // --- bookkeeping ---
         let agent = self.agents.get_mut(&partition).expect("agent exists");
-        agent.cache.complete(req.seq, result.clone());
         agent.calls += 1;
         let calls = agent.calls;
         self.stats.rpc_calls += 1;
@@ -672,7 +746,8 @@ impl Runtime {
             self.seal_agent(partition);
         }
         // Periodic stateful snapshots (§A.2.4).
-        if self.policy.snapshot_interval > 0 && calls.is_multiple_of(self.policy.snapshot_interval) {
+        if self.policy.snapshot_interval > 0 && calls.is_multiple_of(self.policy.snapshot_interval)
+        {
             self.take_snapshot(partition);
         }
         Ok(result)
@@ -790,7 +865,10 @@ impl Runtime {
             if let Ok(p) = self.kernel.process_mut(pid) {
                 p.no_new_privs = true;
             }
-            self.agents.get_mut(&partition).expect("agent exists").sealed = true;
+            self.agents
+                .get_mut(&partition)
+                .expect("agent exists")
+                .sealed = true;
         }
     }
 
@@ -828,16 +906,17 @@ impl Runtime {
     }
 
     /// Respawns a crashed agent: new process, new code page, channel
-    /// rebound, filter back to the unsealed first-execution phase, and
-    /// stateful snapshots restored. Crashed-process variable values are
-    /// deliberately **not** restored (§6).
+    /// rebound, stateful snapshots restored (with temporal protection
+    /// re-applied to them), the completion journal carried over, and —
+    /// if the old process was already sealed — the syscall filter
+    /// re-sealed immediately so the sandbox never reopens in the respawn
+    /// window. Crashed-process variable values are deliberately **not**
+    /// restored (§6).
     pub fn restart_agent(&mut self, partition: PartitionId) {
-        let Some(agent) = self.agents.get(&partition) else {
+        let Some(agent) = self.agents.remove(&partition) else {
             return;
         };
         let chan = agent.chan;
-        let apis = agent.apis.clone();
-        let calls = agent.calls;
         let was_sealed = agent.sealed;
         let new_pid = self.kernel.spawn(&format!("agent:{partition}+"));
         let code_page = self
@@ -854,18 +933,23 @@ impl Runtime {
                 pid: new_pid,
                 chan,
                 code_page,
-                apis,
+                apis: agent.apis,
                 sealed: false,
-                calls,
-                cache: CompletionCache::new(64),
+                calls: agent.calls,
+                // The journal of completed calls lives with the rebound
+                // channel, not the dead process: the respawned agent can
+                // still answer re-delivered requests it already executed.
+                cache: agent.cache,
             },
         );
-        // Restore snapshotted stateful objects into the new process.
+        // Restore snapshotted stateful objects into the new process, then
+        // re-apply temporal protection — the restore writes into fresh RW
+        // pages, and restart must not leave protected objects writable.
         if let Some(entries) = self.snapshots.get(&partition).cloned() {
             for entry in entries {
-                if let Ok(addr) = self
-                    .kernel
-                    .alloc(new_pid, entry.bytes.len().max(1) as u64, Perms::RW)
+                if let Ok(addr) =
+                    self.kernel
+                        .alloc(new_pid, entry.bytes.len().max(1) as u64, Perms::RW)
                 {
                     if self.kernel.mem_write(new_pid, addr, &entry.bytes).is_ok() {
                         if let Some(meta) = self.objects.meta_mut(entry.object) {
@@ -874,13 +958,11 @@ impl Runtime {
                             meta.kind = entry.kind.clone();
                             meta.label = entry.label.clone();
                         }
+                        self.reapply_all(entry.object);
                     }
                 }
             }
         }
-        // A previously-sealed partition stays sealed across restarts:
-        // the sandbox must not reopen in the respawn window (the
-        // profile is already known; only descriptor designations reset).
         if was_sealed && self.policy.sandbox != SandboxLevel::None {
             self.seal_agent(partition);
         }

@@ -11,11 +11,11 @@
 use freepart_frameworks::api::ApiType;
 use freepart_frameworks::{ObjectId, ObjectStore};
 use freepart_simos::{Kernel, Perms, SimResult};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// The five framework states (Initialization + the four API types).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FrameworkState {
     /// Before any framework API has run.
     Initialization,
@@ -37,10 +37,14 @@ impl fmt::Display for FrameworkState {
 #[derive(Debug)]
 pub struct StateMachine {
     current: FrameworkState,
-    /// Objects defined during each state, in definition order.
+    /// Defining state per object (the reverse index of `by_state`).
     defined_in: BTreeMap<ObjectId, FrameworkState>,
+    /// Objects defined during each state. Transitions walk only the
+    /// previous and next states' sets instead of scanning every live
+    /// object, so a transition costs O(objects in those two states).
+    by_state: BTreeMap<FrameworkState, BTreeSet<ObjectId>>,
     /// Objects currently locked read-only.
-    protected: Vec<ObjectId>,
+    protected: BTreeSet<ObjectId>,
     /// Total state transitions taken.
     pub transitions: u64,
     /// `(virtual ns, new state, objects newly locked)` per transition —
@@ -55,7 +59,8 @@ impl StateMachine {
         StateMachine {
             current: FrameworkState::Initialization,
             defined_in: BTreeMap::new(),
-            protected: Vec::new(),
+            by_state: BTreeMap::new(),
+            protected: BTreeSet::new(),
             transitions: 0,
             timeline: Vec::new(),
             enabled,
@@ -69,7 +74,10 @@ impl StateMachine {
 
     /// Registers an object as defined in the current state.
     pub fn define(&mut self, id: ObjectId) {
-        self.defined_in.entry(id).or_insert(self.current);
+        if !self.defined_in.contains_key(&id) {
+            self.defined_in.insert(id, self.current);
+            self.by_state.entry(self.current).or_default().insert(id);
+        }
     }
 
     /// The state an object was defined in, if tracked.
@@ -83,7 +91,7 @@ impl StateMachine {
     }
 
     /// Objects currently protected.
-    pub fn protected(&self) -> &[ObjectId] {
+    pub fn protected(&self) -> &BTreeSet<ObjectId> {
         &self.protected
     }
 
@@ -111,30 +119,39 @@ impl StateMachine {
             self.timeline.push((kernel.clock().now_ns(), next, 0));
             return Ok(0);
         }
-        // Lock everything defined during the state we just left.
+        // Lock everything defined during the state we just left — only
+        // that state's index set is walked, not every tracked object.
         let mut newly = 0;
         let ids: Vec<ObjectId> = self
-            .defined_in
-            .iter()
-            .filter(|(id, s)| **s == prev && !self.protected.contains(id))
-            .map(|(id, _)| *id)
-            .collect();
+            .by_state
+            .get(&prev)
+            .map(|set| {
+                set.iter()
+                    .filter(|id| !self.protected.contains(id))
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
         for id in ids {
             if Self::lock_object(kernel, objects, id)? {
-                self.protected.push(id);
+                self.protected.insert(id);
                 newly += 1;
             }
         }
         // Unlock objects owned by the state we are re-entering.
         let reentered: Vec<ObjectId> = self
-            .defined_in
-            .iter()
-            .filter(|(id, s)| **s == next && self.protected.contains(id))
-            .map(|(id, _)| *id)
-            .collect();
+            .by_state
+            .get(&next)
+            .map(|set| {
+                set.iter()
+                    .filter(|id| self.protected.contains(id))
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
         for id in reentered {
             Self::unlock_object(kernel, objects, id)?;
-            self.protected.retain(|p| *p != id);
+            self.protected.remove(&id);
         }
         self.timeline.push((kernel.clock().now_ns(), next, newly));
         Ok(newly)
@@ -190,8 +207,12 @@ impl StateMachine {
 
     /// Forgets an object (destroyed).
     pub fn forget(&mut self, id: ObjectId) {
-        self.defined_in.remove(&id);
-        self.protected.retain(|p| *p != id);
+        if let Some(state) = self.defined_in.remove(&id) {
+            if let Some(set) = self.by_state.get_mut(&state) {
+                set.remove(&id);
+            }
+        }
+        self.protected.remove(&id);
     }
 }
 
@@ -217,15 +238,11 @@ mod tests {
         sm.define(template);
         // Initialization → Loading: template (defined in Initialization)
         // becomes read-only.
-        let n = sm
-            .observe(ApiType::DataLoading, &mut k, &store)
-            .unwrap();
+        let n = sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
         assert_eq!(n, 1);
         assert!(sm.is_protected(template));
         let meta = store.meta(template).unwrap();
-        let err = k
-            .mem_write(pid, meta.buffer.unwrap().0, &[9])
-            .unwrap_err();
+        let err = k.mem_write(pid, meta.buffer.unwrap().0, &[9]).unwrap_err();
         assert!(matches!(err, SimError::Fault(_)));
     }
 

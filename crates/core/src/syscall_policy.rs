@@ -55,10 +55,9 @@ pub fn build_filter(
     let mut prefixes: Vec<&str> = Vec::new();
     for id in apis {
         match reg.spec(*id).kind {
-            ApiKind::ImShow
-            | ApiKind::PlotShow
-            | ApiKind::Window(_)
-            | ApiKind::GuiStateRead => prefixes.push("gui"),
+            ApiKind::ImShow | ApiKind::PlotShow | ApiKind::Window(_) | ApiKind::GuiStateRead => {
+                prefixes.push("gui")
+            }
             ApiKind::DownloadViaFile => prefixes.push("http"),
             _ => {}
         }

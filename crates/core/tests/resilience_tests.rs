@@ -3,8 +3,7 @@
 //! (§A.6), transport penalties, and state-loss semantics (§6).
 
 use freepart::{
-    CallError, PartitionId, PartitionPlan, Policy, RestartPolicy, Runtime, SandboxLevel,
-    Transport,
+    CallError, PartitionId, PartitionPlan, Policy, RestartPolicy, Runtime, SandboxLevel, Transport,
 };
 use freepart_frameworks::exec::CAMERA_FRAME_LEN;
 use freepart_frameworks::registry::standard_registry;
@@ -54,7 +53,9 @@ fn crashed_agent_objects_are_state_lost_not_silently_wrong() {
     let pid = rt.agent(loading).unwrap().pid;
     rt.kernel.deliver_fault(pid, FaultKind::Abort, None);
     // The Mat payload died with the agent; using it must fail loudly.
-    let err = rt.call("cv2.GaussianBlur", &[held.clone()]).unwrap_err();
+    let err = rt
+        .call("cv2.GaussianBlur", std::slice::from_ref(&held))
+        .unwrap_err();
     assert!(matches!(err, CallError::StateLost(_)), "{err:?}");
     let err = rt.fetch_bytes(held.as_obj().unwrap()).unwrap_err();
     assert!(matches!(err, CallError::StateLost(_)));
@@ -71,7 +72,8 @@ fn snapshot_interval_zero_loses_stateful_objects_on_restart() {
     );
     rt.kernel.camera = Some(Camera::new(3, CAMERA_FRAME_LEN));
     let cap = rt.call("cv2.VideoCapture", &[Value::I64(0)]).unwrap();
-    rt.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
+    rt.call("cv2.VideoCapture.read", std::slice::from_ref(&cap))
+        .unwrap();
     let loading = rt.partition_of(rt.registry().id_of("cv2.VideoCapture.read").unwrap());
     let pid = rt.agent(loading).unwrap().pid;
     rt.kernel.deliver_fault(pid, FaultKind::Abort, None);
@@ -103,8 +105,11 @@ fn manual_sub_partitioning_pins_one_api_into_its_own_agent() {
         .call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")])
         .unwrap();
     let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
-    rt.call("cv2.CascadeClassifier.detectMultiScale", &[clf, img.clone()])
-        .unwrap();
+    rt.call(
+        "cv2.CascadeClassifier.detectMultiScale",
+        &[clf, img.clone()],
+    )
+    .unwrap();
     // The pinned API ran in its own agent, distinct from the ordinary
     // processing agent.
     let pinned_pid = rt.agent(PartitionId(9)).unwrap().pid;
@@ -125,10 +130,7 @@ fn manual_sub_partitioning_pins_one_api_into_its_own_agent() {
     let clf2 = rt
         .call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")])
         .unwrap();
-    let _ = rt.call(
-        "cv2.CascadeClassifier.detectMultiScale",
-        &[clf2, tainted],
-    );
+    let _ = rt.call("cv2.CascadeClassifier.detectMultiScale", &[clf2, tainted]);
     assert!(rt.kernel.is_running(processing_pid));
     // `img` was homed in the pinned agent when it crashed — its payload
     // is gone (§6 semantics). Fresh data flows keep working.
@@ -137,7 +139,9 @@ fn manual_sub_partitioning_pins_one_api_into_its_own_agent() {
         Err(CallError::StateLost(_))
     ));
     seed_image(&mut rt, "/fresh.simg");
-    let fresh = rt.call("cv2.imread", &[Value::from("/fresh.simg")]).unwrap();
+    let fresh = rt
+        .call("cv2.imread", &[Value::from("/fresh.simg")])
+        .unwrap();
     rt.call("cv2.GaussianBlur", &[fresh]).unwrap();
 }
 
@@ -238,11 +242,15 @@ fn stay_down_policy_reports_unavailable_consistently() {
         "/evil.simg",
         fileio::encode_image(&img, Some(&dos_payload("CVE-2017-14136"))),
     );
-    let first = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+    let first = rt
+        .call("cv2.imread", &[Value::from("/evil.simg")])
+        .unwrap_err();
     assert!(matches!(first, CallError::AgentCrashed(_)));
     seed_image(&mut rt, "/ok.simg");
     for _ in 0..3 {
-        let err = rt.call("cv2.imread", &[Value::from("/ok.simg")]).unwrap_err();
+        let err = rt
+            .call("cv2.imread", &[Value::from("/ok.simg")])
+            .unwrap_err();
         assert!(matches!(err, CallError::AgentUnavailable(_)));
     }
     // Other partitions unaffected, indefinitely.

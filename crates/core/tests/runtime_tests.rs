@@ -48,7 +48,9 @@ fn five_processes_and_type_routing() {
     assert_eq!(home, loading);
     assert_ne!(home, rt.host_pid());
     // A processing call moves it into the processing agent.
-    let blur = rt.call("cv2.GaussianBlur", &[img.clone()]).unwrap();
+    let blur = rt
+        .call("cv2.GaussianBlur", std::slice::from_ref(&img))
+        .unwrap();
     let processing = rt
         .agent(rt.partition_of(rt.registry().id_of("cv2.GaussianBlur").unwrap()))
         .unwrap()
@@ -69,7 +71,8 @@ fn full_pipeline_is_functionally_correct() {
     let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
     let gray = rt.call("cv2.cvtColor", &[img]).unwrap();
     let eq = rt.call("cv2.equalizeHist", &[gray]).unwrap();
-    rt.call("cv2.imwrite", &[Value::from("/out.simg"), eq]).unwrap();
+    rt.call("cv2.imwrite", &[Value::from("/out.simg"), eq])
+        .unwrap();
     let hooked = rt.kernel.fs.get("/out.simg").unwrap().clone();
 
     // Monolithic reference using the raw exec layer.
@@ -80,10 +83,28 @@ fn full_pipeline_is_functionally_correct() {
     seed_direct(&mut kernel, "/in.simg", 16);
     let mut objects = ObjectStore::new();
     let mut ctx = ApiCtx::new(&mut kernel, &mut objects, pid);
-    let img = exec::execute(&reg, reg.id_of("cv2.imread").unwrap(), &[Value::from("/in.simg")], &mut ctx).unwrap();
+    let img = exec::execute(
+        &reg,
+        reg.id_of("cv2.imread").unwrap(),
+        &[Value::from("/in.simg")],
+        &mut ctx,
+    )
+    .unwrap();
     let gray = exec::execute(&reg, reg.id_of("cv2.cvtColor").unwrap(), &[img], &mut ctx).unwrap();
-    let eq = exec::execute(&reg, reg.id_of("cv2.equalizeHist").unwrap(), &[gray], &mut ctx).unwrap();
-    exec::execute(&reg, reg.id_of("cv2.imwrite").unwrap(), &[Value::from("/out.simg"), eq], &mut ctx).unwrap();
+    let eq = exec::execute(
+        &reg,
+        reg.id_of("cv2.equalizeHist").unwrap(),
+        &[gray],
+        &mut ctx,
+    )
+    .unwrap();
+    exec::execute(
+        &reg,
+        reg.id_of("cv2.imwrite").unwrap(),
+        &[Value::from("/out.simg"), eq],
+        &mut ctx,
+    )
+    .unwrap();
     let mono = kernel.fs.get("/out.simg").unwrap().clone();
     assert_eq!(hooked, mono, "isolation must not change results");
 }
@@ -139,7 +160,8 @@ fn ldc_transfers_far_fewer_bytes() {
         let a = rt.call("cv2.GaussianBlur", &[img]).unwrap();
         let b = rt.call("cv2.erode", &[a]).unwrap();
         let c = rt.call("cv2.Canny", &[b]).unwrap();
-        rt.call("cv2.imwrite", &[Value::from("/o.simg"), c]).unwrap();
+        rt.call("cv2.imwrite", &[Value::from("/o.simg"), c])
+            .unwrap();
         rt.kernel.metrics().copied_bytes
     };
     let with_ldc = run(Policy::freepart());
@@ -163,7 +185,7 @@ fn state_machine_follows_pipeline_and_protects() {
     );
     // Initialization-defined template is now read-only.
     assert!(rt.is_protected(template));
-    let gray = rt.call("cv2.cvtColor", &[img.clone()]).unwrap();
+    let gray = rt.call("cv2.cvtColor", std::slice::from_ref(&img)).unwrap();
     // cvtColor is type-neutral: state unchanged.
     assert_eq!(
         rt.current_state(),
@@ -177,7 +199,8 @@ fn state_machine_follows_pipeline_and_protects() {
     // The loading-stage image is locked once processing starts.
     assert!(rt.is_protected(img.as_obj().unwrap()));
     assert!(!rt.is_protected(blur.as_obj().unwrap()));
-    rt.call("cv2.imshow", &[Value::from("w"), blur.clone()]).unwrap();
+    rt.call("cv2.imshow", &[Value::from("w"), blur.clone()])
+        .unwrap();
     assert!(rt.is_protected(blur.as_obj().unwrap()));
 }
 
@@ -191,7 +214,8 @@ fn protected_template_survives_memory_corruption_exploit() {
     let template = rt.host_data("template", b"answer-key-coordinates!!");
     let t_addr = rt.objects.meta(template).unwrap().buffer.unwrap().0;
     seed_image(&mut rt, "/warmup.simg", 16);
-    rt.call("cv2.imread", &[Value::from("/warmup.simg")]).unwrap();
+    rt.call("cv2.imread", &[Value::from("/warmup.simg")])
+        .unwrap();
 
     let payload = ExploitPayload {
         cve: "CVE-2017-12597".into(),
@@ -209,10 +233,7 @@ fn protected_template_survives_memory_corruption_exploit() {
         b"answer-key-coordinates!!"
     );
     // And the attack was observed to fault, not succeed.
-    assert!(rt
-        .exploit_log
-        .iter()
-        .all(|r| !r.outcome.achieved()));
+    assert!(rt.exploit_log.iter().all(|r| !r.outcome.achieved()));
 }
 
 #[test]
@@ -225,7 +246,9 @@ fn dos_exploit_crashes_only_the_loading_agent() {
         actions: vec![ExploitAction::CrashSelf],
     };
     seed_evil_image(&mut rt, "/evil.simg", &payload);
-    let err = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+    let err = rt
+        .call("cv2.imread", &[Value::from("/evil.simg")])
+        .unwrap_err();
     assert!(matches!(
         err,
         CallError::AgentCrashed(_) | CallError::AgentUnavailable(_)
@@ -243,7 +266,9 @@ fn dos_exploit_crashes_only_the_loading_agent() {
         }
     }
     // Without restart, further loading calls fail...
-    let err = rt.call("cv2.imread", &[Value::from("/ok.simg")]).unwrap_err();
+    let err = rt
+        .call("cv2.imread", &[Value::from("/ok.simg")])
+        .unwrap_err();
     assert_eq!(err, CallError::AgentUnavailable(loading));
     // ...but other partitions keep working (drone stays in the air).
     rt.call("cv2.pollKey", &[]).unwrap();
@@ -262,7 +287,9 @@ fn restart_policy_recovers_the_agent() {
     // The malicious input crashes the agent; the runtime restarts it and
     // re-executes (at-least-once) — the exploit fires again and the call
     // ultimately fails, but the *system* stays up.
-    let err = rt.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+    let err = rt
+        .call("cv2.imread", &[Value::from("/evil.simg")])
+        .unwrap_err();
     assert!(matches!(err, CallError::AgentCrashed(_)));
     assert!(rt.stats().restarts >= 1);
     // A clean follow-up call succeeds on the restarted agent.
@@ -279,7 +306,8 @@ fn sealed_filter_blocks_exfiltration_from_processing_agent() {
     seed_image(&mut rt, "/in.simg", 32);
     // Warm up + seal the processing agent.
     let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
-    rt.call("cv2.GaussianBlur", &[img.clone()]).unwrap();
+    rt.call("cv2.GaussianBlur", std::slice::from_ref(&img))
+        .unwrap();
     let processing = rt.partition_of(rt.registry().id_of("cv2.GaussianBlur").unwrap());
     assert!(rt.agent(processing).unwrap().sealed);
 
@@ -299,10 +327,7 @@ fn sealed_filter_blocks_exfiltration_from_processing_agent() {
     let clf = rt
         .call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")])
         .unwrap();
-    let _ = rt.call(
-        "cv2.CascadeClassifier.detectMultiScale",
-        &[clf, tainted],
-    );
+    let _ = rt.call("cv2.CascadeClassifier.detectMultiScale", &[clf, tainted]);
     // Nothing reached the network. (The read itself also faulted: the
     // secret's address is not mapped in the processing agent.)
     assert!(!rt.kernel.network.leaked(b"SSN=123-45-6789"));
@@ -339,7 +364,8 @@ fn unsealed_first_execution_allows_init_syscalls() {
     let mut rt = rt_with(Policy::freepart());
     seed_image(&mut rt, "/in.simg", 16);
     let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
-    rt.call("cv2.imshow", &[Value::from("w"), img.clone()]).unwrap();
+    rt.call("cv2.imshow", &[Value::from("w"), img.clone()])
+        .unwrap();
     assert!(rt.kernel.display.is_connected());
     let viz = rt.partition_of(rt.registry().id_of("cv2.imshow").unwrap());
     assert!(rt.agent(viz).unwrap().sealed);
@@ -383,15 +409,17 @@ fn capture_state_survives_restart_via_snapshot() {
     });
     rt.kernel.camera = Some(Camera::new(3, CAMERA_FRAME_LEN));
     let cap = rt.call("cv2.VideoCapture", &[Value::I64(0)]).unwrap();
-    rt.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
-    rt.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
+    rt.call("cv2.VideoCapture.read", std::slice::from_ref(&cap))
+        .unwrap();
+    rt.call("cv2.VideoCapture.read", std::slice::from_ref(&cap))
+        .unwrap();
     // Kill the loading agent out from under the runtime.
     let loading = rt.partition_of(rt.registry().id_of("cv2.VideoCapture.read").unwrap());
     let pid = rt.agent(loading).unwrap().pid;
     rt.kernel
         .deliver_fault(pid, freepart_simos::FaultKind::Abort, None);
     // Next read triggers restart; the capture handle still works.
-    let frame = rt.call("cv2.VideoCapture.read", &[cap.clone()]);
+    let frame = rt.call("cv2.VideoCapture.read", std::slice::from_ref(&cap));
     assert!(frame.is_ok(), "{frame:?}");
     assert!(rt.stats().restarts >= 1);
     use freepart_frameworks::ObjectKind;
@@ -456,7 +484,9 @@ fn unknown_api_is_reported() {
 #[test]
 fn framework_errors_pass_through_without_crash() {
     let mut rt = rt_with(Policy::freepart());
-    let err = rt.call("cv2.imread", &[Value::from("/missing.simg")]).unwrap_err();
+    let err = rt
+        .call("cv2.imread", &[Value::from("/missing.simg")])
+        .unwrap_err();
     assert!(matches!(err, CallError::Framework(_)));
     // Agent is still alive.
     let loading = rt.partition_of(rt.registry().id_of("cv2.imread").unwrap());

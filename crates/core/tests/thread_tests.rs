@@ -20,7 +20,9 @@ fn each_thread_gets_its_own_agents() {
     assert_eq!(rt.kernel.process_count(), 9);
     seed(&mut rt, "/a.simg", None);
     let main_img = rt.call("cv2.imread", &[Value::from("/a.simg")]).unwrap();
-    let t1_img = rt.call_on(t1, "cv2.imread", &[Value::from("/a.simg")]).unwrap();
+    let t1_img = rt
+        .call_on(t1, "cv2.imread", &[Value::from("/a.simg")])
+        .unwrap();
     // The two loads ran in different loading agents.
     let main_home = rt.objects.meta(main_img.as_obj().unwrap()).unwrap().home;
     let t1_home = rt.objects.meta(t1_img.as_obj().unwrap()).unwrap().home;
@@ -39,11 +41,10 @@ fn thread_state_machines_are_independent() {
         rt.current_state(),
         freepart::FrameworkState::InType(ApiType::DataProcessing)
     );
-    assert_eq!(
-        rt.state_of(t1),
-        freepart::FrameworkState::Initialization
-    );
-    let img1 = rt.call_on(t1, "cv2.imread", &[Value::from("/a.simg")]).unwrap();
+    assert_eq!(rt.state_of(t1), freepart::FrameworkState::Initialization);
+    let img1 = rt
+        .call_on(t1, "cv2.imread", &[Value::from("/a.simg")])
+        .unwrap();
     assert_eq!(
         rt.state_of(t1),
         freepart::FrameworkState::InType(ApiType::DataLoading)

@@ -16,7 +16,7 @@ use std::fmt;
 
 /// The four framework-API types of the paper (§4.1) — one isolated agent
 /// process per type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ApiType {
     /// Brings bytes from files/devices into memory.
     DataLoading,
@@ -61,7 +61,7 @@ impl fmt::Display for ApiType {
 }
 
 /// The frameworks modeled by this reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum Framework {
     OpenCv,
@@ -121,7 +121,7 @@ impl fmt::Display for Framework {
 }
 
 /// Unary image-filter algorithms (the bulk of OpenCV's processing APIs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum FilterOp {
     Gaussian,
@@ -147,7 +147,7 @@ pub enum FilterOp {
 }
 
 /// Two-image operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinaryOp {
     AbsDiff,
@@ -155,7 +155,7 @@ pub enum BinaryOp {
 }
 
 /// GUI window operations (visualizing type).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum WindowOp {
     Named,
@@ -168,7 +168,7 @@ pub enum WindowOp {
 }
 
 /// Elementwise tensor operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum TensorUnaryOp {
     Relu,
@@ -180,7 +180,7 @@ pub enum TensorUnaryOp {
 }
 
 /// Execution semantics of an API, interpreted by [`crate::exec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ApiKind {
     /// Load an image file into a `Mat` (`imread`) — syscall-heavy, CVE
     /// hot spot.
@@ -266,7 +266,7 @@ pub enum ApiKind {
 }
 
 /// Index of an API in its registry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ApiId(pub u16);
 
 impl fmt::Display for ApiId {
@@ -379,10 +379,7 @@ impl ApiRegistry {
 
     /// All APIs of one declared type.
     pub fn of_type(&self, t: ApiType) -> Vec<&ApiSpec> {
-        self.specs
-            .iter()
-            .filter(|s| s.declared_type == t)
-            .collect()
+        self.specs.iter().filter(|s| s.declared_type == t).collect()
     }
 
     /// All APIs vulnerable to at least one CVE.

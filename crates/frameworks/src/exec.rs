@@ -246,7 +246,11 @@ fn read_whole_file(ctx: &mut ApiCtx<'_>, path: &str) -> Result<Vec<u8>, Framewor
     Ok(bytes)
 }
 
-fn write_whole_file(ctx: &mut ApiCtx<'_>, path: &str, bytes: Vec<u8>) -> Result<(), FrameworkError> {
+fn write_whole_file(
+    ctx: &mut ApiCtx<'_>,
+    path: &str,
+    bytes: Vec<u8>,
+) -> Result<(), FrameworkError> {
     let fd = match ctx.syscall(Syscall::Openat {
         path: path.to_owned(),
         create: true,
@@ -294,12 +298,7 @@ fn gui_socket(ctx: &mut ApiCtx<'_>) -> Result<freepart_simos::Fd, FrameworkError
 ///
 /// See [`FrameworkError`]; crashes caused by exploits or the sandbox
 /// surface as [`FrameworkError::Sim`].
-pub fn execute(
-    reg: &ApiRegistry,
-    api: ApiId,
-    args: &[Value],
-    ctx: &mut ApiCtx<'_>,
-) -> ExecResult {
+pub fn execute(reg: &ApiRegistry, api: ApiId, args: &[Value], ctx: &mut ApiCtx<'_>) -> ExecResult {
     let spec = reg.spec(api).clone();
     match spec.kind {
         // ------------------------------------------------------ images
@@ -604,7 +603,9 @@ pub fn execute(
             ctx.record_flow(FlowOp::write(Storage::Mem, Storage::Mem));
             charge(ctx, &spec, t.len() as u64);
             match op {
-                TensorUnaryOp::Relu => new_tensor(ctx, &tensor::relu(&t), &spec.name, meta.taint.clone()),
+                TensorUnaryOp::Relu => {
+                    new_tensor(ctx, &tensor::relu(&t), &spec.name, meta.taint.clone())
+                }
                 TensorUnaryOp::Sigmoid => {
                     new_tensor(ctx, &tensor::sigmoid(&t), &spec.name, meta.taint.clone())
                 }
@@ -670,7 +671,11 @@ pub fn execute(
                 weights.data.iter().cycle().take(9).copied().collect(),
             );
             let feat = if x.shape[0] >= 3 && x.shape[1] >= 3 {
-                tensor::pool2d(&tensor::relu(&tensor::conv2d(&x, &kernel)), 2, PoolKind::Max)
+                tensor::pool2d(
+                    &tensor::relu(&tensor::conv2d(&x, &kernel)),
+                    2,
+                    PoolKind::Max,
+                )
             } else {
                 x.clone()
             };
@@ -705,12 +710,7 @@ pub fn execute(
             ctx.record_flow(FlowOp::write(Storage::Mem, Storage::Mem));
             charge(ctx, &spec, w.len() as u64 * 4);
             Ok(Value::F64({
-                let pred: f32 = updated
-                    .data
-                    .iter()
-                    .zip(&x.data)
-                    .map(|(w, x)| w * x)
-                    .sum();
+                let pred: f32 = updated.data.iter().zip(&x.data).map(|(w, x)| w * x).sum();
                 (pred - target as f32).abs() as f64
             }))
         }
@@ -757,7 +757,9 @@ pub fn execute(
         }
         ApiKind::DatasetLoad => {
             let dir = want_str(args, 0)?;
-            let listing = ctx.syscall(Syscall::Getdents { path: dir.clone() })?.bytes();
+            let listing = ctx
+                .syscall(Syscall::Getdents { path: dir.clone() })?
+                .bytes();
             let paths: Vec<String> = String::from_utf8_lossy(&listing)
                 .lines()
                 .map(str::to_owned)
@@ -844,7 +846,11 @@ pub fn execute(
                     let t = load_tensor(ctx, &meta)?;
                     t.data.iter().map(|&v| v as f64).collect()
                 }
-                _ => return Err(FrameworkError::BadArgs("plot wants a list or tensor".into())),
+                _ => {
+                    return Err(FrameworkError::BadArgs(
+                        "plot wants a list or tensor".into(),
+                    ))
+                }
             };
             ctx.record_flow(FlowOp::write(Storage::Mem, Storage::Mem));
             charge(ctx, &spec, series.len() as u64);
@@ -954,12 +960,7 @@ fn apply_filter(img: &Image, op: FilterOp) -> Image {
     }
 }
 
-fn run_window_op(
-    ctx: &mut ApiCtx<'_>,
-    spec: &ApiSpec,
-    op: WindowOp,
-    args: &[Value],
-) -> ExecResult {
+fn run_window_op(ctx: &mut ApiCtx<'_>, spec: &ApiSpec, op: WindowOp, args: &[Value]) -> ExecResult {
     match op {
         WindowOp::Named => {
             let title = want_str(args, 0)?;

@@ -5,7 +5,7 @@
 //! * `STSR` — tensor: magic + rank + dims + little-endian f32 payload.
 //! * CSV — plain text for the tabular APIs.
 //!
-//! Any file may carry an `EVIL` trailer holding a JSON-encoded
+//! Any file may carry an `EVIL` trailer holding a wire-encoded
 //! [`ExploitPayload`] — the simulation's stand-in for a malformed header
 //! that triggers a real CVE. Loaders that are *registered as vulnerable*
 //! to the payload's CVE "execute" it; patched loaders ignore it, which is
@@ -26,7 +26,7 @@ pub enum DecodeError {
     BadMagic,
     /// Structurally truncated or inconsistent file.
     Truncated,
-    /// The embedded payload was not valid JSON.
+    /// The embedded payload was corrupt (bad structure or checksum).
     BadPayload,
 }
 
@@ -55,10 +55,10 @@ fn read_u32(bytes: &[u8], at: usize) -> Result<u32, DecodeError> {
 
 fn append_trailer(out: &mut Vec<u8>, payload: Option<&ExploitPayload>) {
     if let Some(p) = payload {
-        let json = serde_json::to_vec(p).expect("payload serializes");
+        let wire = p.to_wire_bytes();
         out.extend_from_slice(EVIL_MAGIC);
-        push_u32(out, json.len() as u32);
-        out.extend_from_slice(&json);
+        push_u32(out, wire.len() as u32);
+        out.extend_from_slice(&wire);
     }
 }
 
@@ -71,8 +71,10 @@ fn split_trailer(bytes: &[u8], body_end: usize) -> Result<Option<ExploitPayload>
         return Ok(None); // junk trailer: ignore, like a lenient parser
     }
     let len = read_u32(rest, 4)? as usize;
-    let json = rest.get(8..8 + len).ok_or(DecodeError::Truncated)?;
-    serde_json::from_slice(json).map(Some).map_err(|_| DecodeError::BadPayload)
+    let wire = rest.get(8..8 + len).ok_or(DecodeError::Truncated)?;
+    ExploitPayload::from_wire_bytes(wire)
+        .map(Some)
+        .ok_or(DecodeError::BadPayload)
 }
 
 /// Encodes an image, optionally smuggling an exploit payload.
@@ -145,12 +147,10 @@ pub fn decode_tensor(bytes: &[u8]) -> Result<(Tensor, Option<ExploitPayload>), D
 /// `EVIL` trailer anywhere in the byte stream. Returns the payload if a
 /// well-formed one is found.
 pub fn scan_payload(bytes: &[u8]) -> Option<ExploitPayload> {
-    let pos = bytes
-        .windows(4)
-        .rposition(|w| w == EVIL_MAGIC)?;
+    let pos = bytes.windows(4).rposition(|w| w == EVIL_MAGIC)?;
     let len = read_u32(bytes, pos + 4).ok()? as usize;
-    let json = bytes.get(pos + 8..pos + 8 + len)?;
-    serde_json::from_slice(json).ok()
+    let wire = bytes.get(pos + 8..pos + 8 + len)?;
+    ExploitPayload::from_wire_bytes(wire)
 }
 
 /// Appends an `EVIL` trailer to arbitrary bytes (crafting non-image
@@ -236,7 +236,7 @@ mod tests {
         let img = Image::new(1, 1, 1);
         let mut bytes = encode_image(&img, Some(&sample_payload()));
         let n = bytes.len();
-        bytes[n - 5] = b'!'; // smash the JSON
+        bytes[n - 5] = b'!'; // smash the payload checksum
         assert_eq!(decode_image(&bytes), Err(DecodeError::BadPayload));
     }
 
@@ -254,6 +254,9 @@ mod tests {
         let rows = vec![vec![1.0, 2.5], vec![3.0, -4.0]];
         let bytes = encode_csv(&rows);
         assert_eq!(decode_csv(&bytes), rows);
-        assert_eq!(decode_csv(b"a,b\n1,2\n"), vec![vec![0.0, 0.0], vec![1.0, 2.0]]);
+        assert_eq!(
+            decode_csv(b"a,b\n1,2\n"),
+            vec![vec![0.0, 0.0], vec![1.0, 2.0]]
+        );
     }
 }

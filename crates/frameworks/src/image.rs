@@ -239,7 +239,8 @@ pub fn sobel(img: &Image) -> Image {
                 + 2 * g.at(x + 1, y, 0) as i32
                 - g.at(x - 1, y + 1, 0) as i32
                 + g.at(x + 1, y + 1, 0) as i32;
-            let gy = -(g.at(x - 1, y - 1, 0) as i32) - 2 * g.at(x, y - 1, 0) as i32
+            let gy = -(g.at(x - 1, y - 1, 0) as i32)
+                - 2 * g.at(x, y - 1, 0) as i32
                 - g.at(x + 1, y - 1, 0) as i32
                 + g.at(x - 1, y + 1, 0) as i32
                 + 2 * g.at(x, y + 1, 0) as i32
@@ -269,9 +270,8 @@ pub fn canny(img: &Image, low: u8, high: u8) -> Image {
         for x in 0..mag.w as i64 {
             let v = mag.at(x, y, 0);
             if v >= low && v < high {
-                let near_strong = (-1..=1).any(|dy| {
-                    (-1..=1).any(|dx| out.at(x + dx, y + dy, 0) == 255)
-                });
+                let near_strong =
+                    (-1..=1).any(|dy| (-1..=1).any(|dx| out.at(x + dx, y + dy, 0) == 255));
                 if near_strong {
                     out.put(x as u32, y as u32, 0, 255);
                 }
@@ -424,7 +424,7 @@ pub fn flip_horizontal(img: &Image) -> Image {
 }
 
 /// Axis-aligned rectangle with integer coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rect {
     /// Left edge.
     pub x: u32,
@@ -698,8 +698,18 @@ mod tests {
         }
         let boxes = find_contours(&img);
         assert_eq!(boxes.len(), 2);
-        assert!(boxes.contains(&Rect { x: 2, y: 2, w: 3, h: 3 }));
-        assert!(boxes.contains(&Rect { x: 12, y: 10, w: 5, h: 4 }));
+        assert!(boxes.contains(&Rect {
+            x: 2,
+            y: 2,
+            w: 3,
+            h: 3
+        }));
+        assert!(boxes.contains(&Rect {
+            x: 12,
+            y: 10,
+            w: 5,
+            h: 4
+        }));
     }
 
     #[test]
@@ -719,7 +729,16 @@ mod tests {
     #[test]
     fn drawing_mutates_in_place() {
         let mut img = Image::new(16, 16, 1);
-        draw_rectangle(&mut img, Rect { x: 2, y: 2, w: 5, h: 5 }, 255);
+        draw_rectangle(
+            &mut img,
+            Rect {
+                x: 2,
+                y: 2,
+                w: 5,
+                h: 5,
+            },
+            255,
+        );
         assert_eq!(img.at(2, 2, 0), 255);
         assert_eq!(img.at(6, 4, 0), 255);
         assert_eq!(img.at(4, 4, 0), 0, "interior untouched");
@@ -730,7 +749,15 @@ mod tests {
     #[test]
     fn crop_and_flip() {
         let img = gradient(8, 4);
-        let c = crop(&img, Rect { x: 4, y: 0, w: 4, h: 4 });
+        let c = crop(
+            &img,
+            Rect {
+                x: 4,
+                y: 0,
+                w: 4,
+                h: 4,
+            },
+        );
         assert_eq!((c.w, c.h), (4, 4));
         let f = flip_horizontal(&img);
         assert_eq!(f.at(0, 0, 0), img.at(7, 0, 0));

@@ -14,7 +14,7 @@
 use freepart_simos::SyscallNo;
 
 /// Storage classes of the paper's Fig. 8 data-flow definitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Storage {
     /// Process memory.
     Mem,
@@ -28,7 +28,7 @@ pub enum Storage {
 
 /// One observed or declared data-transfer operation:
 /// `W(dst, R(src))` from the paper, plus bare GUI reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FlowOp {
     /// `W(dst, R(src))` — bytes read from `src` are written to `dst`.
     Write {
@@ -58,7 +58,7 @@ impl FlowOp {
 }
 
 /// A place an assignment statement can name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IrPlace {
     /// An ordinary memory variable.
     Mem,
@@ -83,7 +83,7 @@ impl IrPlace {
 }
 
 /// One statement of an API body.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum IrStmt {
     /// The body issues this syscall.
     Sys(SyscallNo),
@@ -232,9 +232,13 @@ mod tests {
 
     #[test]
     fn builders_shape() {
-        assert!(build::load_from_file()
-            .iter()
-            .any(|s| matches!(s, IrStmt::Assign { dst: IrPlace::Mem, src: IrPlace::FileBuf })));
+        assert!(build::load_from_file().iter().any(|s| matches!(
+            s,
+            IrStmt::Assign {
+                dst: IrPlace::Mem,
+                src: IrPlace::FileBuf
+            }
+        )));
         let hidden = build::hidden(build::load_from_file());
         assert!(matches!(hidden[0], IrStmt::IndirectCall(_)));
         assert!(build::download_via_temp_file()

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a framework object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
 
 impl fmt::Display for ObjectId {
@@ -27,7 +27,7 @@ impl fmt::Display for ObjectId {
 }
 
 /// What kind of framework object this is.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ObjectKind {
     /// An image matrix (`cv::Mat`): height × width × channels bytes.
     Mat {
@@ -329,7 +329,11 @@ impl ObjectStore {
         id: ObjectId,
         dst: Pid,
     ) -> Result<ObjectId, SimError> {
-        let meta = self.objects.get(&id).expect("object id must be live").clone();
+        let meta = self
+            .objects
+            .get(&id)
+            .expect("object id must be live")
+            .clone();
         let new_id = match meta.buffer {
             None => self.create_handle(dst, meta.kind, &meta.label),
             Some((addr, len)) => {
@@ -369,6 +373,14 @@ impl ObjectStore {
         self.next
     }
 
+    /// Ids of live objects created at or after `watermark` (a value
+    /// previously returned by [`ObjectStore::next_id_watermark`]). Ids
+    /// are monotone, so this is a range scan over just the tail of the
+    /// store — O(new objects), not O(live objects).
+    pub fn ids_since(&self, watermark: u64) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.range(ObjectId(watermark)..).map(|(id, _)| *id)
+    }
+
     /// True when no objects are live.
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
@@ -389,6 +401,22 @@ mod tests {
         let a = k.spawn("a");
         let b = k.spawn("b");
         (k, a, b, ObjectStore::new())
+    }
+
+    #[test]
+    fn ids_since_returns_only_the_tail() {
+        let (mut k, a, _, mut store) = setup();
+        let first = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "old", &[1])
+            .unwrap();
+        let mark = store.next_id_watermark();
+        assert_eq!(store.ids_since(mark).count(), 0);
+        let second = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "new", &[2])
+            .unwrap();
+        let tail: Vec<ObjectId> = store.ids_since(mark).collect();
+        assert_eq!(tail, vec![second]);
+        assert!(store.ids_since(0).any(|id| id == first));
     }
 
     #[test]
@@ -497,10 +525,7 @@ mod tests {
             Some(36)
         );
         assert_eq!(
-            ObjectKind::Tensor {
-                shape: vec![2, 3]
-            }
-            .natural_len(),
+            ObjectKind::Tensor { shape: vec![2, 3] }.natural_len(),
             Some(24)
         );
         assert_eq!(ObjectKind::Blob.natural_len(), None);

@@ -142,11 +142,25 @@ pub fn profile_of_kind(kind: &ApiKind) -> Vec<SyscallNo> {
         }
         K::TensorSave => vec![S::Openat, S::Write, S::Close, S::Mkdir, S::Umask],
         K::ImShow | K::PlotShow => {
-            vec![S::Socket, S::Connect, S::Send, S::Select, S::Futex, S::Eventfd2]
+            vec![
+                S::Socket,
+                S::Connect,
+                S::Send,
+                S::Select,
+                S::Futex,
+                S::Eventfd2,
+            ]
         }
         K::Window(WindowOp::PollKey | WindowOp::WaitKey | WindowOp::MouseWheel)
         | K::GuiStateRead => vec![S::Poll, S::Select],
-        K::Window(_) => vec![S::Socket, S::Connect, S::Send, S::Select, S::Poll, S::Eventfd2],
+        K::Window(_) => vec![
+            S::Socket,
+            S::Connect,
+            S::Send,
+            S::Select,
+            S::Poll,
+            S::Eventfd2,
+        ],
         K::TrainStep => vec![S::Brk, S::Mmap, S::ClockGettime, S::Getrandom],
         K::DetectMultiScale => vec![S::Brk, S::Mmap, S::ClockGettime],
         K::AllocUtil | K::DrawRect | K::PutText => vec![S::Brk],
@@ -158,14 +172,26 @@ pub fn profile_of_kind(kind: &ApiKind) -> Vec<SyscallNo> {
 pub fn ir_of_kind(kind: &ApiKind, opaque: bool) -> Vec<IrStmt> {
     use ApiKind as K;
     let body = match kind {
-        K::ImRead | K::ClassifierLoad | K::TensorLoad | K::ReadCsv | K::JsonLoad
+        K::ImRead
+        | K::ClassifierLoad
+        | K::TensorLoad
+        | K::ReadCsv
+        | K::JsonLoad
         | K::DatasetLoad => build::load_from_file(),
         K::VideoCaptureNew | K::VideoCaptureRead => build::load_from_device(),
         K::DownloadViaFile => build::download_via_temp_file(),
-        K::ImWrite | K::VideoWriterWrite | K::TensorSave | K::WriteCsv | K::JsonDump
-        | K::PlotSavefig | K::SummaryWrite => build::store_to_file(),
-        K::ImShow | K::PlotShow | K::Window(WindowOp::Named | WindowOp::Move
-            | WindowOp::SetTitle | WindowOp::DestroyAll) => build::visualize(),
+        K::ImWrite
+        | K::VideoWriterWrite
+        | K::TensorSave
+        | K::WriteCsv
+        | K::JsonDump
+        | K::PlotSavefig
+        | K::SummaryWrite => build::store_to_file(),
+        K::ImShow
+        | K::PlotShow
+        | K::Window(WindowOp::Named | WindowOp::Move | WindowOp::SetTitle | WindowOp::DestroyAll) => {
+            build::visualize()
+        }
         K::Window(_) | K::GuiStateRead => build::gui_read(),
         _ => build::process_in_memory(),
     };
@@ -268,7 +294,12 @@ fn register_opencv(reg: &mut ApiRegistry) {
             "cv2.CascadeClassifier.detectMultiScale",
             K::DetectMultiScale,
         )
-        .vulns(&["CVE-2019-5063", "CVE-2019-14491", "CVE-2019-14492", "CVE-2019-14493"]),
+        .vulns(&[
+            "CVE-2019-5063",
+            "CVE-2019-14491",
+            "CVE-2019-14492",
+            "CVE-2019-14493",
+        ]),
         api("cv2.HoughLines", K::Filter(F::Canny)).work(9),
         api("cv2.HoughCircles", K::Filter(F::Canny)).work(9),
         api("cv2.goodFeaturesToTrack", K::FindContours).work(5),
@@ -299,7 +330,9 @@ fn register_opencv(reg: &mut ApiRegistry) {
         api("cv2.split", K::Filter(F::ToGray)).work(1),
         api("cv2.merge", K::Filter(F::ToBgr)).work(1),
         api("cv2.mixChannels", K::Filter(F::Identity)).work(1),
-        api("cv2.convertScaleAbs", K::Filter(F::Identity)).neutral().work(1),
+        api("cv2.convertScaleAbs", K::Filter(F::Identity))
+            .neutral()
+            .work(1),
         api("cv2.LUT", K::Filter(F::Identity)).work(1),
         api("cv2.mean", K::Reduce),
         api("cv2.meanStdDev", K::Reduce),
@@ -434,7 +467,10 @@ fn register_tensorflow(reg: &mut ApiRegistry) {
             K::DatasetLoad,
         ),
         api("tf.io.read_file", K::JsonLoad),
-        api("tf.data.Dataset.from_tensor_slices", K::TensorUnary(T::Reshape)),
+        api(
+            "tf.data.Dataset.from_tensor_slices",
+            K::TensorUnary(T::Reshape),
+        ),
         api("tf.nn.conv2d", K::TensorConv).vulns(&["CVE-2021-29513"]),
         api("tf.nn.conv3d", K::TensorConv).vulns(&["CVE-2021-29513"]),
         api("tf.nn.avg_pool", K::TensorPoolAvg).vulns(&["CVE-2021-37661"]),
@@ -442,7 +478,9 @@ fn register_tensorflow(reg: &mut ApiRegistry) {
         api("tf.nn.relu", K::TensorUnary(T::Relu)),
         api("tf.nn.softmax", K::TensorUnary(T::Softmax)),
         api("tf.matmul", K::TensorMatmul),
-        api("tf.reshape", K::TensorUnary(T::Reshape)).vulns(&["CVE-2021-29618"]).neutral(),
+        api("tf.reshape", K::TensorUnary(T::Reshape))
+            .vulns(&["CVE-2021-29618"])
+            .neutral(),
         api("tf.argmax", K::TensorUnary(T::Argmax)),
         api("tf.reduce_mean", K::TensorUnary(T::Sum)),
         api("tf.concat", K::TensorUnary(T::Reshape)),
@@ -566,7 +604,10 @@ fn register_pandas_json_plt(reg: &mut ApiRegistry) {
     use ApiKind as K;
     // These are exactly the APIs the paper's Table 2 footnote says need
     // hybrid analysis — their bodies hide behind indirect calls.
-    let defs = vec![api("pd.read_csv", K::ReadCsv).opaque(), api("pd.DataFrame.to_csv", K::WriteCsv)];
+    let defs = vec![
+        api("pd.read_csv", K::ReadCsv).opaque(),
+        api("pd.DataFrame.to_csv", K::WriteCsv),
+    ];
     register_all(reg, Framework::Pandas, defs);
     let defs = vec![
         api("json.load", K::JsonLoad).opaque(),
@@ -602,7 +643,12 @@ mod tests {
         assert!(reg.len() >= 160, "catalog has {} APIs", reg.len());
         // Every spec's declared type matches its kind-derived type.
         for spec in reg.iter() {
-            assert_eq!(spec.declared_type, type_of_kind(&spec.kind), "{}", spec.name);
+            assert_eq!(
+                spec.declared_type,
+                type_of_kind(&spec.kind),
+                "{}",
+                spec.name
+            );
             assert!(!spec.syscall_profile.is_empty(), "{}", spec.name);
             assert!(!spec.ir.is_empty(), "{}", spec.name);
         }
@@ -655,10 +701,11 @@ mod tests {
     fn stateful_apis_flagged() {
         let reg = standard_registry();
         assert!(reg.by_name("cv2.VideoCapture").unwrap().stateful);
-        assert!(reg
-            .by_name("tf.estimator.DNNClassifier.train")
-            .unwrap()
-            .stateful);
+        assert!(
+            reg.by_name("tf.estimator.DNNClassifier.train")
+                .unwrap()
+                .stateful
+        );
         assert!(!reg.by_name("cv2.erode").unwrap().stateful);
     }
 

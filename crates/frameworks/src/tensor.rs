@@ -218,7 +218,11 @@ pub fn relu(input: &Tensor) -> Tensor {
 pub fn sigmoid(input: &Tensor) -> Tensor {
     Tensor::from_data(
         &input.shape,
-        input.data.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect(),
+        input
+            .data
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect(),
     )
 }
 

@@ -10,7 +10,7 @@ use crate::object::ObjectId;
 use std::fmt;
 
 /// A dynamically-typed API argument or return value.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// No value (procedures).
     Unit,
@@ -79,6 +79,116 @@ impl Value {
             Value::I64(i) => Some(*i as f64),
             _ => None,
         }
+    }
+
+    /// Appends this value's compact binary wire form to `out`.
+    ///
+    /// The format is tag-prefixed with little-endian fixed-width scalars
+    /// and `u32` length prefixes — no intermediate allocations, so the
+    /// RPC layer can marshal straight into a reusable scratch buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Unit => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(u8::from(*b));
+            }
+            Value::I64(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::F64(x) => {
+                out.push(3);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(5);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::Obj(id) => {
+                out.push(6);
+                out.extend_from_slice(&id.0.to_le_bytes());
+            }
+            Value::Rects(rs) => {
+                out.push(7);
+                out.extend_from_slice(&(rs.len() as u32).to_le_bytes());
+                for r in rs {
+                    out.extend_from_slice(&r.x.to_le_bytes());
+                    out.extend_from_slice(&r.y.to_le_bytes());
+                    out.extend_from_slice(&r.w.to_le_bytes());
+                    out.extend_from_slice(&r.h.to_le_bytes());
+                }
+            }
+            Value::List(vs) => {
+                out.push(8);
+                out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                for v in vs {
+                    v.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Decodes one value from `buf` starting at `*pos`, advancing `*pos`
+    /// past it. Returns `None` on truncated or malformed input.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Value> {
+        fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+            let slice = buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(slice)
+        }
+        fn take_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+            Some(u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?))
+        }
+        fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+            Some(u64::from_le_bytes(take(buf, pos, 8)?.try_into().ok()?))
+        }
+
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => Value::Unit,
+            1 => Value::Bool(*take(buf, pos, 1)?.first()? != 0),
+            2 => Value::I64(take_u64(buf, pos)? as i64),
+            3 => Value::F64(f64::from_le_bytes(take(buf, pos, 8)?.try_into().ok()?)),
+            4 => {
+                let len = take_u32(buf, pos)? as usize;
+                Value::Str(std::str::from_utf8(take(buf, pos, len)?).ok()?.to_owned())
+            }
+            5 => {
+                let len = take_u32(buf, pos)? as usize;
+                Value::Bytes(take(buf, pos, len)?.to_vec())
+            }
+            6 => Value::Obj(ObjectId(take_u64(buf, pos)?)),
+            7 => {
+                let n = take_u32(buf, pos)? as usize;
+                let mut rs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rs.push(Rect {
+                        x: take_u32(buf, pos)?,
+                        y: take_u32(buf, pos)?,
+                        w: take_u32(buf, pos)?,
+                        h: take_u32(buf, pos)?,
+                    });
+                }
+                Value::Rects(rs)
+            }
+            8 => {
+                let n = take_u32(buf, pos)? as usize;
+                let mut vs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    vs.push(Value::decode_from(buf, pos)?);
+                }
+                Value::List(vs)
+            }
+            _ => return None,
+        })
     }
 
     /// Every object reference reachable in this value (recursing into
@@ -159,6 +269,38 @@ mod tests {
         let mut out = Vec::new();
         v.collect_objects(&mut out);
         assert_eq!(out, vec![ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_every_variant() {
+        let v = Value::List(vec![
+            Value::Unit,
+            Value::Bool(true),
+            Value::I64(-7),
+            Value::F64(2.5),
+            Value::Str("héllo".into()),
+            Value::Bytes(vec![0, 255, 3]),
+            Value::Obj(ObjectId(42)),
+            Value::Rects(vec![Rect {
+                x: 1,
+                y: 2,
+                w: 3,
+                h: 4,
+            }]),
+            Value::List(vec![Value::I64(1)]),
+        ]);
+        let mut buf = Vec::new();
+        v.encode_into(&mut buf);
+        let mut pos = 0;
+        let back = Value::decode_from(&buf, &mut pos).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(pos, buf.len(), "decoder consumes exactly what it wrote");
+        // Truncation at every prefix is detected, never a panic.
+        for cut in 0..buf.len() {
+            let mut p = 0;
+            let r = Value::decode_from(&buf[..cut], &mut p);
+            assert!(r.is_none() || p <= cut);
+        }
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Rig {
     }
 
     fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, FrameworkError> {
-        let id = self.reg.id_of(name).unwrap_or_else(|| panic!("no API {name}"));
+        let id = self
+            .reg
+            .id_of(name)
+            .unwrap_or_else(|| panic!("no API {name}"));
         let mut ctx = ApiCtx::new(&mut self.kernel, &mut self.objects, self.pid);
         execute(&self.reg, id, args, &mut ctx)
     }
@@ -55,7 +58,9 @@ fn imread_filter_imwrite_pipeline() {
     let mut rig = Rig::new();
     rig.seed_image("/in.simg", 16, 16);
     let img = rig.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
-    let gray = rig.call("cv2.cvtColor", &[img.clone()]).unwrap();
+    let gray = rig
+        .call("cv2.cvtColor", std::slice::from_ref(&img))
+        .unwrap();
     let blurred = rig.call("cv2.GaussianBlur", &[gray]).unwrap();
     rig.call("cv2.imwrite", &[Value::from("/out.simg"), blurred])
         .unwrap();
@@ -67,7 +72,9 @@ fn imread_filter_imwrite_pipeline() {
 #[test]
 fn imread_missing_file_is_errno_not_crash() {
     let mut rig = Rig::new();
-    let err = rig.call("cv2.imread", &[Value::from("/absent.simg")]).unwrap_err();
+    let err = rig
+        .call("cv2.imread", &[Value::from("/absent.simg")])
+        .unwrap_err();
     assert!(!err.is_crash());
     assert!(rig.kernel.is_running(rig.pid));
 }
@@ -85,15 +92,25 @@ fn camera_capture_pipeline() {
     let mut rig = Rig::new();
     rig.kernel.camera = Some(Camera::new(7, CAMERA_FRAME_LEN));
     let cap = rig.call("cv2.VideoCapture", &[Value::I64(0)]).unwrap();
-    let f1 = rig.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
-    let f2 = rig.call("cv2.VideoCapture.read", &[cap.clone()]).unwrap();
+    let f1 = rig
+        .call("cv2.VideoCapture.read", std::slice::from_ref(&cap))
+        .unwrap();
+    let f2 = rig
+        .call("cv2.VideoCapture.read", std::slice::from_ref(&cap))
+        .unwrap();
     assert!(matches!(f1, Value::Obj(_)));
     // Stateful capture advanced.
     let meta = rig.objects.meta(cap.as_obj().unwrap()).unwrap();
     assert_eq!(meta.kind, ObjectKind::Capture { frames_read: 2 });
     // Frames are distinct camera outputs.
-    let b1 = rig.objects.read_bytes(&mut rig.kernel, f1.as_obj().unwrap()).unwrap();
-    let b2 = rig.objects.read_bytes(&mut rig.kernel, f2.as_obj().unwrap()).unwrap();
+    let b1 = rig
+        .objects
+        .read_bytes(&mut rig.kernel, f1.as_obj().unwrap())
+        .unwrap();
+    let b2 = rig
+        .objects
+        .read_bytes(&mut rig.kernel, f2.as_obj().unwrap())
+        .unwrap();
     assert_ne!(b1, b2);
 }
 
@@ -102,19 +119,15 @@ fn imshow_presents_to_display_and_connects_once() {
     let mut rig = Rig::new();
     rig.seed_image("/in.simg", 8, 8);
     let img = rig.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
-    rig.call("cv2.imshow", &[Value::from("win"), img.clone()]).unwrap();
+    rig.call("cv2.imshow", &[Value::from("win"), img.clone()])
+        .unwrap();
     rig.call("cv2.imshow", &[Value::from("win"), img]).unwrap();
     assert!(rig.kernel.display.is_connected());
     assert_eq!(rig.kernel.display.window_count(), 1);
     let win = rig.kernel.display.find_window("win").unwrap();
     assert_eq!(rig.kernel.display.window(win).unwrap().presents, 2);
     // Only one gui socket was opened across the two calls.
-    let gui_socks = rig
-        .kernel
-        .process(rig.pid)
-        .unwrap()
-        .open_fds()
-        .count();
+    let gui_socks = rig.kernel.process(rig.pid).unwrap().open_fds().count();
     assert_eq!(gui_socks, 1);
 }
 
@@ -128,7 +141,10 @@ fn detect_multiscale_and_contours_return_rects() {
         .unwrap();
     let img = rig.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
     let hits = rig
-        .call("cv2.CascadeClassifier.detectMultiScale", &[clf, img.clone()])
+        .call(
+            "cv2.CascadeClassifier.detectMultiScale",
+            &[clf, img.clone()],
+        )
         .unwrap();
     assert!(matches!(hits, Value::Rects(_)));
     let thresh = rig.call("cv2.threshold", &[img]).unwrap();
@@ -147,12 +163,23 @@ fn drawing_apis_mutate_in_place() {
         .unwrap();
     rig.call(
         "cv2.rectangle",
-        &[img.clone(), Value::I64(2), Value::I64(2), Value::I64(6), Value::I64(6)],
+        &[
+            img.clone(),
+            Value::I64(2),
+            Value::I64(2),
+            Value::I64(6),
+            Value::I64(6),
+        ],
     )
     .unwrap();
     rig.call(
         "cv2.putText",
-        &[img.clone(), Value::from("ok"), Value::I64(1), Value::I64(10)],
+        &[
+            img.clone(),
+            Value::from("ok"),
+            Value::I64(1),
+            Value::I64(10),
+        ],
     )
     .unwrap();
     let after = rig
@@ -169,7 +196,9 @@ fn tensor_pipeline_forward_and_train() {
     rig.kernel
         .fs
         .put("/model.stsr", fileio::encode_tensor(&weights, None));
-    let model = rig.call("torch.load", &[Value::from("/model.stsr")]).unwrap();
+    let model = rig
+        .call("torch.load", &[Value::from("/model.stsr")])
+        .unwrap();
     let input = rig.call("torch.tensor", &[Value::I64(64)]).unwrap();
     let probs = rig
         .call("torch.nn.Module.forward", &[model.clone(), input.clone()])
@@ -226,9 +255,10 @@ fn dataset_load_reads_directory() {
 #[test]
 fn csv_roundtrip_via_pandas() {
     let mut rig = Rig::new();
-    rig.kernel
-        .fs
-        .put("/t.csv", fileio::encode_csv(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+    rig.kernel.fs.put(
+        "/t.csv",
+        fileio::encode_csv(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+    );
     let table = rig.call("pd.read_csv", &[Value::from("/t.csv")]).unwrap();
     let meta = rig.objects.meta(table.as_obj().unwrap()).unwrap();
     assert_eq!(meta.kind, ObjectKind::Table { rows: 2, cols: 2 });
@@ -249,9 +279,10 @@ fn plot_pipeline_show_and_save() {
             &[Value::List(vec![Value::F64(1.0), Value::F64(2.0)])],
         )
         .unwrap();
-    rig.call("plt.show", &[fig.clone()]).unwrap();
+    rig.call("plt.show", std::slice::from_ref(&fig)).unwrap();
     assert!(rig.kernel.display.is_connected());
-    rig.call("plt.savefig", &[Value::from("/fig.png"), fig]).unwrap();
+    rig.call("plt.savefig", &[Value::from("/fig.png"), fig])
+        .unwrap();
     assert!(rig.kernel.fs.exists("/fig.png"));
 }
 
@@ -282,7 +313,9 @@ fn vulnerable_imread_fires_payload_patched_loader_taints() {
         .fs
         .put("/evil.simg", fileio::encode_image(&img, Some(&payload)));
     // cv2.imread IS vulnerable to this CVE → DoS succeeds, process dies.
-    let err = rig.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap_err();
+    let err = rig
+        .call("cv2.imread", &[Value::from("/evil.simg")])
+        .unwrap_err();
     assert!(err.is_crash());
     assert!(!rig.kernel.is_running(rig.pid));
 
@@ -292,7 +325,9 @@ fn vulnerable_imread_fires_payload_patched_loader_taints() {
     rig.kernel
         .fs
         .put("/evil.simg", fileio::encode_image(&img, Some(&payload)));
-    let loaded = rig.call("PIL.Image.open", &[Value::from("/evil.simg")]).unwrap();
+    let loaded = rig
+        .call("PIL.Image.open", &[Value::from("/evil.simg")])
+        .unwrap();
     assert!(rig.kernel.is_running(rig.pid));
     let meta = rig.objects.meta(loaded.as_obj().unwrap()).unwrap();
     assert_eq!(meta.taint.as_ref().unwrap().cve, "CVE-2017-14136");
@@ -311,7 +346,9 @@ fn taint_propagates_and_fires_in_vulnerable_processing_api() {
         .put("/evil.simg", fileio::encode_image(&img, Some(&payload)));
     // imread is NOT vulnerable to 14491 in our catalog? It is not listed,
     // so loading succeeds with taint.
-    let loaded = rig.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap();
+    let loaded = rig
+        .call("cv2.imread", &[Value::from("/evil.simg")])
+        .unwrap();
     // Filter propagates taint.
     let gray = rig.call("cv2.cvtColor", &[loaded]).unwrap();
     assert!(rig
@@ -322,7 +359,9 @@ fn taint_propagates_and_fires_in_vulnerable_processing_api() {
         .is_some());
     // detectMultiScale IS vulnerable to CVE-2019-14491 → crash.
     rig.kernel.fs.put("/c.xml", vec![1; 16]);
-    let clf = rig.call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")]).unwrap();
+    let clf = rig
+        .call("cv2.CascadeClassifier.load", &[Value::from("/c.xml")])
+        .unwrap();
     let err = rig
         .call("cv2.CascadeClassifier.detectMultiScale", &[clf, gray])
         .unwrap_err();
@@ -333,7 +372,10 @@ fn taint_propagates_and_fires_in_vulnerable_processing_api() {
 fn exploit_corruption_without_crash_lets_api_complete() {
     let mut rig = Rig::new();
     // A writable "critical variable" in the same process.
-    let victim = rig.kernel.alloc(rig.pid, 8, freepart_simos::Perms::RW).unwrap();
+    let victim = rig
+        .kernel
+        .alloc(rig.pid, 8, freepart_simos::Perms::RW)
+        .unwrap();
     rig.kernel.mem_write(rig.pid, victim, b"GOODDATA").unwrap();
     let payload = ExploitPayload {
         cve: "CVE-2017-12597".into(),
@@ -346,11 +388,16 @@ fn exploit_corruption_without_crash_lets_api_complete() {
     rig.kernel
         .fs
         .put("/evil.simg", fileio::encode_image(&img, Some(&payload)));
-    let loaded = rig.call("cv2.imread", &[Value::from("/evil.simg")]).unwrap();
+    let loaded = rig
+        .call("cv2.imread", &[Value::from("/evil.simg")])
+        .unwrap();
     // The API completed (returned an object) *and* the corruption landed:
     // no isolation in a monolithic process.
     assert!(matches!(loaded, Value::Obj(_)));
-    assert_eq!(rig.kernel.mem_read(rig.pid, victim, 8).unwrap(), b"BADBYTES");
+    assert_eq!(
+        rig.kernel.mem_read(rig.pid, victim, 8).unwrap(),
+        b"BADBYTES"
+    );
 }
 
 #[test]
@@ -358,7 +405,8 @@ fn gui_state_read_returns_window_titles() {
     let mut rig = Rig::new();
     rig.seed_image("/in.simg", 8, 8);
     let img = rig.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
-    rig.call("cv2.imshow", &[Value::from("recent-secret.png"), img]).unwrap();
+    rig.call("cv2.imshow", &[Value::from("recent-secret.png"), img])
+        .unwrap();
     let titles = rig.call("Gtk.RecentManager.get_items", &[]).unwrap();
     assert_eq!(titles, Value::Str("recent-secret.png".into()));
 }
@@ -370,7 +418,10 @@ fn window_ops_and_key_polling() {
     assert_eq!(rig.kernel.display.window_count(), 1);
     assert_eq!(rig.call("cv2.pollKey", &[]).unwrap(), Value::I64(-1));
     rig.kernel.display.push_key(b'q');
-    assert_eq!(rig.call("cv2.pollKey", &[]).unwrap(), Value::I64(b'q' as i64));
+    assert_eq!(
+        rig.call("cv2.pollKey", &[]).unwrap(),
+        Value::I64(b'q' as i64)
+    );
     rig.call("cv2.destroyAllWindows", &[]).unwrap();
     assert_eq!(rig.kernel.display.window_count(), 0);
 }
@@ -411,7 +462,13 @@ fn every_processing_api_runs_on_a_small_mat_or_tensor() {
         let args: Vec<Value> = match spec.kind {
             K::Filter(_) | K::FindContours | K::Reduce | K::Crop | K::Resize => vec![img],
             K::Binary(_) => vec![img, img2],
-            K::DrawRect => vec![img, Value::I64(1), Value::I64(1), Value::I64(4), Value::I64(4)],
+            K::DrawRect => vec![
+                img,
+                Value::I64(1),
+                Value::I64(1),
+                Value::I64(4),
+                Value::I64(4),
+            ],
             K::PutText => vec![img, Value::from("x"), Value::I64(0), Value::I64(0)],
             K::DetectMultiScale => {
                 rig.kernel.fs.put("/c.xml", vec![1; 8]);
@@ -420,7 +477,10 @@ fn every_processing_api_runs_on_a_small_mat_or_tensor() {
                     .unwrap();
                 vec![clf, img]
             }
-            K::TensorUnary(_) | K::TensorConv | K::TensorPoolMax | K::TensorPoolAvg
+            K::TensorUnary(_)
+            | K::TensorConv
+            | K::TensorPoolMax
+            | K::TensorPoolAvg
             | K::TensorMatmul => vec![tensor],
             K::Forward => vec![tensor, tensor2],
             K::TrainStep => vec![tensor, tensor2, Value::F64(0.5)],

@@ -13,7 +13,7 @@
 /// The defaults approximate an i7-class desktop: ~300 ns syscall entry,
 /// ~1.5 µs context switch, ~0.06 ns/byte memcpy bandwidth (~16 GB/s),
 /// ~200 µs fork+exec, ~180 ns per-page TLB shootdown on `mprotect`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Fixed cost of any syscall (entry/exit, filter evaluation).
     pub syscall_ns: u64,

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Kinds of device a file descriptor can point at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// A frame-producing camera (`/dev/video0`).
     Camera,
@@ -25,7 +25,7 @@ pub enum DeviceKind {
 }
 
 /// Identifier of a GUI window created by a visualizing API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WindowId(pub u32);
 
 impl fmt::Display for WindowId {
@@ -134,7 +134,11 @@ impl Display {
 
     /// Presents `frame_len` bytes to `win`.
     pub fn present(&mut self, win: WindowId, frame_len: usize) -> bool {
-        match self.windows.get_mut(win.0 as usize).and_then(|w| w.as_mut()) {
+        match self
+            .windows
+            .get_mut(win.0 as usize)
+            .and_then(|w| w.as_mut())
+        {
             Some(w) => {
                 w.last_frame_len = frame_len;
                 w.presents += 1;

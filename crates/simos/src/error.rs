@@ -19,7 +19,7 @@ use std::fmt;
 /// POSIX-style error numbers returned by failed syscalls.
 ///
 /// Only the values the simulated frameworks actually produce are modeled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Errno {
     /// No such file or directory.
@@ -59,7 +59,7 @@ impl fmt::Display for Errno {
 impl std::error::Error for Errno {}
 
 /// Why a process was forcibly terminated.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultKind {
     /// Access to an unmapped address (classic wild pointer).
     Unmapped,
@@ -86,7 +86,7 @@ impl fmt::Display for FaultKind {
 }
 
 /// A delivered fatal fault: which process died, where, and why.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fault {
     /// The faulting process.
     pub pid: Pid,

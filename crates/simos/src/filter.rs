@@ -18,7 +18,7 @@ use std::fmt;
 /// Per-syscall fd restriction: the call is allowed only on these fds —
 /// and, when `dest_prefix` is set, only toward matching destinations
 /// (the "designated files" check of §4.4.1 for `connect`/`sendto`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FdRule {
     allowed_fds: BTreeSet<Fd>,
     dest_prefixes: BTreeSet<String>,
@@ -55,7 +55,10 @@ impl FdRule {
     /// prefix is configured).
     pub fn permits_dest(&self, dest: &str) -> bool {
         self.dest_prefixes.is_empty()
-            || self.dest_prefixes.iter().any(|p| dest.starts_with(p.as_str()))
+            || self
+                .dest_prefixes
+                .iter()
+                .any(|p| dest.starts_with(p.as_str()))
     }
 }
 
@@ -86,7 +89,7 @@ pub enum FilterDecision {
 ///     FilterDecision::Kill,
 /// );
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyscallFilter {
     allowed: BTreeSet<SyscallNo>,
     fd_rules: BTreeMap<SyscallNo, FdRule>,
@@ -222,10 +225,7 @@ mod tests {
     #[test]
     fn allowlist_admits_listed_numbers_only() {
         let f = SyscallFilter::allowing([SyscallNo::Brk, SyscallNo::Read]);
-        assert_eq!(
-            f.evaluate(&Syscall::Brk { grow: 1 }),
-            FilterDecision::Allow
-        );
+        assert_eq!(f.evaluate(&Syscall::Brk { grow: 1 }), FilterDecision::Allow);
         assert_eq!(
             f.evaluate(&Syscall::Write {
                 fd: Fd(1),

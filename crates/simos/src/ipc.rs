@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifier of a kernel-registered channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(pub u32);
 
 impl fmt::Display for ChannelId {

@@ -104,9 +104,7 @@ impl Kernel {
 
     /// Mutable access to a process (harness-level, not attacker-level).
     pub fn process_mut(&mut self, pid: Pid) -> SimResult<&mut SimProcess> {
-        self.procs
-            .get_mut(&pid)
-            .ok_or(SimError::NoSuchProcess(pid))
+        self.procs.get_mut(&pid).ok_or(SimError::NoSuchProcess(pid))
     }
 
     /// All pids, in spawn order.
@@ -351,16 +349,14 @@ impl Kernel {
                     _ => Err(Errno::Enosys.into()),
                 }
             }
-            S::Lseek { fd, pos } => {
-                match self.process_mut(pid)?.fd_table.get_mut(&fd) {
-                    Some(FdTarget::File { offset, .. }) => {
-                        *offset = pos;
-                        Ok(SyscallRet::Num(pos))
-                    }
-                    Some(_) => Err(Errno::Enosys.into()),
-                    None => Err(Errno::Ebadf.into()),
+            S::Lseek { fd, pos } => match self.process_mut(pid)?.fd_table.get_mut(&fd) {
+                Some(FdTarget::File { offset, .. }) => {
+                    *offset = pos;
+                    Ok(SyscallRet::Num(pos))
                 }
-            }
+                Some(_) => Err(Errno::Enosys.into()),
+                None => Err(Errno::Ebadf.into()),
+            },
             S::Fstat { fd } => {
                 let target = self
                     .process(pid)?
@@ -471,13 +467,11 @@ impl Kernel {
             S::Seccomp => Ok(SyscallRet::Ok),
 
             // ---------------- devices ----------------
-            S::Ioctl { fd, .. } => {
-                match self.process(pid)?.fd_target(fd) {
-                    Some(FdTarget::Device(_)) => Ok(SyscallRet::Ok),
-                    Some(_) => Ok(SyscallRet::Ok),
-                    None => Err(Errno::Ebadf.into()),
-                }
-            }
+            S::Ioctl { fd, .. } => match self.process(pid)?.fd_target(fd) {
+                Some(FdTarget::Device(_)) => Ok(SyscallRet::Ok),
+                Some(_) => Ok(SyscallRet::Ok),
+                None => Err(Errno::Ebadf.into()),
+            },
             S::Select { .. } | S::Poll { .. } => Ok(SyscallRet::Ok),
             S::Eventfd2 => {
                 let fd = self
@@ -488,9 +482,9 @@ impl Kernel {
 
             // ---------------- sockets ----------------
             S::Socket => {
-                let fd = self
-                    .process_mut(pid)?
-                    .install_fd(FdTarget::Socket { dest: String::new() });
+                let fd = self.process_mut(pid)?.install_fd(FdTarget::Socket {
+                    dest: String::new(),
+                });
                 Ok(SyscallRet::NewFd(fd))
             }
             S::Connect { fd, dest } => {
@@ -509,9 +503,9 @@ impl Kernel {
             }
             S::Bind { .. } | S::Listen { .. } => Ok(SyscallRet::Ok),
             S::Accept { fd: _ } => {
-                let fd = self
-                    .process_mut(pid)?
-                    .install_fd(FdTarget::Socket { dest: String::new() });
+                let fd = self.process_mut(pid)?.install_fd(FdTarget::Socket {
+                    dest: String::new(),
+                });
                 Ok(SyscallRet::NewFd(fd))
             }
             S::Send { fd, bytes } => {
@@ -565,12 +559,18 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Creates a shared-memory ring channel between two processes.
-    pub fn create_channel(&mut self, a: Pid, b: Pid, capacity_bytes: usize) -> SimResult<ChannelId> {
+    pub fn create_channel(
+        &mut self,
+        a: Pid,
+        b: Pid,
+        capacity_bytes: usize,
+    ) -> SimResult<ChannelId> {
         self.require_running(a)?;
         self.require_running(b)?;
         let id = ChannelId(self.next_channel);
         self.next_channel += 1;
-        self.channels.insert(id, RingChannel::new(a, b, capacity_bytes));
+        self.channels
+            .insert(id, RingChannel::new(a, b, capacity_bytes));
         Ok(id)
     }
 

@@ -21,7 +21,7 @@ pub const PAGE_SIZE: u64 = 4096;
 const HEAP_BASE: u64 = 0x1000_0000;
 
 /// A process-virtual address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -48,7 +48,7 @@ impl fmt::Display for Addr {
 }
 
 /// Page permissions, a miniature `PROT_*` word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Perms(u8);
 
 impl Perms {
@@ -106,7 +106,7 @@ impl fmt::Display for Perms {
 }
 
 /// One 4 KiB page: backing bytes plus its protection word.
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 struct Page {
     perms: Perms,
     data: Vec<u8>,
@@ -136,7 +136,7 @@ pub(crate) type AccessResult<T> = Result<T, FaultKind>;
 /// asp.write(a, b"abc").unwrap();
 /// assert_eq!(asp.read(a, 3).unwrap(), b"abc");
 /// ```
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 pub struct AddressSpace {
     pages: BTreeMap<u64, Page>,
     brk: u64,

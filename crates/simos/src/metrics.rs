@@ -6,7 +6,7 @@
 //! virtual clock.
 
 /// Monotone counters over one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// IPC messages delivered (each direction counts once).
     pub ipc_messages: u64,

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Process identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub u32);
 
 impl fmt::Display for Pid {
@@ -145,7 +145,9 @@ mod tests {
         let mut p = SimProcess::new(Pid(1), "t");
         let fd = p.install_fd(FdTarget::Device(DeviceKind::Camera));
         assert_eq!(fd, Fd(3));
-        let fd2 = p.install_fd(FdTarget::Socket { dest: String::new() });
+        let fd2 = p.install_fd(FdTarget::Socket {
+            dest: String::new(),
+        });
         assert_eq!(fd2, Fd(4));
     }
 

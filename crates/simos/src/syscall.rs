@@ -14,7 +14,7 @@ use crate::mem::{Addr, Perms};
 use std::fmt;
 
 /// A simulated file descriptor (per-process index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fd(pub u32);
 
 impl fmt::Display for Fd {
@@ -26,7 +26,7 @@ impl fmt::Display for Fd {
 macro_rules! syscall_numbers {
     ($($(#[$doc:meta])* $name:ident => $lit:literal),+ $(,)?) => {
         /// Filterable syscall identity, one variant per kernel entry point.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         #[allow(missing_docs)]
         pub enum SyscallNo {
             $($(#[$doc])* $name),+
@@ -83,43 +83,100 @@ syscall_numbers! {
 pub enum Syscall {
     // ---- file I/O ----
     /// Open a path; returns `SyscallRet::NewFd`.
-    Openat { path: String, create: bool },
-    Close { fd: Fd },
+    Openat {
+        path: String,
+        create: bool,
+    },
+    Close {
+        fd: Fd,
+    },
     /// Read up to `len` bytes from `fd` at its cursor.
-    Read { fd: Fd, len: u64 },
+    Read {
+        fd: Fd,
+        len: u64,
+    },
     /// Append/overwrite bytes at the fd cursor.
-    Write { fd: Fd, bytes: Vec<u8> },
-    Lseek { fd: Fd, pos: u64 },
-    Fstat { fd: Fd },
-    Lstat { path: String },
-    Stat { path: String },
-    Getdents { path: String },
-    Mkdir { path: String },
-    Unlink { path: String },
-    Rename { from: String, to: String },
-    Access { path: String },
-    Umask { mask: u32 },
-    Dup { fd: Fd },
-    Fcntl { fd: Fd },
+    Write {
+        fd: Fd,
+        bytes: Vec<u8>,
+    },
+    Lseek {
+        fd: Fd,
+        pos: u64,
+    },
+    Fstat {
+        fd: Fd,
+    },
+    Lstat {
+        path: String,
+    },
+    Stat {
+        path: String,
+    },
+    Getdents {
+        path: String,
+    },
+    Mkdir {
+        path: String,
+    },
+    Unlink {
+        path: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Access {
+        path: String,
+    },
+    Umask {
+        mask: u32,
+    },
+    Dup {
+        fd: Fd,
+    },
+    Fcntl {
+        fd: Fd,
+    },
 
     // ---- memory ----
-    Brk { grow: u64 },
-    Mmap { len: u64, perms: Perms },
-    Munmap { addr: Addr, len: u64 },
+    Brk {
+        grow: u64,
+    },
+    Mmap {
+        len: u64,
+        perms: Perms,
+    },
+    Munmap {
+        addr: Addr,
+        len: u64,
+    },
     /// Change page protection — the call code-rewriting payloads need.
-    Mprotect { addr: Addr, len: u64, perms: Perms },
+    Mprotect {
+        addr: Addr,
+        len: u64,
+        perms: Perms,
+    },
 
     // ---- process ----
     Fork,
-    Execve { path: String },
-    Exit { code: i32 },
-    Kill { target_pid: u32 },
+    Execve {
+        path: String,
+    },
+    Exit {
+        code: i32,
+    },
+    Kill {
+        target_pid: u32,
+    },
     Getpid,
     Getuid,
     Getcwd,
     Uname,
     SchedYield,
-    Nanosleep { ns: u64 },
+    Nanosleep {
+        ns: u64,
+    },
     /// `prctl(PR_SET_NO_NEW_PRIVS)` — locks the filter configuration.
     PrctlNoNewPrivs,
     /// Install a seccomp filter program (modeled separately by the kernel;
@@ -128,30 +185,66 @@ pub enum Syscall {
 
     // ---- devices ----
     /// Device control; filterable by fd (cameras vs. arbitrary devices).
-    Ioctl { fd: Fd, request: u64 },
-    Select { fds: Vec<Fd> },
-    Poll { fds: Vec<Fd> },
+    Ioctl {
+        fd: Fd,
+        request: u64,
+    },
+    Select {
+        fds: Vec<Fd>,
+    },
+    Poll {
+        fds: Vec<Fd>,
+    },
     Eventfd2,
 
     // ---- sockets ----
     Socket,
     /// Connect a socket; filterable by fd-rule (GUI socket only).
-    Connect { fd: Fd, dest: String },
-    Bind { fd: Fd, addr: String },
-    Listen { fd: Fd },
-    Accept { fd: Fd },
+    Connect {
+        fd: Fd,
+        dest: String,
+    },
+    Bind {
+        fd: Fd,
+        addr: String,
+    },
+    Listen {
+        fd: Fd,
+    },
+    Accept {
+        fd: Fd,
+    },
     /// Send bytes on a connected socket — the exfiltration primitive.
-    Send { fd: Fd, bytes: Vec<u8> },
-    Sendto { fd: Fd, dest: String, bytes: Vec<u8> },
-    Recvfrom { fd: Fd, len: u64 },
+    Send {
+        fd: Fd,
+        bytes: Vec<u8>,
+    },
+    Sendto {
+        fd: Fd,
+        dest: String,
+        bytes: Vec<u8>,
+    },
+    Recvfrom {
+        fd: Fd,
+        len: u64,
+    },
 
     // ---- sync / shm ----
-    Futex { addr: Addr, wake: bool },
-    ShmOpen { name: String },
-    ShmUnlink { name: String },
+    Futex {
+        addr: Addr,
+        wake: bool,
+    },
+    ShmOpen {
+        name: String,
+    },
+    ShmUnlink {
+        name: String,
+    },
 
     // ---- misc ----
-    Getrandom { len: u64 },
+    Getrandom {
+        len: u64,
+    },
     Gettimeofday,
     ClockGettime,
 }

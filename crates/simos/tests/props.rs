@@ -17,7 +17,8 @@ enum MemOp {
 fn arb_mem_op() -> impl Strategy<Value = MemOp> {
     prop_oneof![
         (1u16..2048).prop_map(MemOp::Alloc),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..64)).prop_map(|(i, d)| MemOp::Write(i, d)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(i, d)| MemOp::Write(i, d)),
         (any::<u8>(), 0u8..5).prop_map(|(i, p)| MemOp::Protect(i, p)),
         (any::<u8>(), 1u16..128).prop_map(|(i, n)| MemOp::Read(i, n)),
     ]

@@ -44,7 +44,10 @@ fn main() {
     println!("loading-agent restarts: {}", fp.stats().restarts);
 
     let mut fp_no_restart = Runtime::install(standard_registry(), Policy::no_restart());
-    fly("FreePart drone (security over availability)", &mut fp_no_restart);
+    fly(
+        "FreePart drone (security over availability)",
+        &mut fp_no_restart,
+    );
     println!("note: without restart the camera path stays down, but the control");
     println!("loop and every other agent keep running — the paper's Fig. 14.");
 }

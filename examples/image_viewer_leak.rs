@@ -31,7 +31,9 @@ fn session(label: &str, surface: &mut dyn ApiSurface, recent_addr: u64) {
     let log = surface.exploit_log().to_vec();
     let (kernel, objects, host) = surface.attack_view();
     let verdict = judge(
-        &AttackGoal::Exfiltrate { marker: b"medical-scan".to_vec() },
+        &AttackGoal::Exfiltrate {
+            marker: b"medical-scan".to_vec(),
+        },
         kernel,
         objects,
         host,
@@ -40,12 +42,28 @@ fn session(label: &str, surface: &mut dyn ApiSurface, recent_addr: u64) {
     println!("--- {label} ---");
     println!("files displayed: {}/3", r.displayed);
     println!("recent-file-name exfiltration: {verdict:?}");
-    println!("network egress log: {} sends\n", kernel.network.sends().len());
+    println!(
+        "network egress log: {} sends\n",
+        kernel.network.sends().len()
+    );
 }
 
 fn probe_addr(surface: &mut dyn ApiSurface) -> u64 {
-    let r = mcomix::run(surface, &ViewerConfig { files: files(), evil_at: None });
-    surface.objects().meta(r.recent).unwrap().buffer.unwrap().0 .0
+    let r = mcomix::run(
+        surface,
+        &ViewerConfig {
+            files: files(),
+            evil_at: None,
+        },
+    );
+    surface
+        .objects()
+        .meta(r.recent)
+        .unwrap()
+        .buffer
+        .unwrap()
+        .0
+         .0
 }
 
 fn main() {
@@ -53,7 +71,10 @@ fn main() {
     let mut orig = MonolithicRuntime::original(standard_registry());
     session("unprotected viewer", &mut orig, addr);
 
-    let addr = probe_addr(&mut Runtime::install(standard_registry(), Policy::freepart()));
+    let addr = probe_addr(&mut Runtime::install(
+        standard_registry(),
+        Policy::freepart(),
+    ));
     let mut fp = Runtime::install(standard_registry(), Policy::freepart());
     session("FreePart viewer", &mut fp, addr);
     println!("two independent defenses fired: the recent list lives in the host");

@@ -33,7 +33,14 @@ fn attack_config(template_addr: u64) -> OmrConfig {
 
 fn template_addr_of<S: ApiSurface>(mut probe: S) -> u64 {
     let r = omr::run(&mut probe, &OmrConfig::benign(0));
-    probe.objects().meta(r.template).unwrap().buffer.unwrap().0 .0
+    probe
+        .objects()
+        .meta(r.template)
+        .unwrap()
+        .buffer
+        .unwrap()
+        .0
+         .0
 }
 
 fn main() {
@@ -41,11 +48,17 @@ fn main() {
     let addr = template_addr_of(MonolithicRuntime::original(standard_registry()));
     let mut orig = MonolithicRuntime::original(standard_registry());
     let r = omr::run(&mut orig, &attack_config(addr));
-    println!("graded {} of 6 submissions; scores: {:?}", r.completed, r.scores);
+    println!(
+        "graded {} of 6 submissions; scores: {:?}",
+        r.completed, r.scores
+    );
     let log = orig.exploit_log().to_vec();
     let (kernel, objects, host) = orig.attack_view();
     let verdict = judge(
-        &AttackGoal::CorruptObject { id: r.template, original: r.template_original },
+        &AttackGoal::CorruptObject {
+            id: r.template,
+            original: r.template_original,
+        },
         kernel,
         objects,
         host,
@@ -57,17 +70,27 @@ fn main() {
     let addr = template_addr_of(Runtime::install(standard_registry(), Policy::freepart()));
     let mut fp = Runtime::install(standard_registry(), Policy::freepart());
     let r = omr::run(&mut fp, &attack_config(addr));
-    println!("graded {} of 6 submissions; scores: {:?}", r.completed, r.scores);
+    println!(
+        "graded {} of 6 submissions; scores: {:?}",
+        r.completed, r.scores
+    );
     println!("containment events: {:?}", r.errors);
     let log = fp.exploit_log.clone();
     let (kernel, objects, host) = fp.attack_view();
     let verdict = judge(
-        &AttackGoal::CorruptObject { id: r.template, original: r.template_original },
+        &AttackGoal::CorruptObject {
+            id: r.template,
+            original: r.template_original,
+        },
         kernel,
         objects,
         host,
         &log,
     );
     println!("template corruption: {verdict:?}  <-- write faulted in the loading agent");
-    println!("results written: {}, restarts: {}", r.results_written, fp.stats().restarts);
+    println!(
+        "results written: {}, restarts: {}",
+        r.results_written,
+        fp.stats().restarts
+    );
 }

@@ -13,7 +13,10 @@ use freepart_suite::frameworks::registry::standard_registry;
 fn main() {
     let reg = standard_registry();
     let universe = omr::omr_universe(&reg);
-    println!("{:>10} {:>14} {:>10}", "partitions", "virtual time", "vs 4-part");
+    println!(
+        "{:>10} {:>14} {:>10}",
+        "partitions", "virtual time", "vs 4-part"
+    );
     let mut base = None;
     for n in [4u32, 5, 8, 16, 25] {
         // Average a few random fine-grained splits per point.
@@ -23,7 +26,10 @@ fn main() {
             let plan = PartitionPlan::random_split(&reg, &universe, n, seed * 31 + n as u64);
             let mut rt = Runtime::install(
                 standard_registry(),
-                Policy { plan, ..Policy::freepart() },
+                Policy {
+                    plan,
+                    ..Policy::freepart()
+                },
             );
             rt.kernel.reset_accounting();
             omr::run(&mut rt, &OmrConfig::benign(12));

@@ -38,12 +38,7 @@ fn full_analysis_pipeline_feeds_the_runtime() {
     let report = categorize(&reg, &corpus);
     assert_eq!(report.accuracy(&reg), 1.0);
     let profile = SyscallProfile::build(&reg, &corpus);
-    let mut rt = Runtime::install_with(
-        standard_registry(),
-        report,
-        profile,
-        Policy::freepart(),
-    );
+    let mut rt = Runtime::install_with(standard_registry(), report, profile, Policy::freepart());
     let img = freepart_suite::frameworks::image::Image::new(8, 8, 3);
     rt.kernel.fs.put(
         "/x.simg",
@@ -67,10 +62,7 @@ fn every_cve_dos_is_contained_and_every_scheme_judged() {
         let img = freepart_suite::frameworks::image::Image::new(8, 8, 3);
         rt.kernel.fs.put(
             "/evil.simg",
-            freepart_suite::frameworks::fileio::encode_image(
-                &img,
-                Some(&payloads::dos(cve.id)),
-            ),
+            freepart_suite::frameworks::fileio::encode_image(&img, Some(&payloads::dos(cve.id))),
         );
         let _ = rt.call("cv2.imread", &[Value::from("/evil.simg")]);
         let log = rt.exploit_log.clone();
@@ -115,8 +107,7 @@ fn freepart_bench_overhead(id: u32) -> f64 {
     let app = resolve(spec, &reg);
     let opts = RunOptions::default();
     let base = {
-        let mut rt =
-            freepart_suite::baselines::MonolithicRuntime::original(standard_registry());
+        let mut rt = freepart_suite::baselines::MonolithicRuntime::original(standard_registry());
         rt.kernel.reset_accounting();
         run_app(&app, &reg, &mut rt, &opts).unwrap();
         rt.kernel.clock().now_ns()
@@ -143,7 +134,11 @@ fn exploit_in_one_agent_never_reaches_other_agents_memory() {
     // Put a marker object in the processing agent by running a filter.
     let loaded = rt.call("cv2.imread", &[Value::from("/w.simg")]).unwrap();
     let processed = rt.call("cv2.GaussianBlur", &[loaded]).unwrap();
-    let p_meta = rt.objects.meta(processed.as_obj().unwrap()).unwrap().clone();
+    let p_meta = rt
+        .objects
+        .meta(processed.as_obj().unwrap())
+        .unwrap()
+        .clone();
     // Attack: exfiltrate the processing agent's buffer from the loading
     // agent (same numeric address, different address space).
     rt.kernel.fs.put(
@@ -161,7 +156,10 @@ fn exploit_in_one_agent_never_reaches_other_agents_memory() {
     let _ = rt.call("cv2.imread", &[Value::from("/evil.simg")]);
     // Whatever bytes the attacker read from its own address space, the
     // processing agent's actual data never reached the network.
-    let actual = rt.objects.read_bytes(&mut rt.kernel, processed.as_obj().unwrap()).unwrap();
+    let actual = rt
+        .objects
+        .read_bytes(&mut rt.kernel, processed.as_obj().unwrap())
+        .unwrap();
     assert!(!rt.kernel.network.leaked(&actual[..16.min(actual.len())]));
 }
 

@@ -187,7 +187,11 @@ proptest! {
     fn contours_are_in_bounds(w in 4u32..24, h in 4u32..24, seed in any::<u64>()) {
         let mut img = Image::new(w, h, 1);
         for (i, b) in img.data.iter_mut().enumerate() {
-            *b = if seed.wrapping_add(i as u64 * 131) % 5 == 0 { 255 } else { 0 };
+            *b = if seed.wrapping_add(i as u64 * 131).is_multiple_of(5) {
+                255
+            } else {
+                0
+            };
         }
         for r in image::find_contours(&img) {
             prop_assert!(r.x + r.w <= w && r.y + r.h <= h, "box out of bounds: {:?}", r);

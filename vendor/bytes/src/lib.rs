@@ -1,0 +1,112 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes::Bytes` API this workspace uses:
+//! construction from slices and static data, cheap `Clone`, and `Deref`
+//! to `[u8]`. Payloads are reference-counted so clones share storage,
+//! matching the real crate's semantics for the operations used here.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable chunk of bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty chunk.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new reference-counted chunk.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Wraps static data (copied here; the real crate borrows, but the
+    /// observable behaviour is identical for this workspace).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn roundtrip_and_clone_share() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(Bytes::from_static(b"xy").to_vec(), vec![b'x', b'y']);
+    }
+}

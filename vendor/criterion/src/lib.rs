@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the API subset the workspace's benches use: `Criterion`,
+//! benchmark groups, `Bencher::{iter, iter_batched}`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of statistical sampling it runs a short calibrated loop and
+//! prints mean wall-clock time per iteration — enough to eyeball
+//! regressions and to keep `cargo bench` compiling and running offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized. Mirrors `criterion::BatchSize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Labels a parameterised benchmark. Mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the measured routine. Mirrors `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_once(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: one iteration first, then enough to fill a short window.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let window = Duration::from_millis(50);
+    let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, sample_size as u128) as u64;
+    let mut bench = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let mean = bench.elapsed.as_nanos() / bench.iters.max(1) as u128;
+    println!("bench {name}: {mean} ns/iter ({iters} iters)");
+}
+
+/// A named set of related benchmarks. Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Caps the calibrated iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_once(&name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_once(&name, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report finalisation in the real crate; no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point. Mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A harness with default settings.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(name, 100, &mut f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions. Mirrors `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups. Mirrors
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_times() {
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * v, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
