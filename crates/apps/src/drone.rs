@@ -68,6 +68,7 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &DroneConfig) -> DroneResult {
     };
 
     for frame_idx in 0..cfg.frames {
+        surface.trace_mark(&format!("drone:frame {frame_idx}"));
         // 1. Grab a frame and stage it to disk (the project's pattern:
         //    camera → file → imread).
         let staged = format!("/drone/frame-{frame_idx}.simg");

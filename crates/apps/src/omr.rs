@@ -144,6 +144,7 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &OmrConfig) -> OmrResult {
 
     // ---- grading loop ----
     for sample in 0..cfg.samples {
+        surface.trace_mark(&format!("omr:sample {sample}"));
         let path = format!("/omr/submission-{sample}.simg");
         let img = submission_image(sample);
         let payload = match &cfg.evil_sample {

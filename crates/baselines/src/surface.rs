@@ -70,6 +70,11 @@ pub trait ApiSurface {
     /// schemes that lock things down post-setup (memory-based
     /// protection) hook this. Default: no-op.
     fn finish_setup(&mut self) {}
+
+    /// Drops a named instant mark into the scheme's trace timeline, when
+    /// it keeps one (pipeline phase boundaries: per-sample, per-frame).
+    /// Default: no-op — baselines without tracing ignore marks.
+    fn trace_mark(&mut self, _label: &str) {}
 }
 
 impl ApiSurface for Runtime {
@@ -137,5 +142,9 @@ impl ApiSurface for Runtime {
 
     fn process_count(&self) -> usize {
         self.kernel.process_count()
+    }
+
+    fn trace_mark(&mut self, label: &str) {
+        Runtime::trace_mark(self, label);
     }
 }

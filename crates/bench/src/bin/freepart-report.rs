@@ -1,0 +1,181 @@
+//! Observability report: **where FreePart's overhead goes**.
+//!
+//! Runs the OMR grader under the unprotected original and under FreePart
+//! with span tracing enabled, then decomposes the end-to-end virtual-time
+//! overhead into marshal / copy / mprotect / compute components from the
+//! recorded spans. Also prints the per-partition telemetry breakdown and
+//! a security-audit summary, runs the drone control loop traced, and
+//! writes its Chrome `trace_event` export to `BENCH_trace.json` at the
+//! repo root (open it in Perfetto or `about:tracing`).
+//!
+//! Tracing never charges virtual time, so the traced FreePart run must
+//! land on exactly the same clock value as an untraced one — the report
+//! asserts that, and asserts the component sum matches the end-to-end
+//! overhead `hotpath` reports to within 1%.
+//!
+//! ```text
+//! cargo run --release -p freepart-bench --bin freepart-report
+//! ```
+
+use freepart::{Policy, Runtime};
+use freepart_apps::{drone, omr};
+use freepart_baselines::{build, ApiSurface, SchemeKind};
+use freepart_bench::experiments::omr_workload;
+use freepart_bench::fmt::pct;
+use freepart_bench::{drone_workload, fast_install, workspace_root, Table};
+use freepart_frameworks::registry::standard_registry;
+
+/// Virtual time of one full OMR run on a fresh surface.
+fn omr_time(surface: &mut dyn ApiSurface) -> u64 {
+    surface.kernel_mut().reset_accounting();
+    let r = omr::run(surface, &omr_workload());
+    assert!(r.completed > 0, "workload must actually run");
+    surface.kernel().now_ns()
+}
+
+/// A FreePart runtime with tracing on and accounting zeroed.
+fn traced_freepart() -> Runtime {
+    let mut rt = fast_install(Policy::freepart());
+    rt.enable_tracing();
+    rt.kernel.reset_accounting();
+    rt
+}
+
+fn kb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+fn main() {
+    let reg = standard_registry();
+
+    // ---- baselines: original and untraced FreePart ----
+    let mut original = build(
+        SchemeKind::Original,
+        standard_registry(),
+        &omr::omr_universe(&reg),
+    );
+    let t_orig = omr_time(original.as_mut());
+    let mut untraced = fast_install(Policy::freepart());
+    let t_fp_untraced = omr_time(&mut untraced);
+
+    // ---- traced FreePart run ----
+    let mut rt = traced_freepart();
+    let t_fp = omr_time(&mut rt);
+    assert_eq!(
+        t_fp, t_fp_untraced,
+        "tracing must not perturb the virtual clock"
+    );
+
+    // ---- overhead decomposition ----
+    let buckets = rt.tracer().bucket_totals();
+    let overhead = t_fp as i64 - t_orig as i64;
+    // Agent-side compute replaces the original's inline compute; what the
+    // partitioning *adds* on the compute axis is the residual after the
+    // three mechanism components are taken out of the FreePart total.
+    let mechanisms = buckets.marshal_ns + buckets.copy_ns + buckets.mprotect_ns;
+    let compute_delta = (t_fp as i64 - mechanisms as i64) - t_orig as i64;
+    let components = [
+        ("marshal", buckets.marshal_ns as i64),
+        ("copy", buckets.copy_ns as i64),
+        ("mprotect", buckets.mprotect_ns as i64),
+        ("compute delta", compute_delta),
+    ];
+    let sum: i64 = components.iter().map(|(_, v)| v).sum();
+
+    println!("OMR grader, 24 samples (virtual time)");
+    println!("  original     : {:>12} ns", t_orig);
+    println!("  FreePart     : {:>12} ns", t_fp);
+    println!(
+        "  overhead     : {:>12} ns ({})",
+        overhead,
+        pct(t_fp as f64 / t_orig as f64 - 1.0)
+    );
+
+    let mut decomp = Table::new(["Component", "Virtual ns", "Share of overhead"]);
+    for (name, v) in components {
+        decomp.row([
+            name.to_owned(),
+            v.to_string(),
+            pct(v as f64 / overhead as f64),
+        ]);
+    }
+    decomp.print("FreePart overhead decomposition (OMR)");
+
+    let gap = (sum - overhead).abs();
+    assert!(
+        gap as f64 <= 0.01 * overhead.max(1) as f64,
+        "decomposition drifted: components sum to {sum} ns vs {overhead} ns overhead"
+    );
+    println!(
+        "\ndecomposition check: components sum to {sum} ns vs {overhead} ns end-to-end (gap {gap} ns) ✓"
+    );
+
+    // ---- per-partition telemetry ----
+    let labels: std::collections::BTreeMap<_, _> = rt.partition_labels().into_iter().collect();
+    let mut table = Table::new([
+        "Partition",
+        "Calls",
+        "Mean µs",
+        "p95 µs",
+        "Lazy KB",
+        "Eager KB",
+        "Journal",
+        "Faults",
+        "Kills",
+    ]);
+    for (p, s) in rt.tracer().partition_rollup() {
+        let label = labels.get(&p).cloned().unwrap_or_else(|| p.to_string());
+        table.row([
+            label,
+            s.calls.to_string(),
+            us(s.latency.mean() as u64),
+            us(s.latency.quantile(0.95)),
+            kb(s.bytes_lazy),
+            kb(s.bytes_eager),
+            s.journal_hits.to_string(),
+            s.faults.to_string(),
+            s.filter_kills.to_string(),
+        ]);
+    }
+    table.print("Per-partition telemetry (OMR under FreePart)");
+
+    // ---- security audit summary ----
+    let audit = rt.tracer().audit_log();
+    let transitions = audit
+        .iter()
+        .filter(|r| matches!(r, freepart::AuditRecord::StateTransition { .. }))
+        .count();
+    let reprotects = audit
+        .iter()
+        .filter(|r| matches!(r, freepart::AuditRecord::Reprotect { .. }))
+        .count();
+    let audited_pages: u64 = audit.iter().map(freepart::AuditRecord::pages).sum();
+    let kernel_pages = rt.kernel.metrics().protected_pages;
+    assert_eq!(
+        audited_pages, kernel_pages,
+        "audit log must account for every mprotect page transition"
+    );
+    println!(
+        "\naudit: {transitions} state transitions, {reprotects} reprotects, \
+         {audited_pages} mprotect page transitions (= kernel counter) ✓"
+    );
+
+    // ---- traced drone run → Chrome trace export ----
+    let mut rt = traced_freepart();
+    rt.kernel.reset_accounting();
+    let r = drone::run(&mut rt, &drone_workload());
+    assert!(r.frames_processed > 0, "workload must actually run");
+    let trace = rt.export_chrome_trace();
+    let out = workspace_root().join("BENCH_trace.json");
+    std::fs::write(&out, &trace).expect("write BENCH_trace.json");
+    println!(
+        "\nwrote {} ({} span events, {} partitions + host; load it in Perfetto)",
+        out.display(),
+        rt.tracer().events().len(),
+        rt.partition_labels().len()
+    );
+}

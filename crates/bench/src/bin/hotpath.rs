@@ -18,8 +18,8 @@ use freepart_apps::{drone, omr};
 use freepart_baselines::{build, ApiSurface, SchemeKind};
 use freepart_bench::experiments::omr_workload;
 use freepart_bench::fmt::pct;
-use freepart_bench::{fast_install, Table};
-use freepart_frameworks::api::{ApiId, ApiRegistry};
+use freepart_bench::{drone_universe, drone_workload, fast_install, workspace_root, Table};
+use freepart_frameworks::api::ApiId;
 use freepart_frameworks::registry::standard_registry;
 
 /// One scheme × pipeline measurement.
@@ -33,28 +33,6 @@ struct Run {
     processes: usize,
     /// `time / original_time - 1`; 0 for the baseline itself.
     overhead: f64,
-}
-
-/// APIs the drone control loop touches (its per-API baseline universe).
-fn drone_universe(reg: &ApiRegistry) -> Vec<ApiId> {
-    [
-        "cv2.VideoCapture",
-        "cv2.VideoCapture.read",
-        "cv2.imwrite",
-        "cv2.imread",
-        "cv2.cvtColor",
-        "cv2.findContours",
-    ]
-    .iter()
-    .map(|n| reg.id_of(n).expect("catalog API"))
-    .collect()
-}
-
-fn drone_workload() -> drone::DroneConfig {
-    drone::DroneConfig {
-        frames: 12,
-        evil_frame: None,
-    }
 }
 
 /// Runs one pipeline on a surface and returns its metrics row.
@@ -176,6 +154,7 @@ fn main() {
     println!("\nLDC check: {ldc} ns (lazy) <= {eager} ns (eager) ✓");
 
     let json = to_json(&rows);
-    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
-    println!("wrote BENCH_hotpath.json ({} runs)", rows.len());
+    let out = workspace_root().join("BENCH_hotpath.json");
+    std::fs::write(&out, &json).expect("write BENCH_hotpath.json");
+    println!("wrote {} ({} runs)", out.display(), rows.len());
 }

@@ -41,6 +41,29 @@ pub fn omr_workload() -> OmrConfig {
     OmrConfig::benign(24)
 }
 
+/// APIs the drone control loop touches (its per-API baseline universe).
+pub fn drone_universe(reg: &ApiRegistry) -> Vec<ApiId> {
+    [
+        "cv2.VideoCapture",
+        "cv2.VideoCapture.read",
+        "cv2.imwrite",
+        "cv2.imread",
+        "cv2.cvtColor",
+        "cv2.findContours",
+    ]
+    .iter()
+    .map(|n| reg.id_of(n).expect("catalog API"))
+    .collect()
+}
+
+/// Standard control-loop workload for the drone experiments.
+pub fn drone_workload() -> freepart_apps::drone::DroneConfig {
+    freepart_apps::drone::DroneConfig {
+        frames: 12,
+        evil_frame: None,
+    }
+}
+
 /// Performance metrics of one scheme on the motivating example
 /// (Table 9's columns).
 #[derive(Debug, Clone)]

@@ -20,8 +20,19 @@ pub mod experiments;
 pub mod fmt;
 
 pub use experiments::{
-    app_overhead, cve_apis_isolated, cve_sweep, fast_install, fig13_sweep, fig4_point, fig4_sweep,
-    granularity, mean_std, omr_attacks, omr_run, shared_analysis, table7_allowlists, AppOverhead,
-    CveVerdict, SchemeAttacks, SchemeRun,
+    app_overhead, cve_apis_isolated, cve_sweep, drone_universe, drone_workload, fast_install,
+    fig13_sweep, fig4_point, fig4_sweep, granularity, mean_std, omr_attacks, omr_run,
+    shared_analysis, table7_allowlists, AppOverhead, CveVerdict, SchemeAttacks, SchemeRun,
 };
 pub use fmt::Table;
+
+/// The workspace root, resolved at compile time from this crate's
+/// manifest (`crates/bench` → two levels up). Bench binaries write
+/// their `BENCH_*.json` artifacts here so results land in the same
+/// place no matter what directory the bench is invoked from.
+pub fn workspace_root() -> &'static std::path::Path {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+}

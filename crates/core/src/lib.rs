@@ -35,8 +35,13 @@ pub mod rpc;
 pub mod runtime;
 pub mod state;
 pub mod syscall_policy;
+pub mod trace;
 
 pub use partition::{PartitionId, PartitionPlan};
 pub use policy::{HostDataPlacement, Policy, RestartPolicy, SandboxLevel, Transport};
 pub use runtime::{Agent, CallError, Runtime, RuntimeStats, ThreadId};
 pub use state::{FrameworkState, StateMachine};
+pub use trace::{
+    ApiStats, AuditRecord, Bucket, BucketTotals, CallOutcome, Log2Histogram, SpanEvent, SpanPhase,
+    Tracer,
+};

@@ -20,13 +20,14 @@ use crate::policy::{HostDataPlacement, Policy, RestartPolicy, SandboxLevel};
 use crate::rpc::{CompletionCache, Request, Response};
 use crate::state::{FrameworkState, StateMachine};
 use crate::syscall_policy::build_filter;
+use crate::trace::{AuditRecord, CallOutcome, SpanEvent, SpanPhase, Tracer};
 use freepart_analysis::{HybridReport, SyscallProfile, TestCorpus};
 use freepart_frameworks::api::{ApiId, ApiRegistry};
 use freepart_frameworks::exec::execute;
 use freepart_frameworks::{
     ActionReport, ApiCtx, FrameworkError, ObjectId, ObjectKind, ObjectStore, Value,
 };
-use freepart_simos::{Addr, ChannelId, FaultKind, Kernel, Perms, Pid};
+use freepart_simos::{Addr, ChannelId, FaultKind, Kernel, Perms, Pid, ProcessState};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -187,6 +188,7 @@ pub struct Runtime {
     pub exploit_log: Vec<ActionReport>,
     call_log: Vec<ApiId>,
     stats: RuntimeStats,
+    tracer: Tracer,
     snapshots: BTreeMap<PartitionId, Vec<SnapshotEntry>>,
     /// Objects pinned to a dedicated data process (code-based API+data
     /// baseline): shipped to users per call and returned afterwards.
@@ -245,6 +247,7 @@ impl Runtime {
             exploit_log: Vec::new(),
             call_log: Vec::new(),
             stats: RuntimeStats::default(),
+            tracer: Tracer::new(),
             snapshots: BTreeMap::new(),
             pinned: BTreeMap::new(),
         };
@@ -385,6 +388,71 @@ impl Runtime {
     }
 
     // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Turns span tracing, the per-partition metrics registry, and the
+    /// security audit log on. Tracing only *reads* the virtual clock —
+    /// it never charges time — so enabling it cannot change any
+    /// deterministic benchmark result.
+    pub fn enable_tracing(&mut self) {
+        self.tracer.enable();
+    }
+
+    /// Whether tracing is recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// The tracer: spans, marks, audit log, and the per-partition /
+    /// per-API metrics registry.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records a driver-level instant mark (pipeline milestones such as
+    /// "sample 3" or "frame 7") at the current virtual time.
+    pub fn trace_mark(&mut self, label: &str) {
+        if self.tracer.enabled() {
+            let now = self.kernel.clock().now_ns();
+            self.tracer.mark(now, ThreadId::MAIN, label);
+        }
+    }
+
+    /// Exports the recorded trace as a complete Chrome `trace_event`
+    /// JSON object (`{"traceEvents": [...]}`) loadable in
+    /// `about:tracing` or Perfetto. Every live partition appears as its
+    /// own process row, named by the API types its agent serves; host
+    /// activity is process 0.
+    pub fn export_chrome_trace(&self) -> String {
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":{}}}",
+            self.tracer
+                .chrome_trace_events(&self.reg, &self.partition_labels())
+        )
+    }
+
+    /// Display labels for every live partition: the partition id plus
+    /// the API types its agent serves.
+    pub fn partition_labels(&self) -> Vec<(PartitionId, String)> {
+        self.agents
+            .iter()
+            .map(|(p, agent)| {
+                let mut types: BTreeSet<String> = agent
+                    .apis
+                    .iter()
+                    .map(|a| self.reg.spec(*a).declared_type.to_string())
+                    .collect();
+                if types.is_empty() {
+                    types.insert("idle".to_owned());
+                }
+                let label = format!("{p} ({})", types.into_iter().collect::<Vec<_>>().join("+"));
+                (*p, label)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
     // Host-side data
     // ------------------------------------------------------------------
 
@@ -455,6 +523,12 @@ impl Runtime {
             .clone();
         if meta.home != self.host {
             if let Some((addr, len)) = meta.buffer {
+                let tracing = self.tracer.enabled();
+                let fetch_t0 = if tracing {
+                    self.kernel.clock().now_ns()
+                } else {
+                    0
+                };
                 let bytes = self
                     .kernel
                     .mem_read(meta.home, addr, len)
@@ -462,6 +536,19 @@ impl Runtime {
                 self.kernel.charge_copy(len);
                 self.stats.host_copies += 1;
                 self.charge_transport(len);
+                if tracing {
+                    let now = self.kernel.clock().now_ns();
+                    self.tracer.span(SpanEvent {
+                        phase: SpanPhase::HostFetch,
+                        seq: self.seq,
+                        api: None,
+                        partition: None,
+                        thread: ThreadId::MAIN,
+                        start_ns: fetch_t0,
+                        end_ns: now,
+                        bytes: len,
+                    });
+                }
                 return Ok(bytes);
             }
         }
@@ -477,11 +564,31 @@ impl Runtime {
             let home = self.objects.meta(id).map(|m| m.home);
             if home != Some(pin) && self.kernel.is_running(pin) {
                 let len = self.objects.meta(id).map_or(0, |m| m.len());
+                let tracing = self.tracer.enabled();
+                let copy_t0 = if tracing {
+                    self.kernel.clock().now_ns()
+                } else {
+                    0
+                };
                 self.objects
                     .migrate_direct(&mut self.kernel, id, pin)
                     .map_err(|_| CallError::StateLost(id))?;
                 self.stats.host_copies += 1;
                 self.charge_transport(len);
+                if tracing {
+                    let now = self.kernel.clock().now_ns();
+                    self.tracer.add_eager_bytes(len);
+                    self.tracer.span(SpanEvent {
+                        phase: SpanPhase::DataCopy,
+                        seq: self.seq,
+                        api: None,
+                        partition: None,
+                        thread: ThreadId::MAIN,
+                        start_ns: copy_t0,
+                        end_ns: now,
+                        bytes: len,
+                    });
+                }
                 self.reapply_all(id);
             }
         }
@@ -547,6 +654,23 @@ impl Runtime {
         let api_type = self.report.type_of(api);
         let neutral = self.reg.spec(api).type_neutral && self.policy.colocate_type_neutral;
 
+        // One sequence number per *logical* call: a crash-retry re-sends
+        // the same seq, so an agent that completed the call just before
+        // dying answers the retry from its completion journal instead of
+        // executing the side effects a second time.
+        self.seq += 1;
+        let seq = self.seq;
+
+        // Hook entry: the Call span opens here and the per-call byte
+        // accumulation resets.
+        let tracing = self.tracer.enabled();
+        let call_t0 = if tracing {
+            self.tracer.begin_call();
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
+
         // Type-neutral APIs run in the calling context's agent and do not
         // move the framework state (§4.2).
         let base_partition = if neutral {
@@ -556,22 +680,57 @@ impl Runtime {
             }
         } else {
             // Temporal protection fires on the state change, *before* the
-            // API executes (Fig. 3).
+            // API executes (Fig. 3). Snapshot the page counter and the
+            // protected set around it so the audit record carries the
+            // exact protection delta this transition applied.
+            let before = if tracing {
+                Some((
+                    self.kernel.clock().now_ns(),
+                    self.kernel.metrics().protected_pages,
+                    self.states[&thread].protected().len(),
+                    self.state_of(thread),
+                ))
+            } else {
+                None
+            };
             let sm = self.states.get_mut(&thread).expect("checked");
-            sm.observe(api_type, &mut self.kernel, &self.objects).ok();
+            let newly = sm.observe(api_type, &mut self.kernel, &self.objects).ok();
+            if let Some((t0, pages0, prot0, from)) = before {
+                let to = self.state_of(thread);
+                if to != from {
+                    let now = self.kernel.clock().now_ns();
+                    let pages = self.kernel.metrics().protected_pages - pages0;
+                    let prot1 = self.states[&thread].protected().len();
+                    let locked = newly.unwrap_or(0);
+                    let unlocked = (prot0 + locked).saturating_sub(prot1);
+                    self.tracer.record_audit(AuditRecord::StateTransition {
+                        at_ns: t0,
+                        thread,
+                        seq,
+                        from,
+                        to,
+                        objects_locked: locked,
+                        objects_unlocked: unlocked,
+                        pages,
+                    });
+                    self.tracer.span(SpanEvent {
+                        phase: SpanPhase::Transition,
+                        seq,
+                        api: Some(api),
+                        partition: None,
+                        thread,
+                        start_ns: t0,
+                        end_ns: now,
+                        bytes: 0,
+                    });
+                }
+            }
             self.partition_of(api)
         };
         let partition = thread_partition(thread, base_partition);
 
-        // One sequence number per *logical* call: a crash-retry re-sends
-        // the same seq, so an agent that completed the call just before
-        // dying answers the retry from its completion journal instead of
-        // executing the side effects a second time.
-        self.seq += 1;
-        let seq = self.seq;
-
         let first_attempt = self.dispatch(thread, partition, seq, api, args);
-        match first_attempt {
+        let result = match first_attempt {
             Err(CallError::AgentCrashed(p)) if self.policy.restart == RestartPolicy::Restart => {
                 // At-least-once re-delivery of the *same* request; the
                 // completion journal upgrades it to exactly-once when the
@@ -580,7 +739,33 @@ impl Runtime {
                 self.dispatch(thread, p, seq, api, args)
             }
             other => other,
+        };
+        if tracing {
+            let end = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Call,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: call_t0,
+                end_ns: end,
+                bytes: 0,
+            });
+            let outcome = match &result {
+                Ok(_) => CallOutcome::Completed,
+                Err(CallError::Framework(_)) => CallOutcome::Errored,
+                Err(CallError::AgentCrashed(_)) | Err(CallError::AgentUnavailable(_)) => {
+                    CallOutcome::Faulted
+                }
+                Err(_) => CallOutcome::Errored,
+            };
+            // Filter kills surface as crashes too; the dispatch path has
+            // already written the finer-grained audit record.
+            self.tracer
+                .finish_call(partition, api, end - call_t0, outcome);
         }
+        result
     }
 
     /// Test hook: makes the agent serving `partition` crash right after
@@ -617,6 +802,12 @@ impl Runtime {
         let agent_pid = self.agents[&partition].pid;
 
         // --- request frame host → agent ---
+        let tracing = self.tracer.enabled();
+        let marshal_t0 = if tracing {
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
         let req = Request {
             seq,
             api,
@@ -631,7 +822,21 @@ impl Runtime {
             .ipc_recv(agent_pid, chan)
             .map_err(|_| CallError::AgentUnavailable(partition))?
             .expect("request just sent");
+        let frame_len = delivered.len() as u64;
         let req = Request::decode(&delivered).expect("self-encoded frame");
+        if tracing {
+            let now = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Marshal,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: marshal_t0,
+                end_ns: now,
+                bytes: frame_len,
+            });
+        }
 
         // Exactly-once: a re-delivered request whose execution already
         // completed (the agent died in the response window) is answered
@@ -642,6 +847,20 @@ impl Runtime {
             agent.calls += 1;
             self.stats.rpc_calls += 1;
             self.call_log.push(api);
+            if tracing {
+                let now = self.kernel.clock().now_ns();
+                self.tracer.note_journal_hit();
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::Replay,
+                    seq,
+                    api: Some(api),
+                    partition: Some(partition),
+                    thread,
+                    start_ns: now,
+                    end_ns: now,
+                    bytes: 0,
+                });
+            }
             if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
                 self.seal_agent(partition);
             }
@@ -658,16 +877,39 @@ impl Runtime {
         }
 
         // --- execute in the agent's process context ---
+        let exec_t0 = if tracing {
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
         let watermark = self.objects.next_id_watermark();
         let mut ctx = ApiCtx::new(&mut self.kernel, &mut self.objects, agent_pid);
         let exec_result = execute(&self.reg, api, &req.args, &mut ctx);
         let exploit_log = std::mem::take(&mut ctx.exploit_log);
         drop(ctx);
         self.exploit_log.extend(exploit_log);
+        if tracing {
+            let now = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Execute,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: exec_t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
 
         let result = match exec_result {
             Ok(v) => v,
-            Err(e) if e.is_crash() => return Err(CallError::AgentCrashed(partition)),
+            Err(e) if e.is_crash() => {
+                if tracing {
+                    self.audit_agent_crash(partition, api, agent_pid, thread);
+                }
+                return Err(CallError::AgentCrashed(partition));
+            }
             Err(e) => return Err(CallError::Framework(e)),
         };
 
@@ -686,11 +928,30 @@ impl Runtime {
                 if let Some(meta) = self.objects.meta(obj) {
                     if meta.home == agent_pid {
                         let len = meta.len();
+                        let copy_t0 = if tracing {
+                            self.kernel.clock().now_ns()
+                        } else {
+                            0
+                        };
                         self.objects
                             .migrate_direct(&mut self.kernel, obj, self.host)
                             .map_err(|_| CallError::StateLost(obj))?;
                         self.stats.host_copies += 1;
                         self.charge_transport(len);
+                        if tracing {
+                            let now = self.kernel.clock().now_ns();
+                            self.tracer.add_eager_bytes(len);
+                            self.tracer.span(SpanEvent {
+                                phase: SpanPhase::DataCopy,
+                                seq,
+                                api: Some(api),
+                                partition: Some(partition),
+                                thread,
+                                start_ns: copy_t0,
+                                end_ns: now,
+                                bytes: len,
+                            });
+                        }
                         self.reapply_all(obj);
                     }
                 }
@@ -700,11 +961,29 @@ impl Runtime {
         // The call is now complete agent-side: journal it *before* the
         // response leg, so a crash in the response window is recoverable
         // by replaying the journal instead of re-executing side effects.
+        let journal_t0 = if tracing {
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
         self.agents
             .get_mut(&partition)
             .expect("agent exists")
             .cache
             .complete(req.seq, result.clone());
+        if tracing {
+            let now = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Journal,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: journal_t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
 
         // One-shot injected crash in exactly that window (test hook).
         if self.crash_before_response == Some(partition) {
@@ -714,16 +993,36 @@ impl Runtime {
         }
 
         // --- response frame agent → host ---
+        let resp_t0 = if tracing {
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
         let resp = Response {
             seq: req.seq,
             result: result.clone(),
         };
+        let resp_frame = resp.encode();
+        let resp_len = resp_frame.len() as u64;
         self.kernel
-            .ipc_send(agent_pid, chan, &resp.encode())
+            .ipc_send(agent_pid, chan, &resp_frame)
             .map_err(|_| CallError::AgentCrashed(partition))?;
         self.kernel
             .ipc_recv(self.host, chan)
             .map_err(|_| CallError::AgentCrashed(partition))?;
+        if tracing {
+            let now = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Response,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: resp_t0,
+                end_ns: now,
+                bytes: resp_len,
+            });
+        }
 
         // --- bookkeeping ---
         let agent = self.agents.get_mut(&partition).expect("agent exists");
@@ -772,10 +1071,41 @@ impl Runtime {
             .filter(|(_, s)| s.is_protected(obj))
             .map(|(t, _)| *t)
             .collect();
-        for t in threads {
-            if let Some(sm) = self.states.get(&t) {
+        if threads.is_empty() {
+            return;
+        }
+        let tracing = self.tracer.enabled();
+        let before = if tracing {
+            Some((
+                self.kernel.clock().now_ns(),
+                self.kernel.metrics().protected_pages,
+            ))
+        } else {
+            None
+        };
+        for t in &threads {
+            if let Some(sm) = self.states.get(t) {
                 sm.reapply(&mut self.kernel, &self.objects, obj).ok();
             }
+        }
+        if let Some((t0, pages0)) = before {
+            let now = self.kernel.clock().now_ns();
+            let pages = self.kernel.metrics().protected_pages - pages0;
+            self.tracer.record_audit(AuditRecord::Reprotect {
+                at_ns: t0,
+                object: obj,
+                pages,
+            });
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Reprotect,
+                seq: self.seq,
+                api: None,
+                partition: None,
+                thread: threads[0],
+                start_ns: t0,
+                end_ns: now,
+                bytes: 0,
+            });
         }
     }
 
@@ -783,7 +1113,7 @@ impl Runtime {
     /// policy, re-applying temporal protection afterwards.
     fn move_to_agent(
         &mut self,
-        _thread: ThreadId,
+        thread: ThreadId,
         obj: ObjectId,
         agent_pid: Pid,
     ) -> Result<(), CallError> {
@@ -806,6 +1136,12 @@ impl Runtime {
         if !self.kernel.is_running(meta.home) {
             return Err(CallError::StateLost(obj));
         }
+        let tracing = self.tracer.enabled();
+        let copy_t0 = if tracing {
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
         if self.policy.lazy_data_copy {
             // Direct move from wherever the payload lives (Fig. 11-a).
             self.objects
@@ -814,6 +1150,9 @@ impl Runtime {
             if meta.buffer.is_some() {
                 self.stats.ldc_copies += 1;
                 self.charge_transport(meta.len());
+                if tracing {
+                    self.tracer.add_lazy_bytes(meta.len());
+                }
             }
         } else {
             // Eager path through the host (Fig. 11-b).
@@ -824,6 +1163,9 @@ impl Runtime {
                 if meta.buffer.is_some() {
                     self.stats.host_copies += 1;
                     self.charge_transport(meta.len());
+                    if tracing {
+                        self.tracer.add_eager_bytes(meta.len());
+                    }
                 }
             }
             self.objects
@@ -832,7 +1174,25 @@ impl Runtime {
             if meta.buffer.is_some() {
                 self.stats.host_copies += 1;
                 self.charge_transport(meta.len());
+                if tracing {
+                    self.tracer.add_eager_bytes(meta.len());
+                }
             }
+        }
+        if tracing {
+            // The copy span closes *before* re-protection so Reprotect
+            // time attributes to the mprotect bucket, not the copy one.
+            let now = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::DataCopy,
+                seq: self.seq,
+                api: None,
+                partition: None,
+                thread,
+                start_ns: copy_t0,
+                end_ns: now,
+                bytes: meta.len(),
+            });
         }
         self.reapply_all(obj);
         Ok(())
@@ -913,6 +1273,12 @@ impl Runtime {
     /// window. Crashed-process variable values are deliberately **not**
     /// restored (§6).
     pub fn restart_agent(&mut self, partition: PartitionId) {
+        let tracing = self.tracer.enabled();
+        let restart_t0 = if tracing {
+            self.kernel.clock().now_ns()
+        } else {
+            0
+        };
         let Some(agent) = self.agents.remove(&partition) else {
             return;
         };
@@ -967,5 +1333,73 @@ impl Runtime {
             self.seal_agent(partition);
         }
         self.stats.restarts += 1;
+        if tracing {
+            let now = self.kernel.clock().now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Restart,
+                seq: self.seq,
+                api: None,
+                partition: Some(partition),
+                thread: ThreadId::MAIN,
+                start_ns: restart_t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Classifies a just-crashed agent's fault into an audit record:
+    /// a denied syscall becomes a [`AuditRecord::FilterKill`], anything
+    /// memory-related a [`AuditRecord::AccessDenied`] with the faulting
+    /// address resolved back to the protected object it hit, when any.
+    fn audit_agent_crash(
+        &mut self,
+        partition: PartitionId,
+        api: ApiId,
+        agent_pid: Pid,
+        thread: ThreadId,
+    ) {
+        let Ok(process) = self.kernel.process(agent_pid) else {
+            return;
+        };
+        let ProcessState::Crashed(fault) = &process.state else {
+            return;
+        };
+        let fault = fault.clone();
+        let at_ns = self.kernel.clock().now_ns();
+        let state = self.state_of(thread);
+        match fault.kind {
+            FaultKind::SyscallDenied(no) => {
+                self.tracer.note_filter_kill();
+                self.tracer.record_audit(AuditRecord::FilterKill {
+                    at_ns,
+                    partition,
+                    api,
+                    state,
+                    syscall: format!("{no:?}"),
+                });
+            }
+            kind => {
+                let addr = fault.addr.map(|a| a.0);
+                let object = addr.and_then(|a| {
+                    self.objects
+                        .iter()
+                        .find(|m| {
+                            m.buffer
+                                .is_some_and(|(base, len)| a >= base.0 && a < base.0 + len.max(1))
+                        })
+                        .map(|m| m.id)
+                });
+                self.tracer.record_audit(AuditRecord::AccessDenied {
+                    at_ns,
+                    partition,
+                    api,
+                    state,
+                    object,
+                    addr,
+                    fault: format!("{kind:?}"),
+                });
+            }
+        }
     }
 }

@@ -1,0 +1,819 @@
+//! End-to-end tracing and per-partition telemetry for the hooked-call
+//! pipeline.
+//!
+//! The evaluation (Fig. 13, Tables 9/12) and the security story both
+//! hinge on knowing *where* time and bytes go: host→agent marshalling,
+//! LDC deferred copies, `mprotect` storms on state transitions. This
+//! module provides a **zero-cost-when-disabled** observability layer:
+//!
+//! * **Spans** ([`SpanEvent`]) for every stage of a hooked call's
+//!   lifecycle — hook entry → state transition → marshal → execute →
+//!   journal → response — plus LDC resolution, re-protection, replay and
+//!   restart paths, all timestamped by the `simos` virtual clock.
+//! * **A per-partition / per-API metrics registry** ([`ApiStats`]):
+//!   call counts, virtual-ns latency histograms with fixed log2 buckets,
+//!   bytes moved lazily vs eagerly, journal hits, faults, filter kills.
+//! * **A security audit log** ([`AuditRecord`]): every framework-state
+//!   transition with the page-protection delta it applied, and every
+//!   denied access with the object, state, and partition involved.
+//! * **A Chrome `trace_event` exporter** loadable in `about:tracing`
+//!   or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Tracing never charges virtual time — it only *reads* the clock — so
+//! enabling it cannot perturb the deterministic benchmark numbers, and
+//! when disabled every instrumentation site is a single branch.
+
+use crate::partition::PartitionId;
+use crate::runtime::ThreadId;
+use crate::state::FrameworkState;
+use freepart_frameworks::api::{ApiId, ApiRegistry};
+use freepart_frameworks::ObjectId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ----------------------------------------------------------------------
+// Span events
+// ----------------------------------------------------------------------
+
+/// One stage of the hooked-call lifecycle (or an out-of-call runtime
+/// activity) covered by a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanPhase {
+    /// The whole hooked call, hook entry to return (parent span).
+    Call,
+    /// Framework-state transition, including its `mprotect` sweep.
+    Transition,
+    /// Request marshal: frame encode, host→agent send, agent dispatch.
+    Marshal,
+    /// Data-plane payload movement into the executing agent (LDC
+    /// deferred-copy resolution or eager through-host hops).
+    DataCopy,
+    /// Temporal protection re-applied after a payload migration.
+    Reprotect,
+    /// API body executing in the agent's process context.
+    Execute,
+    /// Completion journalled agent-side (exactly-once bookkeeping).
+    Journal,
+    /// Response frame agent→host and host-side unmarshal.
+    Response,
+    /// Duplicate delivery answered from the completion journal.
+    Replay,
+    /// Agent respawn after a crash.
+    Restart,
+    /// Host dereference of a remote payload (`fetch_bytes`).
+    HostFetch,
+}
+
+/// Aggregation bucket a leaf span contributes to — the four components
+/// the overhead decomposition reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// RPC framing: marshal, response, replay, journal bookkeeping.
+    Marshal,
+    /// Payload bytes crossing address spaces.
+    Copy,
+    /// Page-protection changes (transitions + re-protection).
+    Mprotect,
+    /// The API body's own work inside the agent.
+    Compute,
+    /// Everything else attributable but not a component (restarts).
+    Other,
+}
+
+impl SpanPhase {
+    /// Stable lowercase name (Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Call => "call",
+            SpanPhase::Transition => "transition",
+            SpanPhase::Marshal => "marshal",
+            SpanPhase::DataCopy => "data_copy",
+            SpanPhase::Reprotect => "reprotect",
+            SpanPhase::Execute => "execute",
+            SpanPhase::Journal => "journal",
+            SpanPhase::Response => "response",
+            SpanPhase::Replay => "replay",
+            SpanPhase::Restart => "restart",
+            SpanPhase::HostFetch => "host_fetch",
+        }
+    }
+
+    /// The aggregation bucket, or `None` for parent spans ([`Call`][
+    /// SpanPhase::Call] nests the leaves; counting it would double-book).
+    pub fn bucket(self) -> Option<Bucket> {
+        match self {
+            SpanPhase::Call => None,
+            SpanPhase::Marshal | SpanPhase::Journal | SpanPhase::Response | SpanPhase::Replay => {
+                Some(Bucket::Marshal)
+            }
+            SpanPhase::DataCopy | SpanPhase::HostFetch => Some(Bucket::Copy),
+            SpanPhase::Transition | SpanPhase::Reprotect => Some(Bucket::Mprotect),
+            SpanPhase::Execute => Some(Bucket::Compute),
+            SpanPhase::Restart => Some(Bucket::Other),
+        }
+    }
+}
+
+impl fmt::Display for SpanPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured span: a lifecycle stage with virtual-clock bounds,
+/// keyed by sequence number, API, partition, and thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Lifecycle stage.
+    pub phase: SpanPhase,
+    /// Logical-call sequence number (0 for out-of-call activity).
+    pub seq: u64,
+    /// The API being called, when in a call context.
+    pub api: Option<ApiId>,
+    /// The partition involved (agent-side stages).
+    pub partition: Option<PartitionId>,
+    /// The application thread driving the call.
+    pub thread: ThreadId,
+    /// Virtual-clock timestamp at span start (ns).
+    pub start_ns: u64,
+    /// Virtual-clock timestamp at span end (ns).
+    pub end_ns: u64,
+    /// Payload bytes involved (frames for marshal/response, object
+    /// payloads for copies; 0 otherwise).
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    /// Span duration in virtual nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Histogram
+// ----------------------------------------------------------------------
+
+/// Number of log2 buckets: bucket 0 holds zeros, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`, the last bucket is open-ended. 40
+/// buckets cover up to ~9 virtual minutes at nanosecond resolution.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Fixed-size log2-bucketed histogram of virtual-ns durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// Bucket index for a value: 0 for zero, otherwise
+    /// `floor(log2(v)) + 1`, capped at the last bucket.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound (exclusive) of bucket `i` — `u64::MAX` for the last.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the `q`-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-partition / per-API metrics registry
+// ----------------------------------------------------------------------
+
+/// Telemetry for one `(partition, API)` pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApiStats {
+    /// Completed hooked calls.
+    pub calls: u64,
+    /// Per-call virtual-ns latency histogram.
+    pub latency: Log2Histogram,
+    /// Payload bytes moved by direct agent→agent LDC copies.
+    pub bytes_lazy: u64,
+    /// Payload bytes moved eagerly through the host.
+    pub bytes_eager: u64,
+    /// Duplicate deliveries answered from the completion journal.
+    pub journal_hits: u64,
+    /// Calls that ended in an agent crash (memory fault / abort).
+    pub faults: u64,
+    /// Calls that ended with the syscall filter killing the agent.
+    pub filter_kills: u64,
+}
+
+impl ApiStats {
+    /// Merges another stats cell into this one (partition rollups).
+    pub fn merge(&mut self, other: &ApiStats) {
+        self.calls += other.calls;
+        self.latency.merge(&other.latency);
+        self.bytes_lazy += other.bytes_lazy;
+        self.bytes_eager += other.bytes_eager;
+        self.journal_hits += other.journal_hits;
+        self.faults += other.faults;
+        self.filter_kills += other.filter_kills;
+    }
+}
+
+/// Totals of leaf-span durations per aggregation bucket — the
+/// marshal / copy / mprotect / compute decomposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BucketTotals {
+    /// RPC framing and journal bookkeeping (virtual ns).
+    pub marshal_ns: u64,
+    /// Payload movement across address spaces (virtual ns).
+    pub copy_ns: u64,
+    /// Page-protection changes (virtual ns).
+    pub mprotect_ns: u64,
+    /// API bodies executing in agents (virtual ns).
+    pub compute_ns: u64,
+    /// Other attributable activity, e.g. restarts (virtual ns).
+    pub other_ns: u64,
+}
+
+impl BucketTotals {
+    /// Sum of every traced leaf span.
+    pub fn traced_ns(&self) -> u64 {
+        self.marshal_ns + self.copy_ns + self.mprotect_ns + self.compute_ns + self.other_ns
+    }
+}
+
+// ----------------------------------------------------------------------
+// Security audit log
+// ----------------------------------------------------------------------
+
+/// One security-relevant runtime event, with enough context to explain
+/// *why* it happened — the per-boundary visibility aggregate counters
+/// cannot give.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditRecord {
+    /// A framework-state transition and the page-protection delta it
+    /// applied (locks on the state being left, unlocks on re-entry).
+    StateTransition {
+        /// Virtual time of the transition.
+        at_ns: u64,
+        /// The thread whose state machine moved.
+        thread: ThreadId,
+        /// The logical call that triggered it.
+        seq: u64,
+        /// State left.
+        from: FrameworkState,
+        /// State entered.
+        to: FrameworkState,
+        /// Objects newly locked read-only.
+        objects_locked: usize,
+        /// Objects unlocked on state re-entry.
+        objects_unlocked: usize,
+        /// `mprotect` page transitions applied (the `protected_pages`
+        /// kernel-counter delta across this transition).
+        pages: u64,
+    },
+    /// Temporal protection re-applied to a migrated object.
+    Reprotect {
+        /// Virtual time.
+        at_ns: u64,
+        /// The object re-locked.
+        object: ObjectId,
+        /// `mprotect` page transitions applied.
+        pages: u64,
+    },
+    /// A memory access denied by page permissions (or an abort) killed
+    /// an agent mid-call.
+    AccessDenied {
+        /// Virtual time.
+        at_ns: u64,
+        /// The partition whose agent died.
+        partition: PartitionId,
+        /// The API executing when the access fired.
+        api: ApiId,
+        /// The framework state at the time.
+        state: FrameworkState,
+        /// The protected object hit, when the address resolves to one.
+        object: Option<ObjectId>,
+        /// The faulting address, when memory-related.
+        addr: Option<u64>,
+        /// Fault classification (`Protection`, `Unmapped`, `Abort`).
+        fault: String,
+    },
+    /// The seccomp-style filter killed an agent.
+    FilterKill {
+        /// Virtual time.
+        at_ns: u64,
+        /// The partition whose agent died.
+        partition: PartitionId,
+        /// The API executing when the syscall fired.
+        api: ApiId,
+        /// The framework state at the time.
+        state: FrameworkState,
+        /// The denied syscall.
+        syscall: String,
+    },
+}
+
+impl AuditRecord {
+    /// The `mprotect` page delta this record accounts for (0 for
+    /// denial records).
+    pub fn pages(&self) -> u64 {
+        match self {
+            AuditRecord::StateTransition { pages, .. } | AuditRecord::Reprotect { pages, .. } => {
+                *pages
+            }
+            _ => 0,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The tracer
+// ----------------------------------------------------------------------
+
+/// How one logical call ended, for registry accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// Executed to completion in the agent.
+    Completed,
+    /// Answered from the completion journal without re-execution.
+    Replayed,
+    /// The agent crashed on a memory fault or abort.
+    Faulted,
+    /// The agent was killed by its syscall filter.
+    FilterKilled,
+    /// Ordinary framework error (bad args, parse failure).
+    Errored,
+}
+
+/// Per-call byte accumulation, reset at hook entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingCall {
+    bytes_lazy: u64,
+    bytes_eager: u64,
+    journal_hit: bool,
+    filter_kill: bool,
+}
+
+/// The observability sink owned by the runtime. Disabled by default;
+/// every recording method is a no-op (one branch) until
+/// [`Tracer::enable`] is called.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<SpanEvent>,
+    marks: Vec<(u64, ThreadId, String)>,
+    audit: Vec<AuditRecord>,
+    stats: BTreeMap<(PartitionId, ApiId), ApiStats>,
+    pending: PendingCall,
+}
+
+impl Tracer {
+    /// A disabled tracer (the runtime default).
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Recorded spans, in emission order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Driver marks: `(virtual ns, thread, label)` instants.
+    pub fn marks(&self) -> &[(u64, ThreadId, String)] {
+        &self.marks
+    }
+
+    /// The security audit log, in event order.
+    pub fn audit_log(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+
+    /// The per-`(partition, API)` metrics registry.
+    pub fn stats(&self) -> &BTreeMap<(PartitionId, ApiId), ApiStats> {
+        &self.stats
+    }
+
+    /// Per-partition rollup of the registry.
+    pub fn partition_rollup(&self) -> BTreeMap<PartitionId, ApiStats> {
+        let mut out: BTreeMap<PartitionId, ApiStats> = BTreeMap::new();
+        for ((p, _), s) in &self.stats {
+            out.entry(*p).or_default().merge(s);
+        }
+        out
+    }
+
+    /// Sums every leaf span into the four-component decomposition.
+    pub fn bucket_totals(&self) -> BucketTotals {
+        let mut t = BucketTotals::default();
+        for e in &self.events {
+            let d = e.duration_ns();
+            match e.phase.bucket() {
+                Some(Bucket::Marshal) => t.marshal_ns += d,
+                Some(Bucket::Copy) => t.copy_ns += d,
+                Some(Bucket::Mprotect) => t.mprotect_ns += d,
+                Some(Bucket::Compute) => t.compute_ns += d,
+                Some(Bucket::Other) => t.other_ns += d,
+                None => {}
+            }
+        }
+        t
+    }
+
+    /// Records a span (no-op when disabled).
+    pub fn span(&mut self, event: SpanEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Records a driver mark at the given virtual time.
+    pub fn mark(&mut self, at_ns: u64, thread: ThreadId, label: &str) {
+        if self.enabled {
+            self.marks.push((at_ns, thread, label.to_owned()));
+        }
+    }
+
+    /// Appends an audit record.
+    pub fn record_audit(&mut self, record: AuditRecord) {
+        if self.enabled {
+            self.audit.push(record);
+        }
+    }
+
+    /// Resets per-call byte accumulation (hook entry).
+    pub fn begin_call(&mut self) {
+        self.pending = PendingCall::default();
+    }
+
+    /// Attributes lazily-moved payload bytes to the current call.
+    pub fn add_lazy_bytes(&mut self, bytes: u64) {
+        self.pending.bytes_lazy += bytes;
+    }
+
+    /// Attributes eagerly-moved payload bytes to the current call.
+    pub fn add_eager_bytes(&mut self, bytes: u64) {
+        self.pending.bytes_eager += bytes;
+    }
+
+    /// Flags the current call as answered from the journal.
+    pub fn note_journal_hit(&mut self) {
+        self.pending.journal_hit = true;
+    }
+
+    /// Flags the current call as ended by a syscall-filter kill (refines
+    /// a [`CallOutcome::Faulted`] at fold time).
+    pub fn note_filter_kill(&mut self) {
+        self.pending.filter_kill = true;
+    }
+
+    /// Folds the finished call into the registry.
+    pub fn finish_call(
+        &mut self,
+        partition: PartitionId,
+        api: ApiId,
+        duration_ns: u64,
+        outcome: CallOutcome,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let cell = self.stats.entry((partition, api)).or_default();
+        cell.bytes_lazy += self.pending.bytes_lazy;
+        cell.bytes_eager += self.pending.bytes_eager;
+        if self.pending.journal_hit {
+            cell.journal_hits += 1;
+        }
+        let outcome = if self.pending.filter_kill && outcome == CallOutcome::Faulted {
+            CallOutcome::FilterKilled
+        } else {
+            outcome
+        };
+        match outcome {
+            CallOutcome::Completed | CallOutcome::Replayed => {
+                cell.calls += 1;
+                cell.latency.record(duration_ns);
+            }
+            CallOutcome::Faulted => cell.faults += 1,
+            CallOutcome::FilterKilled => cell.filter_kills += 1,
+            CallOutcome::Errored => {}
+        }
+        self.pending = PendingCall::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Chrome trace_event export
+    // ------------------------------------------------------------------
+
+    /// Serializes spans, marks, and partition names as a Chrome
+    /// `trace_event` JSON **array** (the `traceEvents` value). `pids`
+    /// maps each partition to a display pid and name; host activity
+    /// (spans with no partition) lands on pid 0.
+    pub fn chrome_trace_events(
+        &self,
+        reg: &ApiRegistry,
+        partitions: &[(PartitionId, String)],
+    ) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let push = |s: String, out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str("  ");
+            out.push_str(&s);
+        };
+        // Process-name metadata: host plus every partition.
+        push(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"host\"}}".to_owned(),
+            &mut out,
+            &mut first,
+        );
+        let mut pid_of: BTreeMap<PartitionId, u64> = BTreeMap::new();
+        for (p, name) in partitions {
+            let pid = u64::from(p.0) + 1;
+            pid_of.insert(*p, pid);
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                    json_escape(name)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        for e in &self.events {
+            let pid = e
+                .partition
+                .and_then(|p| pid_of.get(&p).copied())
+                .unwrap_or(0);
+            let name = match (e.phase, e.api) {
+                (SpanPhase::Call, Some(api)) => reg.spec(api).name.to_owned(),
+                (phase, _) => phase.name().to_owned(),
+            };
+            let api_name = e
+                .api
+                .map(|a| reg.spec(a).name.to_owned())
+                .unwrap_or_default();
+            push(
+                format!(
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"seq\":{},\"api\":\"{}\",\"bytes\":{}}}}}",
+                    json_escape(&name),
+                    e.phase.name(),
+                    e.thread.0,
+                    e.start_ns as f64 / 1e3,
+                    e.duration_ns() as f64 / 1e3,
+                    e.seq,
+                    json_escape(&api_name),
+                    e.bytes
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        for (at_ns, thread, label) in &self.marks {
+            push(
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"mark\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"s\":\"t\"}}",
+                    json_escape(label),
+                    thread.0,
+                    *at_ns as f64 / 1e3
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        out.push_str("\n]");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_partition_the_range() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_mean_quantile() {
+        let mut h = Log2Histogram::new();
+        for v in [100, 200, 400, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1500);
+        assert_eq!(h.mean(), 375.0);
+        assert_eq!(h.max(), 800);
+        // Median falls in the bucket holding 200 ([128, 256)).
+        assert_eq!(h.quantile(0.5), 256);
+        assert_eq!(h.quantile(1.0), 800);
+        let mut other = Log2Histogram::new();
+        other.record(800);
+        h.merge(&other);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2300);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        t.span(SpanEvent {
+            phase: SpanPhase::Execute,
+            seq: 1,
+            api: Some(ApiId(0)),
+            partition: Some(PartitionId(0)),
+            thread: ThreadId::MAIN,
+            start_ns: 0,
+            end_ns: 10,
+            bytes: 0,
+        });
+        t.mark(5, ThreadId::MAIN, "x");
+        t.begin_call();
+        t.add_lazy_bytes(100);
+        t.finish_call(PartitionId(0), ApiId(0), 10, CallOutcome::Completed);
+        assert!(t.events().is_empty());
+        assert!(t.marks().is_empty());
+        assert!(t.stats().is_empty());
+    }
+
+    #[test]
+    fn finish_call_folds_pending_bytes_and_outcomes() {
+        let mut t = Tracer::new();
+        t.enable();
+        t.begin_call();
+        t.add_lazy_bytes(1000);
+        t.add_eager_bytes(20);
+        t.finish_call(PartitionId(1), ApiId(3), 5_000, CallOutcome::Completed);
+        t.begin_call();
+        t.note_journal_hit();
+        t.finish_call(PartitionId(1), ApiId(3), 100, CallOutcome::Replayed);
+        t.begin_call();
+        t.finish_call(PartitionId(1), ApiId(3), 0, CallOutcome::Faulted);
+        let s = &t.stats()[&(PartitionId(1), ApiId(3))];
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.bytes_lazy, 1000);
+        assert_eq!(s.bytes_eager, 20);
+        assert_eq!(s.journal_hits, 1);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.latency.count(), 2);
+        let roll = t.partition_rollup();
+        assert_eq!(roll[&PartitionId(1)].calls, 2);
+    }
+
+    #[test]
+    fn bucket_totals_sum_leaf_spans_only() {
+        let mut t = Tracer::new();
+        t.enable();
+        let mk = |phase, start, end| SpanEvent {
+            phase,
+            seq: 1,
+            api: None,
+            partition: None,
+            thread: ThreadId::MAIN,
+            start_ns: start,
+            end_ns: end,
+            bytes: 0,
+        };
+        t.span(mk(SpanPhase::Call, 0, 100)); // parent: excluded
+        t.span(mk(SpanPhase::Marshal, 0, 10));
+        t.span(mk(SpanPhase::DataCopy, 10, 40));
+        t.span(mk(SpanPhase::Transition, 40, 45));
+        t.span(mk(SpanPhase::Execute, 45, 95));
+        let b = t.bucket_totals();
+        assert_eq!(b.marshal_ns, 10);
+        assert_eq!(b.copy_ns, 30);
+        assert_eq!(b.mprotect_ns, 5);
+        assert_eq!(b.compute_ns, 50);
+        assert_eq!(b.traced_ns(), 95);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -39,6 +39,10 @@ pub struct ApiCtx<'a> {
     pub trace: Option<Trace>,
     /// Reports from exploit payloads that fired during this call.
     pub exploit_log: Vec<ActionReport>,
+    /// Compute units charged through this context (observability tap:
+    /// lets a caller split a call's virtual time into compute vs
+    /// data-plane without re-deriving the cost model).
+    pub compute_units: u64,
 }
 
 impl<'a> ApiCtx<'a> {
@@ -50,6 +54,7 @@ impl<'a> ApiCtx<'a> {
             pid,
             trace: None,
             exploit_log: Vec::new(),
+            compute_units: 0,
         }
     }
 
@@ -84,6 +89,7 @@ impl<'a> ApiCtx<'a> {
 
     /// Charges `units` of compute to the current process.
     pub fn charge_compute(&mut self, units: u64) {
+        self.compute_units += units;
         self.kernel.charge_compute(self.pid, units);
     }
 
@@ -130,6 +136,7 @@ mod tests {
         let mut store = ObjectStore::new();
         let mut ctx = ApiCtx::new(&mut k, &mut store, pid);
         ctx.charge_compute(500);
+        assert_eq!(ctx.compute_units, 500);
         assert!(k.process(pid).unwrap().cpu_ns > 0);
     }
 }

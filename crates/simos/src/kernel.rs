@@ -644,6 +644,13 @@ impl Kernel {
         self.clock
     }
 
+    /// Current virtual time, in nanoseconds. Reading the clock never
+    /// charges time — observability code can call this freely without
+    /// perturbing deterministic measurements.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
     /// The cost model in force.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost

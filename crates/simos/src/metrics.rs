@@ -43,6 +43,14 @@ impl Metrics {
     /// (counters are monotone).
     pub fn since(&self, earlier: &Metrics) -> Metrics {
         debug_assert!(self.ipc_messages >= earlier.ipc_messages);
+        debug_assert!(self.ipc_bytes >= earlier.ipc_bytes);
+        debug_assert!(self.copied_bytes >= earlier.copied_bytes);
+        debug_assert!(self.copy_ops >= earlier.copy_ops);
+        debug_assert!(self.syscalls >= earlier.syscalls);
+        debug_assert!(self.filter_kills >= earlier.filter_kills);
+        debug_assert!(self.faults >= earlier.faults);
+        debug_assert!(self.spawns >= earlier.spawns);
+        debug_assert!(self.protected_pages >= earlier.protected_pages);
         Metrics {
             ipc_messages: self.ipc_messages - earlier.ipc_messages,
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
@@ -83,6 +91,24 @@ mod tests {
         assert_eq!(d.ipc_messages, 3);
         assert_eq!(d.ipc_bytes, 250);
         assert_eq!(d.syscalls, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "protected_pages")]
+    #[cfg(debug_assertions)]
+    fn since_rejects_non_monotone_windows() {
+        let early = Metrics {
+            protected_pages: 9,
+            ..Metrics::new()
+        };
+        // Every field except the one that regressed is monotone: only the
+        // widened assertions catch this.
+        let late = Metrics {
+            ipc_messages: 5,
+            protected_pages: 3,
+            ..Metrics::new()
+        };
+        let _ = late.since(&early);
     }
 
     #[test]
