@@ -7,6 +7,8 @@
 //!   with its attack hooks.
 //! * [`drone`], [`mcomix`], [`stegonet`]: the case studies of §5.4 and
 //!   §A.7.
+//! * [`pipeline`]: the pipelined (asynchronous, per-process virtual
+//!   time) drone driver.
 //! * [`study`]: the 56-application survey corpus behind Study 1,
 //!   Fig. 6, and Table 3.
 
@@ -17,6 +19,7 @@ pub mod driver;
 pub mod drone;
 pub mod mcomix;
 pub mod omr;
+pub mod pipeline;
 pub mod spec;
 pub mod stegonet;
 pub mod study;

@@ -64,6 +64,74 @@ pub fn drone_workload() -> freepart_apps::drone::DroneConfig {
     }
 }
 
+/// One row of the pipelined-execution experiment (`pipeline` binary).
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Execution mode.
+    pub mode: &'static str,
+    /// Virtual completion time: the global clock for synchronous runs,
+    /// the makespan over per-process timelines for the pipelined run.
+    pub time_ns: u64,
+    /// IPC messages exchanged.
+    pub ipc: u64,
+    /// Happens-before timeline merges (0 for synchronous runs).
+    pub timeline_merges: u64,
+    /// Steering commands issued — identity-checked across modes.
+    pub commands: Vec<f64>,
+}
+
+/// Runs the drone control loop three ways — unprotected Original,
+/// sequential FreePart, and pipelined FreePart on per-process virtual
+/// timelines — and reports each mode's completion time. The pipelined
+/// run must issue byte-identical steering commands; callers assert the
+/// speedup they need.
+pub fn pipeline_comparison(frames: u32) -> Vec<PipelineRun> {
+    let cfg = freepart_apps::drone::DroneConfig {
+        frames,
+        evil_frame: None,
+    };
+    let universe = drone_universe(&standard_registry());
+    let mut rows = Vec::new();
+
+    let mut orig = build(SchemeKind::Original, standard_registry(), &universe);
+    orig.kernel_mut().reset_accounting();
+    let r = freepart_apps::drone::run(orig.as_mut(), &cfg);
+    assert_eq!(r.frames_processed, frames, "original completes");
+    rows.push(PipelineRun {
+        mode: "Original",
+        time_ns: orig.kernel().clock().now_ns(),
+        ipc: orig.kernel().metrics().ipc_messages,
+        timeline_merges: orig.kernel().metrics().timeline_merges,
+        commands: r.commands,
+    });
+
+    let mut seq = fast_install(Policy::freepart());
+    seq.kernel.reset_accounting();
+    let r = freepart_apps::drone::run(&mut seq, &cfg);
+    assert_eq!(r.frames_processed, frames, "sequential completes");
+    rows.push(PipelineRun {
+        mode: "FreePart (sequential)",
+        time_ns: seq.kernel.clock().now_ns(),
+        ipc: seq.kernel.metrics().ipc_messages,
+        timeline_merges: seq.kernel.metrics().timeline_merges,
+        commands: r.commands,
+    });
+
+    let mut pip = fast_install(Policy::freepart());
+    pip.kernel.reset_accounting();
+    let r = freepart_apps::pipeline::run_drone_pipelined(&mut pip, &cfg);
+    assert_eq!(r.frames_processed, frames, "pipelined completes");
+    assert_eq!(pip.in_flight(), 0, "pipelined run fully drained");
+    rows.push(PipelineRun {
+        mode: "FreePart (pipelined)",
+        time_ns: pip.kernel.makespan_ns(),
+        ipc: pip.kernel.metrics().ipc_messages,
+        timeline_merges: pip.kernel.metrics().timeline_merges,
+        commands: r.commands,
+    });
+    rows
+}
+
 /// Performance metrics of one scheme on the motivating example
 /// (Table 9's columns).
 #[derive(Debug, Clone)]
@@ -514,6 +582,26 @@ mod tests {
             assert_eq!(r.completed, 24, "{:?}", kind);
             assert!(r.time_ns > 0);
         }
+    }
+
+    #[test]
+    fn pipelined_drone_beats_sequential_with_identical_commands() {
+        let rows = pipeline_comparison(12);
+        assert_eq!(rows.len(), 3);
+        let seq = &rows[1];
+        let pip = &rows[2];
+        assert_eq!(pip.commands, rows[0].commands, "pipelined == original");
+        assert_eq!(pip.commands, seq.commands, "pipelined == sequential");
+        let speedup = seq.time_ns as f64 / pip.time_ns as f64;
+        assert!(
+            speedup >= 1.2,
+            "pipelined speedup {speedup:.3} below the 1.2x floor \
+             (seq {} ns, pip {} ns)",
+            seq.time_ns,
+            pip.time_ns
+        );
+        assert!(pip.timeline_merges > 0, "happens-before merges recorded");
+        assert_eq!(seq.timeline_merges, 0, "sync run stays on global time");
     }
 
     #[test]

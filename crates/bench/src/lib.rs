@@ -22,7 +22,8 @@ pub mod fmt;
 pub use experiments::{
     app_overhead, cve_apis_isolated, cve_sweep, drone_universe, drone_workload, fast_install,
     fig13_sweep, fig4_point, fig4_sweep, granularity, mean_std, omr_attacks, omr_run,
-    shared_analysis, table7_allowlists, AppOverhead, CveVerdict, SchemeAttacks, SchemeRun,
+    pipeline_comparison, shared_analysis, table7_allowlists, AppOverhead, CveVerdict, PipelineRun,
+    SchemeAttacks, SchemeRun,
 };
 pub use fmt::Table;
 

@@ -39,7 +39,7 @@ pub mod trace;
 
 pub use partition::{PartitionId, PartitionPlan};
 pub use policy::{HostDataPlacement, Policy, RestartPolicy, SandboxLevel, Transport};
-pub use runtime::{Agent, CallError, Runtime, RuntimeStats, ThreadId};
+pub use runtime::{Agent, CallError, CallHandle, Runtime, RuntimeStats, ThreadId};
 pub use state::{FrameworkState, StateMachine};
 pub use trace::{
     ApiStats, AuditRecord, Bucket, BucketTotals, CallOutcome, Log2Histogram, SpanEvent, SpanPhase,

@@ -130,10 +130,19 @@ impl Response {
 }
 
 /// Agent-side completion cache implementing exactly-once delivery.
+///
+/// Entries live until the host acknowledges their sequence number
+/// ([`CompletionCache::ack`]) — once the host has consumed a response
+/// it will never re-send that seq, so the journal entry is dead weight.
+/// Pruning below the ack watermark keeps long video/training loops at
+/// O(in-flight window) journal memory instead of O(run length). The
+/// `capacity` bound remains as a backstop for hosts that never ack.
 #[derive(Debug, Default)]
 pub struct CompletionCache {
     done: BTreeMap<u64, Value>,
     capacity: usize,
+    /// Highest sequence number the host has acknowledged consuming.
+    acked: u64,
 }
 
 impl CompletionCache {
@@ -142,6 +151,7 @@ impl CompletionCache {
         CompletionCache {
             done: BTreeMap::new(),
             capacity,
+            acked: 0,
         }
     }
 
@@ -157,6 +167,24 @@ impl CompletionCache {
             let oldest = *self.done.keys().next().expect("non-empty");
             self.done.remove(&oldest);
         }
+    }
+
+    /// Acknowledges that the host consumed the response for `seq`:
+    /// every journal entry at or below the watermark is pruned. Acks
+    /// arrive in seq order per partition (FIFO rings), so the watermark
+    /// only moves forward.
+    pub fn ack(&mut self, seq: u64) {
+        if seq <= self.acked {
+            return;
+        }
+        self.acked = seq;
+        // split_off keeps entries > seq; everything at or below is dead.
+        self.done = self.done.split_off(&(seq + 1));
+    }
+
+    /// The highest acknowledged sequence number.
+    pub fn acked_watermark(&self) -> u64 {
+        self.acked
     }
 
     /// Number of cached completions.
@@ -251,5 +279,25 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(cache.replay(1).is_none(), "oldest evicted");
         assert_eq!(cache.replay(3), Some(&Value::I64(30)));
+    }
+
+    #[test]
+    fn ack_prunes_at_and_below_watermark_only() {
+        let mut cache = CompletionCache::new(64);
+        for seq in 1..=5 {
+            cache.complete(seq, Value::I64(seq as i64));
+        }
+        cache.ack(3);
+        assert_eq!(cache.acked_watermark(), 3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.replay(3).is_none(), "acked entries pruned");
+        // Un-acked seqs above the watermark still replay — the
+        // at-least-once crash path depends on this.
+        assert_eq!(cache.replay(4), Some(&Value::I64(4)));
+        assert_eq!(cache.replay(5), Some(&Value::I64(5)));
+        // Stale / duplicate acks never move the watermark backwards.
+        cache.ack(2);
+        assert_eq!(cache.acked_watermark(), 3);
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -28,7 +28,7 @@ use freepart_frameworks::{
     ActionReport, ApiCtx, FrameworkError, ObjectId, ObjectKind, ObjectStore, Value,
 };
 use freepart_simos::{Addr, ChannelId, FaultKind, Kernel, Perms, Pid, ProcessState};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Identifier of an application thread. Per the paper's §6, every
@@ -110,6 +110,20 @@ pub struct Agent {
     cache: CompletionCache,
 }
 
+impl Agent {
+    /// Completions still journalled (not yet pruned below the ack
+    /// watermark).
+    pub fn journal_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Highest response sequence the host has acknowledged consuming;
+    /// journal entries at or below it are pruned.
+    pub fn journal_watermark(&self) -> u64 {
+        self.cache.acked_watermark()
+    }
+}
+
 /// A snapshotted stateful object (for restart restoration, §A.2.4).
 #[derive(Debug, Clone)]
 struct SnapshotEntry {
@@ -148,6 +162,54 @@ impl fmt::Display for CallError {
 }
 
 impl std::error::Error for CallError {}
+
+/// Handle to an asynchronous hooked call ([`Runtime::call_async`]).
+/// Redeem it with [`Runtime::wait`] (retires the call, consuming its
+/// response) or peek with [`Runtime::promise`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallHandle(u64);
+
+impl CallHandle {
+    /// The sequence number of the underlying request.
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// A call that has executed agent-side but whose response the host has
+/// not consumed yet. The simulator executes calls eagerly at submission
+/// (so results and side effects are identical to the synchronous path);
+/// the *overlap* lives in virtual time — the host's timeline only
+/// merges past the agent's at retirement.
+#[derive(Debug)]
+struct InFlight {
+    api: ApiId,
+    thread: ThreadId,
+    partition: PartitionId,
+    outcome: Result<Value, CallError>,
+    /// A response frame is sitting in the ring for the host to consume.
+    has_response: bool,
+    /// Journal-replay calls do their bookkeeping at submission.
+    booked: bool,
+    /// Objects this call consumed or produced (pinned-return set).
+    touched: Vec<ObjectId>,
+    /// Agent-timeline completion, for hazard merges of later consumers.
+    complete_ns: u64,
+    call_t0: u64,
+    resp_t0: u64,
+    resp_len: u64,
+}
+
+/// What one delivery attempt hands back to the submit path.
+struct Dispatched {
+    value: Value,
+    has_response: bool,
+    booked: bool,
+    touched: Vec<ObjectId>,
+    complete_ns: u64,
+    resp_t0: u64,
+    resp_len: u64,
+}
 
 /// Aggregated runtime statistics for the evaluation tables.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -193,6 +255,22 @@ pub struct Runtime {
     /// Objects pinned to a dedicated data process (code-based API+data
     /// baseline): shipped to users per call and returned afterwards.
     pinned: BTreeMap<ObjectId, Pid>,
+    /// Submitted-but-unretired calls by sequence number.
+    inflight: BTreeMap<u64, InFlight>,
+    /// FIFO retirement order per partition (ring responses are ordered).
+    inflight_by_partition: BTreeMap<PartitionId, VecDeque<u64>>,
+    /// Retired outcomes kept for late `wait`/`promise`/dep lookups:
+    /// `(outcome, completion ns)`.
+    retired: BTreeMap<u64, (Result<Value, CallError>, u64)>,
+    /// Object hazards: when the last call touching each object completed
+    /// (agent timeline). A later consumer merges its agent's timeline to
+    /// this instant — it waits for *that producer only*.
+    last_touch: BTreeMap<ObjectId, u64>,
+    /// True once per-process virtual timelines drive the kernel clock.
+    pipelining: bool,
+    /// Max in-flight calls per partition before submission force-retires
+    /// the oldest.
+    pipeline_window: usize,
 }
 
 impl fmt::Debug for Runtime {
@@ -250,6 +328,12 @@ impl Runtime {
             tracer: Tracer::new(),
             snapshots: BTreeMap::new(),
             pinned: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            inflight_by_partition: BTreeMap::new(),
+            retired: BTreeMap::new(),
+            last_touch: BTreeMap::new(),
+            pipelining: false,
+            pipeline_window: 4,
         };
         rt.spawn_agent_set(ThreadId::MAIN);
         rt
@@ -413,9 +497,15 @@ impl Runtime {
     /// Records a driver-level instant mark (pipeline milestones such as
     /// "sample 3" or "frame 7") at the current virtual time.
     pub fn trace_mark(&mut self, label: &str) {
+        self.trace_mark_on(ThreadId::MAIN, label);
+    }
+
+    /// Records an instant mark attributed to a specific application
+    /// thread (pipelined drivers mark per-stage milestones).
+    pub fn trace_mark_on(&mut self, thread: ThreadId, label: &str) {
         if self.tracer.enabled() {
-            let now = self.kernel.clock().now_ns();
-            self.tracer.mark(now, ThreadId::MAIN, label);
+            let now = self.kernel.now_ns();
+            self.tracer.mark(now, thread, label);
         }
     }
 
@@ -521,14 +611,15 @@ impl Runtime {
             .meta(id)
             .ok_or(CallError::StateLost(id))?
             .clone();
+        // LDC-deref ordering: dereferencing a payload touched by an
+        // in-flight call orders the host after that producing call.
+        if let Some(&ns) = self.last_touch.get(&id) {
+            self.kernel.advance_timeline_to(self.host, ns);
+        }
         if meta.home != self.host {
             if let Some((addr, len)) = meta.buffer {
                 let tracing = self.tracer.enabled();
-                let fetch_t0 = if tracing {
-                    self.kernel.clock().now_ns()
-                } else {
-                    0
-                };
+                let fetch_t0 = if tracing { self.kernel.now_ns() } else { 0 };
                 let bytes = self
                     .kernel
                     .mem_read(meta.home, addr, len)
@@ -537,7 +628,7 @@ impl Runtime {
                 self.stats.host_copies += 1;
                 self.charge_transport(len);
                 if tracing {
-                    let now = self.kernel.clock().now_ns();
+                    let now = self.kernel.now_ns();
                     self.tracer.span(SpanEvent {
                         phase: SpanPhase::HostFetch,
                         seq: self.seq,
@@ -559,31 +650,27 @@ impl Runtime {
 
     /// Ships a pinned object back to its dedicated data process after a
     /// use (the per-access IPC of the code-based API+data baseline).
-    fn return_pinned(&mut self, id: ObjectId) -> Result<(), CallError> {
+    fn return_pinned(&mut self, seq: u64, thread: ThreadId, id: ObjectId) -> Result<(), CallError> {
         if let Some(&pin) = self.pinned.get(&id) {
             let home = self.objects.meta(id).map(|m| m.home);
             if home != Some(pin) && self.kernel.is_running(pin) {
                 let len = self.objects.meta(id).map_or(0, |m| m.len());
                 let tracing = self.tracer.enabled();
-                let copy_t0 = if tracing {
-                    self.kernel.clock().now_ns()
-                } else {
-                    0
-                };
+                let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
                 self.objects
                     .migrate_direct(&mut self.kernel, id, pin)
                     .map_err(|_| CallError::StateLost(id))?;
                 self.stats.host_copies += 1;
                 self.charge_transport(len);
                 if tracing {
-                    let now = self.kernel.clock().now_ns();
-                    self.tracer.add_eager_bytes(len);
+                    let now = self.kernel.now_ns();
+                    self.tracer.add_eager_bytes(seq, len);
                     self.tracer.span(SpanEvent {
                         phase: SpanPhase::DataCopy,
-                        seq: self.seq,
+                        seq,
                         api: None,
                         partition: None,
-                        thread: ThreadId::MAIN,
+                        thread,
                         start_ns: copy_t0,
                         end_ns: now,
                         bytes: len,
@@ -637,7 +724,10 @@ impl Runtime {
         self.call_id_on(ThreadId::MAIN, api, args)
     }
 
-    /// Calls a framework API by id on a specific thread.
+    /// Calls a framework API by id on a specific thread. Exactly
+    /// equivalent to [`Runtime::call_async_id_on`] followed by an
+    /// immediate [`Runtime::wait`] — the async machinery adds zero
+    /// virtual nanoseconds to the synchronous path.
     ///
     /// # Errors
     ///
@@ -648,11 +738,208 @@ impl Runtime {
         api: ApiId,
         args: &[Value],
     ) -> Result<Value, CallError> {
+        let handle = self.submit(thread, api, args, &[])?;
+        self.wait(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // The asynchronous call interface
+    // ------------------------------------------------------------------
+
+    /// Submits a hooked call on the main thread without waiting for its
+    /// response (see [`Runtime::call_async_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`]. Submission-time errors (unknown API/thread)
+    /// surface here; execution errors surface from [`Runtime::wait`].
+    pub fn call_async(&mut self, name: &str, args: &[Value]) -> Result<CallHandle, CallError> {
+        self.call_async_on(ThreadId::MAIN, name, args)
+    }
+
+    /// Submits a hooked call on a specific thread without waiting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::call_async`].
+    pub fn call_async_on(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+        args: &[Value],
+    ) -> Result<CallHandle, CallError> {
+        self.call_async_with(thread, name, args, &[])
+    }
+
+    /// Submits a hooked call with explicit dependencies: the call's
+    /// agent timeline is ordered after every `deps` handle's completion
+    /// (for dependencies the object table cannot see, e.g. a read of a
+    /// file an earlier in-flight call writes).
+    ///
+    /// The call executes (agent-side) at submission, so results are
+    /// byte-identical to the synchronous path; only virtual time
+    /// overlaps. The response is consumed by [`Runtime::wait`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::call_async`].
+    pub fn call_async_with(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<CallHandle, CallError> {
+        let api = self
+            .reg
+            .id_of(name)
+            .ok_or_else(|| CallError::UnknownApi(name.to_owned()))?;
+        self.submit(thread, api, args, deps)
+    }
+
+    /// Submits a hooked call by API id (see [`Runtime::call_async_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::call_async`].
+    pub fn call_async_id_on(
+        &mut self,
+        thread: ThreadId,
+        api: ApiId,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<CallHandle, CallError> {
+        self.submit(thread, api, args, deps)
+    }
+
+    /// Retires a call: consumes its response frame (merging the host's
+    /// timeline past the agent's completion), runs host-side
+    /// bookkeeping, and returns the result. Responses drain each
+    /// partition's ring in FIFO order, so waiting on a call first
+    /// retires every older in-flight call on the same partition.
+    /// Waiting again on an already-retired handle returns the cached
+    /// outcome without charging time.
+    ///
+    /// # Errors
+    ///
+    /// The call's execution error, if any (see [`CallError`]).
+    pub fn wait(&mut self, handle: CallHandle) -> Result<Value, CallError> {
+        if !self.inflight.contains_key(&handle.0) {
+            return match self.retired.get(&handle.0) {
+                Some((outcome, _)) => outcome.clone(),
+                None => Err(CallError::UnknownApi(format!(
+                    "call #{} was never submitted",
+                    handle.0
+                ))),
+            };
+        }
+        let partition = self.inflight[&handle.0].partition;
+        loop {
+            let front = self.inflight_by_partition[&partition][0];
+            self.retire_one(front);
+            if front == handle.0 {
+                break;
+            }
+        }
+        self.retired[&handle.0].0.clone()
+    }
+
+    /// Peeks at an in-flight (or retired) call's result without
+    /// retiring it — no response is consumed and no time is charged.
+    ///
+    /// # Errors
+    ///
+    /// The call's execution error, or `UnknownApi` for a handle that
+    /// was never submitted.
+    pub fn promise(&self, handle: CallHandle) -> Result<Value, CallError> {
+        if let Some(inf) = self.inflight.get(&handle.0) {
+            return inf.outcome.clone();
+        }
+        match self.retired.get(&handle.0) {
+            Some((outcome, _)) => outcome.clone(),
+            None => Err(CallError::UnknownApi(format!(
+                "call #{} was never submitted",
+                handle.0
+            ))),
+        }
+    }
+
+    /// Retires every in-flight call, oldest first. The security
+    /// barriers call this: nothing may be in flight across a
+    /// framework-state transition's mprotect storm.
+    pub fn drain_inflight(&mut self) {
+        while let Some((&seq, _)) = self.inflight.iter().next() {
+            self.retire_one(seq);
+        }
+    }
+
+    /// Number of submitted-but-unretired calls.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Switches the kernel to per-process virtual timelines so
+    /// asynchronous calls overlap in virtual time. Synchronous calls
+    /// keep working (submit + immediate wait) and sync-only runs are
+    /// unaffected — this only changes how *overlapping* calls are
+    /// accounted. Host activity outside calls charges the host's
+    /// timeline; read the result off [`Kernel::makespan_ns`].
+    pub fn enable_pipelining(&mut self) {
+        self.pipelining = true;
+        self.kernel.enable_per_process_time();
+        self.kernel.set_time_context(Some(self.host));
+    }
+
+    /// Whether per-process timelines are active.
+    pub fn pipelining_enabled(&self) -> bool {
+        self.pipelining
+    }
+
+    /// Bounds how many calls may be in flight per partition (min 1);
+    /// submission force-retires the oldest beyond the window.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.pipeline_window = window.max(1);
+    }
+
+    /// The per-partition in-flight window.
+    pub fn pipeline_window(&self) -> usize {
+        self.pipeline_window
+    }
+
+    /// Completion time (agent timeline) a dependency handle resolves to.
+    fn ready_ns(&self, handle: CallHandle) -> u64 {
+        self.inflight
+            .get(&handle.0)
+            .map(|i| i.complete_ns)
+            .or_else(|| self.retired.get(&handle.0).map(|(_, ns)| *ns))
+            .unwrap_or(0)
+    }
+
+    /// Submission: security checks, state-machine barrier + transition,
+    /// window enforcement, then one (crash-retried) delivery attempt.
+    /// The call is fully executed agent-side when this returns; only
+    /// the response leg and host bookkeeping remain for `wait`.
+    fn submit(
+        &mut self,
+        thread: ThreadId,
+        api: ApiId,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<CallHandle, CallError> {
         if !self.states.contains_key(&thread) {
             return Err(CallError::UnknownApi(format!("{thread} not spawned")));
         }
         let api_type = self.report.type_of(api);
         let neutral = self.reg.spec(api).type_neutral && self.policy.colocate_type_neutral;
+
+        // Security barrier: a framework-state transition runs an
+        // mprotect storm over the previous state's objects — no call may
+        // be in flight across it, on *any* partition. Drain before the
+        // transition is observed below.
+        if !neutral && !self.inflight.is_empty() && self.states[&thread].would_transition(api_type)
+        {
+            self.drain_inflight();
+        }
 
         // One sequence number per *logical* call: a crash-retry re-sends
         // the same seq, so an agent that completed the call just before
@@ -665,8 +952,8 @@ impl Runtime {
         // accumulation resets.
         let tracing = self.tracer.enabled();
         let call_t0 = if tracing {
-            self.tracer.begin_call();
-            self.kernel.clock().now_ns()
+            self.tracer.begin_call(seq);
+            self.kernel.now_ns()
         } else {
             0
         };
@@ -685,7 +972,7 @@ impl Runtime {
             // exact protection delta this transition applied.
             let before = if tracing {
                 Some((
-                    self.kernel.clock().now_ns(),
+                    self.kernel.now_ns(),
                     self.kernel.metrics().protected_pages,
                     self.states[&thread].protected().len(),
                     self.state_of(thread),
@@ -698,7 +985,7 @@ impl Runtime {
             if let Some((t0, pages0, prot0, from)) = before {
                 let to = self.state_of(thread);
                 if to != from {
-                    let now = self.kernel.clock().now_ns();
+                    let now = self.kernel.now_ns();
                     let pages = self.kernel.metrics().protected_pages - pages0;
                     let prot1 = self.states[&thread].protected().len();
                     let locked = newly.unwrap_or(0);
@@ -729,30 +1016,146 @@ impl Runtime {
         };
         let partition = thread_partition(thread, base_partition);
 
-        let first_attempt = self.dispatch(thread, partition, seq, api, args);
-        let result = match first_attempt {
+        // Bounded in-flight window per partition.
+        while self
+            .inflight_by_partition
+            .get(&partition)
+            .is_some_and(|q| q.len() >= self.pipeline_window)
+        {
+            let oldest = self.inflight_by_partition[&partition][0];
+            self.retire_one(oldest);
+        }
+
+        let first_attempt = self.dispatch_execute(thread, partition, seq, api, args, deps);
+        let attempt = match first_attempt {
             Err(CallError::AgentCrashed(p)) if self.policy.restart == RestartPolicy::Restart => {
                 // At-least-once re-delivery of the *same* request; the
                 // completion journal upgrades it to exactly-once when the
                 // crash happened after execution.
-                self.restart_agent(p);
-                self.dispatch(thread, p, seq, api, args)
+                if self.pipelining {
+                    self.kernel.set_time_context(Some(self.host));
+                }
+                self.restart_agent_on(p, thread);
+                self.dispatch_execute(thread, p, seq, api, args, deps)
             }
             other => other,
         };
+        if self.pipelining {
+            self.kernel.set_time_context(Some(self.host));
+        }
+        let inf = match attempt {
+            Ok(d) => InFlight {
+                api,
+                thread,
+                partition,
+                outcome: Ok(d.value),
+                has_response: d.has_response,
+                booked: d.booked,
+                touched: d.touched,
+                complete_ns: d.complete_ns,
+                call_t0,
+                resp_t0: d.resp_t0,
+                resp_len: d.resp_len,
+            },
+            Err(e) => InFlight {
+                api,
+                thread,
+                partition,
+                outcome: Err(e),
+                has_response: false,
+                booked: false,
+                touched: Vec::new(),
+                complete_ns: self.kernel.now_ns(),
+                call_t0,
+                resp_t0: 0,
+                resp_len: 0,
+            },
+        };
+        self.inflight.insert(seq, inf);
+        self.inflight_by_partition
+            .entry(partition)
+            .or_default()
+            .push_back(seq);
+        Ok(CallHandle(seq))
+    }
+
+    /// Retirement: the host consumes the response frame and finishes the
+    /// call's host-side bookkeeping. `seq` must be the oldest in-flight
+    /// call on its partition (ring FIFO).
+    fn retire_one(&mut self, seq: u64) {
+        let Some(inf) = self.inflight.remove(&seq) else {
+            return;
+        };
+        let partition = inf.partition;
+        if let Some(q) = self.inflight_by_partition.get_mut(&partition) {
+            debug_assert_eq!(q.front(), Some(&seq), "per-partition retirement is FIFO");
+            q.retain(|s| *s != seq);
+        }
+        let tracing = self.tracer.enabled();
+        let mut outcome = inf.outcome;
+        if inf.has_response {
+            // The host consumes the response now — under per-process
+            // time this merges the host's timeline past the agent's
+            // completion (happens-before) and charges delivery latency.
+            if let Some(chan) = self.agents.get(&partition).map(|a| a.chan) {
+                let _ = self.kernel.ipc_recv(self.host, chan);
+            }
+            if tracing {
+                let now = self.kernel.now_ns();
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::Response,
+                    seq,
+                    api: Some(inf.api),
+                    partition: Some(partition),
+                    thread: inf.thread,
+                    start_ns: inf.resp_t0,
+                    end_ns: now,
+                    bytes: inf.resp_len,
+                });
+            }
+            // The host will never re-request this seq: let the agent
+            // prune its completion journal up to the watermark.
+            if let Some(agent) = self.agents.get_mut(&partition) {
+                agent.cache.ack(seq);
+            }
+        }
+        let mut snapshot_due = false;
+        if outcome.is_ok() && !inf.booked {
+            let agent = self.agents.get_mut(&partition).expect("agent exists");
+            agent.calls += 1;
+            snapshot_due = self.policy.snapshot_interval > 0
+                && agent.calls.is_multiple_of(self.policy.snapshot_interval);
+            self.stats.rpc_calls += 1;
+            self.call_log.push(inf.api);
+
+            // Ship pinned objects back to their data processes.
+            if !self.pinned.is_empty() {
+                for obj in inf.touched.clone() {
+                    if let Err(e) = self.return_pinned(seq, inf.thread, obj) {
+                        outcome = Err(e);
+                        snapshot_due = false;
+                        break;
+                    }
+                }
+            }
+        }
+        // Periodic stateful snapshots (§A.2.4).
+        if snapshot_due {
+            self.take_snapshot(partition);
+        }
         if tracing {
-            let end = self.kernel.clock().now_ns();
+            let end = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
                 phase: SpanPhase::Call,
                 seq,
-                api: Some(api),
+                api: Some(inf.api),
                 partition: Some(partition),
-                thread,
-                start_ns: call_t0,
+                thread: inf.thread,
+                start_ns: inf.call_t0,
                 end_ns: end,
                 bytes: 0,
             });
-            let outcome = match &result {
+            let kind = match &outcome {
                 Ok(_) => CallOutcome::Completed,
                 Err(CallError::Framework(_)) => CallOutcome::Errored,
                 Err(CallError::AgentCrashed(_)) | Err(CallError::AgentUnavailable(_)) => {
@@ -763,9 +1166,9 @@ impl Runtime {
             // Filter kills surface as crashes too; the dispatch path has
             // already written the finer-grained audit record.
             self.tracer
-                .finish_call(partition, api, end - call_t0, outcome);
+                .finish_call(seq, partition, inf.api, end - inf.call_t0, kind);
         }
-        result
+        self.retired.insert(seq, (outcome, inf.complete_ns));
     }
 
     /// Test hook: makes the agent serving `partition` crash right after
@@ -777,16 +1180,20 @@ impl Runtime {
         self.crash_before_response = Some(partition);
     }
 
-    /// One delivery attempt to an agent. `seq` identifies the logical
-    /// call and is reused verbatim on crash-retries.
-    fn dispatch(
+    /// One delivery attempt to an agent: marshals the request, moves
+    /// argument payloads, executes agent-side, journals the completion,
+    /// and *sends* the response — but does not consume it. `seq`
+    /// identifies the logical call and is reused verbatim on
+    /// crash-retries. The host-side half lives in `retire_one`.
+    fn dispatch_execute(
         &mut self,
         thread: ThreadId,
         partition: PartitionId,
         seq: u64,
         api: ApiId,
         args: &[Value],
-    ) -> Result<Value, CallError> {
+        deps: &[CallHandle],
+    ) -> Result<Dispatched, CallError> {
         let agent_pid = self
             .agents
             .get(&partition)
@@ -794,7 +1201,7 @@ impl Runtime {
             .pid;
         if !self.kernel.is_running(agent_pid) {
             if self.policy.restart == RestartPolicy::Restart {
-                self.restart_agent(partition);
+                self.restart_agent_on(partition, thread);
             } else {
                 return Err(CallError::AgentUnavailable(partition));
             }
@@ -803,11 +1210,7 @@ impl Runtime {
 
         // --- request frame host → agent ---
         let tracing = self.tracer.enabled();
-        let marshal_t0 = if tracing {
-            self.kernel.clock().now_ns()
-        } else {
-            0
-        };
+        let marshal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let req = Request {
             seq,
             api,
@@ -825,7 +1228,7 @@ impl Runtime {
         let frame_len = delivered.len() as u64;
         let req = Request::decode(&delivered).expect("self-encoded frame");
         if tracing {
-            let now = self.kernel.clock().now_ns();
+            let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
                 phase: SpanPhase::Marshal,
                 seq,
@@ -845,11 +1248,14 @@ impl Runtime {
             let cached = cached.clone();
             let agent = self.agents.get_mut(&partition).expect("agent exists");
             agent.calls += 1;
+            // The host has its answer: the journal entry is acked (and
+            // prunable) the moment the replay is served.
+            agent.cache.ack(req.seq);
             self.stats.rpc_calls += 1;
             self.call_log.push(api);
             if tracing {
-                let now = self.kernel.clock().now_ns();
-                self.tracer.note_journal_hit();
+                let now = self.kernel.now_ns();
+                self.tracer.note_journal_hit(seq);
                 self.tracer.span(SpanEvent {
                     phase: SpanPhase::Replay,
                     seq,
@@ -864,7 +1270,20 @@ impl Runtime {
             if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
                 self.seal_agent(partition);
             }
-            return Ok(cached);
+            return Ok(Dispatched {
+                value: cached,
+                has_response: false,
+                booked: true,
+                touched: Vec::new(),
+                complete_ns: self.kernel.timeline_ns(agent_pid),
+                resp_t0: 0,
+                resp_len: 0,
+            });
+        }
+
+        // From here the agent does the work: charge its timeline.
+        if self.pipelining {
+            self.kernel.set_time_context(Some(agent_pid));
         }
 
         // --- data plane: move object arguments ---
@@ -872,16 +1291,24 @@ impl Runtime {
         for a in &req.args {
             a.collect_objects(&mut needed);
         }
+        // Object-table hazards: consuming an object a still-in-flight
+        // call touched orders this call after *that producer only* —
+        // the agent's timeline merges to the producer's completion.
         for obj in &needed {
-            self.move_to_agent(thread, *obj, agent_pid)?;
+            if let Some(&ns) = self.last_touch.get(obj) {
+                self.kernel.advance_timeline_to(agent_pid, ns);
+            }
+        }
+        for dep in deps {
+            let ns = self.ready_ns(*dep);
+            self.kernel.advance_timeline_to(agent_pid, ns);
+        }
+        for obj in &needed {
+            self.move_to_agent(thread, seq, *obj, agent_pid)?;
         }
 
         // --- execute in the agent's process context ---
-        let exec_t0 = if tracing {
-            self.kernel.clock().now_ns()
-        } else {
-            0
-        };
+        let exec_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let watermark = self.objects.next_id_watermark();
         let mut ctx = ApiCtx::new(&mut self.kernel, &mut self.objects, agent_pid);
         let exec_result = execute(&self.reg, api, &req.args, &mut ctx);
@@ -889,7 +1316,7 @@ impl Runtime {
         drop(ctx);
         self.exploit_log.extend(exploit_log);
         if tracing {
-            let now = self.kernel.clock().now_ns();
+            let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
                 phase: SpanPhase::Execute,
                 seq,
@@ -906,7 +1333,7 @@ impl Runtime {
             Ok(v) => v,
             Err(e) if e.is_crash() => {
                 if tracing {
-                    self.audit_agent_crash(partition, api, agent_pid, thread);
+                    self.audit_agent_crash(partition, seq, api, agent_pid, thread);
                 }
                 return Err(CallError::AgentCrashed(partition));
             }
@@ -916,8 +1343,8 @@ impl Runtime {
         // Track objects defined during this call in the current state —
         // a range scan over ids past the watermark, not a store-wide one.
         let new_ids: Vec<ObjectId> = self.objects.ids_since(watermark).collect();
-        for id in new_ids {
-            self.define_on(thread, id);
+        for id in &new_ids {
+            self.define_on(thread, *id);
         }
 
         // --- eager copy-back without LDC ---
@@ -928,19 +1355,15 @@ impl Runtime {
                 if let Some(meta) = self.objects.meta(obj) {
                     if meta.home == agent_pid {
                         let len = meta.len();
-                        let copy_t0 = if tracing {
-                            self.kernel.clock().now_ns()
-                        } else {
-                            0
-                        };
+                        let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
                         self.objects
                             .migrate_direct(&mut self.kernel, obj, self.host)
                             .map_err(|_| CallError::StateLost(obj))?;
                         self.stats.host_copies += 1;
                         self.charge_transport(len);
                         if tracing {
-                            let now = self.kernel.clock().now_ns();
-                            self.tracer.add_eager_bytes(len);
+                            let now = self.kernel.now_ns();
+                            self.tracer.add_eager_bytes(seq, len);
                             self.tracer.span(SpanEvent {
                                 phase: SpanPhase::DataCopy,
                                 seq,
@@ -961,18 +1384,14 @@ impl Runtime {
         // The call is now complete agent-side: journal it *before* the
         // response leg, so a crash in the response window is recoverable
         // by replaying the journal instead of re-executing side effects.
-        let journal_t0 = if tracing {
-            self.kernel.clock().now_ns()
-        } else {
-            0
-        };
+        let journal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         self.agents
             .get_mut(&partition)
             .expect("agent exists")
             .cache
             .complete(req.seq, result.clone());
         if tracing {
-            let now = self.kernel.clock().now_ns();
+            let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
                 phase: SpanPhase::Journal,
                 seq,
@@ -992,12 +1411,8 @@ impl Runtime {
             return Err(CallError::AgentCrashed(partition));
         }
 
-        // --- response frame agent → host ---
-        let resp_t0 = if tracing {
-            self.kernel.clock().now_ns()
-        } else {
-            0
-        };
+        // --- response frame agent → host (sent; consumed at retire) ---
+        let resp_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let resp = Response {
             seq: req.seq,
             result: result.clone(),
@@ -1007,49 +1422,30 @@ impl Runtime {
         self.kernel
             .ipc_send(agent_pid, chan, &resp_frame)
             .map_err(|_| CallError::AgentCrashed(partition))?;
-        self.kernel
-            .ipc_recv(self.host, chan)
-            .map_err(|_| CallError::AgentCrashed(partition))?;
-        if tracing {
-            let now = self.kernel.clock().now_ns();
-            self.tracer.span(SpanEvent {
-                phase: SpanPhase::Response,
-                seq,
-                api: Some(api),
-                partition: Some(partition),
-                thread,
-                start_ns: resp_t0,
-                end_ns: now,
-                bytes: resp_len,
-            });
-        }
-
-        // --- bookkeeping ---
-        let agent = self.agents.get_mut(&partition).expect("agent exists");
-        agent.calls += 1;
-        let calls = agent.calls;
-        self.stats.rpc_calls += 1;
-        self.call_log.push(api);
-
-        // Ship pinned objects back to their data processes.
-        if !self.pinned.is_empty() {
-            let mut back = needed;
-            back.extend(result.as_obj());
-            for obj in back {
-                self.return_pinned(obj)?;
-            }
-        }
 
         // Seal the filter after the first completed call (§4.4.1).
         if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
             self.seal_agent(partition);
         }
-        // Periodic stateful snapshots (§A.2.4).
-        if self.policy.snapshot_interval > 0 && calls.is_multiple_of(self.policy.snapshot_interval)
-        {
-            self.take_snapshot(partition);
+
+        // The agent is done with this call: everything it consumed or
+        // produced becomes ready at its current timeline instant.
+        let complete_ns = self.kernel.timeline_ns(agent_pid);
+        let mut touched: Vec<ObjectId> = needed;
+        touched.extend(result.as_obj());
+        for obj in touched.iter().chain(new_ids.iter()) {
+            self.last_touch.insert(*obj, complete_ns);
         }
-        Ok(result)
+
+        Ok(Dispatched {
+            value: result,
+            has_response: true,
+            booked: false,
+            touched,
+            complete_ns,
+            resp_t0,
+            resp_len,
+        })
     }
 
     /// Charges the transport penalty for moving `bytes` over a pipe
@@ -1076,10 +1472,7 @@ impl Runtime {
         }
         let tracing = self.tracer.enabled();
         let before = if tracing {
-            Some((
-                self.kernel.clock().now_ns(),
-                self.kernel.metrics().protected_pages,
-            ))
+            Some((self.kernel.now_ns(), self.kernel.metrics().protected_pages))
         } else {
             None
         };
@@ -1089,7 +1482,7 @@ impl Runtime {
             }
         }
         if let Some((t0, pages0)) = before {
-            let now = self.kernel.clock().now_ns();
+            let now = self.kernel.now_ns();
             let pages = self.kernel.metrics().protected_pages - pages0;
             self.tracer.record_audit(AuditRecord::Reprotect {
                 at_ns: t0,
@@ -1114,6 +1507,7 @@ impl Runtime {
     fn move_to_agent(
         &mut self,
         thread: ThreadId,
+        seq: u64,
         obj: ObjectId,
         agent_pid: Pid,
     ) -> Result<(), CallError> {
@@ -1137,11 +1531,7 @@ impl Runtime {
             return Err(CallError::StateLost(obj));
         }
         let tracing = self.tracer.enabled();
-        let copy_t0 = if tracing {
-            self.kernel.clock().now_ns()
-        } else {
-            0
-        };
+        let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         if self.policy.lazy_data_copy {
             // Direct move from wherever the payload lives (Fig. 11-a).
             self.objects
@@ -1151,7 +1541,7 @@ impl Runtime {
                 self.stats.ldc_copies += 1;
                 self.charge_transport(meta.len());
                 if tracing {
-                    self.tracer.add_lazy_bytes(meta.len());
+                    self.tracer.add_lazy_bytes(seq, meta.len());
                 }
             }
         } else {
@@ -1164,7 +1554,7 @@ impl Runtime {
                     self.stats.host_copies += 1;
                     self.charge_transport(meta.len());
                     if tracing {
-                        self.tracer.add_eager_bytes(meta.len());
+                        self.tracer.add_eager_bytes(seq, meta.len());
                     }
                 }
             }
@@ -1175,17 +1565,17 @@ impl Runtime {
                 self.stats.host_copies += 1;
                 self.charge_transport(meta.len());
                 if tracing {
-                    self.tracer.add_eager_bytes(meta.len());
+                    self.tracer.add_eager_bytes(seq, meta.len());
                 }
             }
         }
         if tracing {
             // The copy span closes *before* re-protection so Reprotect
             // time attributes to the mprotect bucket, not the copy one.
-            let now = self.kernel.clock().now_ns();
+            let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
                 phase: SpanPhase::DataCopy,
-                seq: self.seq,
+                seq,
                 api: None,
                 partition: None,
                 thread,
@@ -1273,12 +1663,14 @@ impl Runtime {
     /// window. Crashed-process variable values are deliberately **not**
     /// restored (§6).
     pub fn restart_agent(&mut self, partition: PartitionId) {
+        self.restart_agent_on(partition, ThreadId::MAIN);
+    }
+
+    /// [`Runtime::restart_agent`] attributed to the application thread
+    /// whose call triggered the restart (distinct trace rows per thread).
+    fn restart_agent_on(&mut self, partition: PartitionId, thread: ThreadId) {
         let tracing = self.tracer.enabled();
-        let restart_t0 = if tracing {
-            self.kernel.clock().now_ns()
-        } else {
-            0
-        };
+        let restart_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let Some(agent) = self.agents.remove(&partition) else {
             return;
         };
@@ -1334,13 +1726,13 @@ impl Runtime {
         }
         self.stats.restarts += 1;
         if tracing {
-            let now = self.kernel.clock().now_ns();
+            let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
                 phase: SpanPhase::Restart,
                 seq: self.seq,
                 api: None,
                 partition: Some(partition),
-                thread: ThreadId::MAIN,
+                thread,
                 start_ns: restart_t0,
                 end_ns: now,
                 bytes: 0,
@@ -1355,6 +1747,7 @@ impl Runtime {
     fn audit_agent_crash(
         &mut self,
         partition: PartitionId,
+        seq: u64,
         api: ApiId,
         agent_pid: Pid,
         thread: ThreadId,
@@ -1366,11 +1759,11 @@ impl Runtime {
             return;
         };
         let fault = fault.clone();
-        let at_ns = self.kernel.clock().now_ns();
+        let at_ns = self.kernel.now_ns();
         let state = self.state_of(thread);
         match fault.kind {
             FaultKind::SyscallDenied(no) => {
-                self.tracer.note_filter_kill();
+                self.tracer.note_filter_kill(seq);
                 self.tracer.record_audit(AuditRecord::FilterKill {
                     at_ns,
                     partition,

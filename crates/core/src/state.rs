@@ -72,6 +72,13 @@ impl StateMachine {
         self.current
     }
 
+    /// True when observing an API of type `t` would change state (and
+    /// therefore run an `mprotect` storm). The async runtime uses this
+    /// to drain in-flight calls *before* the storm.
+    pub fn would_transition(&self, t: ApiType) -> bool {
+        FrameworkState::InType(t) != self.current
+    }
+
     /// Registers an object as defined in the current state.
     pub fn define(&mut self, id: ObjectId) {
         if !self.defined_in.contains_key(&id) {
@@ -116,7 +123,7 @@ impl StateMachine {
         self.current = next;
         self.transitions += 1;
         if !self.enabled {
-            self.timeline.push((kernel.clock().now_ns(), next, 0));
+            self.timeline.push((kernel.now_ns(), next, 0));
             return Ok(0);
         }
         // Lock everything defined during the state we just left — only
@@ -153,7 +160,7 @@ impl StateMachine {
             Self::unlock_object(kernel, objects, id)?;
             self.protected.remove(&id);
         }
-        self.timeline.push((kernel.clock().now_ns(), next, newly));
+        self.timeline.push((kernel.now_ns(), next, newly));
         Ok(newly)
     }
 

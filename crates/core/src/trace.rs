@@ -432,7 +432,9 @@ pub enum CallOutcome {
     Errored,
 }
 
-/// Per-call byte accumulation, reset at hook entry.
+/// Per-call byte accumulation, created at hook entry and folded into
+/// the registry when the call retires. Keyed by seq so multiple calls
+/// can be in flight at once under pipelined execution.
 #[derive(Debug, Clone, Copy, Default)]
 struct PendingCall {
     bytes_lazy: u64,
@@ -451,7 +453,7 @@ pub struct Tracer {
     marks: Vec<(u64, ThreadId, String)>,
     audit: Vec<AuditRecord>,
     stats: BTreeMap<(PartitionId, ApiId), ApiStats>,
-    pending: PendingCall,
+    pending: BTreeMap<u64, PendingCall>,
 }
 
 impl Tracer {
@@ -537,35 +539,46 @@ impl Tracer {
         }
     }
 
-    /// Resets per-call byte accumulation (hook entry).
-    pub fn begin_call(&mut self) {
-        self.pending = PendingCall::default();
+    /// Opens per-call byte accumulation for `seq` (hook entry).
+    pub fn begin_call(&mut self, seq: u64) {
+        if self.enabled {
+            self.pending.insert(seq, PendingCall::default());
+        }
     }
 
-    /// Attributes lazily-moved payload bytes to the current call.
-    pub fn add_lazy_bytes(&mut self, bytes: u64) {
-        self.pending.bytes_lazy += bytes;
+    /// Attributes lazily-moved payload bytes to call `seq`.
+    pub fn add_lazy_bytes(&mut self, seq: u64, bytes: u64) {
+        if self.enabled {
+            self.pending.entry(seq).or_default().bytes_lazy += bytes;
+        }
     }
 
-    /// Attributes eagerly-moved payload bytes to the current call.
-    pub fn add_eager_bytes(&mut self, bytes: u64) {
-        self.pending.bytes_eager += bytes;
+    /// Attributes eagerly-moved payload bytes to call `seq`.
+    pub fn add_eager_bytes(&mut self, seq: u64, bytes: u64) {
+        if self.enabled {
+            self.pending.entry(seq).or_default().bytes_eager += bytes;
+        }
     }
 
-    /// Flags the current call as answered from the journal.
-    pub fn note_journal_hit(&mut self) {
-        self.pending.journal_hit = true;
+    /// Flags call `seq` as answered from the journal.
+    pub fn note_journal_hit(&mut self, seq: u64) {
+        if self.enabled {
+            self.pending.entry(seq).or_default().journal_hit = true;
+        }
     }
 
-    /// Flags the current call as ended by a syscall-filter kill (refines
-    /// a [`CallOutcome::Faulted`] at fold time).
-    pub fn note_filter_kill(&mut self) {
-        self.pending.filter_kill = true;
+    /// Flags call `seq` as ended by a syscall-filter kill (refines a
+    /// [`CallOutcome::Faulted`] at fold time).
+    pub fn note_filter_kill(&mut self, seq: u64) {
+        if self.enabled {
+            self.pending.entry(seq).or_default().filter_kill = true;
+        }
     }
 
-    /// Folds the finished call into the registry.
+    /// Folds the finished call `seq` into the registry.
     pub fn finish_call(
         &mut self,
+        seq: u64,
         partition: PartitionId,
         api: ApiId,
         duration_ns: u64,
@@ -574,13 +587,14 @@ impl Tracer {
         if !self.enabled {
             return;
         }
+        let pending = self.pending.remove(&seq).unwrap_or_default();
         let cell = self.stats.entry((partition, api)).or_default();
-        cell.bytes_lazy += self.pending.bytes_lazy;
-        cell.bytes_eager += self.pending.bytes_eager;
-        if self.pending.journal_hit {
+        cell.bytes_lazy += pending.bytes_lazy;
+        cell.bytes_eager += pending.bytes_eager;
+        if pending.journal_hit {
             cell.journal_hits += 1;
         }
-        let outcome = if self.pending.filter_kill && outcome == CallOutcome::Faulted {
+        let outcome = if pending.filter_kill && outcome == CallOutcome::Faulted {
             CallOutcome::FilterKilled
         } else {
             outcome
@@ -594,7 +608,6 @@ impl Tracer {
             CallOutcome::FilterKilled => cell.filter_kills += 1,
             CallOutcome::Errored => {}
         }
-        self.pending = PendingCall::default();
     }
 
     // ------------------------------------------------------------------
@@ -634,6 +647,29 @@ impl Tracer {
                 format!(
                     "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
                     json_escape(name)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        // Thread-name metadata: one row per (process, application
+        // thread) pair that actually emitted events, so per-thread
+        // agent sets render as distinct Perfetto rows.
+        let mut tids: std::collections::BTreeSet<(u64, u32)> = std::collections::BTreeSet::new();
+        for e in &self.events {
+            let pid = e
+                .partition
+                .and_then(|p| pid_of.get(&p).copied())
+                .unwrap_or(0);
+            tids.insert((pid, e.thread.0));
+        }
+        for (_, thread, _) in &self.marks {
+            tids.insert((0, thread.0));
+        }
+        for (pid, tid) in &tids {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"thread{tid}\"}}}}"
                 ),
                 &mut out,
                 &mut first,
@@ -752,9 +788,9 @@ mod tests {
             bytes: 0,
         });
         t.mark(5, ThreadId::MAIN, "x");
-        t.begin_call();
-        t.add_lazy_bytes(100);
-        t.finish_call(PartitionId(0), ApiId(0), 10, CallOutcome::Completed);
+        t.begin_call(1);
+        t.add_lazy_bytes(1, 100);
+        t.finish_call(1, PartitionId(0), ApiId(0), 10, CallOutcome::Completed);
         assert!(t.events().is_empty());
         assert!(t.marks().is_empty());
         assert!(t.stats().is_empty());
@@ -764,15 +800,15 @@ mod tests {
     fn finish_call_folds_pending_bytes_and_outcomes() {
         let mut t = Tracer::new();
         t.enable();
-        t.begin_call();
-        t.add_lazy_bytes(1000);
-        t.add_eager_bytes(20);
-        t.finish_call(PartitionId(1), ApiId(3), 5_000, CallOutcome::Completed);
-        t.begin_call();
-        t.note_journal_hit();
-        t.finish_call(PartitionId(1), ApiId(3), 100, CallOutcome::Replayed);
-        t.begin_call();
-        t.finish_call(PartitionId(1), ApiId(3), 0, CallOutcome::Faulted);
+        t.begin_call(1);
+        t.add_lazy_bytes(1, 1000);
+        t.add_eager_bytes(1, 20);
+        t.finish_call(1, PartitionId(1), ApiId(3), 5_000, CallOutcome::Completed);
+        t.begin_call(2);
+        t.note_journal_hit(2);
+        t.finish_call(2, PartitionId(1), ApiId(3), 100, CallOutcome::Replayed);
+        t.begin_call(3);
+        t.finish_call(3, PartitionId(1), ApiId(3), 0, CallOutcome::Faulted);
         let s = &t.stats()[&(PartitionId(1), ApiId(3))];
         assert_eq!(s.calls, 2);
         assert_eq!(s.bytes_lazy, 1000);
@@ -782,6 +818,24 @@ mod tests {
         assert_eq!(s.latency.count(), 2);
         let roll = t.partition_rollup();
         assert_eq!(roll[&PartitionId(1)].calls, 2);
+    }
+
+    #[test]
+    fn interleaved_in_flight_calls_accumulate_independently() {
+        let mut t = Tracer::new();
+        t.enable();
+        // Two calls in flight at once: byte attribution must not bleed
+        // across seqs, and retire order need not match submit order.
+        t.begin_call(1);
+        t.begin_call(2);
+        t.add_lazy_bytes(1, 111);
+        t.add_eager_bytes(2, 222);
+        t.finish_call(2, PartitionId(0), ApiId(1), 10, CallOutcome::Completed);
+        t.finish_call(1, PartitionId(0), ApiId(0), 20, CallOutcome::Completed);
+        assert_eq!(t.stats()[&(PartitionId(0), ApiId(0))].bytes_lazy, 111);
+        assert_eq!(t.stats()[&(PartitionId(0), ApiId(0))].bytes_eager, 0);
+        assert_eq!(t.stats()[&(PartitionId(0), ApiId(1))].bytes_eager, 222);
+        assert_eq!(t.stats()[&(PartitionId(0), ApiId(1))].bytes_lazy, 0);
     }
 
     #[test]

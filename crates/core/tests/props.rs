@@ -58,6 +58,37 @@ fn run_freepart(picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
     (bytes, rt)
 }
 
+/// Runs the same chain through the asynchronous interface with
+/// pipelining enabled (per-process virtual time, in-flight window).
+fn run_freepart_async(picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
+    let reg = standard_registry();
+    let filters: Vec<_> = reg
+        .iter()
+        .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+        .map(|s| s.id)
+        .collect();
+    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    rt.kernel.fs.put(
+        "/in.simg",
+        fileio::encode_image(&Image::new(side, side, 3), None),
+    );
+    rt.enable_pipelining();
+    let h = rt
+        .call_async("cv2.imread", &[Value::from("/in.simg")])
+        .unwrap();
+    let mut cur = rt.promise(h).unwrap();
+    for p in picks {
+        let api = filters[*p as usize % filters.len()];
+        let h = rt
+            .call_async_id_on(freepart::ThreadId::MAIN, api, &[cur], &[])
+            .unwrap();
+        cur = rt.promise(h).unwrap();
+    }
+    rt.drain_inflight();
+    let bytes = rt.fetch_bytes(cur.as_obj().unwrap()).unwrap();
+    (bytes, rt)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -72,6 +103,30 @@ proptest! {
         let (fp, rt) = run_freepart(&picks, side);
         prop_assert_eq!(mono, fp);
         // System-stability invariants, for any pipeline:
+        prop_assert!(rt.kernel.is_running(rt.host_pid()));
+        for p in rt.partitions() {
+            prop_assert!(rt.kernel.is_running(rt.agent(p).unwrap().pid));
+        }
+        prop_assert!(rt.exploit_log.is_empty());
+        prop_assert_eq!(rt.stats().restarts, 0);
+        prop_assert_eq!(rt.kernel.metrics().filter_kills, 0, "no benign call killed");
+    }
+
+    /// Pipelining transparency: for any random filter chain, the
+    /// asynchronous path produces byte-identical results to the
+    /// synchronous path and to no isolation at all, and never
+    /// destabilizes the system.
+    #[test]
+    fn async_pipelining_is_functionally_transparent(
+        picks in proptest::collection::vec(any::<u16>(), 1..8),
+        side in 4u32..16,
+    ) {
+        let mono = run_monolithic(&picks, side);
+        let (sync_bytes, _) = run_freepart(&picks, side);
+        let (async_bytes, rt) = run_freepart_async(&picks, side);
+        prop_assert_eq!(&async_bytes, &sync_bytes);
+        prop_assert_eq!(&async_bytes, &mono);
+        prop_assert_eq!(rt.in_flight(), 0, "chain ends fully drained");
         prop_assert!(rt.kernel.is_running(rt.host_pid()));
         for p in rt.partitions() {
             prop_assert!(rt.kernel.is_running(rt.agent(p).unwrap().pid));

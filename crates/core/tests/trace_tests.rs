@@ -107,6 +107,40 @@ fn replay_after_crash_shows_up_as_journal_hit_and_restart_span() {
 }
 
 #[test]
+fn chrome_export_gives_each_application_thread_its_own_row() {
+    use freepart::ThreadId;
+
+    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    rt.enable_tracing();
+    rt.kernel
+        .fs
+        .put("/in.simg", fileio::encode_image(&Image::new(8, 8, 3), None));
+    let writer = rt.spawn_thread();
+    let img = rt
+        .call_on(ThreadId::MAIN, "cv2.imread", &[Value::from("/in.simg")])
+        .unwrap();
+    rt.call_on(writer, "cv2.imwrite", &[Value::from("/out.simg"), img])
+        .unwrap();
+
+    let json = rt.export_chrome_trace();
+    // One thread_name metadata row per application thread that emitted
+    // events, so the two threads render as distinct Perfetto rows.
+    assert!(
+        json.contains("\"name\":\"thread_name\",\"pid\":0,\"tid\":0"),
+        "main thread row missing"
+    );
+    assert!(
+        json.contains(&format!(
+            "\"name\":\"thread_name\",\"pid\":0,\"tid\":{}",
+            writer.0
+        )),
+        "spawned thread row missing"
+    );
+    // And the spans themselves carry the real thread ids.
+    assert!(json.contains(&format!("\"tid\":{},\"ts\"", writer.0)));
+}
+
+#[test]
 fn chrome_export_names_host_and_every_partition() {
     let mut rt = Runtime::install(standard_registry(), Policy::freepart());
     rt.enable_tracing();

@@ -72,6 +72,13 @@ impl CostModel {
     pub fn compute_cost(&self, units: u64) -> u64 {
         units * self.compute_ns_per_unit
     }
+
+    /// One-way IPC latency: half the round trip, charged once on send
+    /// and once on delivery so a full request/response pair sums to
+    /// [`CostModel::ipc_round_trip_ns`].
+    pub fn ipc_latency_ns(&self) -> u64 {
+        self.ipc_round_trip_ns / 2
+    }
 }
 
 /// Monotone virtual clock in nanoseconds.

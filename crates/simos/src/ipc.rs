@@ -40,6 +40,11 @@ pub struct Frame {
     pub from: Pid,
     /// Payload bytes.
     pub payload: Bytes,
+    /// Sender's virtual time when the frame was enqueued. Under
+    /// per-process timelines the receiver merges this on delivery
+    /// (happens-before: `recv = max(recv, send_ns + latency)`); under
+    /// the global clock it is carried but ignored.
+    pub send_ns: u64,
 }
 
 /// A bidirectional bounded ring: two one-way queues with a byte budget,
@@ -96,8 +101,9 @@ impl RingChannel {
         self.b = new_b;
     }
 
-    /// Enqueues a message from `from` toward the opposite end.
-    pub fn send(&mut self, from: Pid, payload: Bytes) -> Result<(), RingError> {
+    /// Enqueues a message from `from` toward the opposite end, stamped
+    /// with the sender's virtual time `send_ns`.
+    pub fn send(&mut self, from: Pid, payload: Bytes, send_ns: u64) -> Result<(), RingError> {
         let end = self.end_of(from).ok_or(RingError::NotEndpoint)?;
         let (queue, used) = match end {
             ChannelEnd::A => (&mut self.a_to_b, &mut self.a_to_b_bytes),
@@ -107,7 +113,11 @@ impl RingChannel {
             return Err(RingError::Full);
         }
         *used += payload.len();
-        queue.push_back(Frame { from, payload });
+        queue.push_back(Frame {
+            from,
+            payload,
+            send_ns,
+        });
         Ok(())
     }
 
@@ -148,34 +158,34 @@ mod tests {
     #[test]
     fn send_recv_roundtrip_both_directions() {
         let mut c = chan();
-        c.send(Pid(1), Bytes::from_static(b"req")).unwrap();
+        c.send(Pid(1), Bytes::from_static(b"req"), 0).unwrap();
         let f = c.try_recv(Pid(2)).unwrap().unwrap();
         assert_eq!(&f.payload[..], b"req");
         assert_eq!(f.from, Pid(1));
-        c.send(Pid(2), Bytes::from_static(b"resp")).unwrap();
+        c.send(Pid(2), Bytes::from_static(b"resp"), 0).unwrap();
         assert_eq!(&c.try_recv(Pid(1)).unwrap().unwrap().payload[..], b"resp");
     }
 
     #[test]
     fn capacity_is_per_direction() {
         let mut c = RingChannel::new(Pid(1), Pid(2), 4);
-        c.send(Pid(1), Bytes::from_static(b"abcd")).unwrap();
+        c.send(Pid(1), Bytes::from_static(b"abcd"), 0).unwrap();
         assert_eq!(
-            c.send(Pid(1), Bytes::from_static(b"x")),
+            c.send(Pid(1), Bytes::from_static(b"x"), 0),
             Err(RingError::Full)
         );
         // Opposite direction unaffected.
-        c.send(Pid(2), Bytes::from_static(b"yz")).unwrap();
+        c.send(Pid(2), Bytes::from_static(b"yz"), 0).unwrap();
         // Draining frees budget.
         c.try_recv(Pid(2)).unwrap().unwrap();
-        c.send(Pid(1), Bytes::from_static(b"x")).unwrap();
+        c.send(Pid(1), Bytes::from_static(b"x"), 0).unwrap();
     }
 
     #[test]
     fn non_endpoint_is_rejected() {
         let mut c = chan();
         assert_eq!(
-            c.send(Pid(9), Bytes::from_static(b"spoof")),
+            c.send(Pid(9), Bytes::from_static(b"spoof"), 0),
             Err(RingError::NotEndpoint)
         );
         assert_eq!(c.try_recv(Pid(9)), Err(RingError::NotEndpoint));
@@ -190,7 +200,7 @@ mod tests {
     #[test]
     fn rebind_b_preserves_pending_traffic() {
         let mut c = chan();
-        c.send(Pid(1), Bytes::from_static(b"m")).unwrap();
+        c.send(Pid(1), Bytes::from_static(b"m"), 0).unwrap();
         c.rebind_b(Pid(7));
         assert_eq!(c.pending_for(Pid(7)), 1);
         assert!(c.try_recv(Pid(7)).unwrap().is_some());
@@ -198,10 +208,17 @@ mod tests {
     }
 
     #[test]
+    fn frames_carry_the_send_timestamp() {
+        let mut c = chan();
+        c.send(Pid(1), Bytes::from_static(b"t"), 4_200).unwrap();
+        assert_eq!(c.try_recv(Pid(2)).unwrap().unwrap().send_ns, 4_200);
+    }
+
+    #[test]
     fn fifo_order_is_preserved() {
         let mut c = chan();
         for i in 0..5u8 {
-            c.send(Pid(1), Bytes::copy_from_slice(&[i])).unwrap();
+            c.send(Pid(1), Bytes::copy_from_slice(&[i]), 0).unwrap();
         }
         for i in 0..5u8 {
             assert_eq!(c.try_recv(Pid(2)).unwrap().unwrap().payload[0], i);

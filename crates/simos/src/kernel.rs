@@ -13,8 +13,13 @@
 //! * [`Kernel::ipc_send`] / [`Kernel::ipc_recv`] — ring-buffer messaging
 //!   with per-byte cost accounting.
 //!
-//! Everything advances one [`VirtualClock`], making run times
-//! deterministic and comparable across isolation schemes.
+//! Everything advances one [`VirtualClock`] by default, making run
+//! times deterministic and comparable across isolation schemes. For
+//! pipelined execution the kernel can instead keep one timeline per
+//! process ([`TimelineMode::PerProcess`]): each charge lands on the
+//! acting process's clock, message delivery applies a happens-before
+//! merge (`recv = max(recv, frame.send_ns)` plus delivery latency),
+//! and the run's makespan is the max over all timelines.
 
 use crate::cost::{CostModel, VirtualClock};
 use crate::device::{Camera, DeviceKind, Display, NetworkLog};
@@ -29,6 +34,18 @@ use crate::Metrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+
+/// How virtual time flows through the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimelineMode {
+    /// One global clock; every charge serializes (the classic model).
+    #[default]
+    Global,
+    /// One [`VirtualClock`] per process, merged on message delivery.
+    /// Concurrent work on different processes overlaps in virtual time;
+    /// the run's makespan is [`Kernel::makespan_ns`].
+    PerProcess,
+}
 
 /// The simulated operating system kernel.
 ///
@@ -48,6 +65,12 @@ pub struct Kernel {
     /// Network egress log (exfiltration oracle).
     pub network: NetworkLog,
     clock: VirtualClock,
+    mode: TimelineMode,
+    /// Per-process timelines (populated in [`TimelineMode::PerProcess`]).
+    timelines: BTreeMap<Pid, VirtualClock>,
+    /// The process charged for pid-less costs (spawn, raw copies) under
+    /// per-process time; `None` falls back to the global clock.
+    time_ctx: Option<Pid>,
     cost: CostModel,
     metrics: Metrics,
     rng: StdRng,
@@ -77,9 +100,103 @@ impl Kernel {
             display: Display::new(),
             network: NetworkLog::new(),
             clock: VirtualClock::new(),
+            mode: TimelineMode::Global,
+            timelines: BTreeMap::new(),
+            time_ctx: None,
             cost,
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(0x5eed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time
+    // ------------------------------------------------------------------
+
+    /// Charges `ns` to `pid`'s timeline (per-process mode) or the global
+    /// clock. Every cost with a known acting process routes through here.
+    fn charge_to(&mut self, pid: Pid, ns: u64) {
+        match self.mode {
+            TimelineMode::Global => self.clock.charge(ns),
+            TimelineMode::PerProcess => self.timelines.entry(pid).or_default().charge(ns),
+        }
+    }
+
+    /// Charges `ns` to the current time context (per-process mode) or
+    /// the global clock, for costs with no obvious acting process.
+    fn charge_ctx(&mut self, ns: u64) {
+        match (self.mode, self.time_ctx) {
+            (TimelineMode::PerProcess, Some(pid)) => {
+                self.timelines.entry(pid).or_default().charge(ns)
+            }
+            _ => self.clock.charge(ns),
+        }
+    }
+
+    /// `pid`'s current virtual time (global clock under `Global` mode).
+    pub fn timeline_ns(&self, pid: Pid) -> u64 {
+        match self.mode {
+            TimelineMode::Global => self.clock.now_ns(),
+            TimelineMode::PerProcess => self.timelines.get(&pid).map_or(0, |c| c.now_ns()),
+        }
+    }
+
+    /// Switches to one-timeline-per-process virtual time. Existing
+    /// processes' timelines are seeded at the current global time.
+    pub fn enable_per_process_time(&mut self) {
+        if self.mode == TimelineMode::PerProcess {
+            return;
+        }
+        self.mode = TimelineMode::PerProcess;
+        let now = self.clock.now_ns();
+        for pid in self.procs.keys().copied().collect::<Vec<_>>() {
+            let mut c = VirtualClock::new();
+            c.charge(now);
+            self.timelines.insert(pid, c);
+        }
+    }
+
+    /// The timeline mode in force.
+    pub fn timeline_mode(&self) -> TimelineMode {
+        self.mode
+    }
+
+    /// Sets the process charged for pid-less costs under per-process
+    /// time (no effect under the global clock). Returns the previous
+    /// context so callers can restore it.
+    pub fn set_time_context(&mut self, pid: Option<Pid>) -> Option<Pid> {
+        std::mem::replace(&mut self.time_ctx, pid)
+    }
+
+    /// Advances `pid`'s timeline to at least `ns` (a happens-before
+    /// merge against an event outside message delivery, e.g. an object
+    /// produced by an in-flight call). No-op under the global clock and
+    /// when the timeline is already past `ns`.
+    pub fn advance_timeline_to(&mut self, pid: Pid, ns: u64) {
+        if self.mode != TimelineMode::PerProcess {
+            return;
+        }
+        let t = self.timelines.entry(pid).or_default();
+        if ns > t.now_ns() {
+            let delta = ns - t.now_ns();
+            t.charge(delta);
+            self.metrics.timeline_merges += 1;
+        }
+    }
+
+    /// End-to-end virtual duration of the run: the global clock under
+    /// `Global` mode, the max over all process timelines (and any
+    /// residual global charges) under `PerProcess`.
+    pub fn makespan_ns(&self) -> u64 {
+        match self.mode {
+            TimelineMode::Global => self.clock.now_ns(),
+            TimelineMode::PerProcess => self
+                .timelines
+                .values()
+                .map(|c| c.now_ns())
+                .chain(std::iter::once(self.clock.now_ns()))
+                .max()
+                .unwrap_or(0),
         }
     }
 
@@ -92,7 +209,18 @@ impl Kernel {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         self.procs.insert(pid, SimProcess::new(pid, name));
-        self.clock.charge(self.cost.spawn_ns);
+        self.charge_ctx(self.cost.spawn_ns);
+        if self.mode == TimelineMode::PerProcess {
+            // The child exists once the spawner has paid the spawn cost:
+            // its timeline starts at the spawner's current time.
+            let birth = match self.time_ctx {
+                Some(p) => self.timeline_ns(p),
+                None => self.clock.now_ns(),
+            };
+            let mut c = VirtualClock::new();
+            c.charge(birth);
+            self.timelines.insert(pid, c);
+        }
         self.metrics.spawns += 1;
         pid
     }
@@ -203,7 +331,8 @@ impl Kernel {
         let p = self.procs.get_mut(&pid).expect("checked");
         match p.aspace.protect(addr, len, perms) {
             Ok(pages) => {
-                self.clock.charge(self.cost.mprotect_cost(pages));
+                let ns = self.cost.mprotect_cost(pages);
+                self.charge_to(pid, ns);
                 self.metrics.protected_pages += pages;
                 Ok(pages)
             }
@@ -266,7 +395,7 @@ impl Kernel {
             let fault = self.deliver_fault(pid, FaultKind::SyscallDenied(call.number()), None);
             return Err(fault.into());
         }
-        self.clock.charge(self.cost.syscall_ns);
+        self.charge_to(pid, self.cost.syscall_ns);
         self.metrics.syscalls += 1;
         self.dispatch(pid, call)
     }
@@ -301,7 +430,8 @@ impl Kernel {
                 match target {
                     FdTarget::File { path, offset } => {
                         let bytes = self.fs.read_at(&path, offset, len)?;
-                        self.clock.charge(self.cost.file_cost(bytes.len() as u64));
+                        let ns = self.cost.file_cost(bytes.len() as u64);
+                        self.charge_to(pid, ns);
                         if let Some(FdTarget::File { offset, .. }) =
                             self.process_mut(pid)?.fd_table.get_mut(&fd)
                         {
@@ -315,7 +445,8 @@ impl Kernel {
                             .as_mut()
                             .map(|c| c.capture())
                             .ok_or(Errno::Enosys)?;
-                        self.clock.charge(self.cost.file_cost(frame.len() as u64));
+                        let ns = self.cost.file_cost(frame.len() as u64);
+                        self.charge_to(pid, ns);
                         Ok(SyscallRet::Bytes(frame))
                     }
                     _ => Err(Errno::Enosys.into()),
@@ -330,7 +461,8 @@ impl Kernel {
                 match target {
                     FdTarget::File { path, offset } => {
                         let n = self.fs.write_at(&path, offset, &bytes)?;
-                        self.clock.charge(self.cost.file_cost(n));
+                        let ns = self.cost.file_cost(n);
+                        self.charge_to(pid, ns);
                         if let Some(FdTarget::File { offset, .. }) =
                             self.process_mut(pid)?.fd_table.get_mut(&fd)
                         {
@@ -423,7 +555,8 @@ impl Kernel {
                 let p = self.procs.get_mut(&pid).expect("checked");
                 match p.aspace.protect(addr, len, perms) {
                     Ok(pages) => {
-                        self.clock.charge(self.cost.mprotect_cost(pages));
+                        let ns = self.cost.mprotect_cost(pages);
+                        self.charge_to(pid, ns);
                         self.metrics.protected_pages += pages;
                         Ok(SyscallRet::Num(pages))
                     }
@@ -435,7 +568,7 @@ impl Kernel {
             S::Fork => {
                 // Semantically a no-op in the cooperative simulation; the
                 // call exists so fork-bomb payloads hit the filter.
-                self.clock.charge(self.cost.spawn_ns);
+                self.charge_to(pid, self.cost.spawn_ns);
                 Ok(SyscallRet::Num(0))
             }
             S::Execve { .. } => Ok(SyscallRet::Ok),
@@ -453,7 +586,7 @@ impl Kernel {
             S::Uname => Ok(SyscallRet::Bytes(b"simos 1.0".to_vec())),
             S::SchedYield => Ok(SyscallRet::Ok),
             S::Nanosleep { ns } => {
-                self.clock.charge(ns);
+                self.charge_to(pid, ns);
                 Ok(SyscallRet::Ok)
             }
             S::PrctlNoNewPrivs => {
@@ -542,12 +675,13 @@ impl Kernel {
                 let bytes: Vec<u8> = (0..len).map(|_| self.rng.gen()).collect();
                 Ok(SyscallRet::Bytes(bytes))
             }
-            S::Gettimeofday | S::ClockGettime => Ok(SyscallRet::Num(self.clock.now_ns())),
+            S::Gettimeofday | S::ClockGettime => Ok(SyscallRet::Num(self.timeline_ns(pid))),
         }
     }
 
     fn net_send(&mut self, pid: Pid, dest: &str, bytes: &[u8]) {
-        self.clock.charge(self.cost.copy_cost(bytes.len() as u64));
+        let ns = self.cost.copy_cost(bytes.len() as u64);
+        self.charge_to(pid, ns);
         if dest.starts_with("gui") {
             self.display.blitted_bytes += bytes.len() as u64;
         }
@@ -575,30 +709,46 @@ impl Kernel {
     }
 
     /// Sends `payload` from `pid` over `chan`, charging the IPC round
-    /// trip setup plus per-byte copy cost.
+    /// trip setup plus per-byte copy cost. The frame is stamped with the
+    /// sender's virtual time *after* those charges, so a receiver on its
+    /// own timeline can merge against the true completion of the send.
     pub fn ipc_send(&mut self, pid: Pid, chan: ChannelId, payload: &[u8]) -> SimResult<()> {
         self.require_running(pid)?;
+        let latency = self.cost.ipc_latency_ns();
+        let copy = self.cost.copy_cost(payload.len() as u64);
+        let send_ns = self.timeline_ns(pid) + latency + copy;
         let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
         channel
-            .send(pid, bytes::Bytes::copy_from_slice(payload))
+            .send(pid, bytes::Bytes::copy_from_slice(payload), send_ns)
             .map_err(|e| match e {
                 RingError::Full => SimError::Errno(Errno::Enospc),
                 RingError::NotEndpoint => SimError::BadChannel,
             })?;
-        self.clock.charge(self.cost.ipc_round_trip_ns / 2);
-        self.clock.charge(self.cost.copy_cost(payload.len() as u64));
+        self.charge_to(pid, latency);
+        self.charge_to(pid, copy);
         self.metrics.ipc_messages += 1;
         self.metrics.ipc_bytes += payload.len() as u64;
         Ok(())
     }
 
-    /// Receives the next message for `pid` on `chan`, if any.
+    /// Receives the next message for `pid` on `chan`, if any. Under
+    /// per-process time this applies the happens-before merge first:
+    /// `recv = max(recv, frame.send_ns)`, then the delivery latency.
     pub fn ipc_recv(&mut self, pid: Pid, chan: ChannelId) -> SimResult<Option<Vec<u8>>> {
         self.require_running(pid)?;
+        let latency = self.cost.ipc_latency_ns();
         let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
         match channel.try_recv(pid) {
             Ok(Some(frame)) => {
-                self.clock.charge(self.cost.ipc_round_trip_ns / 2);
+                if self.mode == TimelineMode::PerProcess {
+                    let t = self.timelines.entry(pid).or_default();
+                    if frame.send_ns > t.now_ns() {
+                        let delta = frame.send_ns - t.now_ns();
+                        t.charge(delta);
+                        self.metrics.timeline_merges += 1;
+                    }
+                }
+                self.charge_to(pid, latency);
                 Ok(Some(frame.payload.to_vec()))
             }
             Ok(None) => Ok(None),
@@ -613,15 +763,18 @@ impl Kernel {
         Ok(())
     }
 
-    /// Charges raw virtual time (transport penalties, modeled stalls).
+    /// Charges raw virtual time (transport penalties, modeled stalls)
+    /// to the current time context.
     pub fn charge_time(&mut self, ns: u64) {
-        self.clock.charge(ns);
+        self.charge_ctx(ns);
     }
 
     /// Records a direct cross-address-space deep copy of `bytes` bytes
-    /// (object marshalling / lazy-data-copy transfers).
+    /// (object marshalling / lazy-data-copy transfers), charged to the
+    /// current time context.
     pub fn charge_copy(&mut self, bytes: u64) {
-        self.clock.charge(self.cost.copy_cost(bytes));
+        let ns = self.cost.copy_cost(bytes);
+        self.charge_ctx(ns);
         self.metrics.copied_bytes += bytes;
         self.metrics.copy_ops += 1;
     }
@@ -629,7 +782,7 @@ impl Kernel {
     /// Charges `units` of framework compute to `pid`.
     pub fn charge_compute(&mut self, pid: Pid, units: u64) {
         let ns = self.cost.compute_cost(units);
-        self.clock.charge(ns);
+        self.charge_to(pid, ns);
         if let Some(p) = self.procs.get_mut(&pid) {
             p.cpu_ns += ns;
         }
@@ -639,16 +792,22 @@ impl Kernel {
     // Introspection
     // ------------------------------------------------------------------
 
-    /// The virtual clock.
+    /// The global virtual clock. Under [`TimelineMode::PerProcess`] this
+    /// stops advancing (charges land on per-process timelines); use
+    /// [`Kernel::makespan_ns`] / [`Kernel::timeline_ns`] instead.
     pub fn clock(&self) -> VirtualClock {
         self.clock
     }
 
-    /// Current virtual time, in nanoseconds. Reading the clock never
-    /// charges time — observability code can call this freely without
-    /// perturbing deterministic measurements.
+    /// Current virtual time, in nanoseconds: the global clock, or the
+    /// current time context's timeline under per-process time. Reading
+    /// the clock never charges time — observability code can call this
+    /// freely without perturbing deterministic measurements.
     pub fn now_ns(&self) -> u64 {
-        self.clock.now_ns()
+        match (self.mode, self.time_ctx) {
+            (TimelineMode::PerProcess, Some(pid)) => self.timeline_ns(pid),
+            _ => self.clock.now_ns(),
+        }
     }
 
     /// The cost model in force.
@@ -661,9 +820,13 @@ impl Kernel {
         self.metrics
     }
 
-    /// Resets clock and counters (not processes) between measurements.
+    /// Resets clock, per-process timelines, and counters (not
+    /// processes) between measurements.
     pub fn reset_accounting(&mut self) {
         self.clock.reset();
+        for t in self.timelines.values_mut() {
+            t.reset();
+        }
         self.metrics = Metrics::new();
     }
 
@@ -892,5 +1055,98 @@ mod tests {
         k.reset_accounting();
         assert_eq!(k.clock().now_ns(), 0);
         assert_eq!(k.metrics(), Metrics::new());
+    }
+
+    #[test]
+    fn per_process_time_overlaps_independent_work() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        k.enable_per_process_time();
+        k.reset_accounting();
+        // Independent compute on two processes overlaps: the makespan is
+        // the max, not the sum.
+        k.charge_compute(a, 100);
+        k.charge_compute(b, 300);
+        let unit = k.cost_model().compute_ns_per_unit;
+        assert_eq!(k.timeline_ns(a), 100 * unit);
+        assert_eq!(k.timeline_ns(b), 300 * unit);
+        assert_eq!(k.makespan_ns(), 300 * unit);
+    }
+
+    #[test]
+    fn message_delivery_merges_receiver_past_sender() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let ch = k.create_channel(a, b, 1 << 20).unwrap();
+        k.enable_per_process_time();
+        k.reset_accounting();
+        k.charge_compute(a, 1_000); // a is far ahead of b
+        let a_ns = k.timeline_ns(a);
+        k.ipc_send(a, ch, b"m").unwrap();
+        let send_done = k.timeline_ns(a);
+        assert!(send_done > a_ns);
+        // b was at 0; delivery drags it past a's send completion.
+        k.ipc_recv(b, ch).unwrap().unwrap();
+        assert_eq!(
+            k.timeline_ns(b),
+            send_done + k.cost_model().ipc_latency_ns()
+        );
+        assert_eq!(k.metrics().timeline_merges, 1);
+    }
+
+    #[test]
+    fn delivery_to_a_busy_receiver_does_not_rewind() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let ch = k.create_channel(a, b, 1 << 20).unwrap();
+        k.enable_per_process_time();
+        k.reset_accounting();
+        k.ipc_send(a, ch, b"m").unwrap();
+        k.charge_compute(b, 10_000); // b is already past the send time
+        let b_ns = k.timeline_ns(b);
+        k.ipc_recv(b, ch).unwrap().unwrap();
+        assert_eq!(k.timeline_ns(b), b_ns + k.cost_model().ipc_latency_ns());
+        assert_eq!(k.metrics().timeline_merges, 0);
+    }
+
+    #[test]
+    fn advance_timeline_is_monotone_and_counted() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        k.enable_per_process_time();
+        k.reset_accounting();
+        k.advance_timeline_to(a, 5_000);
+        assert_eq!(k.timeline_ns(a), 5_000);
+        k.advance_timeline_to(a, 4_000); // already past: no-op
+        assert_eq!(k.timeline_ns(a), 5_000);
+        assert_eq!(k.metrics().timeline_merges, 1);
+    }
+
+    #[test]
+    fn global_mode_ignores_timeline_helpers() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let before = k.now_ns();
+        k.advance_timeline_to(a, before + 9_999_999);
+        assert_eq!(k.now_ns(), before);
+        assert_eq!(k.makespan_ns(), before);
+        assert_eq!(k.timeline_ns(a), before);
+    }
+
+    #[test]
+    fn spawn_under_per_process_time_seeds_child_at_spawner_time() {
+        let mut k = Kernel::new();
+        let host = k.spawn("host");
+        k.enable_per_process_time();
+        k.reset_accounting();
+        k.charge_compute(host, 500);
+        k.set_time_context(Some(host));
+        let child = k.spawn("child");
+        k.set_time_context(None);
+        assert_eq!(k.timeline_ns(child), k.timeline_ns(host));
+        assert!(k.timeline_ns(child) >= k.cost_model().spawn_ns);
     }
 }

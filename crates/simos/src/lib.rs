@@ -57,7 +57,7 @@ pub use error::{Errno, Fault, FaultKind, SimError, SimResult};
 pub use filter::{FdRule, FilterDecision, SyscallFilter};
 pub use fs::SimFs;
 pub use ipc::{ChannelEnd, ChannelId};
-pub use kernel::Kernel;
+pub use kernel::{Kernel, TimelineMode};
 pub use mem::{Addr, AddressSpace, Perms, PAGE_SIZE};
 pub use metrics::Metrics;
 pub use process::{Pid, ProcessState, SimProcess};

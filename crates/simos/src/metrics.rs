@@ -27,6 +27,10 @@ pub struct Metrics {
     pub spawns: u64,
     /// `mprotect` page transitions applied.
     pub protected_pages: u64,
+    /// Happens-before merges that actually advanced a receiver's
+    /// timeline (per-process virtual time only; 0 under the global
+    /// clock).
+    pub timeline_merges: u64,
 }
 
 impl Metrics {
@@ -51,6 +55,7 @@ impl Metrics {
         debug_assert!(self.faults >= earlier.faults);
         debug_assert!(self.spawns >= earlier.spawns);
         debug_assert!(self.protected_pages >= earlier.protected_pages);
+        debug_assert!(self.timeline_merges >= earlier.timeline_merges);
         Metrics {
             ipc_messages: self.ipc_messages - earlier.ipc_messages,
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
@@ -61,6 +66,7 @@ impl Metrics {
             faults: self.faults - earlier.faults,
             spawns: self.spawns - earlier.spawns,
             protected_pages: self.protected_pages - earlier.protected_pages,
+            timeline_merges: self.timeline_merges - earlier.timeline_merges,
         }
     }
 
