@@ -237,4 +237,59 @@ mod tests {
         assert_eq!(r.frames_lost, 1);
         assert!(r.commands.iter().all(|c| *c > 0.0));
     }
+
+    #[test]
+    fn shm_transport_issues_the_same_commands_as_ldc() {
+        let mut ldc_rt = Runtime::install(standard_registry(), Policy::freepart());
+        let ldc = run_drone_pipelined(&mut ldc_rt, &benign(8));
+
+        let mut shm_rt = Runtime::install(standard_registry(), Policy::freepart_shm());
+        let shm = run_drone_pipelined(&mut shm_rt, &benign(8));
+
+        assert_eq!(shm.frames_processed, 8);
+        assert!(shm.control_loop_alive);
+        assert_eq!(shm.commands, ldc.commands, "byte-identical steering");
+        // Camera frames clear the size threshold, so the mission really
+        // rode the segment path.
+        assert!(shm_rt.stats().shm_grants > 0, "shm transport engaged");
+    }
+
+    #[test]
+    fn speed_corruption_verdict_is_unchanged_on_shm_transport() {
+        // Probe under the same policy: the 8-byte speed variable sits
+        // below the shm threshold and stays buffer-backed, so the
+        // attacker aims at the same address either way.
+        let addr = {
+            let mut probe = Runtime::install(standard_registry(), Policy::freepart_shm());
+            let r = drone::run(&mut probe, &benign(0));
+            probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
+        };
+        let evil_speed = (-0.3f64).to_le_bytes().to_vec();
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_shm());
+        let cfg = DroneConfig {
+            frames: 4,
+            evil_frame: Some((1, payloads::corrupt("CVE-2017-12606", addr.0, evil_speed))),
+        };
+        let r = run_drone_pipelined(&mut rt, &cfg);
+        assert!(r.control_loop_alive);
+        assert!(
+            r.commands.iter().all(|c| *c > 0.0),
+            "steering unaffected: {:?}",
+            r.commands
+        );
+    }
+
+    #[test]
+    fn dos_attack_verdict_is_unchanged_on_shm_transport() {
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_shm());
+        let cfg = DroneConfig {
+            frames: 5,
+            evil_frame: Some((2, payloads::dos("CVE-2017-14136"))),
+        };
+        let r = run_drone_pipelined(&mut rt, &cfg);
+        assert!(r.control_loop_alive, "control loop unaffected");
+        assert_eq!(r.frames_processed, 4);
+        assert_eq!(r.frames_lost, 1);
+        assert!(r.commands.iter().all(|c| *c > 0.0));
+    }
 }

@@ -18,8 +18,8 @@
 use crate::monolithic::MonolithicRuntime;
 use crate::surface::ApiSurface;
 use freepart::{
-    HostDataPlacement, PartitionId, PartitionPlan, Policy, RestartPolicy, Runtime, SandboxLevel,
-    Transport,
+    ChannelTransport, HostDataPlacement, PartitionId, PartitionPlan, Policy, RestartPolicy,
+    Runtime, SandboxLevel,
 };
 use freepart_frameworks::api::{ApiId, ApiRegistry, ApiType};
 use std::collections::BTreeMap;
@@ -112,7 +112,7 @@ pub fn build(kind: SchemeKind, reg: ApiRegistry, app_universe: &[ApiId]) -> Box<
                 lazy_data_copy: true,
                 sandbox: SandboxLevel::PerAgent,
                 host_data: HostDataPlacement::OwnProcessEach,
-                transport: Transport::Pipe,
+                transport: ChannelTransport::Pipe,
                 ..Policy::default()
             });
             Box::new(Named(
@@ -140,7 +140,7 @@ pub fn build(kind: SchemeKind, reg: ApiRegistry, app_universe: &[ApiId]) -> Box<
                 lazy_data_copy: false,
                 sandbox: SandboxLevel::PerAgent,
                 host_data: HostDataPlacement::Host,
-                transport: Transport::Pipe,
+                transport: ChannelTransport::Pipe,
                 ..Policy::default()
             });
             Box::new(Named(

@@ -71,6 +71,9 @@ fn pipeline_runs(pipeline: &'static str, universe: &[ApiId]) -> Vec<Run> {
     // FreePart with eager (through-host) copies instead of LDC.
     let mut rt = fast_install(Policy::without_ldc());
     rows.push(measure("FreePart (no LDC)", pipeline, &mut rt));
+    // FreePart with large payloads page-mapped via shared memory.
+    let mut rt = fast_install(Policy::freepart_shm());
+    rows.push(measure("FreePart (shm)", pipeline, &mut rt));
 
     let base_ns = rows
         .iter()
@@ -152,6 +155,22 @@ fn main() {
         "LDC regressed: {ldc} ns with LDC vs {eager} ns eager"
     );
     println!("\nLDC check: {ldc} ns (lazy) <= {eager} ns (eager) ✓");
+
+    // The whole point of shm: page-mapping large payloads must move
+    // strictly fewer bytes across address spaces than LDC copies.
+    let omr_bytes = |scheme: &str| {
+        rows.iter()
+            .find(|r| r.pipeline == "omr" && r.scheme == scheme)
+            .expect("row present")
+            .transfer_bytes
+    };
+    let shm_bytes = omr_bytes("FreePart (shm)");
+    let ldc_bytes = omr_bytes(SchemeKind::FreePart.name());
+    assert!(
+        shm_bytes < ldc_bytes,
+        "shm transport regressed: {shm_bytes} bytes shm vs {ldc_bytes} bytes LDC"
+    );
+    println!("shm check: {shm_bytes} bytes (shm) < {ldc_bytes} bytes (LDC copies) ✓");
 
     let json = to_json(&rows);
     let out = workspace_root().join("BENCH_hotpath.json");

@@ -19,9 +19,12 @@ pub enum SandboxLevel {
     PerAgent,
 }
 
-/// How bytes cross process boundaries.
+/// What kind of *channel* carries bytes that do get copied across
+/// process boundaries. (Not to be confused with the object-payload
+/// [`Transport`](crate::runtime::transport::Transport) trait, which
+/// decides *whether* a payload is copied at all.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Transport {
+pub enum ChannelTransport {
     /// FreePart's shared-memory rings: one memcpy per move.
     SharedMemory,
     /// Pipe/socket RPC (sandboxed-api / PtrSplit style): serialization
@@ -29,12 +32,12 @@ pub enum Transport {
     Pipe,
 }
 
-impl Transport {
+impl ChannelTransport {
     /// Extra per-copy cost multiplier relative to shared memory.
     pub fn penalty_factor(self) -> u64 {
         match self {
-            Transport::SharedMemory => 1,
-            Transport::Pipe => 16,
+            ChannelTransport::SharedMemory => 1,
+            ChannelTransport::Pipe => 16,
         }
     }
 }
@@ -77,8 +80,14 @@ pub struct Policy {
     pub sandbox: SandboxLevel,
     /// Placement of host-annotated critical data.
     pub host_data: HostDataPlacement,
-    /// Cross-process byte transport.
-    pub transport: Transport,
+    /// Cross-process byte channel (copy-cost multiplier).
+    pub transport: ChannelTransport,
+    /// Payload-size threshold (bytes) at or above which object payloads
+    /// ride the zero-copy shared-memory transport (page-mapped segments
+    /// with per-process temporal grants) instead of being byte-copied.
+    /// `None` disables the Shm transport entirely, preserving the
+    /// pre-shm data plane bit-for-bit.
+    pub shm_threshold: Option<u64>,
     /// Temporal memory permissions: previous-state objects become
     /// read-only on state transitions (§4.4.3).
     pub temporal_protection: bool,
@@ -99,7 +108,8 @@ impl Default for Policy {
             lazy_data_copy: true,
             sandbox: SandboxLevel::PerAgent,
             host_data: HostDataPlacement::Host,
-            transport: Transport::SharedMemory,
+            transport: ChannelTransport::SharedMemory,
+            shm_threshold: None,
             temporal_protection: true,
             restart: RestartPolicy::Restart,
             snapshot_interval: 8,
@@ -129,6 +139,25 @@ impl Policy {
             ..Policy::default()
         }
     }
+
+    /// Full FreePart with the zero-copy shared-memory transport for
+    /// payloads of [`Policy::DEFAULT_SHM_THRESHOLD`] bytes and up.
+    /// Smaller objects stay buffer-backed (copying a few hundred bytes
+    /// is cheaper than a grant + page map, and keeps them addressable
+    /// for byte-granular temporal protection).
+    pub fn freepart_shm() -> Policy {
+        Policy {
+            shm_threshold: Some(Policy::DEFAULT_SHM_THRESHOLD),
+            ..Policy::default()
+        }
+    }
+}
+
+impl Policy {
+    /// Default map-vs-copy crossover: a quarter page. At the default
+    /// cost model, copying 1 KiB (1.1 µs) already costs more than
+    /// granting + mapping the page that holds it (~0.5 µs).
+    pub const DEFAULT_SHM_THRESHOLD: u64 = 1024;
 }
 
 #[cfg(test)]
@@ -150,5 +179,18 @@ mod tests {
     fn ablation_constructors() {
         assert!(!Policy::without_ldc().lazy_data_copy);
         assert_eq!(Policy::no_restart().restart, RestartPolicy::StayDown);
+    }
+
+    #[test]
+    fn shm_is_opt_in() {
+        assert_eq!(Policy::default().shm_threshold, None);
+        assert_eq!(
+            Policy::freepart_shm().shm_threshold,
+            Some(Policy::DEFAULT_SHM_THRESHOLD)
+        );
+        // Everything else matches full FreePart.
+        let shm = Policy::freepart_shm();
+        assert!(shm.lazy_data_copy);
+        assert!(shm.temporal_protection);
     }
 }

@@ -1,0 +1,555 @@
+//! The call plane: the synchronous and asynchronous hooked-call
+//! surface, submission (with the state-transition drain barrier and the
+//! temporal-grant sweep), bounded pipelined windows, and retirement.
+
+use super::{thread_partition, CallError, CallHandle, Runtime, ThreadId};
+use crate::partition::PartitionId;
+use crate::policy::RestartPolicy;
+use crate::state::FrameworkState;
+use crate::trace::{AuditRecord, CallOutcome, SpanEvent, SpanPhase};
+use freepart_frameworks::api::ApiId;
+use freepart_frameworks::{ObjectId, Value};
+
+/// A call that has executed agent-side but whose response the host has
+/// not consumed yet. The simulator executes calls eagerly at submission
+/// (so results and side effects are identical to the synchronous path);
+/// the *overlap* lives in virtual time — the host's timeline only
+/// merges past the agent's at retirement.
+#[derive(Debug)]
+pub(super) struct InFlight {
+    pub(super) api: ApiId,
+    pub(super) thread: ThreadId,
+    pub(super) partition: PartitionId,
+    pub(super) outcome: Result<Value, CallError>,
+    /// A response frame is sitting in the ring for the host to consume.
+    pub(super) has_response: bool,
+    /// Journal-replay calls do their bookkeeping at submission.
+    pub(super) booked: bool,
+    /// Objects this call consumed or produced (pinned-return set).
+    pub(super) touched: Vec<ObjectId>,
+    /// Agent-timeline completion, for hazard merges of later consumers.
+    pub(super) complete_ns: u64,
+    pub(super) call_t0: u64,
+    pub(super) resp_t0: u64,
+    pub(super) resp_len: u64,
+}
+
+/// What one delivery attempt hands back to the submit path.
+pub(super) struct Dispatched {
+    pub(super) value: Value,
+    pub(super) has_response: bool,
+    pub(super) booked: bool,
+    pub(super) touched: Vec<ObjectId>,
+    pub(super) complete_ns: u64,
+    pub(super) resp_t0: u64,
+    pub(super) resp_len: u64,
+}
+
+impl Runtime {
+    // ------------------------------------------------------------------
+    // The hooked call path
+    // ------------------------------------------------------------------
+
+    /// Calls a framework API by qualified name.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, CallError> {
+        self.call_on(ThreadId::MAIN, name, args)
+    }
+
+    /// Calls a framework API by name on a specific application thread:
+    /// the call routes to *that thread's* agent set and drives that
+    /// thread's framework-state machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call_on(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        let api = self
+            .reg
+            .id_of(name)
+            .ok_or_else(|| CallError::UnknownApi(name.to_owned()))?;
+        self.call_id_on(thread, api, args)
+    }
+
+    /// Calls a framework API by id on the main thread.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call_id(&mut self, api: ApiId, args: &[Value]) -> Result<Value, CallError> {
+        self.call_id_on(ThreadId::MAIN, api, args)
+    }
+
+    /// Calls a framework API by id on a specific thread. Exactly
+    /// equivalent to [`Runtime::call_async_id_on`] followed by an
+    /// immediate [`Runtime::wait`] — the async machinery adds zero
+    /// virtual nanoseconds to the synchronous path.
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`].
+    pub fn call_id_on(
+        &mut self,
+        thread: ThreadId,
+        api: ApiId,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        let handle = self.submit(thread, api, args, &[])?;
+        self.wait(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // The asynchronous call interface
+    // ------------------------------------------------------------------
+
+    /// Submits a hooked call on the main thread without waiting for its
+    /// response (see [`Runtime::call_async_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CallError`]. Submission-time errors (unknown API/thread)
+    /// surface here; execution errors surface from [`Runtime::wait`].
+    pub fn call_async(&mut self, name: &str, args: &[Value]) -> Result<CallHandle, CallError> {
+        self.call_async_on(ThreadId::MAIN, name, args)
+    }
+
+    /// Submits a hooked call on a specific thread without waiting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::call_async`].
+    pub fn call_async_on(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+        args: &[Value],
+    ) -> Result<CallHandle, CallError> {
+        self.call_async_with(thread, name, args, &[])
+    }
+
+    /// Submits a hooked call with explicit dependencies: the call's
+    /// agent timeline is ordered after every `deps` handle's completion
+    /// (for dependencies the object table cannot see, e.g. a read of a
+    /// file an earlier in-flight call writes).
+    ///
+    /// The call executes (agent-side) at submission, so results are
+    /// byte-identical to the synchronous path; only virtual time
+    /// overlaps. The response is consumed by [`Runtime::wait`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::call_async`].
+    pub fn call_async_with(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<CallHandle, CallError> {
+        let api = self
+            .reg
+            .id_of(name)
+            .ok_or_else(|| CallError::UnknownApi(name.to_owned()))?;
+        self.submit(thread, api, args, deps)
+    }
+
+    /// Submits a hooked call by API id (see [`Runtime::call_async_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::call_async`].
+    pub fn call_async_id_on(
+        &mut self,
+        thread: ThreadId,
+        api: ApiId,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<CallHandle, CallError> {
+        self.submit(thread, api, args, deps)
+    }
+
+    /// Retires a call: consumes its response frame (merging the host's
+    /// timeline past the agent's completion), runs host-side
+    /// bookkeeping, and returns the result. Responses drain each
+    /// partition's ring in FIFO order, so waiting on a call first
+    /// retires every older in-flight call on the same partition.
+    /// Waiting again on an already-retired handle returns the cached
+    /// outcome without charging time.
+    ///
+    /// # Errors
+    ///
+    /// The call's execution error, if any (see [`CallError`]).
+    pub fn wait(&mut self, handle: CallHandle) -> Result<Value, CallError> {
+        if !self.inflight.contains_key(&handle.0) {
+            return match self.retired.get(&handle.0) {
+                Some((outcome, _)) => outcome.clone(),
+                None => Err(CallError::UnknownApi(format!(
+                    "call #{} was never submitted",
+                    handle.0
+                ))),
+            };
+        }
+        let partition = self.inflight[&handle.0].partition;
+        loop {
+            let front = self.inflight_by_partition[&partition][0];
+            self.retire_one(front);
+            if front == handle.0 {
+                break;
+            }
+        }
+        self.retired[&handle.0].0.clone()
+    }
+
+    /// Peeks at an in-flight (or retired) call's result without
+    /// retiring it — no response is consumed and no time is charged.
+    ///
+    /// # Errors
+    ///
+    /// The call's execution error, or `UnknownApi` for a handle that
+    /// was never submitted.
+    pub fn promise(&self, handle: CallHandle) -> Result<Value, CallError> {
+        if let Some(inf) = self.inflight.get(&handle.0) {
+            return inf.outcome.clone();
+        }
+        match self.retired.get(&handle.0) {
+            Some((outcome, _)) => outcome.clone(),
+            None => Err(CallError::UnknownApi(format!(
+                "call #{} was never submitted",
+                handle.0
+            ))),
+        }
+    }
+
+    /// Retires every in-flight call, oldest first. The security
+    /// barriers call this: nothing may be in flight across a
+    /// framework-state transition's mprotect storm.
+    pub fn drain_inflight(&mut self) {
+        while let Some((&seq, _)) = self.inflight.iter().next() {
+            self.retire_one(seq);
+        }
+    }
+
+    /// Number of submitted-but-unretired calls.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Switches the kernel to per-process virtual timelines so
+    /// asynchronous calls overlap in virtual time. Synchronous calls
+    /// keep working (submit + immediate wait) and sync-only runs are
+    /// unaffected — this only changes how *overlapping* calls are
+    /// accounted. Host activity outside calls charges the host's
+    /// timeline; read the result off [`Kernel::makespan_ns`].
+    ///
+    /// [`Kernel::makespan_ns`]: freepart_simos::Kernel::makespan_ns
+    pub fn enable_pipelining(&mut self) {
+        self.pipelining = true;
+        self.kernel.enable_per_process_time();
+        self.kernel.set_time_context(Some(self.host));
+    }
+
+    /// Whether per-process timelines are active.
+    pub fn pipelining_enabled(&self) -> bool {
+        self.pipelining
+    }
+
+    /// Bounds how many calls may be in flight per partition (min 1);
+    /// submission force-retires the oldest beyond the window.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.pipeline_window = window.max(1);
+    }
+
+    /// The per-partition in-flight window.
+    pub fn pipeline_window(&self) -> usize {
+        self.pipeline_window
+    }
+
+    /// Completion time (agent timeline) a dependency handle resolves to.
+    pub(super) fn ready_ns(&self, handle: CallHandle) -> u64 {
+        self.inflight
+            .get(&handle.0)
+            .map(|i| i.complete_ns)
+            .or_else(|| self.retired.get(&handle.0).map(|(_, ns)| *ns))
+            .unwrap_or(0)
+    }
+
+    /// Submission: security checks, state-machine barrier + transition,
+    /// window enforcement, then one (crash-retried) delivery attempt.
+    /// The call is fully executed agent-side when this returns; only
+    /// the response leg and host bookkeeping remain for `wait`.
+    fn submit(
+        &mut self,
+        thread: ThreadId,
+        api: ApiId,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<CallHandle, CallError> {
+        if !self.states.contains_key(&thread) {
+            return Err(CallError::UnknownApi(format!("{thread} not spawned")));
+        }
+        let api_type = self.report.type_of(api);
+        let neutral = self.reg.spec(api).type_neutral && self.policy.colocate_type_neutral;
+
+        // Security barrier: a framework-state transition runs an
+        // mprotect storm over the previous state's objects — no call may
+        // be in flight across it, on *any* partition. Drain before the
+        // transition is observed below.
+        if !neutral && !self.inflight.is_empty() && self.states[&thread].would_transition(api_type)
+        {
+            self.drain_inflight();
+        }
+
+        // One sequence number per *logical* call: a crash-retry re-sends
+        // the same seq, so an agent that completed the call just before
+        // dying answers the retry from its completion journal instead of
+        // executing the side effects a second time.
+        self.seq += 1;
+        let seq = self.seq;
+
+        // Hook entry: the Call span opens here and the per-call byte
+        // accumulation resets.
+        let tracing = self.tracer.enabled();
+        let call_t0 = if tracing {
+            self.tracer.begin_call(seq);
+            self.kernel.now_ns()
+        } else {
+            0
+        };
+
+        // Type-neutral APIs run in the calling context's agent and do not
+        // move the framework state (§4.2).
+        let base_partition = if neutral {
+            match self.state_of(thread) {
+                FrameworkState::InType(t) => self.policy.plan.partition_of_type(t),
+                FrameworkState::Initialization => self.partition_of(api),
+            }
+        } else {
+            // Temporal protection fires on the state change, *before* the
+            // API executes (Fig. 3). Snapshot the page counter and the
+            // protected set around it so the audit record carries the
+            // exact protection delta this transition applied.
+            let from = self.state_of(thread);
+            let before = if tracing {
+                Some((
+                    self.kernel.now_ns(),
+                    self.kernel.metrics().protected_pages,
+                    self.states[&thread].protected().len(),
+                ))
+            } else {
+                None
+            };
+            let sm = self.states.get_mut(&thread).expect("checked");
+            let newly = sm.observe(api_type, &mut self.kernel, &self.objects).ok();
+            let to = self.state_of(thread);
+            if to != from {
+                // Temporal grants: shared-memory views issued to agents
+                // of the state being left are torn down inside the same
+                // barrier as the mprotect storm — the in-flight queue is
+                // already drained, so no call can straddle the revokes.
+                self.revoke_out_of_state_grants(seq);
+            }
+            if let Some((t0, pages0, prot0)) = before {
+                if to != from {
+                    let now = self.kernel.now_ns();
+                    let pages = self.kernel.metrics().protected_pages - pages0;
+                    let prot1 = self.states[&thread].protected().len();
+                    let locked = newly.unwrap_or(0);
+                    let unlocked = (prot0 + locked).saturating_sub(prot1);
+                    self.tracer.record_audit(AuditRecord::StateTransition {
+                        at_ns: t0,
+                        thread,
+                        seq,
+                        from,
+                        to,
+                        objects_locked: locked,
+                        objects_unlocked: unlocked,
+                        pages,
+                    });
+                    self.tracer.span(SpanEvent {
+                        phase: SpanPhase::Transition,
+                        seq,
+                        api: Some(api),
+                        partition: None,
+                        thread,
+                        start_ns: t0,
+                        end_ns: now,
+                        bytes: 0,
+                    });
+                }
+            }
+            self.partition_of(api)
+        };
+        let partition = thread_partition(thread, base_partition);
+
+        // Bounded in-flight window per partition.
+        while self
+            .inflight_by_partition
+            .get(&partition)
+            .is_some_and(|q| q.len() >= self.pipeline_window)
+        {
+            let oldest = self.inflight_by_partition[&partition][0];
+            self.retire_one(oldest);
+        }
+
+        let first_attempt = self.dispatch_execute(thread, partition, seq, api, args, deps);
+        let attempt = match first_attempt {
+            Err(CallError::AgentCrashed(p)) if self.policy.restart == RestartPolicy::Restart => {
+                // At-least-once re-delivery of the *same* request; the
+                // completion journal upgrades it to exactly-once when the
+                // crash happened after execution.
+                if self.pipelining {
+                    self.kernel.set_time_context(Some(self.host));
+                }
+                self.restart_agent_on(p, thread);
+                self.dispatch_execute(thread, p, seq, api, args, deps)
+            }
+            other => other,
+        };
+        if self.pipelining {
+            self.kernel.set_time_context(Some(self.host));
+        }
+        let inf = match attempt {
+            Ok(d) => InFlight {
+                api,
+                thread,
+                partition,
+                outcome: Ok(d.value),
+                has_response: d.has_response,
+                booked: d.booked,
+                touched: d.touched,
+                complete_ns: d.complete_ns,
+                call_t0,
+                resp_t0: d.resp_t0,
+                resp_len: d.resp_len,
+            },
+            Err(e) => InFlight {
+                api,
+                thread,
+                partition,
+                outcome: Err(e),
+                has_response: false,
+                booked: false,
+                touched: Vec::new(),
+                complete_ns: self.kernel.now_ns(),
+                call_t0,
+                resp_t0: 0,
+                resp_len: 0,
+            },
+        };
+        self.inflight.insert(seq, inf);
+        self.inflight_by_partition
+            .entry(partition)
+            .or_default()
+            .push_back(seq);
+        Ok(CallHandle(seq))
+    }
+
+    /// Retirement: the host consumes the response frame and finishes the
+    /// call's host-side bookkeeping. `seq` must be the oldest in-flight
+    /// call on its partition (ring FIFO).
+    fn retire_one(&mut self, seq: u64) {
+        let Some(inf) = self.inflight.remove(&seq) else {
+            return;
+        };
+        let partition = inf.partition;
+        if let Some(q) = self.inflight_by_partition.get_mut(&partition) {
+            debug_assert_eq!(q.front(), Some(&seq), "per-partition retirement is FIFO");
+            q.retain(|s| *s != seq);
+        }
+        let tracing = self.tracer.enabled();
+        let mut outcome = inf.outcome;
+        if inf.has_response {
+            // The host consumes the response now — under per-process
+            // time this merges the host's timeline past the agent's
+            // completion (happens-before) and charges delivery latency.
+            if let Some(chan) = self.agents.get(&partition).map(|a| a.chan) {
+                let _ = self.kernel.ipc_recv(self.host, chan);
+            }
+            if tracing {
+                let now = self.kernel.now_ns();
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::Response,
+                    seq,
+                    api: Some(inf.api),
+                    partition: Some(partition),
+                    thread: inf.thread,
+                    start_ns: inf.resp_t0,
+                    end_ns: now,
+                    bytes: inf.resp_len,
+                });
+            }
+            // The host will never re-request this seq: let the agent
+            // prune its completion journal up to the watermark.
+            if let Some(agent) = self.agents.get_mut(&partition) {
+                agent.cache.ack(seq);
+            }
+        }
+        let mut snapshot_due = false;
+        if outcome.is_ok() && !inf.booked {
+            let agent = self.agents.get_mut(&partition).expect("agent exists");
+            agent.calls += 1;
+            snapshot_due = self.policy.snapshot_interval > 0
+                && agent.calls.is_multiple_of(self.policy.snapshot_interval);
+            self.stats.rpc_calls += 1;
+            self.call_log.push(inf.api);
+
+            // Ship pinned objects back to their data processes.
+            if !self.pinned.is_empty() {
+                for obj in inf.touched.clone() {
+                    if let Err(e) = self.return_pinned(seq, inf.thread, obj) {
+                        outcome = Err(e);
+                        snapshot_due = false;
+                        break;
+                    }
+                }
+            }
+        }
+        // Periodic stateful snapshots (§A.2.4).
+        if snapshot_due {
+            self.take_snapshot(partition);
+        }
+        if tracing {
+            let end = self.kernel.now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Call,
+                seq,
+                api: Some(inf.api),
+                partition: Some(partition),
+                thread: inf.thread,
+                start_ns: inf.call_t0,
+                end_ns: end,
+                bytes: 0,
+            });
+            let kind = match &outcome {
+                Ok(_) => CallOutcome::Completed,
+                Err(CallError::Framework(_)) => CallOutcome::Errored,
+                Err(CallError::AgentCrashed(_)) | Err(CallError::AgentUnavailable(_)) => {
+                    CallOutcome::Faulted
+                }
+                Err(_) => CallOutcome::Errored,
+            };
+            // Filter kills surface as crashes too; the dispatch path has
+            // already written the finer-grained audit record.
+            self.tracer
+                .finish_call(seq, partition, inf.api, end - inf.call_t0, kind);
+        }
+        self.retired.insert(seq, (outcome, inf.complete_ns));
+    }
+
+    /// Test hook: makes the agent serving `partition` crash right after
+    /// its next successful execution, before the response frame is
+    /// delivered — the window where a call has completed in the agent but
+    /// the host cannot know it. One-shot; used by the exactly-once
+    /// regression tests.
+    pub fn inject_crash_before_response(&mut self, partition: PartitionId) {
+        self.crash_before_response = Some(partition);
+    }
+}

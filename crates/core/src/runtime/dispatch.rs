@@ -1,0 +1,287 @@
+//! One delivery attempt to an agent: request framing, journal replay,
+//! data-plane payload moves, agent-context execution, completion
+//! journaling, and the response leg. The host-side half of a call
+//! (response consumption, bookkeeping) lives in `callplane.rs`.
+
+use super::callplane::Dispatched;
+use super::{CallError, CallHandle, Runtime, ThreadId};
+use crate::partition::PartitionId;
+use crate::policy::{RestartPolicy, SandboxLevel};
+use crate::rpc::{Request, Response};
+use crate::trace::{SpanEvent, SpanPhase};
+use freepart_frameworks::api::ApiId;
+use freepart_frameworks::exec::execute;
+use freepart_frameworks::{ApiCtx, ObjectId, Value};
+use freepart_simos::FaultKind;
+
+impl Runtime {
+    /// One delivery attempt to an agent: marshals the request, moves
+    /// argument payloads, executes agent-side, journals the completion,
+    /// and *sends* the response — but does not consume it. `seq`
+    /// identifies the logical call and is reused verbatim on
+    /// crash-retries. The host-side half lives in `retire_one`.
+    pub(super) fn dispatch_execute(
+        &mut self,
+        thread: ThreadId,
+        partition: PartitionId,
+        seq: u64,
+        api: ApiId,
+        args: &[Value],
+        deps: &[CallHandle],
+    ) -> Result<Dispatched, CallError> {
+        let agent_pid = self
+            .agents
+            .get(&partition)
+            .ok_or(CallError::AgentUnavailable(partition))?
+            .pid;
+        if !self.kernel.is_running(agent_pid) {
+            if self.policy.restart == RestartPolicy::Restart {
+                self.restart_agent_on(partition, thread);
+            } else {
+                return Err(CallError::AgentUnavailable(partition));
+            }
+        }
+        let agent_pid = self.agents[&partition].pid;
+
+        // --- request frame host → agent ---
+        let tracing = self.tracer.enabled();
+        let marshal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        let req = Request {
+            seq,
+            api,
+            args: args.to_vec(),
+        };
+        let chan = self.agents[&partition].chan;
+        self.kernel
+            .ipc_send(self.host, chan, &req.encode())
+            .map_err(|_| CallError::AgentUnavailable(partition))?;
+        let delivered = self
+            .kernel
+            .ipc_recv(agent_pid, chan)
+            .map_err(|_| CallError::AgentUnavailable(partition))?
+            .expect("request just sent");
+        let frame_len = delivered.len() as u64;
+        let req = Request::decode(&delivered).expect("self-encoded frame");
+        if tracing {
+            let now = self.kernel.now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Marshal,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: marshal_t0,
+                end_ns: now,
+                bytes: frame_len,
+            });
+        }
+
+        // Exactly-once: a re-delivered request whose execution already
+        // completed (the agent died in the response window) is answered
+        // from the completion journal without re-running side effects.
+        if let Some(cached) = self.agents[&partition].cache.replay(req.seq) {
+            let cached = cached.clone();
+            let agent = self.agents.get_mut(&partition).expect("agent exists");
+            agent.calls += 1;
+            // The host has its answer: the journal entry is acked (and
+            // prunable) the moment the replay is served.
+            agent.cache.ack(req.seq);
+            self.stats.rpc_calls += 1;
+            self.call_log.push(api);
+            if tracing {
+                let now = self.kernel.now_ns();
+                self.tracer.note_journal_hit(seq);
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::Replay,
+                    seq,
+                    api: Some(api),
+                    partition: Some(partition),
+                    thread,
+                    start_ns: now,
+                    end_ns: now,
+                    bytes: 0,
+                });
+            }
+            if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
+                self.seal_agent(partition);
+            }
+            return Ok(Dispatched {
+                value: cached,
+                has_response: false,
+                booked: true,
+                touched: Vec::new(),
+                complete_ns: self.kernel.timeline_ns(agent_pid),
+                resp_t0: 0,
+                resp_len: 0,
+            });
+        }
+
+        // From here the agent does the work: charge its timeline.
+        if self.pipelining {
+            self.kernel.set_time_context(Some(agent_pid));
+        }
+
+        // --- data plane: move object arguments ---
+        let mut needed = Vec::new();
+        for a in &req.args {
+            a.collect_objects(&mut needed);
+        }
+        // Object-table hazards: consuming an object a still-in-flight
+        // call touched orders this call after *that producer only* —
+        // the agent's timeline merges to the producer's completion.
+        for obj in &needed {
+            if let Some(&ns) = self.last_touch.get(obj) {
+                self.kernel.advance_timeline_to(agent_pid, ns);
+            }
+        }
+        for dep in deps {
+            let ns = self.ready_ns(*dep);
+            self.kernel.advance_timeline_to(agent_pid, ns);
+        }
+        for obj in &needed {
+            self.move_to_agent(thread, seq, *obj, agent_pid)?;
+        }
+
+        // --- execute in the agent's process context ---
+        let exec_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        let watermark = self.objects.next_id_watermark();
+        let mut ctx = ApiCtx::new(&mut self.kernel, &mut self.objects, agent_pid);
+        let exec_result = execute(&self.reg, api, &req.args, &mut ctx);
+        let exploit_log = std::mem::take(&mut ctx.exploit_log);
+        drop(ctx);
+        self.exploit_log.extend(exploit_log);
+        if tracing {
+            let now = self.kernel.now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Execute,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: exec_t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
+
+        let result = match exec_result {
+            Ok(v) => v,
+            Err(e) if e.is_crash() => {
+                if tracing {
+                    self.audit_agent_crash(partition, seq, api, agent_pid, thread);
+                }
+                return Err(CallError::AgentCrashed(partition));
+            }
+            Err(e) => return Err(CallError::Framework(e)),
+        };
+
+        // Track objects defined during this call in the current state —
+        // a range scan over ids past the watermark, not a store-wide one.
+        let new_ids: Vec<ObjectId> = self.objects.ids_since(watermark).collect();
+        for id in &new_ids {
+            self.define_on(thread, *id);
+        }
+
+        // --- eager copy-back without LDC ---
+        if !self.policy.lazy_data_copy {
+            let mut back: Vec<ObjectId> = needed.clone();
+            back.extend(result.as_obj());
+            for obj in back {
+                if let Some(meta) = self.objects.meta(obj) {
+                    // Shm-resident payloads never copy back: the host's
+                    // view of the segment is the object.
+                    if meta.home == agent_pid && meta.shm.is_none() {
+                        let len = meta.len();
+                        let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+                        self.objects
+                            .migrate_direct(&mut self.kernel, obj, self.host)
+                            .map_err(|_| CallError::StateLost(obj))?;
+                        self.stats.host_copies += 1;
+                        self.charge_transport(len);
+                        if tracing {
+                            let now = self.kernel.now_ns();
+                            self.tracer.add_eager_bytes(seq, len);
+                            self.tracer.span(SpanEvent {
+                                phase: SpanPhase::DataCopy,
+                                seq,
+                                api: Some(api),
+                                partition: Some(partition),
+                                thread,
+                                start_ns: copy_t0,
+                                end_ns: now,
+                                bytes: len,
+                            });
+                        }
+                        self.reapply_all(obj);
+                    }
+                }
+            }
+        }
+
+        // The call is now complete agent-side: journal it *before* the
+        // response leg, so a crash in the response window is recoverable
+        // by replaying the journal instead of re-executing side effects.
+        let journal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        self.agents
+            .get_mut(&partition)
+            .expect("agent exists")
+            .cache
+            .complete(req.seq, result.clone());
+        if tracing {
+            let now = self.kernel.now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Journal,
+                seq,
+                api: Some(api),
+                partition: Some(partition),
+                thread,
+                start_ns: journal_t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
+
+        // One-shot injected crash in exactly that window (test hook).
+        if self.crash_before_response == Some(partition) {
+            self.crash_before_response = None;
+            self.kernel.deliver_fault(agent_pid, FaultKind::Abort, None);
+            return Err(CallError::AgentCrashed(partition));
+        }
+
+        // --- response frame agent → host (sent; consumed at retire) ---
+        let resp_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        let resp = Response {
+            seq: req.seq,
+            result: result.clone(),
+        };
+        let resp_frame = resp.encode();
+        let resp_len = resp_frame.len() as u64;
+        self.kernel
+            .ipc_send(agent_pid, chan, &resp_frame)
+            .map_err(|_| CallError::AgentCrashed(partition))?;
+
+        // Seal the filter after the first completed call (§4.4.1).
+        if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
+            self.seal_agent(partition);
+        }
+
+        // The agent is done with this call: everything it consumed or
+        // produced becomes ready at its current timeline instant.
+        let complete_ns = self.kernel.timeline_ns(agent_pid);
+        let mut touched: Vec<ObjectId> = needed;
+        touched.extend(result.as_obj());
+        for obj in touched.iter().chain(new_ids.iter()) {
+            self.last_touch.insert(*obj, complete_ns);
+        }
+
+        Ok(Dispatched {
+            value: result,
+            has_response: true,
+            booked: false,
+            touched,
+            complete_ns,
+            resp_t0,
+            resp_len,
+        })
+    }
+}

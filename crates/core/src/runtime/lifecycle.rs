@@ -1,0 +1,228 @@
+//! Agent lifecycle: sealing the per-agent syscall filter, stateful
+//! snapshots, crash restarts, and crash auditing. Everything here is
+//! about the agent *process*, not the calls flowing through it.
+
+use super::{Agent, Runtime, SnapshotEntry, ThreadId};
+use crate::partition::PartitionId;
+use crate::policy::SandboxLevel;
+use crate::syscall_policy::build_filter;
+use crate::trace::{AuditRecord, SpanEvent, SpanPhase};
+use freepart_frameworks::api::ApiId;
+use freepart_frameworks::{ObjectId, ObjectKind};
+use freepart_simos::{FaultKind, Perms, Pid, ProcessState};
+use std::collections::BTreeSet;
+
+impl Runtime {
+    /// Installs and locks the partition's syscall filter (§4.4.1): the
+    /// allowlist is derived from the APIs routed to this agent, then
+    /// sealed with no-new-privs so not even the agent can widen it.
+    pub(super) fn seal_agent(&mut self, partition: PartitionId) {
+        let agent = self.agents.get_mut(&partition).expect("agent exists");
+        let pid = agent.pid;
+        let apis = agent.apis.clone();
+        let Ok(process) = self.kernel.process(pid) else {
+            return;
+        };
+        let mut filter = match self.policy.sandbox {
+            SandboxLevel::None => return,
+            SandboxLevel::PerAgent => build_filter(&self.reg, &self.profile, &apis, process),
+            SandboxLevel::CoarseUnion => {
+                // Whole-library sandbox: everything the library could
+                // ever need, including mprotect for lazy loading — the
+                // hole code-rewriting exploits walk through.
+                let all: BTreeSet<ApiId> = self.reg.iter().map(|s| s.id).collect();
+                let mut f = build_filter(&self.reg, &self.profile, &all, process);
+                f.allow(freepart_simos::SyscallNo::Mprotect);
+                f
+            }
+        };
+        filter.lock();
+        if self.kernel.install_filter(pid, filter).is_ok() {
+            // PR_SET_NO_NEW_PRIVS: the configuration is now immutable
+            // even from inside the process.
+            if let Ok(p) = self.kernel.process_mut(pid) {
+                p.no_new_privs = true;
+            }
+            self.agents
+                .get_mut(&partition)
+                .expect("agent exists")
+                .sealed = true;
+        }
+    }
+
+    /// Records restorable copies of the partition's stateful objects
+    /// (captures, models, classifiers) for use after a crash restart.
+    pub(super) fn take_snapshot(&mut self, partition: PartitionId) {
+        let pid = self.agents[&partition].pid;
+        let stateful: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|m| {
+                m.home == pid
+                    && matches!(
+                        m.kind,
+                        ObjectKind::Capture { .. }
+                            | ObjectKind::Model { .. }
+                            | ObjectKind::Classifier { .. }
+                    )
+            })
+            .map(|m| m.id)
+            .collect();
+        let mut entries = Vec::new();
+        for id in stateful {
+            let meta = self.objects.meta(id).expect("listed above").clone();
+            let bytes = self
+                .objects
+                .read_bytes(&mut self.kernel, id)
+                .unwrap_or_default();
+            entries.push(SnapshotEntry {
+                object: id,
+                kind: meta.kind,
+                label: meta.label,
+                bytes,
+            });
+        }
+        self.snapshots.insert(partition, entries);
+    }
+
+    /// Respawns a crashed agent: new process, new code page, channel
+    /// rebound, stateful snapshots restored (with temporal protection
+    /// re-applied to them), the completion journal carried over, and —
+    /// if the old process was already sealed — the syscall filter
+    /// re-sealed immediately so the sandbox never reopens in the respawn
+    /// window. Crashed-process variable values are deliberately **not**
+    /// restored (§6).
+    pub fn restart_agent(&mut self, partition: PartitionId) {
+        self.restart_agent_on(partition, ThreadId::MAIN);
+    }
+
+    /// [`Runtime::restart_agent`] attributed to the application thread
+    /// whose call triggered the restart (distinct trace rows per thread).
+    pub(super) fn restart_agent_on(&mut self, partition: PartitionId, thread: ThreadId) {
+        let tracing = self.tracer.enabled();
+        let restart_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        let Some(agent) = self.agents.remove(&partition) else {
+            return;
+        };
+        let chan = agent.chan;
+        let was_sealed = agent.sealed;
+        let new_pid = self.kernel.spawn(&format!("agent:{partition}+"));
+        let code_page = self
+            .kernel
+            .alloc(new_pid, freepart_simos::PAGE_SIZE, Perms::RX)
+            .expect("fresh agent allocates");
+        self.kernel
+            .rebind_channel(chan, new_pid)
+            .expect("channel exists");
+        self.agents.insert(
+            partition,
+            Agent {
+                partition,
+                pid: new_pid,
+                chan,
+                code_page,
+                apis: agent.apis,
+                sealed: false,
+                calls: agent.calls,
+                // The journal of completed calls lives with the rebound
+                // channel, not the dead process: the respawned agent can
+                // still answer re-delivered requests it already executed.
+                cache: agent.cache,
+            },
+        );
+        // Restore snapshotted stateful objects into the new process, then
+        // re-apply temporal protection — the restore writes into fresh RW
+        // pages, and restart must not leave protected objects writable.
+        if let Some(entries) = self.snapshots.get(&partition).cloned() {
+            for entry in entries {
+                if let Ok(addr) =
+                    self.kernel
+                        .alloc(new_pid, entry.bytes.len().max(1) as u64, Perms::RW)
+                {
+                    if self.kernel.mem_write(new_pid, addr, &entry.bytes).is_ok() {
+                        if let Some(meta) = self.objects.meta_mut(entry.object) {
+                            meta.home = new_pid;
+                            meta.buffer = Some((addr, entry.bytes.len() as u64));
+                            meta.kind = entry.kind.clone();
+                            meta.label = entry.label.clone();
+                        }
+                        self.reapply_all(entry.object);
+                    }
+                }
+            }
+        }
+        if was_sealed && self.policy.sandbox != SandboxLevel::None {
+            self.seal_agent(partition);
+        }
+        self.stats.restarts += 1;
+        if tracing {
+            let now = self.kernel.now_ns();
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Restart,
+                seq: self.seq,
+                api: None,
+                partition: Some(partition),
+                thread,
+                start_ns: restart_t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Classifies a just-crashed agent's fault into an audit record:
+    /// a denied syscall becomes a [`AuditRecord::FilterKill`], anything
+    /// memory-related a [`AuditRecord::AccessDenied`] with the faulting
+    /// address resolved back to the protected object it hit, when any.
+    pub(super) fn audit_agent_crash(
+        &mut self,
+        partition: PartitionId,
+        seq: u64,
+        api: ApiId,
+        agent_pid: Pid,
+        thread: ThreadId,
+    ) {
+        let Ok(process) = self.kernel.process(agent_pid) else {
+            return;
+        };
+        let ProcessState::Crashed(fault) = &process.state else {
+            return;
+        };
+        let fault = fault.clone();
+        let at_ns = self.kernel.now_ns();
+        let state = self.state_of(thread);
+        match fault.kind {
+            FaultKind::SyscallDenied(no) => {
+                self.tracer.note_filter_kill(seq);
+                self.tracer.record_audit(AuditRecord::FilterKill {
+                    at_ns,
+                    partition,
+                    api,
+                    state,
+                    syscall: format!("{no:?}"),
+                });
+            }
+            kind => {
+                let addr = fault.addr.map(|a| a.0);
+                let object = addr.and_then(|a| {
+                    self.objects
+                        .iter()
+                        .find(|m| {
+                            m.buffer
+                                .is_some_and(|(base, len)| a >= base.0 && a < base.0 + len.max(1))
+                        })
+                        .map(|m| m.id)
+                });
+                self.tracer.record_audit(AuditRecord::AccessDenied {
+                    at_ns,
+                    partition,
+                    api,
+                    state,
+                    object,
+                    addr,
+                    fault: format!("{kind:?}"),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The object plane: host-side data definition, host dereferences,
+//! per-object transport selection (Eager / Lazy / Shm), re-protection
+//! after moves, and the temporal-grant sweep that tears shared-memory
+//! views down at framework-state transitions.
+
+use super::transport::{Transport, TransportCtx, EAGER, LAZY, SHM};
+use super::{CallError, Runtime, ThreadId};
+use crate::policy::HostDataPlacement;
+use crate::state::StateMachine;
+use crate::trace::{AuditRecord, SpanEvent, SpanPhase};
+use freepart_frameworks::{ObjectId, ObjectKind, ObjectMeta};
+use freepart_simos::{Perms, Pid, ShmId};
+
+impl Runtime {
+    // ------------------------------------------------------------------
+    // Host-side data
+    // ------------------------------------------------------------------
+
+    /// Allocates host-resident application data (the paper's annotated
+    /// critical data structures, e.g. OMRChecker's `template`). The
+    /// object participates in temporal protection.
+    pub fn host_data(&mut self, label: &str, bytes: &[u8]) -> ObjectId {
+        let home = match self.policy.host_data {
+            HostDataPlacement::Host => self.host,
+            HostDataPlacement::WithType(t) => {
+                let p = self.policy.plan.partition_of_type(t);
+                self.agents.get(&p).map_or(self.host, |a| a.pid)
+            }
+            HostDataPlacement::OwnProcessEach => self.kernel.spawn(&format!("data:{label}")),
+        };
+        let id = self
+            .objects
+            .create_with_data(&mut self.kernel, home, ObjectKind::Blob, label, bytes)
+            .expect("data home is alive");
+        if self.policy.host_data == HostDataPlacement::OwnProcessEach {
+            self.pinned.insert(id, home);
+        }
+        self.define_everywhere(id);
+        id
+    }
+
+    /// Creates a host-homed object of an arbitrary kind (driver-level
+    /// plumbing for pipelines that need a pre-existing tensor/Mat).
+    pub fn host_object(&mut self, kind: ObjectKind, label: &str, bytes: &[u8]) -> ObjectId {
+        let id = self
+            .objects
+            .create_with_data(&mut self.kernel, self.host, kind, label, bytes)
+            .expect("host is alive");
+        self.define_everywhere(id);
+        id
+    }
+
+    pub(super) fn define_on(&mut self, thread: ThreadId, id: ObjectId) {
+        self.states
+            .entry(thread)
+            .or_insert_with(|| StateMachine::new(self.policy.temporal_protection))
+            .define(id);
+    }
+
+    /// Registers annotated host data with *every* live thread's state
+    /// machine: critical data must stay protected no matter which thread
+    /// drives the pipeline past its defining state.
+    fn define_everywhere(&mut self, id: ObjectId) {
+        for sm in self.states.values_mut() {
+            sm.define(id);
+        }
+    }
+
+    /// Reads an object's payload from the host's perspective — a host
+    /// dereference. Host-resident payloads short-circuit to a plain
+    /// local read: no IPC, no timeline merge, no trace. Remote
+    /// buffer-backed payloads are *copied* to the host (a counted
+    /// non-lazy copy) without moving the object's home; remote
+    /// shm-resident payloads are read through a host-mapped view of the
+    /// segment — zero bytes copied.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::StateLost`] when the payload died with a crashed
+    /// agent.
+    pub fn fetch_bytes(&mut self, id: ObjectId) -> Result<Vec<u8>, CallError> {
+        let meta = self
+            .objects
+            .meta(id)
+            .ok_or(CallError::StateLost(id))?
+            .clone();
+        // Reading your own memory is just a read: skip the hazard merge
+        // and the fetch machinery entirely. (A producer call can only
+        // have made the host the home by migrating the payload back on
+        // the host's own timeline, so the merge would be a no-op.)
+        if meta.home == self.host {
+            return self
+                .objects
+                .read_bytes(&mut self.kernel, id)
+                .map_err(|_| CallError::StateLost(id));
+        }
+        // LDC-deref ordering: dereferencing a payload touched by an
+        // in-flight call orders the host after that producing call.
+        if let Some(&ns) = self.last_touch.get(&id) {
+            self.kernel.advance_timeline_to(self.host, ns);
+        }
+        let tracing = self.tracer.enabled();
+        let fetch_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        if let Some((seg, len)) = meta.shm {
+            // Zero-copy host deref: grant the host a read-only view of
+            // the segment once, then read through the mapping.
+            let viewed = self
+                .kernel
+                .shm_segment(seg)
+                .is_some_and(|s| s.grant_of(self.host).is_some() && s.is_mapped(self.host));
+            if !viewed {
+                self.kernel
+                    .shm_grant(seg, self.host, Perms::R)
+                    .and_then(|()| self.kernel.shm_map(self.host, seg))
+                    .map_err(|_| CallError::StateLost(id))?;
+                if tracing {
+                    let at_ns = self.kernel.now_ns();
+                    self.tracer.record_audit(AuditRecord::ShmGrant {
+                        at_ns,
+                        object: id,
+                        segment: seg,
+                        pid: self.host,
+                        bytes: len,
+                    });
+                }
+            }
+            let bytes = self
+                .kernel
+                .shm_read(self.host, seg)
+                .map_err(|_| CallError::StateLost(id))?;
+            if tracing {
+                let now = self.kernel.now_ns();
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::HostFetch,
+                    seq: self.seq,
+                    api: None,
+                    partition: None,
+                    thread: ThreadId::MAIN,
+                    start_ns: fetch_t0,
+                    end_ns: now,
+                    bytes: len,
+                });
+            }
+            return Ok(bytes);
+        }
+        if let Some((addr, len)) = meta.buffer {
+            let bytes = self
+                .kernel
+                .mem_read(meta.home, addr, len)
+                .map_err(|_| CallError::StateLost(id))?;
+            self.kernel.charge_copy(len);
+            self.stats.host_copies += 1;
+            self.charge_transport(len);
+            if tracing {
+                let now = self.kernel.now_ns();
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::HostFetch,
+                    seq: self.seq,
+                    api: None,
+                    partition: None,
+                    thread: ThreadId::MAIN,
+                    start_ns: fetch_t0,
+                    end_ns: now,
+                    bytes: len,
+                });
+            }
+            return Ok(bytes);
+        }
+        self.objects
+            .read_bytes(&mut self.kernel, id)
+            .map_err(|_| CallError::StateLost(id))
+    }
+
+    /// Ships a pinned object back to its dedicated data process after a
+    /// use (the per-access IPC of the code-based API+data baseline).
+    pub(super) fn return_pinned(
+        &mut self,
+        seq: u64,
+        thread: ThreadId,
+        id: ObjectId,
+    ) -> Result<(), CallError> {
+        if let Some(&pin) = self.pinned.get(&id) {
+            let home = self.objects.meta(id).map(|m| m.home);
+            if home != Some(pin) && self.kernel.is_running(pin) {
+                let len = self.objects.meta(id).map_or(0, |m| m.len());
+                let tracing = self.tracer.enabled();
+                let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+                self.objects
+                    .migrate_direct(&mut self.kernel, id, pin)
+                    .map_err(|_| CallError::StateLost(id))?;
+                self.stats.host_copies += 1;
+                self.charge_transport(len);
+                if tracing {
+                    let now = self.kernel.now_ns();
+                    self.tracer.add_eager_bytes(seq, len);
+                    self.tracer.span(SpanEvent {
+                        phase: SpanPhase::DataCopy,
+                        seq,
+                        api: None,
+                        partition: None,
+                        thread,
+                        start_ns: copy_t0,
+                        end_ns: now,
+                        bytes: len,
+                    });
+                }
+                self.reapply_all(id);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transport selection and delivery
+    // ------------------------------------------------------------------
+
+    /// Picks the payload transport for one object: segments stay on the
+    /// Shm transport once promoted; payloads at or above the policy
+    /// threshold are promoted; everything else follows the LDC flag.
+    fn transport_for(&self, meta: &ObjectMeta) -> &'static dyn Transport {
+        if meta.shm.is_some() {
+            return &SHM;
+        }
+        if meta.buffer.is_some() && self.policy.shm_threshold.is_some_and(|t| meta.len() >= t) {
+            return &SHM;
+        }
+        if self.policy.lazy_data_copy {
+            &LAZY
+        } else {
+            &EAGER
+        }
+    }
+
+    /// Moves one object into the executing agent via the selected
+    /// transport, re-applying temporal protection afterwards.
+    pub(super) fn move_to_agent(
+        &mut self,
+        thread: ThreadId,
+        seq: u64,
+        obj: ObjectId,
+        agent_pid: Pid,
+    ) -> Result<(), CallError> {
+        let meta = self
+            .objects
+            .meta(obj)
+            .ok_or(CallError::StateLost(obj))?
+            .clone();
+        if meta.home == agent_pid {
+            return Ok(());
+        }
+        if meta.buffer.is_none() && meta.shm.is_none() {
+            // Buffer-less handles (windows, captures) carry no payload:
+            // re-homing them is free and never lossy.
+            self.objects
+                .migrate_direct(&mut self.kernel, obj, agent_pid)
+                .map_err(|_| CallError::StateLost(obj))?;
+            return Ok(());
+        }
+        // A dead home loses buffer-backed payloads; segment payloads are
+        // kernel-owned and survive their last user's crash.
+        if meta.shm.is_none() && !self.kernel.is_running(meta.home) {
+            return Err(CallError::StateLost(obj));
+        }
+        let transport = self.transport_for(&meta);
+        let tracing = self.tracer.enabled();
+        let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+        {
+            let mut ctx = TransportCtx {
+                kernel: &mut self.kernel,
+                objects: &mut self.objects,
+                stats: &mut self.stats,
+                tracer: &mut self.tracer,
+                host: self.host,
+                seq,
+                penalty: self.policy.transport.penalty_factor(),
+            };
+            transport.deliver(&mut ctx, obj, agent_pid)?;
+        }
+        if tracing {
+            // The move span closes *before* re-protection so Reprotect
+            // time attributes to the mprotect bucket, not the copy one.
+            let now = self.kernel.now_ns();
+            self.tracer.span(SpanEvent {
+                phase: transport.span_phase(),
+                seq,
+                api: None,
+                partition: None,
+                thread,
+                start_ns: copy_t0,
+                end_ns: now,
+                bytes: meta.len(),
+            });
+        }
+        self.reapply_all(obj);
+        Ok(())
+    }
+
+    /// Charges the transport penalty for moving `bytes` over a pipe
+    /// instead of shared memory.
+    pub(super) fn charge_transport(&mut self, bytes: u64) {
+        let factor = self.policy.transport.penalty_factor();
+        if factor > 1 {
+            let base = self.kernel.cost_model().copy_cost(bytes);
+            self.kernel.charge_time(base * (factor - 1));
+        }
+    }
+
+    /// Re-applies temporal protection from whichever thread's machine
+    /// tracks the object (after a migration re-materialized it writable).
+    pub(super) fn reapply_all(&mut self, obj: ObjectId) {
+        let threads: Vec<ThreadId> = self
+            .states
+            .iter()
+            .filter(|(_, s)| s.is_protected(obj))
+            .map(|(t, _)| *t)
+            .collect();
+        if threads.is_empty() {
+            return;
+        }
+        let tracing = self.tracer.enabled();
+        let before = if tracing {
+            Some((self.kernel.now_ns(), self.kernel.metrics().protected_pages))
+        } else {
+            None
+        };
+        for t in &threads {
+            if let Some(sm) = self.states.get(t) {
+                sm.reapply(&mut self.kernel, &self.objects, obj).ok();
+            }
+        }
+        if let Some((t0, pages0)) = before {
+            let now = self.kernel.now_ns();
+            let pages = self.kernel.metrics().protected_pages - pages0;
+            self.tracer.record_audit(AuditRecord::Reprotect {
+                at_ns: t0,
+                object: obj,
+                pages,
+            });
+            self.tracer.span(SpanEvent {
+                phase: SpanPhase::Reprotect,
+                seq: self.seq,
+                api: None,
+                partition: None,
+                thread: threads[0],
+                start_ns: t0,
+                end_ns: now,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// The temporal-grant sweep: at a framework-state transition, every
+    /// shared-memory view held by a process other than the segment's
+    /// current user is revoked — the segment analogue of the mprotect
+    /// storm. Runs inside the drain barrier (no call in flight), so a
+    /// stale agent's next access faults instead of racing the sweep.
+    /// One audit record per revoked `(segment, pid)` pair.
+    pub(super) fn revoke_out_of_state_grants(&mut self, seq: u64) {
+        let shm_objs: Vec<(ObjectId, ShmId, Pid)> = self
+            .objects
+            .iter()
+            .filter_map(|m| m.shm.map(|(seg, _)| (m.id, seg, m.home)))
+            .collect();
+        for (obj, seg, home) in shm_objs {
+            let stale: Vec<Pid> = self
+                .kernel
+                .shm_segment(seg)
+                .map(|s| s.grants().map(|(p, _)| p).filter(|p| *p != home).collect())
+                .unwrap_or_default();
+            for pid in stale {
+                if self.kernel.shm_revoke(seg, pid).unwrap_or(false) && self.tracer.enabled() {
+                    let at_ns = self.kernel.now_ns();
+                    self.tracer.record_audit(AuditRecord::ShmRevoke {
+                        at_ns,
+                        object: obj,
+                        segment: seg,
+                        pid,
+                        seq,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Payload transports: *how* an object's bytes become visible to the
+//! process about to use them.
+//!
+//! The call plane decides *which* object an agent needs; a [`Transport`]
+//! decides how it gets there:
+//!
+//! * [`Eager`] — deep copy through the host on every call (the no-LDC
+//!   ablation): two counted copies, host-relayed.
+//! * [`Lazy`] — Lazy Data Copy (§4.3.2): one direct agent→agent copy at
+//!   dereference time.
+//! * [`Shm`] — zero-copy: the payload is promoted once into a
+//!   kernel-owned shared-memory segment, and delivery grants + page-maps
+//!   the consumer a view. No payload byte ever crosses an address space
+//!   again; the map-vs-copy cost model makes a page ~20× cheaper to map
+//!   than to copy. Grants are *temporal*: the runtime revokes
+//!   out-of-state views at every framework-state transition.
+//!
+//! Transports are stateless; the per-call mutable context travels in
+//! [`TransportCtx`]. Which transport serves which object is policy
+//! (`Policy::shm_threshold` + `Policy::lazy_data_copy`), chosen
+//! per-object in `objstore.rs`.
+
+use super::{CallError, RuntimeStats};
+use crate::trace::{AuditRecord, SpanPhase, Tracer};
+use freepart_frameworks::{ObjectId, ObjectStore};
+use freepart_simos::{Kernel, Perms, Pid};
+
+/// The mutable runtime state a transport needs for one delivery.
+pub struct TransportCtx<'a> {
+    /// The simulated kernel (time, memory, segments).
+    pub kernel: &'a mut Kernel,
+    /// The object table.
+    pub objects: &'a mut ObjectStore,
+    /// Runtime counters (copy counts land here).
+    pub stats: &'a mut RuntimeStats,
+    /// The observability sink (byte attribution, audit records).
+    pub tracer: &'a mut Tracer,
+    /// The host process (the eager relay point).
+    pub host: Pid,
+    /// The logical call this delivery serves (trace attribution).
+    pub seq: u64,
+    /// The channel penalty factor
+    /// ([`ChannelTransport::penalty_factor`][pf]) for copied bytes.
+    ///
+    /// [pf]: crate::policy::ChannelTransport::penalty_factor
+    pub penalty: u64,
+}
+
+impl TransportCtx<'_> {
+    /// Charges the pipe-vs-shared-memory channel penalty for `bytes`
+    /// that were actually copied. Map-based deliveries never call this.
+    fn charge_channel_penalty(&mut self, bytes: u64) {
+        if self.penalty > 1 {
+            let base = self.kernel.cost_model().copy_cost(bytes);
+            self.kernel.charge_time(base * (self.penalty - 1));
+        }
+    }
+}
+
+/// One way of delivering an object's payload to a consumer process.
+pub trait Transport {
+    /// Stable display name ("eager" / "lazy" / "shm").
+    fn name(&self) -> &'static str;
+
+    /// The span phase a traced delivery records under.
+    fn span_phase(&self) -> SpanPhase;
+
+    /// Makes `obj`'s payload accessible to `agent` (and re-homes the
+    /// object there). The caller has already handled the trivial cases:
+    /// `obj` exists, is not already homed in `agent`, and carries a
+    /// payload (buffer or segment).
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::StateLost`] when the payload cannot be delivered
+    /// (home crashed mid-copy, segment unmappable).
+    fn deliver(
+        &self,
+        ctx: &mut TransportCtx<'_>,
+        obj: ObjectId,
+        agent: Pid,
+    ) -> Result<(), CallError>;
+}
+
+/// Eager deep copy through the host (the no-LDC ablation, Fig. 11-b).
+pub struct Eager;
+/// Lazy Data Copy: one direct move at dereference (Fig. 11-a).
+pub struct Lazy;
+/// Zero-copy shared-memory segments with temporal grants.
+pub struct Shm;
+
+/// The eager transport instance.
+pub static EAGER: Eager = Eager;
+/// The lazy (LDC) transport instance.
+pub static LAZY: Lazy = Lazy;
+/// The shared-memory transport instance.
+pub static SHM: Shm = Shm;
+
+impl Transport for Eager {
+    fn name(&self) -> &'static str {
+        "eager"
+    }
+
+    fn span_phase(&self) -> SpanPhase {
+        SpanPhase::DataCopy
+    }
+
+    fn deliver(
+        &self,
+        ctx: &mut TransportCtx<'_>,
+        obj: ObjectId,
+        agent: Pid,
+    ) -> Result<(), CallError> {
+        let meta = ctx
+            .objects
+            .meta(obj)
+            .ok_or(CallError::StateLost(obj))?
+            .clone();
+        let len = meta.len();
+        // Hop 1: payload to the host relay (skipped when already there).
+        if meta.home != ctx.host {
+            ctx.objects
+                .migrate_direct(ctx.kernel, obj, ctx.host)
+                .map_err(|_| CallError::StateLost(obj))?;
+            ctx.stats.host_copies += 1;
+            ctx.charge_channel_penalty(len);
+            ctx.tracer.add_eager_bytes(ctx.seq, len);
+        }
+        // Hop 2: host to the executing agent.
+        ctx.objects
+            .migrate_direct(ctx.kernel, obj, agent)
+            .map_err(|_| CallError::StateLost(obj))?;
+        ctx.stats.host_copies += 1;
+        ctx.charge_channel_penalty(len);
+        ctx.tracer.add_eager_bytes(ctx.seq, len);
+        Ok(())
+    }
+}
+
+impl Transport for Lazy {
+    fn name(&self) -> &'static str {
+        "lazy"
+    }
+
+    fn span_phase(&self) -> SpanPhase {
+        SpanPhase::DataCopy
+    }
+
+    fn deliver(
+        &self,
+        ctx: &mut TransportCtx<'_>,
+        obj: ObjectId,
+        agent: Pid,
+    ) -> Result<(), CallError> {
+        let len = ctx.objects.meta(obj).map_or(0, |m| m.len());
+        ctx.objects
+            .migrate_direct(ctx.kernel, obj, agent)
+            .map_err(|_| CallError::StateLost(obj))?;
+        ctx.stats.ldc_copies += 1;
+        ctx.charge_channel_penalty(len);
+        ctx.tracer.add_lazy_bytes(ctx.seq, len);
+        Ok(())
+    }
+}
+
+impl Transport for Shm {
+    fn name(&self) -> &'static str {
+        "shm"
+    }
+
+    fn span_phase(&self) -> SpanPhase {
+        SpanPhase::ShmMap
+    }
+
+    fn deliver(
+        &self,
+        ctx: &mut TransportCtx<'_>,
+        obj: ObjectId,
+        agent: Pid,
+    ) -> Result<(), CallError> {
+        let meta = ctx
+            .objects
+            .meta(obj)
+            .ok_or(CallError::StateLost(obj))?
+            .clone();
+        let len = meta.len();
+        // Promote a buffer-backed payload into a segment once: the
+        // kernel adopts the pages, so promotion copies nothing.
+        let seg = match meta.shm {
+            Some((seg, _)) => seg,
+            None => {
+                let seg = ctx
+                    .objects
+                    .promote_to_shm(ctx.kernel, obj)
+                    .map_err(|_| CallError::StateLost(obj))?
+                    .ok_or(CallError::StateLost(obj))?;
+                if ctx.tracer.enabled() {
+                    let at_ns = ctx.kernel.now_ns();
+                    ctx.tracer.record_audit(AuditRecord::ShmGrant {
+                        at_ns,
+                        object: obj,
+                        segment: seg,
+                        pid: meta.home,
+                        bytes: len,
+                    });
+                }
+                seg
+            }
+        };
+        // Grant + map the consumer a view, unless it already holds one.
+        // New grants inherit the segment's current lock level (the
+        // current user's perms), so delivery cannot widen a temporal
+        // read-only lock.
+        let viewed = ctx
+            .kernel
+            .shm_segment(seg)
+            .is_some_and(|s| s.grant_of(agent).is_some() && s.is_mapped(agent));
+        if !viewed {
+            let perms = ctx
+                .kernel
+                .shm_segment(seg)
+                .and_then(|s| s.grant_of(meta.home))
+                .unwrap_or(Perms::RW);
+            ctx.kernel
+                .shm_grant(seg, agent, perms)
+                .and_then(|()| ctx.kernel.shm_map(agent, seg))
+                .map_err(|_| CallError::StateLost(obj))?;
+            if ctx.tracer.enabled() {
+                let at_ns = ctx.kernel.now_ns();
+                ctx.tracer.record_audit(AuditRecord::ShmGrant {
+                    at_ns,
+                    object: obj,
+                    segment: seg,
+                    pid: agent,
+                    bytes: len,
+                });
+            }
+        }
+        // Re-home: the agent is now the segment's current user. The
+        // payload itself never moved.
+        if let Some(m) = ctx.objects.meta_mut(obj) {
+            m.home = agent;
+        }
+        Ok(())
+    }
+}

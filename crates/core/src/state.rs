@@ -174,6 +174,13 @@ impl StateMachine {
         let Some(meta) = objects.meta(id) else {
             return Ok(false);
         };
+        // Shm-resident payloads are locked by downgrading every live
+        // grant to read-only — the segment itself is kernel-owned, so
+        // this works even while several processes hold mapped views.
+        if let Some((seg, _)) = meta.shm {
+            kernel.shm_protect_all(seg, Perms::R)?;
+            return Ok(true);
+        }
         let Some((addr, len)) = meta.buffer else {
             return Ok(false);
         };
@@ -188,6 +195,10 @@ impl StateMachine {
         let Some(meta) = objects.meta(id) else {
             return Ok(());
         };
+        if let Some((seg, _)) = meta.shm {
+            kernel.shm_protect_all(seg, Perms::RW)?;
+            return Ok(());
+        }
         let Some((addr, len)) = meta.buffer else {
             return Ok(());
         };
@@ -314,6 +325,23 @@ mod tests {
         k.deliver_fault(pid, freepart_simos::FaultKind::Abort, None);
         let n = sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
         assert_eq!(n, 0, "cannot protect memory of a dead process");
+    }
+
+    #[test]
+    fn shm_resident_objects_lock_via_grant_downgrade() {
+        let (mut k, mut store, pid) = setup();
+        let mut sm = StateMachine::new(true);
+        let obj = store
+            .create_with_data(&mut k, pid, ObjectKind::Blob, "frame", &[7; 4096])
+            .unwrap();
+        let seg = store.promote_to_shm(&mut k, obj).unwrap().unwrap();
+        sm.define(obj);
+        let n = sm.observe(ApiType::DataLoading, &mut k, &store).unwrap();
+        assert_eq!(n, 1, "shm residency must not evade temporal locking");
+        assert!(sm.is_protected(obj));
+        // The downgraded grant still reads, but a write now faults.
+        assert!(k.shm_read(pid, seg).is_ok());
+        assert!(k.shm_write(pid, seg, &[1; 4096]).is_err());
     }
 
     #[test]

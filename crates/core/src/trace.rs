@@ -28,6 +28,7 @@ use crate::runtime::ThreadId;
 use crate::state::FrameworkState;
 use freepart_frameworks::api::{ApiId, ApiRegistry};
 use freepart_frameworks::ObjectId;
+use freepart_simos::{Pid, ShmId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -62,6 +63,9 @@ pub enum SpanPhase {
     Restart,
     /// Host dereference of a remote payload (`fetch_bytes`).
     HostFetch,
+    /// Shared-memory delivery: segment grant + page-table map (no
+    /// payload bytes copied).
+    ShmMap,
 }
 
 /// Aggregation bucket a leaf span contributes to — the four components
@@ -95,6 +99,7 @@ impl SpanPhase {
             SpanPhase::Replay => "replay",
             SpanPhase::Restart => "restart",
             SpanPhase::HostFetch => "host_fetch",
+            SpanPhase::ShmMap => "shm_map",
         }
     }
 
@@ -107,7 +112,9 @@ impl SpanPhase {
                 Some(Bucket::Marshal)
             }
             SpanPhase::DataCopy | SpanPhase::HostFetch => Some(Bucket::Copy),
-            SpanPhase::Transition | SpanPhase::Reprotect => Some(Bucket::Mprotect),
+            SpanPhase::Transition | SpanPhase::Reprotect | SpanPhase::ShmMap => {
+                Some(Bucket::Mprotect)
+            }
             SpanPhase::Execute => Some(Bucket::Compute),
             SpanPhase::Restart => Some(Bucket::Other),
         }
@@ -384,6 +391,35 @@ pub enum AuditRecord {
         addr: Option<u64>,
         /// Fault classification (`Protection`, `Unmapped`, `Abort`).
         fault: String,
+    },
+    /// A shared-memory grant was issued: `pid` gained a page-mapped view
+    /// of an object's segment (zero-copy delivery or segment creation).
+    ShmGrant {
+        /// Virtual time.
+        at_ns: u64,
+        /// The object whose payload the segment holds.
+        object: ObjectId,
+        /// The segment granted.
+        segment: ShmId,
+        /// The process receiving the view.
+        pid: Pid,
+        /// Segment length in bytes (what the grant exposes).
+        bytes: u64,
+    },
+    /// A shared-memory grant was torn down by the temporal-permission
+    /// sweep at a framework-state transition (or on object teardown):
+    /// `pid` can no longer touch the segment; a stale access now faults.
+    ShmRevoke {
+        /// Virtual time.
+        at_ns: u64,
+        /// The object whose payload the segment holds.
+        object: ObjectId,
+        /// The segment revoked.
+        segment: ShmId,
+        /// The process losing its view.
+        pid: Pid,
+        /// The logical call whose state transition triggered the sweep.
+        seq: u64,
     },
     /// The seccomp-style filter killed an agent.
     FilterKill {
@@ -711,6 +747,36 @@ impl Tracer {
                     json_escape(label),
                     thread.0,
                     *at_ns as f64 / 1e3
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        // Shared-memory grant lifecycle as global instant events, so the
+        // temporal-permission sweeps line up visually with transitions.
+        for rec in &self.audit {
+            let (name, at_ns) = match rec {
+                AuditRecord::ShmGrant {
+                    at_ns,
+                    object,
+                    segment,
+                    pid,
+                    ..
+                } => (format!("shm_grant {segment} {object} -> pid{pid}"), *at_ns),
+                AuditRecord::ShmRevoke {
+                    at_ns,
+                    object,
+                    segment,
+                    pid,
+                    ..
+                } => (format!("shm_revoke {segment} {object} -x pid{pid}"), *at_ns),
+                _ => continue,
+            };
+            push(
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"shm\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"s\":\"g\"}}",
+                    json_escape(&name),
+                    at_ns as f64 / 1e3
                 ),
                 &mut out,
                 &mut first,

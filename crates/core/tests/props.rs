@@ -38,13 +38,19 @@ fn run_monolithic(picks: &[u16], side: u32) -> Vec<u8> {
 
 /// Runs the same chain under full FreePart isolation.
 fn run_freepart(picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
+    run_freepart_with(Policy::freepart(), picks, side)
+}
+
+/// Runs the same chain under FreePart with an explicit policy (used to
+/// sweep the payload transports: eager, lazy, shm, mixed).
+fn run_freepart_with(policy: Policy, picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
     let reg = standard_registry();
     let filters: Vec<_> = reg
         .iter()
         .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
         .map(|s| s.id)
         .collect();
-    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    let mut rt = Runtime::install(standard_registry(), policy);
     rt.kernel.fs.put(
         "/in.simg",
         fileio::encode_image(&Image::new(side, side, 3), None),
@@ -134,6 +140,42 @@ proptest! {
         prop_assert!(rt.exploit_log.is_empty());
         prop_assert_eq!(rt.stats().restarts, 0);
         prop_assert_eq!(rt.kernel.metrics().filter_kills, 0, "no benign call killed");
+    }
+
+    /// Transport transparency: for any random filter chain, the choice
+    /// of payload transport — eager through-host copies, lazy direct
+    /// copies, shared-memory mapping for everything, or the mixed
+    /// size-threshold policy — never changes a single output byte, and
+    /// no mode destabilizes the system.
+    #[test]
+    fn transport_choice_is_functionally_transparent(
+        picks in proptest::collection::vec(any::<u16>(), 1..8),
+        side in 4u32..16,
+    ) {
+        let mono = run_monolithic(&picks, side);
+        let (lazy, _) = run_freepart_with(Policy::freepart(), &picks, side);
+        let (eager, _) = run_freepart_with(Policy::without_ldc(), &picks, side);
+        let shm_everything = Policy {
+            shm_threshold: Some(1),
+            ..Policy::freepart()
+        };
+        let (shm, shm_rt) = run_freepart_with(shm_everything, &picks, side);
+        let (mixed, _) = run_freepart_with(Policy::freepart_shm(), &picks, side);
+        prop_assert_eq!(&lazy, &mono);
+        prop_assert_eq!(&eager, &mono);
+        prop_assert_eq!(&shm, &mono);
+        prop_assert_eq!(&mixed, &mono);
+        // The all-shm run really exercised the segment path…
+        prop_assert!(shm_rt.stats().shm_grants > 0, "shm transport engaged");
+        prop_assert!(shm_rt.stats().shm_mapped_bytes > 0);
+        // …and stayed stable.
+        prop_assert!(shm_rt.kernel.is_running(shm_rt.host_pid()));
+        for p in shm_rt.partitions() {
+            prop_assert!(shm_rt.kernel.is_running(shm_rt.agent(p).unwrap().pid));
+        }
+        prop_assert!(shm_rt.exploit_log.is_empty());
+        prop_assert_eq!(shm_rt.stats().restarts, 0);
+        prop_assert_eq!(shm_rt.kernel.metrics().filter_kills, 0, "no benign call killed");
     }
 
     /// The LDC invariant: for any chain, lazy copies never exceed the

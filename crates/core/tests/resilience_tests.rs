@@ -3,7 +3,8 @@
 //! (§A.6), transport penalties, and state-loss semantics (§6).
 
 use freepart::{
-    CallError, PartitionId, PartitionPlan, Policy, RestartPolicy, Runtime, SandboxLevel, Transport,
+    CallError, ChannelTransport, PartitionId, PartitionPlan, Policy, RestartPolicy, Runtime,
+    SandboxLevel,
 };
 use freepart_frameworks::exec::CAMERA_FRAME_LEN;
 use freepart_frameworks::registry::standard_registry;
@@ -147,7 +148,7 @@ fn manual_sub_partitioning_pins_one_api_into_its_own_agent() {
 
 #[test]
 fn pipe_transport_costs_more_virtual_time_than_shm() {
-    let run = |transport: Transport| {
+    let run = |transport: ChannelTransport| {
         let mut rt = Runtime::install(
             standard_registry(),
             Policy {
@@ -163,8 +164,8 @@ fn pipe_transport_costs_more_virtual_time_than_shm() {
         rt.call("cv2.erode", &[a]).unwrap();
         rt.kernel.clock().now_ns()
     };
-    let shm = run(Transport::SharedMemory);
-    let pipe = run(Transport::Pipe);
+    let shm = run(ChannelTransport::SharedMemory);
+    let pipe = run(ChannelTransport::Pipe);
     assert!(pipe > shm, "pipe {pipe} vs shm {shm}");
 }
 

@@ -12,7 +12,7 @@
 //! compares: eager deep copy through the host process and direct
 //! agent-to-agent transfer (the Lazy Data Copy fast path).
 
-use freepart_simos::{Addr, Kernel, Perms, Pid, SimError, WindowId};
+use freepart_simos::{Addr, Kernel, Perms, Pid, ShmId, SimError, WindowId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -97,8 +97,14 @@ pub struct ObjectMeta {
     /// Process whose address space holds the payload.
     pub home: Pid,
     /// Payload location in `home`'s address space (`None` for
-    /// buffer-less objects like windows).
+    /// buffer-less objects like windows, and for shm-resident payloads).
     pub buffer: Option<(Addr, u64)>,
+    /// Kernel-owned shared-memory residency `(segment, len)`: set once
+    /// the payload has been promoted out of private memory by the `Shm`
+    /// transport. Mutually exclusive with `buffer`. `home` then tracks
+    /// the process currently *using* the payload (for routing and
+    /// temporal-permission decisions), not where the bytes live.
+    pub shm: Option<(ShmId, u64)>,
     /// Human-readable tag ("template", "OMRCrop", ...), used by the
     /// protection annotations and the evaluation reports.
     pub label: String,
@@ -111,12 +117,14 @@ pub struct ObjectMeta {
 impl ObjectMeta {
     /// Payload length (0 for buffer-less objects).
     pub fn len(&self) -> u64 {
-        self.buffer.map_or(0, |(_, l)| l)
+        self.buffer
+            .map_or_else(|| self.shm.map_or(0, |(_, l)| l), |(_, l)| l)
     }
 
-    /// True when the object carries no payload buffer.
+    /// True when the object carries no payload at all (neither a private
+    /// buffer nor a shared-memory segment).
     pub fn is_empty(&self) -> bool {
-        self.buffer.is_none()
+        self.buffer.is_none() && self.shm.is_none()
     }
 }
 
@@ -159,6 +167,7 @@ impl ObjectStore {
                 kind,
                 home,
                 buffer: None,
+                shm: None,
                 label: label.to_owned(),
                 taint: None,
             },
@@ -187,6 +196,7 @@ impl ObjectStore {
                 kind,
                 home,
                 buffer: Some((addr, data.len() as u64)),
+                shm: None,
                 label: label.to_owned(),
                 taint: None,
             },
@@ -225,6 +235,9 @@ impl ObjectStore {
             .get(&id)
             .ok_or(SimError::BadChannel)
             .expect("object id must be live");
+        if let Some((seg, _)) = meta.shm {
+            return kernel.shm_read(meta.home, seg);
+        }
         match meta.buffer {
             Some((addr, len)) => kernel.mem_read(meta.home, addr, len),
             None => Ok(Vec::new()),
@@ -240,6 +253,11 @@ impl ObjectStore {
         data: &[u8],
     ) -> Result<(), SimError> {
         let meta = self.objects.get_mut(&id).expect("object id must be live");
+        if let Some((seg, _)) = meta.shm {
+            kernel.shm_write(meta.home, seg, data)?;
+            meta.shm = Some((seg, data.len() as u64));
+            return Ok(());
+        }
         match meta.buffer {
             Some((addr, len)) if len == data.len() as u64 => {
                 kernel.mem_write(meta.home, addr, data)
@@ -265,6 +283,13 @@ impl ObjectStore {
         if meta.home == dst {
             return Ok(());
         }
+        if let Some((seg, _)) = meta.shm {
+            // Shm-resident payloads never move: hand `dst` a view.
+            kernel.shm_grant(seg, dst, Perms::RW)?;
+            kernel.shm_map(dst, seg)?;
+            self.objects.get_mut(&id).expect("live").home = dst;
+            return Ok(());
+        }
         match meta.buffer {
             None => {
                 self.objects.get_mut(&id).expect("live").home = dst;
@@ -283,6 +308,34 @@ impl ObjectStore {
         }
     }
 
+    /// Promotes an object's private payload into a kernel-owned
+    /// shared-memory segment (the `Shm` transport's one-time step).
+    ///
+    /// The segment adopts the payload — no byte copy is charged, only
+    /// the owner's mapping cost — after which the private buffer is
+    /// forgotten (`buffer = None`) and all access goes through grants.
+    /// Buffer-less objects and already-promoted objects are no-ops.
+    pub fn promote_to_shm(
+        &mut self,
+        kernel: &mut Kernel,
+        id: ObjectId,
+    ) -> Result<Option<ShmId>, SimError> {
+        let meta = self.objects.get(&id).expect("object id must be live");
+        if let Some((seg, _)) = meta.shm {
+            return Ok(Some(seg));
+        }
+        let Some((addr, len)) = meta.buffer else {
+            return Ok(None);
+        };
+        let home = meta.home;
+        let data = kernel.mem_read(home, addr, len)?;
+        let seg = kernel.shm_create(home, data)?;
+        let meta = self.objects.get_mut(&id).expect("live");
+        meta.buffer = None;
+        meta.shm = Some((seg, len));
+        Ok(Some(seg))
+    }
+
     /// Moves an object's payload into `dst` *via* an intermediate process
     /// (the non-LDC path: two copies, src → host → dst), as eager
     /// marshalling would.
@@ -295,6 +348,13 @@ impl ObjectStore {
     ) -> Result<(), SimError> {
         let meta = self.objects.get(&id).expect("object id must be live");
         if meta.home == dst {
+            return Ok(());
+        }
+        if let Some((seg, _)) = meta.shm {
+            // A shared segment needs no intermediary hop either.
+            kernel.shm_grant(seg, dst, Perms::RW)?;
+            kernel.shm_map(dst, seg)?;
+            self.objects.get_mut(&id).expect("live").home = dst;
             return Ok(());
         }
         match meta.buffer {
@@ -334,12 +394,19 @@ impl ObjectStore {
             .get(&id)
             .expect("object id must be live")
             .clone();
-        let new_id = match meta.buffer {
-            None => self.create_handle(dst, meta.kind, &meta.label),
-            Some((addr, len)) => {
-                let data = kernel.mem_read(meta.home, addr, len)?;
-                kernel.charge_copy(len);
-                self.create_with_data(kernel, dst, meta.kind, &meta.label, &data)?
+        let new_id = if let Some((seg, len)) = meta.shm {
+            // Duplication is a genuine copy even out of a segment.
+            let data = kernel.shm_read(meta.home, seg)?;
+            kernel.charge_copy(len);
+            self.create_with_data(kernel, dst, meta.kind, &meta.label, &data)?
+        } else {
+            match meta.buffer {
+                None => self.create_handle(dst, meta.kind, &meta.label),
+                Some((addr, len)) => {
+                    let data = kernel.mem_read(meta.home, addr, len)?;
+                    kernel.charge_copy(len);
+                    self.create_with_data(kernel, dst, meta.kind, &meta.label, &data)?
+                }
             }
         };
         // Malformed content stays malformed when copied.
@@ -516,6 +583,70 @@ mod tests {
             .unwrap();
         assert_eq!(store.objects_in(a), vec![x]);
         assert_eq!(store.objects_in(b), vec![y]);
+    }
+
+    #[test]
+    fn promote_to_shm_moves_payload_without_copying() {
+        let (mut k, a, b, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[4; 8192])
+            .unwrap();
+        let before = k.metrics();
+        let seg = store.promote_to_shm(&mut k, id).unwrap().unwrap();
+        let d = k.metrics().since(&before);
+        assert_eq!(d.copied_bytes, 0, "promotion adopts pages, never copies");
+        assert_eq!(d.shm_grants, 1);
+        assert_eq!(d.shm_mapped_bytes, 8192);
+        let m = store.meta(id).unwrap();
+        assert!(m.buffer.is_none());
+        assert_eq!(m.shm, Some((seg, 8192)));
+        assert_eq!(m.len(), 8192);
+        assert!(!m.is_empty());
+        // Idempotent.
+        assert_eq!(store.promote_to_shm(&mut k, id).unwrap(), Some(seg));
+
+        // Migration of a promoted object grants a view instead of copying.
+        let before = k.metrics();
+        store.migrate_direct(&mut k, id, b).unwrap();
+        let d = k.metrics().since(&before);
+        assert_eq!(d.copied_bytes, 0);
+        assert_eq!(d.shm_grants, 1);
+        assert_eq!(store.meta(id).unwrap().home, b);
+        assert_eq!(store.read_bytes(&mut k, id).unwrap(), vec![4; 8192]);
+    }
+
+    #[test]
+    fn shm_resident_write_and_resize_roundtrip() {
+        let (mut k, a, _, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[1, 2, 3])
+            .unwrap();
+        store.promote_to_shm(&mut k, id).unwrap();
+        store.write_bytes(&mut k, id, &[9; 10]).unwrap();
+        assert_eq!(store.read_bytes(&mut k, id).unwrap(), vec![9; 10]);
+        assert_eq!(store.meta(id).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn deep_copy_out_of_shm_charges_a_real_copy() {
+        let (mut k, a, b, mut store) = setup();
+        let id = store
+            .create_with_data(&mut k, a, ObjectKind::Blob, "x", &[7; 2048])
+            .unwrap();
+        store.promote_to_shm(&mut k, id).unwrap();
+        let before = k.metrics();
+        let dup = store.deep_copy_to(&mut k, id, b).unwrap();
+        assert_eq!(k.metrics().since(&before).copied_bytes, 2048);
+        assert_eq!(store.meta(dup).unwrap().home, b);
+        assert!(store.meta(dup).unwrap().shm.is_none());
+        assert_eq!(store.read_bytes(&mut k, dup).unwrap(), vec![7; 2048]);
+    }
+
+    #[test]
+    fn promote_buffer_less_object_is_none() {
+        let (mut k, a, _, mut store) = setup();
+        let id = store.create_handle(a, ObjectKind::Blob, "h");
+        assert_eq!(store.promote_to_shm(&mut k, id).unwrap(), None);
     }
 
     #[test]

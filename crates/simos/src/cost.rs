@@ -30,6 +30,11 @@ pub struct CostModel {
     pub compute_ns_per_unit: u64,
     /// Cost of reading/writing one KiB of file data (page-cache hit).
     pub file_ns_per_kib: u64,
+    /// Per-page cost of mapping a shared-memory segment into an address
+    /// space (PTE install; no data movement). This is what makes the
+    /// map-vs-copy decision: a 4 KiB page costs `4 * copy_ns_per_kib`
+    /// (~4.4 µs) to copy but only this much (~0.2 µs) to map.
+    pub shm_map_ns_per_page: u64,
 }
 
 impl Default for CostModel {
@@ -47,6 +52,7 @@ impl Default for CostModel {
             mprotect_ns_per_page: 180,
             compute_ns_per_unit: 60,
             file_ns_per_kib: 120,
+            shm_map_ns_per_page: 200,
         }
     }
 }
@@ -71,6 +77,11 @@ impl CostModel {
     /// Cost of `units` of framework compute.
     pub fn compute_cost(&self, units: u64) -> u64 {
         units * self.compute_ns_per_unit
+    }
+
+    /// Cost of page-mapping a `bytes`-long shared-memory segment.
+    pub fn shm_map_cost(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(crate::mem::PAGE_SIZE) * self.shm_map_ns_per_page
     }
 
     /// One-way IPC latency: half the round trip, charged once on send
@@ -167,5 +178,15 @@ mod tests {
         // A spawn is far more expensive than an IPC which beats a syscall.
         assert!(m.spawn_ns > m.ipc_round_trip_ns);
         assert!(m.ipc_round_trip_ns > m.syscall_ns);
+    }
+
+    #[test]
+    fn mapping_a_page_is_far_cheaper_than_copying_it() {
+        let m = CostModel::default();
+        // The map-vs-copy gap is the entire point of the Shm transport.
+        assert!(m.shm_map_cost(4096) * 10 < m.copy_cost(4096));
+        // Rounds up to whole pages like copy rounds to KiB.
+        assert_eq!(m.shm_map_cost(1), m.shm_map_ns_per_page);
+        assert_eq!(m.shm_map_cost(4097), 2 * m.shm_map_ns_per_page);
     }
 }

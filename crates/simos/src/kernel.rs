@@ -29,6 +29,7 @@ use crate::fs::SimFs;
 use crate::ipc::{ChannelId, RingChannel, RingError};
 use crate::mem::{Addr, Perms, PAGE_SIZE};
 use crate::process::{FdTarget, Pid, ProcessState, SimProcess};
+use crate::shm::{ShmId, ShmSegment};
 use crate::syscall::{Syscall, SyscallRet};
 use crate::Metrics;
 use rand::rngs::StdRng;
@@ -74,6 +75,9 @@ pub struct Kernel {
     cost: CostModel,
     metrics: Metrics,
     rng: StdRng,
+    /// Kernel-owned shared-memory segments (see [`crate::shm`]).
+    shm: BTreeMap<ShmId, ShmSegment>,
+    next_shm: u64,
 }
 
 impl Default for Kernel {
@@ -106,6 +110,8 @@ impl Kernel {
             cost,
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(0x5eed),
+            shm: BTreeMap::new(),
+            next_shm: 0,
         }
     }
 
@@ -338,6 +344,164 @@ impl Kernel {
             }
             Err(_) => Err(SimError::Errno(Errno::Einval)),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared memory
+    // ------------------------------------------------------------------
+
+    /// Creates a kernel-owned segment seeded with `bytes` and grants the
+    /// owner read-write access, page-mapped.
+    ///
+    /// Creation adopts the payload pages rather than copying them (the
+    /// runtime promotes an existing buffer by remapping), so it charges
+    /// only the per-page mapping cost, never [`CostModel::copy_cost`].
+    pub fn shm_create(&mut self, owner: Pid, bytes: Vec<u8>) -> SimResult<ShmId> {
+        self.require_running(owner)?;
+        let id = ShmId(self.next_shm);
+        self.next_shm += 1;
+        let len = bytes.len() as u64;
+        let mut seg = ShmSegment::new(bytes);
+        seg.grants.insert(owner, Perms::RW);
+        seg.mapped.insert(owner);
+        self.shm.insert(id, seg);
+        let ns = self.cost.syscall_ns + self.cost.shm_map_cost(len);
+        self.charge_to(owner, ns);
+        self.metrics.shm_grants += 1;
+        self.metrics.shm_mapped_bytes += len;
+        Ok(id)
+    }
+
+    /// Grants (or replaces) `pid`'s permissions on segment `id`.
+    ///
+    /// A grant is a permission-table entry; it costs one syscall. Data
+    /// only becomes addressable after [`Kernel::shm_map`].
+    pub fn shm_grant(&mut self, id: ShmId, pid: Pid, perms: Perms) -> SimResult<()> {
+        self.require_running(pid)?;
+        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
+        seg.grants.insert(pid, perms);
+        let ns = self.cost.syscall_ns;
+        self.charge_to(pid, ns);
+        self.metrics.shm_grants += 1;
+        Ok(())
+    }
+
+    /// Page-maps segment `id` into `pid`'s view.
+    ///
+    /// Charges [`CostModel::shm_map_cost`] — PTE installs, no byte
+    /// movement — and counts the segment length into
+    /// `metrics.shm_mapped_bytes`. Requires an existing grant. Mapping
+    /// an already-mapped segment is a cheap no-op (one syscall).
+    pub fn shm_map(&mut self, pid: Pid, id: ShmId) -> SimResult<u64> {
+        self.require_running(pid)?;
+        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
+        if !seg.grants.contains_key(&pid) {
+            return Err(SimError::Errno(Errno::Eacces));
+        }
+        let len = seg.len();
+        if seg.mapped.insert(pid) {
+            let ns = self.cost.syscall_ns + self.cost.shm_map_cost(len);
+            self.charge_to(pid, ns);
+            self.metrics.shm_mapped_bytes += len;
+        } else {
+            let ns = self.cost.syscall_ns;
+            self.charge_to(pid, ns);
+        }
+        Ok(len)
+    }
+
+    /// Revokes `pid`'s grant and mapping on segment `id`.
+    ///
+    /// This is the temporal-permission teardown the runtime performs at
+    /// framework-state transitions: the payload stays put, the view
+    /// disappears. Charged like an `mprotect` over the segment (PTE
+    /// clear + TLB shootdown), to the *revoker's* time context, not the
+    /// victim's. Returns whether a grant actually existed.
+    pub fn shm_revoke(&mut self, id: ShmId, pid: Pid) -> SimResult<bool> {
+        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
+        let existed = seg.grants.remove(&pid).is_some();
+        seg.mapped.remove(&pid);
+        if existed {
+            let pages = seg.len().div_ceil(PAGE_SIZE).max(1);
+            let ns = self.cost.mprotect_cost(pages);
+            self.charge_ctx(ns);
+            self.metrics.shm_revokes += 1;
+        }
+        Ok(existed)
+    }
+
+    /// Downgrades or upgrades every existing grant on `id` to `perms`
+    /// without revoking (the state machine's lock/unlock over segments).
+    ///
+    /// Counts the affected pages into `metrics.protected_pages`, once
+    /// per grant, exactly as [`Kernel::protect`] does for private pages,
+    /// so audit-log page accounting stays whole.
+    pub fn shm_protect_all(&mut self, id: ShmId, perms: Perms) -> SimResult<u64> {
+        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
+        let pages = seg.len().div_ceil(PAGE_SIZE).max(1);
+        let mut changed = 0;
+        for p in seg.grants.values_mut() {
+            if *p != perms {
+                *p = perms;
+                changed += pages;
+            }
+        }
+        if changed > 0 {
+            let ns = self.cost.mprotect_cost(changed);
+            self.charge_ctx(ns);
+            self.metrics.protected_pages += changed;
+        }
+        Ok(changed)
+    }
+
+    /// Reads the whole payload of segment `id` as `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Without a readable, mapped grant the access is a protection fault
+    /// and `pid` is crashed — identical semantics to
+    /// [`Kernel::mem_read`] on a revoked page.
+    pub fn shm_read(&mut self, pid: Pid, id: ShmId) -> SimResult<Vec<u8>> {
+        self.require_running(pid)?;
+        let Some(seg) = self.shm.get(&id) else {
+            return Err(self.deliver_fault(pid, FaultKind::Unmapped, None).into());
+        };
+        let ok = seg.is_mapped(pid) && seg.grant_of(pid).is_some_and(|p| p.readable());
+        if !ok {
+            return Err(self.deliver_fault(pid, FaultKind::Protection, None).into());
+        }
+        Ok(self.shm.get(&id).expect("checked").data.clone())
+    }
+
+    /// Replaces the payload of segment `id` as `pid` (length may change;
+    /// segments resize like a remapped buffer would).
+    ///
+    /// # Errors
+    ///
+    /// Without a writable, mapped grant the access is a protection fault
+    /// and `pid` is crashed — the fault FreePart's temporal grants are
+    /// designed to induce.
+    pub fn shm_write(&mut self, pid: Pid, id: ShmId, bytes: &[u8]) -> SimResult<()> {
+        self.require_running(pid)?;
+        let Some(seg) = self.shm.get(&id) else {
+            return Err(self.deliver_fault(pid, FaultKind::Unmapped, None).into());
+        };
+        let ok = seg.is_mapped(pid) && seg.grant_of(pid).is_some_and(|p| p.writable());
+        if !ok {
+            return Err(self.deliver_fault(pid, FaultKind::Protection, None).into());
+        }
+        self.shm.get_mut(&id).expect("checked").data = bytes.to_vec();
+        Ok(())
+    }
+
+    /// Inspects a segment (grants, mapping, length), if it exists.
+    pub fn shm_segment(&self, id: ShmId) -> Option<&ShmSegment> {
+        self.shm.get(&id)
+    }
+
+    /// Destroys segment `id`, dropping payload and all grants.
+    pub fn shm_destroy(&mut self, id: ShmId) {
+        self.shm.remove(&id);
     }
 
     // ------------------------------------------------------------------
@@ -1148,5 +1312,89 @@ mod tests {
         k.set_time_context(None);
         assert_eq!(k.timeline_ns(child), k.timeline_ns(host));
         assert!(k.timeline_ns(child) >= k.cost_model().spawn_ns);
+    }
+
+    #[test]
+    fn shm_grant_map_read_write_roundtrip() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let id = k.shm_create(a, vec![7; 5000]).unwrap();
+        assert_eq!(k.shm_read(a, id).unwrap(), vec![7; 5000]);
+
+        // b has no grant yet: the read is a protection fault that kills b.
+        assert!(k.shm_read(b, id).unwrap_err().is_fault());
+        assert!(!k.is_running(b));
+        assert_eq!(k.metrics().faults, 1);
+
+        let c = k.spawn("c");
+        k.shm_grant(id, c, Perms::RW).unwrap();
+        assert_eq!(k.shm_map(c, id).unwrap(), 5000);
+        k.shm_write(c, id, &[9; 5000]).unwrap();
+        assert_eq!(k.shm_read(a, id).unwrap(), vec![9; 5000]);
+        // Two owners-worth of mappings counted, zero bytes copied.
+        assert_eq!(k.metrics().shm_grants, 2);
+        assert_eq!(k.metrics().shm_mapped_bytes, 10_000);
+        assert_eq!(k.metrics().copied_bytes, 0);
+    }
+
+    #[test]
+    fn shm_revoke_makes_stale_access_fault() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let id = k.shm_create(a, vec![1; 100]).unwrap();
+        k.shm_grant(id, b, Perms::R).unwrap();
+        k.shm_map(b, id).unwrap();
+        assert_eq!(k.shm_read(b, id).unwrap(), vec![1; 100]);
+
+        assert!(k.shm_revoke(id, b).unwrap());
+        assert!(!k.shm_revoke(id, b).unwrap(), "second revoke is a no-op");
+        assert_eq!(k.metrics().shm_revokes, 1);
+        // The stale consumer faults; the payload and owner are untouched.
+        assert!(k.shm_read(b, id).unwrap_err().is_fault());
+        assert!(!k.is_running(b));
+        assert!(k.is_running(a));
+        assert_eq!(k.shm_read(a, id).unwrap(), vec![1; 100]);
+    }
+
+    #[test]
+    fn shm_protect_all_downgrades_every_grant() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let id = k.shm_create(a, vec![2; 4096]).unwrap();
+        let pages_before = k.metrics().protected_pages;
+        assert_eq!(k.shm_protect_all(id, Perms::R).unwrap(), 1);
+        assert_eq!(k.metrics().protected_pages, pages_before + 1);
+        // Reads still work; a write now faults (temporal lock semantics).
+        assert_eq!(k.shm_read(a, id).unwrap().len(), 4096);
+        assert!(k.shm_write(a, id, &[0; 4096]).unwrap_err().is_fault());
+        assert!(!k.is_running(a));
+    }
+
+    #[test]
+    fn shm_segment_survives_owner_crash() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let id = k.shm_create(a, vec![3; 64]).unwrap();
+        k.shm_grant(id, b, Perms::R).unwrap();
+        k.shm_map(b, id).unwrap();
+        k.deliver_fault(a, FaultKind::Abort, None);
+        // Kernel-owned payload outlives the process that created it.
+        assert_eq!(k.shm_read(b, id).unwrap(), vec![3; 64]);
+    }
+
+    #[test]
+    fn shm_mapping_is_cheaper_than_copying() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let id = k.shm_create(a, vec![0; 64 * 1024]).unwrap();
+        let t0 = k.now_ns();
+        k.shm_grant(id, b, Perms::R).unwrap();
+        k.shm_map(b, id).unwrap();
+        let mapped_ns = k.now_ns() - t0;
+        assert!(mapped_ns < k.cost_model().copy_cost(64 * 1024));
     }
 }

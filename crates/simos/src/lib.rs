@@ -49,6 +49,7 @@ pub mod kernel;
 pub mod mem;
 pub mod metrics;
 pub mod process;
+pub mod shm;
 pub mod syscall;
 
 pub use cost::{CostModel, VirtualClock};
@@ -61,4 +62,5 @@ pub use kernel::{Kernel, TimelineMode};
 pub use mem::{Addr, AddressSpace, Perms, PAGE_SIZE};
 pub use metrics::Metrics;
 pub use process::{Pid, ProcessState, SimProcess};
+pub use shm::{ShmId, ShmSegment};
 pub use syscall::{Fd, Syscall, SyscallNo, SyscallRet};

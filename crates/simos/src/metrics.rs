@@ -31,6 +31,15 @@ pub struct Metrics {
     /// timeline (per-process virtual time only; 0 under the global
     /// clock).
     pub timeline_merges: u64,
+    /// Shared-memory grants issued (a `(segment, pid)` permission entry
+    /// created or re-created).
+    pub shm_grants: u64,
+    /// Shared-memory grants revoked (the temporal-permission teardown at
+    /// framework-state transitions).
+    pub shm_revokes: u64,
+    /// Cumulative bytes made accessible by page-mapping a segment into a
+    /// process (the zero-copy counterpart of `copied_bytes`).
+    pub shm_mapped_bytes: u64,
 }
 
 impl Metrics {
@@ -56,6 +65,9 @@ impl Metrics {
         debug_assert!(self.spawns >= earlier.spawns);
         debug_assert!(self.protected_pages >= earlier.protected_pages);
         debug_assert!(self.timeline_merges >= earlier.timeline_merges);
+        debug_assert!(self.shm_grants >= earlier.shm_grants);
+        debug_assert!(self.shm_revokes >= earlier.shm_revokes);
+        debug_assert!(self.shm_mapped_bytes >= earlier.shm_mapped_bytes);
         Metrics {
             ipc_messages: self.ipc_messages - earlier.ipc_messages,
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
@@ -67,6 +79,9 @@ impl Metrics {
             spawns: self.spawns - earlier.spawns,
             protected_pages: self.protected_pages - earlier.protected_pages,
             timeline_merges: self.timeline_merges - earlier.timeline_merges,
+            shm_grants: self.shm_grants - earlier.shm_grants,
+            shm_revokes: self.shm_revokes - earlier.shm_revokes,
+            shm_mapped_bytes: self.shm_mapped_bytes - earlier.shm_mapped_bytes,
         }
     }
 
@@ -112,6 +127,23 @@ mod tests {
         let late = Metrics {
             ipc_messages: 5,
             protected_pages: 3,
+            ..Metrics::new()
+        };
+        let _ = late.since(&early);
+    }
+
+    #[test]
+    #[should_panic(expected = "shm_grants")]
+    #[cfg(debug_assertions)]
+    fn since_rejects_non_monotone_shm_counters() {
+        let early = Metrics {
+            shm_grants: 4,
+            ..Metrics::new()
+        };
+        let late = Metrics {
+            shm_grants: 1,
+            shm_revokes: 2,
+            shm_mapped_bytes: 4096,
             ..Metrics::new()
         };
         let _ = late.since(&early);
