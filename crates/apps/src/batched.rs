@@ -1,0 +1,428 @@
+//! Batched drivers: the same OMR and drone missions, submitted through
+//! the asynchronous interface so consecutive same-partition calls
+//! coalesce into single IPC frames (`Policy::batch_window`).
+//!
+//! The synchronous drivers ([`crate::omr::run`], [`crate::drone::run`])
+//! wait on every call, which retires it immediately — a retirement
+//! reaching into the open batch is a hazard flush, so sync submission
+//! caps every batch at one member and batching buys nothing. These
+//! drivers issue the same call sequences via
+//! [`Runtime::call_async`]/[`Runtime::promise`] (`promise` peeks at the
+//! eagerly-computed result *without* retiring, so the batch keeps
+//! growing) and only retire at true value/hazard points. Results are
+//! byte-identical to the synchronous runs — execution order, arguments,
+//! and outcomes are unchanged; only the frame accounting is coalesced.
+//!
+//! Unlike [`crate::pipeline`], these drivers do **not** enable
+//! per-process timelines: they run on the global clock, so
+//! `kernel.clock().now_ns()` stays directly comparable to the
+//! synchronous hotpath rows.
+
+use crate::drone::{DroneConfig, DroneResult};
+use crate::omr::{submission_image, OmrConfig, OmrResult};
+use freepart::{CallError, Runtime};
+use freepart_frameworks::{fileio, Value};
+use freepart_simos::device::Camera;
+
+/// Submits one hooked call asynchronously and peeks at its (eagerly
+/// computed) outcome without retiring it, mirroring the sync drivers'
+/// per-call error collection.
+fn acall(
+    rt: &mut Runtime,
+    errors: &mut Vec<CallError>,
+    name: &str,
+    args: &[Value],
+) -> Option<Value> {
+    match rt.call_async(name, args).and_then(|h| rt.promise(h)) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            errors.push(e);
+            None
+        }
+    }
+}
+
+/// Runs the OMR grader with batched submission. Same inputs, same
+/// scores, same attack outcomes as [`crate::omr::run`] under the same
+/// policy — only `metrics.ipc_messages` (frames) drops.
+pub fn run_omr_batched(rt: &mut Runtime, cfg: &OmrConfig) -> OmrResult {
+    // ---- initialization (identical to the sync driver) ----
+    let template_bytes: Vec<u8> = (0..16_384u32).map(|i| (i * 3 % 251) as u8).collect();
+    let template = rt.host_data("template", &template_bytes);
+    rt.host_data("answer_key", b"ABCDABCDABCDABCD");
+
+    rt.kernel
+        .fs
+        .put("/omr/template.json", b"{\"qblocks\": 16}".to_vec());
+    rt.kernel.fs.put(
+        "/omr/roster.csv",
+        fileio::encode_csv(&[vec![1.0], vec![2.0]]),
+    );
+    let mut errors = Vec::new();
+    let mut scores = Vec::new();
+    let mut completed = 0;
+    acall(
+        rt,
+        &mut errors,
+        "json.load",
+        &[Value::from("/omr/template.json")],
+    );
+    let roster = acall(
+        rt,
+        &mut errors,
+        "pd.read_csv",
+        &[Value::from("/omr/roster.csv")],
+    );
+
+    // ---- grading loop ----
+    for sample in 0..cfg.samples {
+        rt.trace_mark(&format!("omr:sample {sample}"));
+        let path = format!("/omr/submission-{sample}.simg");
+        let img = submission_image(sample);
+        let payload = match &cfg.evil_sample {
+            Some((at, p)) if *at == sample => Some(p),
+            _ => None,
+        };
+        rt.kernel.fs.put(&path, fileio::encode_image(&img, payload));
+
+        // The processing chain threads object handles through `promise`,
+        // so the seven same-partition calls accumulate into one batch.
+        let Some(loaded) = acall(rt, &mut errors, "cv2.imread", &[Value::Str(path)]) else {
+            continue; // containment event: skip this submission
+        };
+        let Some(gray) = acall(rt, &mut errors, "cv2.cvtColor", &[loaded]) else {
+            continue;
+        };
+        let Some(smooth) = acall(rt, &mut errors, "cv2.GaussianBlur", &[gray]) else {
+            continue;
+        };
+        let Some(thresh) = acall(rt, &mut errors, "cv2.threshold", &[smooth]) else {
+            continue;
+        };
+        let Some(warped) = acall(rt, &mut errors, "cv2.warpPerspective", &[thresh]) else {
+            continue;
+        };
+        let Some(morph) = acall(
+            rt,
+            &mut errors,
+            "cv2.morphologyEx",
+            std::slice::from_ref(&warped),
+        ) else {
+            continue;
+        };
+        let Some(annotated) = acall(rt, &mut errors, "cv2.merge", std::slice::from_ref(&morph))
+        else {
+            continue;
+        };
+        let marks = acall(
+            rt,
+            &mut errors,
+            "cv2.findContours",
+            std::slice::from_ref(&morph),
+        );
+        let found = match marks {
+            Some(Value::Rects(r)) => r.len() as f64,
+            _ => 0.0,
+        };
+        // Host grading logic: the template is host-resident, so these
+        // reads are not batch hazards and flush nothing.
+        let mut acc = 0u64;
+        for _block in 0..8 {
+            let t = rt.fetch_bytes(template).unwrap_or_default();
+            acc += t.first().copied().unwrap_or(0) as u64;
+        }
+        let score = found * (acc as f64 / 8.0 + 1.0) / 16.0;
+        scores.push(score);
+
+        // Hot loop: the rectangle/putText pairs are all Visualizing, so
+        // they batch up to the window between flushes.
+        for b in 0..cfg.boxes_per_sample {
+            let x = (b * 7 % 40) as i64;
+            acall(
+                rt,
+                &mut errors,
+                "cv2.rectangle",
+                &[
+                    annotated.clone(),
+                    Value::I64(x),
+                    Value::I64(x),
+                    Value::I64(6),
+                    Value::I64(6),
+                ],
+            );
+            acall(
+                rt,
+                &mut errors,
+                "cv2.putText",
+                &[
+                    annotated.clone(),
+                    Value::from("A"),
+                    Value::I64(x),
+                    Value::I64(40),
+                ],
+            );
+        }
+
+        // Preview.
+        let preview = if let Some(p) = &cfg.evil_imshow {
+            let path = format!("/omr/evil-preview-{sample}.simg");
+            rt.kernel.fs.put(&path, fileio::encode_image(&img, Some(p)));
+            acall(rt, &mut errors, "cv2.imread", &[Value::Str(path)])
+        } else {
+            Some(annotated.clone())
+        };
+        if let Some(pv) = preview {
+            acall(rt, &mut errors, "cv2.imshow", &[Value::from("omr"), pv]);
+        }
+        acall(rt, &mut errors, "cv2.pollKey", &[]);
+        completed += 1;
+    }
+
+    // ---- results ----
+    // Close the mission: the final flush + retirements, then the same
+    // roster-liveness logic as the sync driver.
+    rt.drain_inflight();
+    let mut results_written = false;
+    let roster = match roster {
+        Some(r)
+            if rt
+                .objects
+                .meta(r.as_obj().expect("roster is an object"))
+                .is_some_and(|m| rt.kernel.is_running(m.home)) =>
+        {
+            Some(r)
+        }
+        _ => acall(
+            rt,
+            &mut errors,
+            "pd.read_csv",
+            &[Value::from("/omr/roster.csv")],
+        ),
+    };
+    if let Some(r) = roster {
+        if acall(
+            rt,
+            &mut errors,
+            "pd.DataFrame.to_csv",
+            &[Value::from("/omr/scores.csv"), r],
+        )
+        .is_some()
+        {
+            results_written = rt.kernel.fs.exists("/omr/scores.csv");
+        }
+    }
+    rt.drain_inflight();
+    OmrResult {
+        template,
+        template_original: template_bytes,
+        completed,
+        scores,
+        errors,
+        results_written,
+    }
+}
+
+/// Flies the drone mission with batched submission. Same commands, same
+/// attack outcomes as [`crate::drone::run`] under the same policy.
+pub fn run_drone_batched(rt: &mut Runtime, cfg: &DroneConfig) -> DroneResult {
+    if rt.kernel.camera.is_none() {
+        rt.kernel.camera = Some(Camera::new(77, freepart_frameworks::exec::CAMERA_FRAME_LEN));
+    }
+    let speed_original = 0.3f64.to_le_bytes().to_vec();
+    let speed = rt.host_data("self.speed", &speed_original);
+
+    let mut result = DroneResult {
+        speed,
+        speed_original,
+        frames_processed: 0,
+        frames_lost: 0,
+        control_loop_alive: true,
+        commands: Vec::new(),
+    };
+    let mut errors = Vec::new();
+
+    let Some(capture) = acall(rt, &mut errors, "cv2.VideoCapture", &[Value::I64(0)]) else {
+        result.control_loop_alive = rt.kernel.is_running(rt.host_pid());
+        return result;
+    };
+
+    for frame_idx in 0..cfg.frames {
+        rt.trace_mark(&format!("drone:frame {frame_idx}"));
+        // 1. Grab a frame and stage it to disk. Execution is eager at
+        //    submission, so the file is staged before `imread` submits
+        //    even though neither call has retired yet.
+        let staged = format!("/drone/frame-{frame_idx}.simg");
+        let mut stage_errors = Vec::new();
+        let staged_ok = (|| {
+            let frame = acall(
+                rt,
+                &mut stage_errors,
+                "cv2.VideoCapture.read",
+                std::slice::from_ref(&capture),
+            )?;
+            acall(
+                rt,
+                &mut stage_errors,
+                "cv2.imwrite",
+                &[Value::Str(staged.clone()), frame],
+            )
+        })();
+        errors.append(&mut stage_errors);
+        if staged_ok.is_none() {
+            result.frames_lost += 1;
+            continue;
+        }
+        // An attacker on the image path swaps in a crafted file.
+        if let Some((at, payload)) = &cfg.evil_frame {
+            if *at == frame_idx {
+                let img = freepart_frameworks::image::Image::new(16, 16, 3);
+                rt.kernel.fs.put(
+                    &staged,
+                    freepart_frameworks::fileio::encode_image(&img, Some(payload)),
+                );
+            }
+        }
+        // 2. Load + detect, threading handles through `promise`.
+        let detection = (|| {
+            let img = acall(rt, &mut errors, "cv2.imread", &[Value::Str(staged.clone())])?;
+            let gray = acall(rt, &mut errors, "cv2.cvtColor", &[img])?;
+            let hits = acall(rt, &mut errors, "cv2.findContours", &[gray])?;
+            Some(match hits {
+                Value::Rects(r) => r.len() as f64,
+                _ => 0.0,
+            })
+        })();
+        match detection {
+            Some(direction) => {
+                // 3. Control: `self.speed` is host-resident, so the read
+                //    is not a batch hazard.
+                let bytes = rt.fetch_bytes(speed).unwrap_or_default();
+                let speed_now = bytes
+                    .get(..8)
+                    .map(|b| f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+                    .unwrap_or(0.0);
+                result.commands.push(speed_now * direction.max(0.2));
+                result.frames_processed += 1;
+            }
+            None => {
+                result.frames_lost += 1;
+            }
+        }
+        if !rt.kernel.is_running(rt.host_pid()) {
+            result.control_loop_alive = false;
+            break;
+        }
+    }
+    rt.drain_inflight();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{drone, omr};
+    use freepart::{Policy, Runtime};
+    use freepart_attacks::payloads;
+    use freepart_frameworks::registry::standard_registry;
+
+    fn benign_drone(frames: u32) -> DroneConfig {
+        DroneConfig {
+            frames,
+            evil_frame: None,
+        }
+    }
+
+    #[test]
+    fn batched_omr_scores_are_byte_identical_to_sync() {
+        let mut sync_rt = Runtime::install(standard_registry(), Policy::freepart());
+        let sync = omr::run(&mut sync_rt, &OmrConfig::benign(6));
+        let sync_ipc = sync_rt.kernel.metrics().ipc_messages;
+
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_batched());
+        let batched = run_omr_batched(&mut rt, &OmrConfig::benign(6));
+        let m = rt.kernel.metrics();
+
+        assert_eq!(batched.completed, 6);
+        assert_eq!(batched.scores, sync.scores, "byte-identical grading");
+        assert!(batched.errors.is_empty());
+        assert!(batched.results_written);
+        assert_eq!(rt.in_flight(), 0, "mission ends fully drained");
+        assert!(
+            m.ipc_messages < sync_ipc,
+            "batching must cut frames: {} vs {}",
+            m.ipc_messages,
+            sync_ipc
+        );
+        assert!(m.calls_batched > 0, "calls actually rode in batches");
+    }
+
+    #[test]
+    fn batched_drone_issues_the_same_commands_as_sync() {
+        let mut sync_rt = Runtime::install(standard_registry(), Policy::freepart());
+        let sync = drone::run(&mut sync_rt, &benign_drone(8));
+        let sync_ipc = sync_rt.kernel.metrics().ipc_messages;
+
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_batched());
+        let batched = run_drone_batched(&mut rt, &benign_drone(8));
+        let m = rt.kernel.metrics();
+
+        assert_eq!(batched.frames_processed, 8);
+        assert!(batched.control_loop_alive);
+        assert_eq!(batched.commands, sync.commands, "byte-identical steering");
+        assert_eq!(rt.in_flight(), 0, "mission ends fully drained");
+        assert!(m.ipc_messages < sync_ipc, "batching must cut frames");
+    }
+
+    #[test]
+    fn dos_attack_verdict_is_unchanged_under_batching() {
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_batched());
+        let cfg = DroneConfig {
+            frames: 5,
+            evil_frame: Some((2, payloads::dos("CVE-2017-14136"))),
+        };
+        let r = run_drone_batched(&mut rt, &cfg);
+        assert!(r.control_loop_alive, "control loop unaffected");
+        assert_eq!(r.frames_processed, 4);
+        assert_eq!(r.frames_lost, 1);
+        assert!(r.commands.iter().all(|c| *c > 0.0));
+    }
+
+    #[test]
+    fn speed_corruption_verdict_is_unchanged_under_batching() {
+        // Probe under the same policy: host_data placement is identical,
+        // so the attacker aims at the same buffer address.
+        let addr = {
+            let mut probe = Runtime::install(standard_registry(), Policy::freepart_batched());
+            let r = run_drone_batched(&mut probe, &benign_drone(0));
+            probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
+        };
+        let evil_speed = (-0.3f64).to_le_bytes().to_vec();
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_batched());
+        let cfg = DroneConfig {
+            frames: 4,
+            evil_frame: Some((1, payloads::corrupt("CVE-2017-12606", addr.0, evil_speed))),
+        };
+        let r = run_drone_batched(&mut rt, &cfg);
+        assert!(r.control_loop_alive);
+        assert!(
+            r.commands.iter().all(|c| *c > 0.0),
+            "steering unaffected: {:?}",
+            r.commands
+        );
+    }
+
+    #[test]
+    fn omr_dos_attack_is_contained_under_batching() {
+        let cfg = OmrConfig {
+            samples: 4,
+            boxes_per_sample: 2,
+            evil_sample: Some((1, payloads::dos("CVE-2017-14136"))),
+            evil_imshow: None,
+        };
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_batched());
+        let r = run_omr_batched(&mut rt, &cfg);
+        assert!(rt.kernel.is_running(rt.host_pid()));
+        assert_eq!(r.completed, 3, "only the malicious submission is lost");
+        assert!(r.results_written);
+    }
+}

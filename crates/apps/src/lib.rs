@@ -9,12 +9,15 @@
 //!   §A.7.
 //! * [`pipeline`]: the pipelined (asynchronous, per-process virtual
 //!   time) drone driver.
+//! * [`batched`]: the batched-submission OMR and drone drivers
+//!   (coalesced IPC frames, `Policy::batch_window`).
 //! * [`study`]: the 56-application survey corpus behind Study 1,
 //!   Fig. 6, and Table 3.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod driver;
 pub mod drone;
 pub mod mcomix;

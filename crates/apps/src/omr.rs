@@ -93,7 +93,7 @@ pub struct OmrResult {
     pub results_written: bool,
 }
 
-fn submission_image(sample: u32) -> Image {
+pub(crate) fn submission_image(sample: u32) -> Image {
     let mut img = Image::new(48, 48, 3);
     // Answer marks: filled squares whose positions depend on the sample.
     for b in 0..4u32 {

@@ -17,8 +17,8 @@
 //! cargo run --release -p freepart-bench --bin freepart-report
 //! ```
 
-use freepart::{Policy, Runtime};
-use freepart_apps::{drone, omr};
+use freepart::{FlushReason, Policy, Runtime};
+use freepart_apps::{batched, omr};
 use freepart_baselines::{build, ApiSurface, SchemeKind};
 use freepart_bench::experiments::omr_workload;
 use freepart_bench::fmt::pct;
@@ -164,10 +164,55 @@ fn main() {
          {audited_pages} mprotect page transitions (= kernel counter) ✓"
     );
 
-    // ---- traced drone run → Chrome trace export ----
-    let mut rt = traced_freepart();
+    // ---- batched submission: where the flushes come from ----
+    let mut rt = fast_install(Policy::freepart_batched());
+    rt.enable_tracing();
     rt.kernel.reset_accounting();
-    let r = drone::run(&mut rt, &drone_workload());
+    let r = batched::run_omr_batched(&mut rt, &omr_workload());
+    assert!(r.completed > 0, "workload must actually run");
+    let flushes = rt.tracer().batch_flushes();
+    assert!(!flushes.is_empty(), "batched run must flush batches");
+    let mut table = Table::new(["Flush reason", "Batches", "Calls", "Mean calls/frame"]);
+    let mut batched_calls = 0u64;
+    for reason in [
+        FlushReason::PartitionSwitch,
+        FlushReason::Hazard,
+        FlushReason::Transition,
+        FlushReason::WindowFull,
+    ] {
+        let of_reason: Vec<_> = flushes.iter().filter(|(_, _, r, _)| *r == reason).collect();
+        let calls: u64 = of_reason.iter().map(|(_, _, _, n)| *n as u64).sum();
+        batched_calls += calls;
+        table.row([
+            reason.to_string(),
+            of_reason.len().to_string(),
+            calls.to_string(),
+            if of_reason.is_empty() {
+                "-".to_owned()
+            } else {
+                format!("{:.1}", calls as f64 / of_reason.len() as f64)
+            },
+        ]);
+    }
+    table.print("Batch flushes by reason (OMR under FreePart, batched)");
+    let kernel_batched = rt.kernel.metrics().calls_batched;
+    assert_eq!(
+        batched_calls, kernel_batched,
+        "flush telemetry must account for every batched call"
+    );
+    println!(
+        "batch check: {} calls in {} frames (= kernel counter) ✓",
+        batched_calls,
+        flushes.len()
+    );
+
+    // ---- traced batched drone run → Chrome trace export ----
+    // Batched so the exported timeline shows `batch` spans enclosing
+    // their member `call` spans and the flush-reason instants.
+    let mut rt = fast_install(Policy::freepart_batched());
+    rt.enable_tracing();
+    rt.kernel.reset_accounting();
+    let r = batched::run_drone_batched(&mut rt, &drone_workload());
     assert!(r.frames_processed > 0, "workload must actually run");
     let trace = rt.export_chrome_trace();
     let out = workspace_root().join("BENCH_trace.json");

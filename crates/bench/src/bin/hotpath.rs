@@ -14,7 +14,7 @@
 //! ```
 
 use freepart::Policy;
-use freepart_apps::{drone, omr};
+use freepart_apps::{batched, drone, omr};
 use freepart_baselines::{build, ApiSurface, SchemeKind};
 use freepart_bench::experiments::omr_workload;
 use freepart_bench::fmt::pct;
@@ -62,6 +62,40 @@ fn measure(scheme: &'static str, pipeline: &'static str, surface: &mut dyn ApiSu
     }
 }
 
+/// Runs one pipeline through its batched-submission driver
+/// (`Policy::batch_window`): same calls, same results, coalesced frames.
+/// The batched drivers take the concrete [`freepart::Runtime`] (they
+/// drive the asynchronous interface), so they get their own measure
+/// path; the global clock stays the time measure, as in `measure`.
+fn measure_batched(pipeline: &'static str) -> Run {
+    let mut rt = fast_install(Policy::freepart_batched());
+    rt.kernel.reset_accounting();
+    match pipeline {
+        "omr" => {
+            let r = batched::run_omr_batched(&mut rt, &omr_workload());
+            assert!(r.completed > 0, "workload must actually run");
+            assert!(r.errors.is_empty(), "benign run must be error-free");
+        }
+        "drone" => {
+            let r = batched::run_drone_batched(&mut rt, &drone_workload());
+            assert!(r.frames_processed > 0, "workload must actually run");
+        }
+        _ => unreachable!(),
+    }
+    let m = rt.kernel.metrics();
+    assert!(m.calls_batched > 0, "calls actually rode in batches");
+    Run {
+        scheme: "FreePart (batched)",
+        pipeline,
+        time_ns: rt.kernel.clock().now_ns(),
+        ipc: m.ipc_messages,
+        transfer_bytes: m.total_transfer_bytes(),
+        copy_ops: m.copy_ops,
+        processes: rt.process_count(),
+        overhead: 0.0,
+    }
+}
+
 fn pipeline_runs(pipeline: &'static str, universe: &[ApiId]) -> Vec<Run> {
     let mut rows = Vec::new();
     for kind in SchemeKind::ALL {
@@ -74,6 +108,9 @@ fn pipeline_runs(pipeline: &'static str, universe: &[ApiId]) -> Vec<Run> {
     // FreePart with large payloads page-mapped via shared memory.
     let mut rt = fast_install(Policy::freepart_shm());
     rows.push(measure("FreePart (shm)", pipeline, &mut rt));
+    // FreePart with same-partition call bursts coalesced into single
+    // IPC frames.
+    rows.push(measure_batched(pipeline));
 
     let base_ns = rows
         .iter()
@@ -171,6 +208,33 @@ fn main() {
         "shm transport regressed: {shm_bytes} bytes shm vs {ldc_bytes} bytes LDC"
     );
     println!("shm check: {shm_bytes} bytes (shm) < {ldc_bytes} bytes (LDC copies) ✓");
+
+    // The whole point of batching: coalescing same-partition bursts must
+    // cut OMR's frame count to at most 60% of the per-call plane without
+    // costing any virtual time.
+    let omr_row = |scheme: &str| {
+        rows.iter()
+            .find(|r| r.pipeline == "omr" && r.scheme == scheme)
+            .expect("row present")
+    };
+    let batched = omr_row("FreePart (batched)");
+    let unbatched = omr_row(SchemeKind::FreePart.name());
+    assert!(
+        batched.ipc * 10 <= unbatched.ipc * 6,
+        "batching regressed: {} frames batched vs {} unbatched (need <= 60%)",
+        batched.ipc,
+        unbatched.ipc
+    );
+    assert!(
+        batched.time_ns <= unbatched.time_ns,
+        "batching cost time: {} ns batched vs {} ns unbatched",
+        batched.time_ns,
+        unbatched.time_ns
+    );
+    println!(
+        "batch check: {} frames ({} ns) vs {} frames ({} ns) unbatched ✓",
+        batched.ipc, batched.time_ns, unbatched.ipc, unbatched.time_ns
+    );
 
     let json = to_json(&rows);
     let out = workspace_root().join("BENCH_hotpath.json");

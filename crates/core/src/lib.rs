@@ -43,6 +43,6 @@ pub use runtime::transport::{Transport, TransportCtx};
 pub use runtime::{Agent, CallError, CallHandle, Runtime, RuntimeStats, ThreadId};
 pub use state::{FrameworkState, StateMachine};
 pub use trace::{
-    ApiStats, AuditRecord, Bucket, BucketTotals, CallOutcome, Log2Histogram, SpanEvent, SpanPhase,
-    Tracer,
+    ApiStats, AuditRecord, Bucket, BucketTotals, CallOutcome, FlushReason, Log2Histogram,
+    SpanEvent, SpanPhase, Tracer,
 };

@@ -88,6 +88,14 @@ pub struct Policy {
     /// `None` disables the Shm transport entirely, preserving the
     /// pre-shm data plane bit-for-bit.
     pub shm_threshold: Option<u64>,
+    /// Maximum number of consecutive same-partition calls coalesced
+    /// into a single IPC frame before a forced flush. `None` disables
+    /// batching entirely, preserving the one-frame-per-call plane
+    /// bit-for-bit. Batches also flush early on a partition switch, a
+    /// host dereference/`wait` hazard, or a framework state transition,
+    /// so results are byte-identical either way — only the frame count
+    /// (and its latency bill) changes.
+    pub batch_window: Option<usize>,
     /// Temporal memory permissions: previous-state objects become
     /// read-only on state transitions (§4.4.3).
     pub temporal_protection: bool,
@@ -110,6 +118,7 @@ impl Default for Policy {
             host_data: HostDataPlacement::Host,
             transport: ChannelTransport::SharedMemory,
             shm_threshold: None,
+            batch_window: None,
             temporal_protection: true,
             restart: RestartPolicy::Restart,
             snapshot_interval: 8,
@@ -151,6 +160,16 @@ impl Policy {
             ..Policy::default()
         }
     }
+
+    /// Full FreePart with adaptive hooked-call batching: up to
+    /// [`Policy::DEFAULT_BATCH_WINDOW`] consecutive same-partition calls
+    /// share one request frame and one response frame.
+    pub fn freepart_batched() -> Policy {
+        Policy {
+            batch_window: Some(Policy::DEFAULT_BATCH_WINDOW),
+            ..Policy::default()
+        }
+    }
 }
 
 impl Policy {
@@ -158,6 +177,11 @@ impl Policy {
     /// cost model, copying 1 KiB (1.1 µs) already costs more than
     /// granting + mapping the page that holds it (~0.5 µs).
     pub const DEFAULT_SHM_THRESHOLD: u64 = 1024;
+
+    /// Default batch window. Matches the default pipeline window: a
+    /// batch is one unit of the per-partition in-flight budget, and
+    /// longer runs of un-retired calls would only grow the journal.
+    pub const DEFAULT_BATCH_WINDOW: usize = 8;
 }
 
 #[cfg(test)]
@@ -192,5 +216,19 @@ mod tests {
         let shm = Policy::freepart_shm();
         assert!(shm.lazy_data_copy);
         assert!(shm.temporal_protection);
+    }
+
+    #[test]
+    fn batching_is_opt_in() {
+        assert_eq!(Policy::default().batch_window, None);
+        assert_eq!(
+            Policy::freepart_batched().batch_window,
+            Some(Policy::DEFAULT_BATCH_WINDOW)
+        );
+        // Everything else matches full FreePart.
+        let batched = Policy::freepart_batched();
+        assert!(batched.lazy_data_copy);
+        assert!(batched.temporal_protection);
+        assert_eq!(batched.shm_threshold, None);
     }
 }

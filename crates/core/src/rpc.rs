@@ -129,6 +129,97 @@ impl Response {
     }
 }
 
+/// Frame magic for batched request frames (N member requests in one
+/// IPC message).
+const BATCH_REQ_MAGIC: u16 = 0xF9A3;
+/// Frame magic for batched response frames.
+const BATCH_RESP_MAGIC: u16 = 0xF9A4;
+
+/// Shared encoding for both batch frame directions:
+/// `[magic][u32 count][(u32 len + member frame)...]`. Member frames are
+/// ordinary [`Request`]/[`Response`] wire bytes, so the agent decodes
+/// each with the existing single-frame path and replay/journaling see no
+/// difference between a batched and an unbatched delivery.
+fn encode_batch(magic: u16, members: &[Vec<u8>]) -> Vec<u8> {
+    let body: usize = members.iter().map(|m| 4 + m.len()).sum();
+    let mut out = Vec::with_capacity(6 + body);
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+    for m in members {
+        out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+        out.extend_from_slice(m);
+    }
+    out
+}
+
+/// Shared decoding: returns the member frames, rejecting wrong magics,
+/// truncation, and trailing garbage.
+fn decode_batch(magic: u16, bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let got = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?);
+    if got != magic {
+        return None;
+    }
+    let count = u32::from_le_bytes(bytes.get(2..6)?.try_into().ok()?) as usize;
+    let mut pos = 6;
+    let mut members = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        members.push(bytes.get(pos..pos + len)?.to_vec());
+        pos += len;
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(members)
+}
+
+/// One IPC frame carrying N marshalled [`Request`]s bound for the same
+/// partition. The batch amortizes the per-frame send/recv latency; each
+/// member keeps its own `seq`, so exactly-once replay and crash-mid-batch
+/// recovery work per call, not per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Member request frames, in submission order.
+    pub members: Vec<Vec<u8>>,
+}
+
+impl BatchRequest {
+    /// Serialized wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_batch(BATCH_REQ_MAGIC, &self.members)
+    }
+
+    /// Decodes wire bytes; `None` on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Option<BatchRequest> {
+        Some(BatchRequest {
+            members: decode_batch(BATCH_REQ_MAGIC, bytes)?,
+        })
+    }
+}
+
+/// The answering frame: N marshalled [`Response`]s, one per member of
+/// the [`BatchRequest`], in the same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResponse {
+    /// Member response frames, in request order.
+    pub members: Vec<Vec<u8>>,
+}
+
+impl BatchResponse {
+    /// Serialized wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_batch(BATCH_RESP_MAGIC, &self.members)
+    }
+
+    /// Decodes wire bytes; `None` on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Option<BatchResponse> {
+        Some(BatchResponse {
+            members: decode_batch(BATCH_RESP_MAGIC, bytes)?,
+        })
+    }
+}
+
 /// Agent-side completion cache implementing exactly-once delivery.
 ///
 /// Entries live until the host acknowledges their sequence number
@@ -267,6 +358,61 @@ mod tests {
             args: vec![Value::Bytes(vec![0; 1000])],
         };
         assert!(bytes.wire_size() > 1000);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip() {
+        let reqs: Vec<Vec<u8>> = (0..3)
+            .map(|i| {
+                Request {
+                    seq: 10 + i,
+                    api: ApiId(i as u16),
+                    args: vec![Value::I64(i as i64)],
+                }
+                .encode()
+            })
+            .collect();
+        let batch = BatchRequest {
+            members: reqs.clone(),
+        };
+        let back = BatchRequest::decode(&batch.encode()).unwrap();
+        assert_eq!(back, batch);
+        // Members decode with the ordinary single-frame path.
+        for (i, m) in back.members.iter().enumerate() {
+            assert_eq!(Request::decode(m).unwrap().seq, 10 + i as u64);
+        }
+        // Empty batches are representable (never sent, but well-formed).
+        let empty = BatchResponse { members: vec![] };
+        assert_eq!(BatchResponse::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn batch_frames_reject_confusion_and_truncation() {
+        let breq = BatchRequest {
+            members: vec![Request {
+                seq: 1,
+                api: ApiId(0),
+                args: vec![],
+            }
+            .encode()],
+        };
+        let bresp = BatchResponse {
+            members: vec![Response {
+                seq: 1,
+                result: Value::Unit,
+            }
+            .encode()],
+        };
+        // Direction confusion is rejected, as is batch-vs-single confusion.
+        assert!(BatchResponse::decode(&breq.encode()).is_none());
+        assert!(BatchRequest::decode(&bresp.encode()).is_none());
+        assert!(Request::decode(&breq.encode()).is_none());
+        // Truncated and padded frames are rejected.
+        let wire = breq.encode();
+        assert!(BatchRequest::decode(&wire[..wire.len() - 1]).is_none());
+        let mut padded = wire.clone();
+        padded.push(0);
+        assert!(BatchRequest::decode(&padded).is_none());
     }
 
     #[test]

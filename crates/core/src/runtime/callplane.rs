@@ -5,10 +5,12 @@
 use super::{thread_partition, CallError, CallHandle, Runtime, ThreadId};
 use crate::partition::PartitionId;
 use crate::policy::RestartPolicy;
+use crate::rpc::{BatchRequest, BatchResponse};
 use crate::state::FrameworkState;
-use crate::trace::{AuditRecord, CallOutcome, SpanEvent, SpanPhase};
+use crate::trace::{AuditRecord, CallOutcome, FlushReason, SpanEvent, SpanPhase};
 use freepart_frameworks::api::ApiId;
 use freepart_frameworks::{ObjectId, Value};
+use std::collections::BTreeSet;
 
 /// A call that has executed agent-side but whose response the host has
 /// not consumed yet. The simulator executes calls eagerly at submission
@@ -29,6 +31,10 @@ pub(super) struct InFlight {
     pub(super) touched: Vec<ObjectId>,
     /// Agent-timeline completion, for hazard merges of later consumers.
     pub(super) complete_ns: u64,
+    /// Member of a batched IPC frame: the journal is acked at retirement
+    /// even though only the batch's first member carries the (single)
+    /// response frame.
+    pub(super) batch: bool,
     pub(super) call_t0: u64,
     pub(super) resp_t0: u64,
     pub(super) resp_len: u64,
@@ -43,6 +49,34 @@ pub(super) struct Dispatched {
     pub(super) complete_ns: u64,
     pub(super) resp_t0: u64,
     pub(super) resp_len: u64,
+    /// In batched mode: the encoded request frame, buffered for the next
+    /// batch flush instead of having been sent individually.
+    pub(super) req_frame: Option<Vec<u8>>,
+    /// In batched mode: the encoded response frame, ditto.
+    pub(super) resp_frame: Option<Vec<u8>>,
+}
+
+/// Consecutive same-partition calls whose frames are coalesced into one
+/// `BatchRequest` / `BatchResponse` IPC frame pair at flush time. The
+/// member calls have already executed eagerly agent-side (and journalled
+/// their seqs individually) — only the *frame accounting* is deferred,
+/// so results stay byte-identical to the unbatched runtime while the
+/// per-frame send/recv latency is paid once per batch.
+#[derive(Debug)]
+pub(super) struct PendingBatch {
+    pub(super) partition: PartitionId,
+    pub(super) thread: ThreadId,
+    /// Member seqs, in submission order.
+    pub(super) members: Vec<u64>,
+    /// Buffered member request frames.
+    pub(super) req_frames: Vec<Vec<u8>>,
+    /// Buffered member response frames.
+    pub(super) resp_frames: Vec<Vec<u8>>,
+    /// Objects any member consumed, produced, or defined — a host
+    /// dereference of one of these is a hazard that flushes the batch.
+    pub(super) touched: BTreeSet<ObjectId>,
+    /// First member's hook-entry time (tracing; the `batch` span start).
+    pub(super) t0: u64,
 }
 
 impl Runtime {
@@ -300,11 +334,15 @@ impl Runtime {
 
         // Security barrier: a framework-state transition runs an
         // mprotect storm over the previous state's objects — no call may
-        // be in flight across it, on *any* partition. Drain before the
-        // transition is observed below.
-        if !neutral && !self.inflight.is_empty() && self.states[&thread].would_transition(api_type)
-        {
-            self.drain_inflight();
+        // be in flight across it, on *any* partition. The open batch
+        // flushes first (no batch may straddle a transition record),
+        // then everything in flight drains before the transition is
+        // observed below.
+        if !neutral && self.states[&thread].would_transition(api_type) {
+            self.flush_batch(FlushReason::Transition);
+            if !self.inflight.is_empty() {
+                self.drain_inflight();
+            }
         }
 
         // One sequence number per *logical* call: a crash-retry re-sends
@@ -389,13 +427,39 @@ impl Runtime {
         };
         let partition = thread_partition(thread, base_partition);
 
-        // Bounded in-flight window per partition.
-        while self
-            .inflight_by_partition
-            .get(&partition)
-            .is_some_and(|q| q.len() >= self.pipeline_window)
+        // A call routed to a different partition than the open batch's
+        // closes the batch: its frame goes out before this call runs.
+        if self
+            .batch
+            .as_ref()
+            .is_some_and(|b| b.partition != partition)
         {
-            let oldest = self.inflight_by_partition[&partition][0];
+            self.flush_batch(FlushReason::PartitionSwitch);
+        }
+
+        // Bounded in-flight window per partition. The open batch counts
+        // as ONE unit however many members it holds (it will become one
+        // frame); its members cannot be retired until it flushes, so the
+        // loop stops rather than force-flush mid-accumulation.
+        while let Some(q) = self.inflight_by_partition.get(&partition) {
+            let batch_members = self
+                .batch
+                .as_ref()
+                .filter(|b| b.partition == partition)
+                .map(|b| b.members.len())
+                .unwrap_or(0);
+            let units = q.len() - batch_members + usize::from(batch_members > 0);
+            if units < self.pipeline_window {
+                break;
+            }
+            let oldest = q[0];
+            if self
+                .batch
+                .as_ref()
+                .is_some_and(|b| b.members.first() == Some(&oldest))
+            {
+                break;
+            }
             self.retire_one(oldest);
         }
 
@@ -417,19 +481,44 @@ impl Runtime {
             self.kernel.set_time_context(Some(self.host));
         }
         let inf = match attempt {
-            Ok(d) => InFlight {
-                api,
-                thread,
-                partition,
-                outcome: Ok(d.value),
-                has_response: d.has_response,
-                booked: d.booked,
-                touched: d.touched,
-                complete_ns: d.complete_ns,
-                call_t0,
-                resp_t0: d.resp_t0,
-                resp_len: d.resp_len,
-            },
+            Ok(mut d) => {
+                // Batched mode: the member's frames were buffered by
+                // dispatch instead of sent; append them to the open batch
+                // (creating one on the first member). Replays and crashed
+                // attempts carry no frames and never join a batch.
+                let frames = d.req_frame.take().zip(d.resp_frame.take());
+                let in_batch = frames.is_some();
+                if let Some((req_frame, resp_frame)) = frames {
+                    let b = self.batch.get_or_insert_with(|| PendingBatch {
+                        partition,
+                        thread,
+                        members: Vec::new(),
+                        req_frames: Vec::new(),
+                        resp_frames: Vec::new(),
+                        touched: BTreeSet::new(),
+                        t0: call_t0,
+                    });
+                    debug_assert_eq!(b.partition, partition, "switch flushes first");
+                    b.members.push(seq);
+                    b.req_frames.push(req_frame);
+                    b.resp_frames.push(resp_frame);
+                    b.touched.extend(d.touched.iter().copied());
+                }
+                InFlight {
+                    api,
+                    thread,
+                    partition,
+                    outcome: Ok(d.value),
+                    has_response: d.has_response,
+                    booked: d.booked,
+                    touched: d.touched,
+                    complete_ns: d.complete_ns,
+                    batch: in_batch,
+                    call_t0,
+                    resp_t0: d.resp_t0,
+                    resp_len: d.resp_len,
+                }
+            }
             Err(e) => InFlight {
                 api,
                 thread,
@@ -439,6 +528,7 @@ impl Runtime {
                 booked: false,
                 touched: Vec::new(),
                 complete_ns: self.kernel.now_ns(),
+                batch: false,
                 call_t0,
                 resp_t0: 0,
                 resp_len: 0,
@@ -449,13 +539,96 @@ impl Runtime {
             .entry(partition)
             .or_default()
             .push_back(seq);
+        // Window-full flush: the batch reached `Policy::batch_window`.
+        if let (Some(window), Some(b)) = (self.policy.batch_window, self.batch.as_ref()) {
+            if b.members.len() >= window {
+                self.flush_batch(FlushReason::WindowFull);
+            }
+        }
         Ok(CallHandle(seq))
+    }
+
+    /// Closes the open batch, if any: one `BatchRequest` frame goes
+    /// host→agent and one `BatchResponse` frame agent→host — a single
+    /// send/recv latency pair however many member calls the batch holds.
+    /// The batch's *first* member inherits the response frame (retiring
+    /// it consumes the frame and merges the host timeline); the others
+    /// ride along and only ack their journal entries at retirement.
+    pub(super) fn flush_batch(&mut self, reason: FlushReason) {
+        let Some(b) = self.batch.take() else {
+            return;
+        };
+        let n = b.members.len();
+        debug_assert!(n > 0, "batches are created non-empty");
+        self.kernel.note_calls_batched(n as u64);
+        let tracing = self.tracer.enabled();
+        if tracing {
+            let now = self.kernel.now_ns();
+            self.tracer.note_batch_flush(now, b.thread, reason, n);
+        }
+        // One frame each way — skipped entirely if the agent died (its
+        // members' outcomes were computed eagerly; retirement charges
+        // nothing for a dead agent, exactly like the unbatched path).
+        if let Some(agent) = self.agents.get(&b.partition) {
+            let (agent_pid, chan) = (agent.pid, agent.chan);
+            if self.kernel.is_running(agent_pid) {
+                let breq = BatchRequest {
+                    members: b.req_frames,
+                }
+                .encode();
+                // `ipc_send` charges the host's timeline and `ipc_recv`
+                // the agent's (with the happens-before merge under
+                // per-process time) — no time-context switch needed.
+                let send_ok = self.kernel.ipc_send(self.host, chan, &breq).is_ok();
+                if send_ok {
+                    let _ = self.kernel.ipc_recv(agent_pid, chan);
+                }
+                let resp_t0 = if tracing { self.kernel.now_ns() } else { 0 };
+                let bresp = BatchResponse {
+                    members: b.resp_frames,
+                }
+                .encode();
+                let resp_len = bresp.len() as u64;
+                if send_ok && self.kernel.ipc_send(agent_pid, chan, &bresp).is_ok() {
+                    if let Some(inf) = b.members.first().and_then(|s| self.inflight.get_mut(s)) {
+                        inf.has_response = true;
+                        inf.resp_t0 = resp_t0;
+                        inf.resp_len = resp_len;
+                    }
+                }
+            }
+        }
+        if tracing {
+            if let Some(&last) = b.members.last() {
+                self.batch_spans.insert(last, (b.t0, n));
+            }
+        }
+    }
+
+    /// Hazard hook for host dereferences (`fetch_bytes`): reading an
+    /// object an open batch's member touched forces the frames out
+    /// first, so the host's timeline ordering matches the unbatched
+    /// plane.
+    pub(super) fn flush_batch_if_touched(&mut self, id: ObjectId) {
+        if self.batch.as_ref().is_some_and(|b| b.touched.contains(&id)) {
+            self.flush_batch(FlushReason::Hazard);
+        }
     }
 
     /// Retirement: the host consumes the response frame and finishes the
     /// call's host-side bookkeeping. `seq` must be the oldest in-flight
     /// call on its partition (ring FIFO).
     fn retire_one(&mut self, seq: u64) {
+        // A host `wait` (or drain) reaching into the open batch is a
+        // hazard: the frames must go out before the response can be
+        // consumed.
+        if self
+            .batch
+            .as_ref()
+            .is_some_and(|b| b.members.contains(&seq))
+        {
+            self.flush_batch(FlushReason::Hazard);
+        }
         let Some(inf) = self.inflight.remove(&seq) else {
             return;
         };
@@ -486,8 +659,12 @@ impl Runtime {
                     bytes: inf.resp_len,
                 });
             }
-            // The host will never re-request this seq: let the agent
-            // prune its completion journal up to the watermark.
+        }
+        // The host will never re-request this seq: let the agent prune
+        // its completion journal up to the watermark. Every batch member
+        // acks (only the first carried the frame); FIFO retirement keeps
+        // the watermark monotone.
+        if inf.has_response || inf.batch {
             if let Some(agent) = self.agents.get_mut(&partition) {
                 agent.cache.ack(seq);
             }
@@ -540,6 +717,21 @@ impl Runtime {
             // already written the finer-grained audit record.
             self.tracer
                 .finish_call(seq, partition, inf.api, end - inf.call_t0, kind);
+            // Closing a batch's last member closes the enclosing `batch`
+            // span: first member's hook entry to here, so it spans every
+            // member `call` span. `bytes` carries the member count.
+            if let Some((t0, count)) = self.batch_spans.remove(&seq) {
+                self.tracer.span(SpanEvent {
+                    phase: SpanPhase::Batch,
+                    seq,
+                    api: None,
+                    partition: Some(partition),
+                    thread: inf.thread,
+                    start_ns: t0,
+                    end_ns: end,
+                    bytes: count as u64,
+                });
+            }
         }
         self.retired.insert(seq, (outcome, inf.complete_ns));
     }

@@ -44,6 +44,10 @@ impl Runtime {
         let agent_pid = self.agents[&partition].pid;
 
         // --- request frame host → agent ---
+        // Batched mode buffers the encoded frame for the next batch
+        // flush (one IPC frame for N calls) instead of sending it now;
+        // execution stays eager either way.
+        let batched = self.policy.batch_window.is_some();
         let tracing = self.tracer.enabled();
         let marshal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let req = Request {
@@ -52,16 +56,21 @@ impl Runtime {
             args: args.to_vec(),
         };
         let chan = self.agents[&partition].chan;
-        self.kernel
-            .ipc_send(self.host, chan, &req.encode())
-            .map_err(|_| CallError::AgentUnavailable(partition))?;
-        let delivered = self
-            .kernel
-            .ipc_recv(agent_pid, chan)
-            .map_err(|_| CallError::AgentUnavailable(partition))?
-            .expect("request just sent");
-        let frame_len = delivered.len() as u64;
-        let req = Request::decode(&delivered).expect("self-encoded frame");
+        let req_wire = req.encode();
+        let frame_len = req_wire.len() as u64;
+        let req = if batched {
+            req
+        } else {
+            self.kernel
+                .ipc_send(self.host, chan, &req_wire)
+                .map_err(|_| CallError::AgentUnavailable(partition))?;
+            let delivered = self
+                .kernel
+                .ipc_recv(agent_pid, chan)
+                .map_err(|_| CallError::AgentUnavailable(partition))?
+                .expect("request just sent");
+            Request::decode(&delivered).expect("self-encoded frame")
+        };
         if tracing {
             let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {
@@ -113,6 +122,8 @@ impl Runtime {
                 complete_ns: self.kernel.timeline_ns(agent_pid),
                 resp_t0: 0,
                 resp_len: 0,
+                req_frame: None,
+                resp_frame: None,
             });
         }
 
@@ -249,6 +260,9 @@ impl Runtime {
         }
 
         // --- response frame agent → host (sent; consumed at retire) ---
+        // In batched mode the frame is buffered too: the batch's single
+        // response frame is sent at flush and consumed when the batch's
+        // first member retires.
         let resp_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let resp = Response {
             seq: req.seq,
@@ -256,9 +270,11 @@ impl Runtime {
         };
         let resp_frame = resp.encode();
         let resp_len = resp_frame.len() as u64;
-        self.kernel
-            .ipc_send(agent_pid, chan, &resp_frame)
-            .map_err(|_| CallError::AgentCrashed(partition))?;
+        if !batched {
+            self.kernel
+                .ipc_send(agent_pid, chan, &resp_frame)
+                .map_err(|_| CallError::AgentCrashed(partition))?;
+        }
 
         // Seal the filter after the first completed call (§4.4.1).
         if self.policy.sandbox != SandboxLevel::None && !self.agents[&partition].sealed {
@@ -273,15 +289,22 @@ impl Runtime {
         for obj in touched.iter().chain(new_ids.iter()) {
             self.last_touch.insert(*obj, complete_ns);
         }
+        // The batch's hazard set must also cover objects merely *defined*
+        // by a member (a host deref of one flushes the batch first).
+        if batched {
+            touched.extend(new_ids.iter().copied());
+        }
 
         Ok(Dispatched {
             value: result,
-            has_response: true,
+            has_response: !batched,
             booked: false,
             touched,
             complete_ns,
             resp_t0,
             resp_len,
+            req_frame: batched.then_some(req_wire),
+            resp_frame: batched.then_some(resp_frame),
         })
     }
 }

@@ -54,7 +54,7 @@ use freepart_simos::{Addr, ChannelId, Kernel, Perms, Pid};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use callplane::InFlight;
+use callplane::{InFlight, PendingBatch};
 
 /// Identifier of an application thread. Per the paper's §6, every
 /// thread gets its **own set of agent processes** (and its own
@@ -269,6 +269,14 @@ pub struct Runtime {
     /// Max in-flight calls per partition before submission force-retires
     /// the oldest.
     pipeline_window: usize,
+    /// The open call batch, if `Policy::batch_window` is set: consecutive
+    /// same-partition calls whose request/response frames are coalesced
+    /// into one IPC frame each at flush time.
+    batch: Option<PendingBatch>,
+    /// Flushed-batch trace bookkeeping, keyed by each batch's *last*
+    /// member seq: `(first member's hook-entry ns, member count)`. The
+    /// enclosing `batch` span is emitted when that member retires.
+    batch_spans: BTreeMap<u64, (u64, usize)>,
 }
 
 impl fmt::Debug for Runtime {
@@ -332,6 +340,8 @@ impl Runtime {
             last_touch: BTreeMap::new(),
             pipelining: false,
             pipeline_window: 4,
+            batch: None,
+            batch_spans: BTreeMap::new(),
         };
         rt.spawn_agent_set(ThreadId::MAIN);
         rt

@@ -94,6 +94,9 @@ impl Runtime {
                 .read_bytes(&mut self.kernel, id)
                 .map_err(|_| CallError::StateLost(id));
         }
+        // Batch hazard: dereferencing an object an open batch's member
+        // touched forces the batch's frames out before the host reads.
+        self.flush_batch_if_touched(id);
         // LDC-deref ordering: dereferencing a payload touched by an
         // in-flight call orders the host after that producing call.
         if let Some(&ns) = self.last_touch.get(&id) {

@@ -187,7 +187,13 @@ impl StateMachine {
         if !kernel.is_running(meta.home) {
             return Ok(false);
         }
-        kernel.protect(meta.home, addr, len, Perms::R)?;
+        // Differential re-protection: skip the kernel call (and its cost)
+        // entirely when every page is already read-only — e.g. a second
+        // thread's state machine locking shared host data another thread
+        // already locked, or a no-op transition delta.
+        if !kernel.perms_match(meta.home, addr, len, Perms::R) {
+            kernel.protect(meta.home, addr, len, Perms::R)?;
+        }
         Ok(true)
     }
 
@@ -205,7 +211,9 @@ impl StateMachine {
         if !kernel.is_running(meta.home) {
             return Ok(());
         }
-        kernel.protect(meta.home, addr, len, Perms::RW)?;
+        if !kernel.perms_match(meta.home, addr, len, Perms::RW) {
+            kernel.protect(meta.home, addr, len, Perms::RW)?;
+        }
         Ok(())
     }
 

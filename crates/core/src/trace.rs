@@ -66,6 +66,10 @@ pub enum SpanPhase {
     /// Shared-memory delivery: segment grant + page-table map (no
     /// payload bytes copied).
     ShmMap,
+    /// A batched IPC frame: one span enclosing its member `call` spans,
+    /// first member's hook entry to the batch's retirement. `bytes`
+    /// carries the member-call count, not a byte size.
+    Batch,
 }
 
 /// Aggregation bucket a leaf span contributes to — the four components
@@ -100,6 +104,7 @@ impl SpanPhase {
             SpanPhase::Restart => "restart",
             SpanPhase::HostFetch => "host_fetch",
             SpanPhase::ShmMap => "shm_map",
+            SpanPhase::Batch => "batch",
         }
     }
 
@@ -107,7 +112,7 @@ impl SpanPhase {
     /// SpanPhase::Call] nests the leaves; counting it would double-book).
     pub fn bucket(self) -> Option<Bucket> {
         match self {
-            SpanPhase::Call => None,
+            SpanPhase::Call | SpanPhase::Batch => None,
             SpanPhase::Marshal | SpanPhase::Journal | SpanPhase::Response | SpanPhase::Replay => {
                 Some(Bucket::Marshal)
             }
@@ -122,6 +127,38 @@ impl SpanPhase {
 }
 
 impl fmt::Display for SpanPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an open call batch was flushed into an IPC frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlushReason {
+    /// The next call routed to a different partition.
+    PartitionSwitch,
+    /// The host dereferenced a pending result (`wait`) or an object an
+    /// in-flight member produced/touched.
+    Hazard,
+    /// A framework-state transition's drain barrier.
+    Transition,
+    /// The batch reached `Policy::batch_window` members.
+    WindowFull,
+}
+
+impl FlushReason {
+    /// Stable lowercase-kebab name (Chrome instant / report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushReason::PartitionSwitch => "partition-switch",
+            FlushReason::Hazard => "hazard",
+            FlushReason::Transition => "transition",
+            FlushReason::WindowFull => "window-full",
+        }
+    }
+}
+
+impl fmt::Display for FlushReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -490,6 +527,8 @@ pub struct Tracer {
     audit: Vec<AuditRecord>,
     stats: BTreeMap<(PartitionId, ApiId), ApiStats>,
     pending: BTreeMap<u64, PendingCall>,
+    /// Batch flushes: `(virtual ns, thread, reason, member calls)`.
+    flushes: Vec<(u64, ThreadId, FlushReason, usize)>,
 }
 
 impl Tracer {
@@ -521,6 +560,25 @@ impl Tracer {
     /// The security audit log, in event order.
     pub fn audit_log(&self) -> &[AuditRecord] {
         &self.audit
+    }
+
+    /// Batch flushes recorded so far: `(virtual ns, thread, reason,
+    /// member calls)` per flushed frame.
+    pub fn batch_flushes(&self) -> &[(u64, ThreadId, FlushReason, usize)] {
+        &self.flushes
+    }
+
+    /// Records one batch flush (no-op when disabled).
+    pub fn note_batch_flush(
+        &mut self,
+        at_ns: u64,
+        thread: ThreadId,
+        reason: FlushReason,
+        calls: usize,
+    ) {
+        if self.enabled {
+            self.flushes.push((at_ns, thread, reason, calls));
+        }
     }
 
     /// The per-`(partition, API)` metrics registry.
@@ -724,9 +782,15 @@ impl Tracer {
                 .api
                 .map(|a| reg.spec(a).name.to_owned())
                 .unwrap_or_default();
+            // Batch spans carry the member-call count, not a byte size.
+            let tail = if e.phase == SpanPhase::Batch {
+                format!("\"calls\":{}", e.bytes)
+            } else {
+                format!("\"bytes\":{}", e.bytes)
+            };
             push(
                 format!(
-                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"seq\":{},\"api\":\"{}\",\"bytes\":{}}}}}",
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"seq\":{},\"api\":\"{}\",{tail}}}}}",
                     json_escape(&name),
                     e.phase.name(),
                     e.thread.0,
@@ -734,7 +798,6 @@ impl Tracer {
                     e.duration_ns() as f64 / 1e3,
                     e.seq,
                     json_escape(&api_name),
-                    e.bytes
                 ),
                 &mut out,
                 &mut first,
@@ -745,6 +808,20 @@ impl Tracer {
                 format!(
                     "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"mark\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"s\":\"t\"}}",
                     json_escape(label),
+                    thread.0,
+                    *at_ns as f64 / 1e3
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        // Batch flushes as per-thread instant events: why each frame
+        // went out and how many calls it amortized.
+        for (at_ns, thread, reason, calls) in &self.flushes {
+            push(
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"flush:{} ({calls} calls)\",\"cat\":\"batch\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"s\":\"t\"}}",
+                    reason.name(),
                     thread.0,
                     *at_ns as f64 / 1e3
                 ),

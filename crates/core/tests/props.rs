@@ -95,6 +95,47 @@ fn run_freepart_async(picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
     (bytes, rt)
 }
 
+/// Runs the same chain through the batched-submission plane: an
+/// explicit batch window on top of `base`, handles threaded through
+/// `promise` (which never retires, so batches accumulate), one drain at
+/// the end.
+fn run_freepart_batched(
+    base: Policy,
+    window: usize,
+    picks: &[u16],
+    side: u32,
+) -> (Vec<u8>, Runtime) {
+    let reg = standard_registry();
+    let filters: Vec<_> = reg
+        .iter()
+        .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+        .map(|s| s.id)
+        .collect();
+    let policy = Policy {
+        batch_window: Some(window),
+        ..base
+    };
+    let mut rt = Runtime::install(standard_registry(), policy);
+    rt.kernel.fs.put(
+        "/in.simg",
+        fileio::encode_image(&Image::new(side, side, 3), None),
+    );
+    let h = rt
+        .call_async("cv2.imread", &[Value::from("/in.simg")])
+        .unwrap();
+    let mut cur = rt.promise(h).unwrap();
+    for p in picks {
+        let api = filters[*p as usize % filters.len()];
+        let h = rt
+            .call_async_id_on(freepart::ThreadId::MAIN, api, &[cur], &[])
+            .unwrap();
+        cur = rt.promise(h).unwrap();
+    }
+    rt.drain_inflight();
+    let bytes = rt.fetch_bytes(cur.as_obj().unwrap()).unwrap();
+    (bytes, rt)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -176,6 +217,40 @@ proptest! {
         prop_assert!(shm_rt.exploit_log.is_empty());
         prop_assert_eq!(shm_rt.stats().restarts, 0);
         prop_assert_eq!(shm_rt.kernel.metrics().filter_kills, 0, "no benign call killed");
+    }
+
+    /// Batching transparency: for any random filter chain, any batch
+    /// window, and any payload transport (lazy LDC, eager through-host,
+    /// shm size-threshold), coalescing frames never changes a single
+    /// output byte, never inflates the frame count, and never
+    /// destabilizes the system.
+    #[test]
+    fn batched_submission_is_functionally_transparent(
+        picks in proptest::collection::vec(any::<u16>(), 1..8),
+        side in 4u32..16,
+        window in 1usize..10,
+    ) {
+        let mono = run_monolithic(&picks, side);
+        for base in [Policy::freepart(), Policy::without_ldc(), Policy::freepart_shm()] {
+            let (unbatched, urt) = run_freepart_with(base.clone(), &picks, side);
+            let (batched, rt) = run_freepart_batched(base, window, &picks, side);
+            prop_assert_eq!(&batched, &unbatched);
+            prop_assert_eq!(&batched, &mono);
+            prop_assert_eq!(rt.in_flight(), 0, "chain ends fully drained");
+            let m = rt.kernel.metrics();
+            prop_assert!(m.calls_batched > 0, "calls actually rode in batches");
+            prop_assert!(
+                m.ipc_messages <= urt.kernel.metrics().ipc_messages,
+                "batching must never send more frames"
+            );
+            prop_assert!(rt.kernel.is_running(rt.host_pid()));
+            for p in rt.partitions() {
+                prop_assert!(rt.kernel.is_running(rt.agent(p).unwrap().pid));
+            }
+            prop_assert!(rt.exploit_log.is_empty());
+            prop_assert_eq!(rt.stats().restarts, 0);
+            prop_assert_eq!(m.filter_kills, 0, "no benign call killed");
+        }
     }
 
     /// The LDC invariant: for any chain, lazy copies never exceed the

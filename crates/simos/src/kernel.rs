@@ -332,18 +332,34 @@ impl Kernel {
     /// Harness-level protection change *with* cost/metric accounting but
     /// without a syscall (used by the FreePart runtime, which is trusted
     /// and runs outside the filtered processes, per the threat model).
+    ///
+    /// Accounting is **differential**: only pages whose permissions
+    /// actually change are charged and counted, so re-protecting an
+    /// already-read-only object costs (and audits) zero pages.
     pub fn protect(&mut self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> SimResult<u64> {
         self.require_running(pid)?;
         let p = self.procs.get_mut(&pid).expect("checked");
         match p.aspace.protect(addr, len, perms) {
-            Ok(pages) => {
-                let ns = self.cost.mprotect_cost(pages);
-                self.charge_to(pid, ns);
-                self.metrics.protected_pages += pages;
-                Ok(pages)
+            Ok(changed) => {
+                if changed > 0 {
+                    let ns = self.cost.mprotect_cost(changed);
+                    self.charge_to(pid, ns);
+                    self.metrics.protected_pages += changed;
+                }
+                Ok(changed)
             }
             Err(_) => Err(SimError::Errno(Errno::Einval)),
         }
+    }
+
+    /// True when every page of `[addr, addr+len)` in `pid`'s address
+    /// space is already at exactly `perms` — a protection change would be
+    /// a no-op. Lets trusted callers skip the call (and its audit trail)
+    /// entirely when the permission delta is empty.
+    pub fn perms_match(&self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> bool {
+        self.procs
+            .get(&pid)
+            .is_some_and(|p| p.is_running() && p.aspace.perms_match(addr, len, perms))
     }
 
     // ------------------------------------------------------------------
@@ -718,11 +734,13 @@ impl Kernel {
             S::Mprotect { addr, len, perms } => {
                 let p = self.procs.get_mut(&pid).expect("checked");
                 match p.aspace.protect(addr, len, perms) {
-                    Ok(pages) => {
-                        let ns = self.cost.mprotect_cost(pages);
-                        self.charge_to(pid, ns);
-                        self.metrics.protected_pages += pages;
-                        Ok(SyscallRet::Num(pages))
+                    Ok(changed) => {
+                        if changed > 0 {
+                            let ns = self.cost.mprotect_cost(changed);
+                            self.charge_to(pid, ns);
+                            self.metrics.protected_pages += changed;
+                        }
+                        Ok(SyscallRet::Num(changed))
                     }
                     Err(_) => Err(Errno::Einval.into()),
                 }
@@ -918,6 +936,14 @@ impl Kernel {
             Ok(None) => Ok(None),
             Err(_) => Err(SimError::BadChannel),
         }
+    }
+
+    /// Records `n` hooked calls delivered inside one batched IPC frame.
+    /// Frames themselves are counted by [`Kernel::ipc_send`]; this
+    /// counter keeps the per-call denominator honest when N calls share
+    /// a frame.
+    pub fn note_calls_batched(&mut self, n: u64) {
+        self.metrics.calls_batched += n;
     }
 
     /// Re-binds a channel's B endpoint after an agent restart.

@@ -191,9 +191,11 @@ impl AddressSpace {
 
     /// Changes the protection of every page covering `[addr, addr+len)`.
     ///
-    /// Returns the number of pages affected, or a fault if any page in the
-    /// range is unmapped (Linux returns `ENOMEM`; we treat it as a harness
-    /// fault because our callers always pass mapped ranges).
+    /// Returns the number of pages whose permissions actually *changed*
+    /// (the differential page delta — already-correct pages are free, so
+    /// a no-op transition reports zero), or a fault if any page in the
+    /// range is unmapped (Linux returns `ENOMEM`; we treat it as a
+    /// harness fault because our callers always pass mapped ranges).
     pub fn protect(&mut self, addr: Addr, len: u64, perms: Perms) -> AccessResult<u64> {
         let first = addr.page_base();
         let last = Addr(addr.0 + len.saturating_sub(1)).page_base();
@@ -205,14 +207,34 @@ impl AddressSpace {
             }
             p += PAGE_SIZE;
         }
-        let mut count = 0;
+        let mut changed = 0;
         let mut p = first;
         while p <= last {
-            self.pages.get_mut(&p).expect("validated above").perms = perms;
-            count += 1;
+            let page = self.pages.get_mut(&p).expect("validated above");
+            if page.perms != perms {
+                page.perms = perms;
+                changed += 1;
+            }
             p += PAGE_SIZE;
         }
-        Ok(count)
+        Ok(changed)
+    }
+
+    /// True when every page covering `[addr, addr+len)` is mapped and
+    /// already at exactly `perms` — i.e. a [`AddressSpace::protect`] call
+    /// with these arguments would change nothing.
+    pub fn perms_match(&self, addr: Addr, len: u64, perms: Perms) -> bool {
+        let first = addr.page_base();
+        let last = Addr(addr.0 + len.saturating_sub(1)).page_base();
+        let mut p = first;
+        while p <= last {
+            match self.pages.get(&p) {
+                Some(page) if page.perms == perms => {}
+                _ => return false,
+            }
+            p += PAGE_SIZE;
+        }
+        true
     }
 
     /// Current permissions of the page containing `addr`, if mapped.

@@ -40,6 +40,10 @@ pub struct Metrics {
     /// Cumulative bytes made accessible by page-mapping a segment into a
     /// process (the zero-copy counterpart of `copied_bytes`).
     pub shm_mapped_bytes: u64,
+    /// Hooked calls that travelled inside a batched IPC frame. `ipc_messages`
+    /// keeps counting *frames*, so `calls_batched / frames` shows the
+    /// amortization honestly instead of hiding the calls.
+    pub calls_batched: u64,
 }
 
 impl Metrics {
@@ -68,6 +72,7 @@ impl Metrics {
         debug_assert!(self.shm_grants >= earlier.shm_grants);
         debug_assert!(self.shm_revokes >= earlier.shm_revokes);
         debug_assert!(self.shm_mapped_bytes >= earlier.shm_mapped_bytes);
+        debug_assert!(self.calls_batched >= earlier.calls_batched);
         Metrics {
             ipc_messages: self.ipc_messages - earlier.ipc_messages,
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
@@ -82,6 +87,7 @@ impl Metrics {
             shm_grants: self.shm_grants - earlier.shm_grants,
             shm_revokes: self.shm_revokes - earlier.shm_revokes,
             shm_mapped_bytes: self.shm_mapped_bytes - earlier.shm_mapped_bytes,
+            calls_batched: self.calls_batched - earlier.calls_batched,
         }
     }
 
@@ -144,6 +150,22 @@ mod tests {
             shm_grants: 1,
             shm_revokes: 2,
             shm_mapped_bytes: 4096,
+            ..Metrics::new()
+        };
+        let _ = late.since(&early);
+    }
+
+    #[test]
+    #[should_panic(expected = "calls_batched")]
+    #[cfg(debug_assertions)]
+    fn since_rejects_non_monotone_batched_calls() {
+        let early = Metrics {
+            calls_batched: 8,
+            ..Metrics::new()
+        };
+        let late = Metrics {
+            ipc_messages: 3,
+            calls_batched: 2,
             ..Metrics::new()
         };
         let _ = late.since(&early);
