@@ -25,6 +25,7 @@ pub mod omr;
 pub mod pipeline;
 pub mod spec;
 pub mod stegonet;
+pub mod storm;
 pub mod study;
 
 pub use driver::{run_app, RunOptions, RunReport};

@@ -1,0 +1,266 @@
+//! Crash-storm scenario: an adversary crashes the image-loading
+//! partition in a loop while healthy traffic keeps flowing elsewhere.
+//!
+//! Each round interleaves three flows:
+//!
+//! 1. a **healthy chain** — `findContours` then `cvtColor` re-applied
+//!    to the chain's own output; the processing-typed call keeps the
+//!    framework state (and with it the type-neutral `cvtColor`) pinned
+//!    to the processing partition, off the attacked one;
+//! 2. a **stateful capture read** — the exactly-once probe: every `Ok`
+//!    must map 1:1 onto a camera frame actually served, crashes and
+//!    journal replays included (`inject_crash_before_response` fires
+//!    periodically to force the replay window);
+//! 3. the **adversary** — an `imread` of a crafted file riding the
+//!    drone DoS CVE, which kills the loading agent mid-call.
+//!
+//! Under a supervised policy the storm drains the partition's restart
+//! budget; the partition degrades to fail-fast errors, the denial is
+//! audited, and the other partitions never notice. The run is judged by
+//! [`freepart_attacks::judge_storm`] against a baseline run without the
+//! adversary.
+
+use freepart::{Policy, Runtime};
+use freepart_attacks::{judge_storm, payloads, StormVerdicts};
+use freepart_baselines::ApiSurface;
+use freepart_frameworks::registry::standard_registry;
+use freepart_frameworks::{fileio, image::Image, Value};
+use freepart_simos::Camera;
+
+/// The CVE the adversary rides (the drone case study's DoS bug in the
+/// image loader).
+pub const STORM_CVE: &str = "CVE-2017-14136";
+
+/// Crash-storm configuration.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Rounds of interleaved traffic.
+    pub rounds: u32,
+    /// Inject a crash-after-execution (journal-replay window) on the
+    /// loading partition every this-many rounds; `0` disables.
+    pub crash_every: u32,
+    /// Whether the adversary runs (off = the baseline run).
+    pub adversary: bool,
+    /// Runtime policy (the interesting ones: `restart_budget`,
+    /// `warm_spares`, `batch_window`).
+    pub policy: Policy,
+}
+
+/// What one storm (or baseline) run observed.
+#[derive(Debug, Clone)]
+pub struct StormRun {
+    /// Capture reads that returned `Ok` to the application.
+    pub successful_reads: u64,
+    /// Healthy-chain calls that completed.
+    pub healthy_ok: u64,
+    /// p99 virtual-ns latency of the healthy `cvtColor` traffic.
+    pub healthy_p99_ns: u64,
+    /// Agent restarts the supervisor performed.
+    pub restarts: u64,
+    /// Partitions degraded to fail-fast by the supervisor.
+    pub degraded: Vec<freepart::PartitionId>,
+    /// True when a `RestartDenied` audit record was written.
+    pub restart_denied_audited: bool,
+    /// Camera frames actually served (ground truth).
+    pub frames_served: u64,
+    /// Virtual makespan of the run.
+    pub makespan_ns: u64,
+}
+
+/// Runs one storm (or baseline, with `adversary: false`) pass.
+pub fn run_crash_storm(cfg: &StormConfig) -> StormRun {
+    let mut rt = Runtime::install(standard_registry(), cfg.policy.clone());
+    rt.enable_tracing();
+    rt.kernel.camera = Some(Camera::new(77, freepart_frameworks::exec::CAMERA_FRAME_LEN));
+    let ok_img = Image::new(16, 16, 3);
+    rt.kernel
+        .fs
+        .put("/storm/ok.simg", fileio::encode_image(&ok_img, None));
+    let payload = payloads::dos(STORM_CVE);
+    rt.kernel.fs.put(
+        "/storm/evil.simg",
+        fileio::encode_image(&Image::new(16, 16, 3), Some(&payload)),
+    );
+    rt.finish_setup();
+
+    // The partition the adversary attacks: wherever `imread` routes.
+    let imread = rt
+        .registry()
+        .id_of("cv2.imread")
+        .expect("imread in catalog");
+    let loading = rt.partition_of(imread);
+
+    // Setup: a live capture plus the healthy chain's seed object. Each
+    // round's leading `findContours` migrates the chain payload off the
+    // loading partition; every later hop chains on its own output.
+    let capture = rt
+        .call("cv2.VideoCapture", &[Value::I64(0)])
+        .expect("capture opens");
+    let seed = rt
+        .call("cv2.imread", &[Value::Str("/storm/ok.simg".into())])
+        .expect("benign image loads");
+    let mut cur = rt.call("cv2.cvtColor", &[seed]).expect("first hop");
+
+    let mut run = StormRun {
+        successful_reads: 0,
+        healthy_ok: 0,
+        healthy_p99_ns: 0,
+        restarts: 0,
+        degraded: Vec::new(),
+        restart_denied_audited: false,
+        frames_served: 0,
+        makespan_ns: 0,
+    };
+
+    for round in 0..cfg.rounds {
+        rt.trace_mark(&format!("storm:round {round}"));
+        // 1. Healthy traffic, chained so it stays off `loading`:
+        //    `findContours` (processing-typed) moves the framework state
+        //    — and, via LDC, the chained payload — to the processing
+        //    partition first, so the type-neutral `cvtColor` colocates
+        //    there rather than with the attacked loading context.
+        if rt
+            .call("cv2.findContours", std::slice::from_ref(&cur))
+            .is_ok()
+        {
+            run.healthy_ok += 1;
+        }
+        if let Ok(next) = rt.call("cv2.cvtColor", std::slice::from_ref(&cur)) {
+            cur = next;
+            run.healthy_ok += 1;
+        }
+        // 2. The exactly-once probe. Periodically crash the loading
+        //    agent *after* execution but before the response: the frame
+        //    is served exactly once and must come back via journal
+        //    replay after the restart.
+        if cfg.crash_every > 0 && round % cfg.crash_every == cfg.crash_every - 1 {
+            rt.inject_crash_before_response(loading);
+        }
+        if rt
+            .call("cv2.VideoCapture.read", std::slice::from_ref(&capture))
+            .is_ok()
+        {
+            run.successful_reads += 1;
+        }
+        // 3. The adversary: a crafted file that kills the loader
+        //    mid-call, over and over. Expected to fail; what matters is
+        //    what each failure costs the supervisor.
+        if cfg.adversary {
+            let _ = rt.call("cv2.imread", &[Value::Str("/storm/evil.simg".into())]);
+        }
+    }
+
+    run.restarts = rt.stats().restarts;
+    run.degraded = rt.degraded_partitions();
+    run.restart_denied_audited = rt
+        .tracer()
+        .audit_log()
+        .iter()
+        .any(|r| matches!(r, freepart::AuditRecord::RestartDenied { .. }));
+    run.frames_served = rt.kernel.camera.as_ref().map_or(0, Camera::frames_served);
+    run.makespan_ns = rt.kernel.makespan_ns();
+    // Healthy p99: the cvtColor row with the most completed calls (the
+    // chain's steady-state partition).
+    let cvt = rt
+        .registry()
+        .id_of("cv2.cvtColor")
+        .expect("cvtColor in catalog");
+    run.healthy_p99_ns = rt
+        .tracer()
+        .stats()
+        .iter()
+        .filter(|((_, api), _)| *api == cvt)
+        .max_by_key(|(_, s)| s.calls)
+        .map_or(0, |(_, s)| s.latency.quantile(0.99));
+    // Exactly-once sanity inside the run itself, before any judging.
+    debug_assert!(run.frames_served >= run.successful_reads);
+    run
+}
+
+/// Runs the storm and its adversary-free baseline under the same policy
+/// and judges the three verdicts.
+pub fn judge_crash_storm(cfg: &StormConfig) -> (StormRun, StormRun, StormVerdicts) {
+    let baseline = run_crash_storm(&StormConfig {
+        adversary: false,
+        ..cfg.clone()
+    });
+    let storm = run_crash_storm(&StormConfig {
+        adversary: true,
+        ..cfg.clone()
+    });
+    let verdicts = judge_with(&storm, &baseline);
+    (baseline, storm, verdicts)
+}
+
+fn judge_with(storm: &StormRun, baseline: &StormRun) -> StormVerdicts {
+    // `judge_storm` reads the camera from a kernel; reconstruct an
+    // equivalent one from the recorded ground truth so judgment stays in
+    // the attacks crate.
+    let mut k = freepart_simos::Kernel::new();
+    let mut cam = Camera::new(0, 1);
+    for _ in 0..storm.frames_served {
+        let _ = cam.capture();
+    }
+    k.camera = Some(cam);
+    judge_storm(
+        &k,
+        storm.successful_reads,
+        storm.healthy_p99_ns,
+        baseline.healthy_p99_ns,
+        !storm.degraded.is_empty() && storm.restart_denied_audited,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freepart::RestartBudget;
+
+    fn supervised() -> Policy {
+        Policy {
+            batch_window: Some(Policy::DEFAULT_BATCH_WINDOW),
+            restart_budget: Some(RestartBudget::default()),
+            warm_spares: 2,
+            ..Policy::freepart()
+        }
+    }
+
+    #[test]
+    fn storm_is_absorbed_under_supervision() {
+        let cfg = StormConfig {
+            rounds: 24,
+            crash_every: 5,
+            adversary: true,
+            policy: supervised(),
+        };
+        let (baseline, storm, verdicts) = judge_crash_storm(&cfg);
+        // Baseline: no restarts, nothing degraded, every read lands.
+        assert_eq!(baseline.degraded, vec![]);
+        assert_eq!(baseline.frames_served, baseline.successful_reads);
+        // Storm: the budget ran out, the partition degraded, the denial
+        // was audited — and all three verdicts went the defender's way.
+        assert!(storm.restarts > 0, "the supervisor did respawn at first");
+        assert!(!storm.degraded.is_empty(), "then degraded the partition");
+        assert!(storm.restart_denied_audited);
+        assert!(verdicts.all_prevented(), "{verdicts:?}");
+        // Healthy traffic kept flowing every round.
+        assert_eq!(storm.healthy_ok, baseline.healthy_ok);
+    }
+
+    #[test]
+    fn unbudgeted_storm_is_not_detected() {
+        let cfg = StormConfig {
+            rounds: 12,
+            crash_every: 0,
+            adversary: true,
+            policy: Policy::freepart(),
+        };
+        let (_, storm, verdicts) = judge_crash_storm(&cfg);
+        // Without a budget the respawn loop just spins: no degradation,
+        // no audit record — the DoS-detection verdict goes the
+        // attacker's way even though replay still holds.
+        assert!(storm.degraded.is_empty());
+        assert!(verdicts.exactly_once.prevented());
+        assert!(!verdicts.dos_detected.prevented());
+    }
+}

@@ -12,7 +12,9 @@
 pub mod cve;
 pub mod judge;
 pub mod payloads;
+pub mod storm;
 pub mod study;
 
 pub use cve::{by_class, find, CveEntry, VulnClass, CASE_STUDY, TABLE5};
 pub use judge::{judge, AttackGoal, Verdict};
+pub use storm::{judge_storm, StormVerdicts, LATENCY_BOUND_FACTOR};

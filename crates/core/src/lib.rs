@@ -38,7 +38,9 @@ pub mod syscall_policy;
 pub mod trace;
 
 pub use partition::{PartitionId, PartitionPlan};
-pub use policy::{ChannelTransport, HostDataPlacement, Policy, RestartPolicy, SandboxLevel};
+pub use policy::{
+    ChannelTransport, HostDataPlacement, Policy, RestartBudget, RestartPolicy, SandboxLevel,
+};
 pub use runtime::transport::{Transport, TransportCtx};
 pub use runtime::{Agent, CallError, CallHandle, Runtime, RuntimeStats, ThreadId};
 pub use state::{FrameworkState, StateMachine};

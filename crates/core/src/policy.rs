@@ -67,6 +67,34 @@ pub enum RestartPolicy {
     StayDown,
 }
 
+/// Token-bucket restart budget for the supervisor (§ availability
+/// hardening): each respawn spends one token; tokens refill at
+/// `refill_ns` of virtual time apiece up to `burst`. Consecutive
+/// restarts without a full bucket also pay exponential backoff. When
+/// the bucket is empty the partition is *degraded* — hooked calls fail
+/// fast with `AgentUnavailable` instead of feeding a respawn loop, and
+/// the denial is audited as `RestartDenied`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartBudget {
+    /// Maximum restarts a partition can burst through back-to-back.
+    pub burst: u32,
+    /// Virtual ns to mint one replacement token.
+    pub refill_ns: u64,
+    /// Base backoff charged before the k-th consecutive restart:
+    /// `backoff_ns << min(k-1, 10)`.
+    pub backoff_ns: u64,
+}
+
+impl Default for RestartBudget {
+    fn default() -> Self {
+        RestartBudget {
+            burst: 6,
+            refill_ns: 5_000_000,
+            backoff_ns: 2_000,
+        }
+    }
+}
+
 /// Full runtime configuration.
 #[derive(Debug, Clone)]
 pub struct Policy {
@@ -104,6 +132,20 @@ pub struct Policy {
     /// Snapshot stateful objects every this-many calls per agent
     /// (§A.2.4); `0` disables snapshotting.
     pub snapshot_interval: u64,
+    /// Copy only objects whose write epoch moved since the previous
+    /// snapshot, reusing prior bytes for proven-clean ones. Snapshot
+    /// reads are uncharged in virtual time, so this changes no timing —
+    /// only the `snapshot_bytes_copied` / `snapshot_objects_skipped`
+    /// counters — which is why it can default on.
+    pub incremental_snapshots: bool,
+    /// Pre-forked spare agents kept per partition; a restart adopts a
+    /// spare (rebind + reseal) instead of paying a cold spawn. `0`
+    /// disables pre-forking entirely, preserving the cold-restart path
+    /// bit-for-bit.
+    pub warm_spares: u32,
+    /// Supervised restart budget; `None` means unlimited restarts (the
+    /// pre-supervisor behavior, preserved bit-for-bit).
+    pub restart_budget: Option<RestartBudget>,
     /// Route type-neutral APIs to the calling context's agent instead of
     /// their own type's agent (§4.2).
     pub colocate_type_neutral: bool,
@@ -122,6 +164,9 @@ impl Default for Policy {
             temporal_protection: true,
             restart: RestartPolicy::Restart,
             snapshot_interval: 8,
+            incremental_snapshots: true,
+            warm_spares: 0,
+            restart_budget: None,
             colocate_type_neutral: true,
         }
     }
@@ -167,6 +212,17 @@ impl Policy {
     pub fn freepart_batched() -> Policy {
         Policy {
             batch_window: Some(Policy::DEFAULT_BATCH_WINDOW),
+            ..Policy::default()
+        }
+    }
+
+    /// Full FreePart under a real supervisor: warm spares absorb agent
+    /// deaths and a token-bucket budget turns a crash storm into a
+    /// degraded (fail-fast, audited) partition instead of a respawn loop.
+    pub fn freepart_supervised() -> Policy {
+        Policy {
+            warm_spares: 2,
+            restart_budget: Some(RestartBudget::default()),
             ..Policy::default()
         }
     }
@@ -230,5 +286,28 @@ mod tests {
         assert!(batched.lazy_data_copy);
         assert!(batched.temporal_protection);
         assert_eq!(batched.shm_threshold, None);
+    }
+
+    #[test]
+    fn supervision_is_opt_in() {
+        // Seed-identical defaults: no spares, no budget.
+        let d = Policy::default();
+        assert_eq!(d.warm_spares, 0);
+        assert_eq!(d.restart_budget, None);
+        let s = Policy::freepart_supervised();
+        assert_eq!(s.warm_spares, 2);
+        assert_eq!(s.restart_budget, Some(RestartBudget::default()));
+        // Everything else matches full FreePart.
+        assert!(s.lazy_data_copy);
+        assert!(s.temporal_protection);
+        assert_eq!(s.shm_threshold, None);
+        assert_eq!(s.batch_window, None);
+    }
+
+    #[test]
+    fn incremental_snapshots_default_on_and_timing_neutral() {
+        // Snapshot copies are uncharged in virtual time, so the default
+        // can be `true` without moving any benchmark number.
+        assert!(Policy::default().incremental_snapshots);
     }
 }

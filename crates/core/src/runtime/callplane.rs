@@ -671,10 +671,15 @@ impl Runtime {
         }
         let mut snapshot_due = false;
         if outcome.is_ok() && !inf.booked {
-            let agent = self.agents.get_mut(&partition).expect("agent exists");
-            agent.calls += 1;
-            snapshot_due = self.policy.snapshot_interval > 0
-                && agent.calls.is_multiple_of(self.policy.snapshot_interval);
+            // The agent record can be gone by retirement time if the
+            // supervisor degraded the partition mid-flight (a seal
+            // failure after this call's successful execution): book the
+            // completion, skip the per-agent counters.
+            if let Some(agent) = self.agents.get_mut(&partition) {
+                agent.calls += 1;
+                snapshot_due = self.policy.snapshot_interval > 0
+                    && agent.calls.is_multiple_of(self.policy.snapshot_interval);
+            }
             self.stats.rpc_calls += 1;
             self.call_log.push(inf.api);
 
@@ -743,5 +748,12 @@ impl Runtime {
     /// regression tests.
     pub fn inject_crash_before_response(&mut self, partition: PartitionId) {
         self.crash_before_response = Some(partition);
+    }
+
+    /// Test hook: forces every snapshot restore in `partition`'s next
+    /// restart to fail, exercising the audit-and-quarantine path a real
+    /// allocation or write error would take. One-shot.
+    pub fn inject_restore_failure(&mut self, partition: PartitionId) {
+        self.fail_next_restore = Some(partition);
     }
 }

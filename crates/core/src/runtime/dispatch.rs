@@ -41,7 +41,15 @@ impl Runtime {
                 return Err(CallError::AgentUnavailable(partition));
             }
         }
-        let agent_pid = self.agents[&partition].pid;
+        // Re-resolve: the restart may have installed a fresh pid — or
+        // degraded the partition (budget exhausted, seal failure), in
+        // which case the call fails fast instead of indexing a gone
+        // agent record.
+        let agent_pid = self
+            .agents
+            .get(&partition)
+            .ok_or(CallError::AgentUnavailable(partition))?
+            .pid;
 
         // --- request frame host → agent ---
         // Batched mode buffers the encoded frame for the next batch

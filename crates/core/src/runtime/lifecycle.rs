@@ -1,21 +1,33 @@
 //! Agent lifecycle: sealing the per-agent syscall filter, stateful
 //! snapshots, crash restarts, and crash auditing. Everything here is
 //! about the agent *process*, not the calls flowing through it.
+//!
+//! Restarts run under a **supervisor** (DESIGN.md §13): the crashed pid
+//! is reaped (address space freed, shm views revoked with audit),
+//! snapshots restore incrementally from write-epoch-verified bytes, a
+//! pre-forked warm spare is adopted when the policy pools one, and a
+//! token-bucket budget turns respawn loops into an audited, fail-fast
+//! degraded partition.
 
-use super::{Agent, Runtime, SnapshotEntry, ThreadId};
+use super::{Agent, RestartGovernor, Runtime, SnapshotEntry, SnapshotPlace, ThreadId};
 use crate::partition::PartitionId;
 use crate::policy::SandboxLevel;
 use crate::syscall_policy::build_filter;
 use crate::trace::{AuditRecord, SpanEvent, SpanPhase};
 use freepart_frameworks::api::ApiId;
-use freepart_frameworks::{ObjectId, ObjectKind};
+use freepart_frameworks::{ObjectId, ObjectKind, ObjectMeta};
 use freepart_simos::{FaultKind, Perms, Pid, ProcessState};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 impl Runtime {
     /// Installs and locks the partition's syscall filter (§4.4.1): the
     /// allowlist is derived from the APIs routed to this agent, then
     /// sealed with no-new-privs so not even the agent can widen it.
+    ///
+    /// A failed `install_filter` must never leave the agent running
+    /// unsandboxed with `sealed = false`: debug builds panic, release
+    /// builds audit ([`AuditRecord::SealFailed`]) and degrade the
+    /// partition to fail-fast errors.
     pub(super) fn seal_agent(&mut self, partition: PartitionId) {
         let agent = self.agents.get_mut(&partition).expect("agent exists");
         let pid = agent.pid;
@@ -37,23 +49,69 @@ impl Runtime {
             }
         };
         filter.lock();
-        if self.kernel.install_filter(pid, filter).is_ok() {
-            // PR_SET_NO_NEW_PRIVS: the configuration is now immutable
-            // even from inside the process.
-            if let Ok(p) = self.kernel.process_mut(pid) {
-                p.no_new_privs = true;
+        match self.kernel.install_filter(pid, filter) {
+            Ok(()) => {
+                // PR_SET_NO_NEW_PRIVS: the configuration is now immutable
+                // even from inside the process.
+                if let Ok(p) = self.kernel.process_mut(pid) {
+                    p.no_new_privs = true;
+                }
+                self.agents
+                    .get_mut(&partition)
+                    .expect("agent exists")
+                    .sealed = true;
             }
-            self.agents
-                .get_mut(&partition)
-                .expect("agent exists")
-                .sealed = true;
+            Err(e) => {
+                debug_assert!(false, "install_filter failed for {partition}: {e:?}");
+                if self.tracer.enabled() {
+                    let at_ns = self.kernel.now_ns();
+                    self.tracer.record_audit(AuditRecord::SealFailed {
+                        at_ns,
+                        partition,
+                        pid,
+                        error: format!("{e:?}"),
+                    });
+                }
+                self.degrade_partition(partition);
+            }
         }
+    }
+
+    /// Takes a partition out of service: the agent record is dropped
+    /// (hooked calls fail fast with `AgentUnavailable`) and the sticky
+    /// degraded flag blocks any future respawn.
+    fn degrade_partition(&mut self, partition: PartitionId) {
+        self.agents.remove(&partition);
+        let now = self.kernel.now_ns();
+        self.governors
+            .entry(partition)
+            .or_insert(RestartGovernor {
+                tokens: 0,
+                last_refill_ns: now,
+                streak: 0,
+                degraded: false,
+            })
+            .degraded = true;
     }
 
     /// Records restorable copies of the partition's stateful objects
     /// (captures, models, classifiers) for use after a crash restart.
+    ///
+    /// Incremental mode (`Policy::incremental_snapshots`) piggybacks on
+    /// the same page machinery temporal protection uses: an object whose
+    /// payload sits at the same home, at the same place, with an
+    /// unchanged write epoch since the previous snapshot cannot have
+    /// changed — its prior bytes are reused and only the (cheap) kind
+    /// and label are refreshed. Pages locked read-only across the whole
+    /// interval keep their epoch by construction, so the paper's
+    /// "stayed read-only ⇒ unchanged" rule falls out as a special case.
     pub(super) fn take_snapshot(&mut self, partition: PartitionId) {
-        let pid = self.agents[&partition].pid;
+        // A degraded or budget-denied partition has no agent; there is
+        // nothing to snapshot (mirrors `seal_agent`'s early return).
+        let Some(agent) = self.agents.get(&partition) else {
+            return;
+        };
+        let pid = agent.pid;
         let stateful: Vec<ObjectId> = self
             .objects
             .iter()
@@ -68,29 +126,80 @@ impl Runtime {
             })
             .map(|m| m.id)
             .collect();
+        let incremental = self.policy.incremental_snapshots;
+        let prev: Vec<SnapshotEntry> = if incremental {
+            self.snapshots.get(&partition).cloned().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         let mut entries = Vec::new();
         for id in stateful {
             let meta = self.objects.meta(id).expect("listed above").clone();
-            let bytes = self
-                .objects
-                .read_bytes(&mut self.kernel, id)
-                .unwrap_or_default();
+            let place = self.snapshot_place(&meta);
+            let clean_bytes = if incremental && place != SnapshotPlace::None {
+                prev.iter()
+                    .find(|p| p.object == id && p.home == pid && p.place == place)
+                    .map(|p| p.bytes.clone())
+            } else {
+                None
+            };
+            let bytes = match clean_bytes {
+                Some(bytes) => {
+                    self.kernel.note_snapshot_skip();
+                    bytes
+                }
+                None => {
+                    let b = self
+                        .objects
+                        .read_bytes(&mut self.kernel, id)
+                        .unwrap_or_default();
+                    self.kernel.note_snapshot_copy(b.len() as u64);
+                    b
+                }
+            };
             entries.push(SnapshotEntry {
                 object: id,
+                // Kind and label are always re-read: `kind` carries live
+                // state (e.g. a capture's frames_read) that moves without
+                // touching payload pages.
                 kind: meta.kind,
                 label: meta.label,
                 bytes,
+                home: pid,
+                place,
             });
         }
         self.snapshots.insert(partition, entries);
     }
 
-    /// Respawns a crashed agent: new process, new code page, channel
-    /// rebound, stateful snapshots restored (with temporal protection
-    /// re-applied to them), the completion journal carried over, and —
-    /// if the old process was already sealed — the syscall filter
-    /// re-sealed immediately so the sandbox never reopens in the respawn
-    /// window. Crashed-process variable values are deliberately **not**
+    /// Where `meta`'s payload lives right now, stamped with the write
+    /// epoch observed there. `None` (no payload, or unreadable epoch)
+    /// is never considered clean.
+    fn snapshot_place(&self, meta: &ObjectMeta) -> SnapshotPlace {
+        if let Some((seg, _)) = meta.shm {
+            if let Some(s) = self.kernel.shm_segment(seg) {
+                return SnapshotPlace::Shm {
+                    seg,
+                    epoch: s.write_epoch(),
+                };
+            }
+        }
+        if let Some((addr, len)) = meta.buffer {
+            if let Some(epoch) = self.kernel.write_epoch(meta.home, addr, len.max(1)) {
+                return SnapshotPlace::Buffer { addr, epoch };
+            }
+        }
+        SnapshotPlace::None
+    }
+
+    /// Respawns a crashed agent: new process (a pre-forked warm spare
+    /// when pooled), new code page, channel rebound, the crashed pid
+    /// reaped (shm views revoked with audit, address space freed),
+    /// stateful snapshots restored (with temporal protection re-applied
+    /// to them), the completion journal carried over, and — if the old
+    /// process was already sealed — the syscall filter re-sealed
+    /// immediately so the sandbox never reopens in the respawn window.
+    /// Crashed-process variable values are deliberately **not**
     /// restored (§6).
     pub fn restart_agent(&mut self, partition: PartitionId) {
         self.restart_agent_on(partition, ThreadId::MAIN);
@@ -106,11 +215,33 @@ impl Runtime {
         };
         let chan = agent.chan;
         let was_sealed = agent.sealed;
-        let new_pid = self.kernel.spawn(&format!("agent:{partition}+"));
-        let code_page = self
-            .kernel
-            .alloc(new_pid, freepart_simos::PAGE_SIZE, Perms::RX)
-            .expect("fresh agent allocates");
+        let old_pid = agent.pid;
+        if !self.take_restart_token(partition) {
+            // Budget exhausted (or already degraded): no respawn. The
+            // corpse is still reaped so a degraded partition does not
+            // leak its dead address space; subsequent calls fail fast
+            // with `AgentUnavailable`.
+            self.reap_agent(old_pid);
+            return;
+        }
+        let spare = self
+            .spares
+            .get_mut(&partition)
+            .and_then(VecDeque::pop_front);
+        let (new_pid, code_page) = match spare {
+            // Warm path: adopt the pre-forked process — no spawn, no
+            // code-page allocation, on the critical path only rebind,
+            // reap, restore, and reseal.
+            Some(s) => (s.pid, s.code_page),
+            None => {
+                let pid = self.kernel.spawn(&format!("agent:{partition}+"));
+                let code_page = self
+                    .kernel
+                    .alloc(pid, freepart_simos::PAGE_SIZE, Perms::RX)
+                    .expect("fresh agent allocates");
+                (pid, code_page)
+            }
+        };
         self.kernel
             .rebind_channel(chan, new_pid)
             .expect("channel exists");
@@ -130,16 +261,37 @@ impl Runtime {
                 cache: agent.cache,
             },
         );
+        // Reap the corpse inside the same drain barrier as the respawn:
+        // audited shm revocation first (one `ShmRevoke` per view, as at
+        // state transitions), then the kernel frees the address space
+        // and purges the remaining grant/map table entries.
+        self.reap_agent(old_pid);
         // Restore snapshotted stateful objects into the new process, then
         // re-apply temporal protection — the restore writes into fresh RW
         // pages, and restart must not leave protected objects writable.
+        let force_fail = self.fail_next_restore == Some(partition);
+        if force_fail {
+            self.fail_next_restore = None;
+        }
         if let Some(entries) = self.snapshots.get(&partition).cloned() {
+            let mut lost: Vec<ObjectId> = Vec::new();
             for entry in entries {
-                if let Ok(addr) =
-                    self.kernel
+                let restored = if force_fail {
+                    Err("injected restore failure".to_owned())
+                } else {
+                    match self
+                        .kernel
                         .alloc(new_pid, entry.bytes.len().max(1) as u64, Perms::RW)
-                {
-                    if self.kernel.mem_write(new_pid, addr, &entry.bytes).is_ok() {
+                    {
+                        Ok(addr) => match self.kernel.mem_write(new_pid, addr, &entry.bytes) {
+                            Ok(()) => Ok(addr),
+                            Err(e) => Err(format!("{e:?}")),
+                        },
+                        Err(e) => Err(format!("{e:?}")),
+                    }
+                };
+                match restored {
+                    Ok(addr) => {
                         if let Some(meta) = self.objects.meta_mut(entry.object) {
                             meta.home = new_pid;
                             meta.buffer = Some((addr, entry.bytes.len() as u64));
@@ -148,6 +300,29 @@ impl Runtime {
                         }
                         self.reapply_all(entry.object);
                     }
+                    Err(reason) => {
+                        // A failed restore must not leave `meta.home`
+                        // dangling at the reaped pid: surface it and
+                        // quarantine the object, so later uses get a
+                        // clean `StateLost` instead of resolving against
+                        // a corpse.
+                        if tracing {
+                            let at_ns = self.kernel.now_ns();
+                            self.tracer.record_audit(AuditRecord::SnapshotLost {
+                                at_ns,
+                                partition,
+                                object: entry.object,
+                                reason,
+                            });
+                        }
+                        self.quarantine_object(entry.object);
+                        lost.push(entry.object);
+                    }
+                }
+            }
+            if !lost.is_empty() {
+                if let Some(entries) = self.snapshots.get_mut(&partition) {
+                    entries.retain(|e| !lost.contains(&e.object));
                 }
             }
         }
@@ -168,6 +343,91 @@ impl Runtime {
                 bytes: 0,
             });
         }
+    }
+
+    /// Reaps a dead agent process: audited revocation of the shm views
+    /// it still holds, then the kernel frees its address space and
+    /// purges its grant/map entries. A still-running target (injected
+    /// restarts, budget-denied teardown) exits cleanly first.
+    fn reap_agent(&mut self, old_pid: Pid) {
+        self.revoke_views_of(old_pid, self.seq);
+        if self.kernel.is_running(old_pid) {
+            if let Ok(p) = self.kernel.process_mut(old_pid) {
+                p.state = ProcessState::Exited(0);
+            }
+        }
+        let _ = self.kernel.reap(old_pid);
+    }
+
+    /// Drops a restore-orphaned object everywhere the runtime tracks it:
+    /// store, temporal-protection machines, pins, and hazards. Later
+    /// calls that reference it fail fast with `StateLost`.
+    fn quarantine_object(&mut self, id: ObjectId) {
+        self.objects.destroy(id);
+        for sm in self.states.values_mut() {
+            sm.forget(id);
+        }
+        self.pinned.remove(&id);
+        self.last_touch.remove(&id);
+    }
+
+    /// Spends one token from the partition's restart budget. Returns
+    /// `false` — degrading the partition — when the bucket is empty or
+    /// the partition was already degraded. With no budget configured
+    /// every restart is allowed (the pre-supervisor behavior).
+    ///
+    /// Tokens refill at `refill_ns` of virtual time apiece (capped at
+    /// `burst`); a full bucket resets the consecutive-restart streak.
+    /// Each granted restart charges `backoff_ns << min(streak-1, 10)` of
+    /// exponential backoff, so even within budget a crash loop slows
+    /// down instead of hammering the respawn path.
+    fn take_restart_token(&mut self, partition: PartitionId) -> bool {
+        if self.is_degraded(partition) {
+            return false;
+        }
+        let Some(budget) = self.policy.restart_budget else {
+            return true;
+        };
+        let now = self.kernel.now_ns();
+        let mut g = *self.governors.entry(partition).or_insert(RestartGovernor {
+            tokens: budget.burst,
+            last_refill_ns: now,
+            streak: 0,
+            degraded: false,
+        });
+        if let Some(intervals) = now
+            .saturating_sub(g.last_refill_ns)
+            .checked_div(budget.refill_ns)
+        {
+            let minted = intervals.min(u64::from(budget.burst)) as u32;
+            if minted > 0 {
+                g.tokens = g.tokens.saturating_add(minted).min(budget.burst);
+                g.last_refill_ns = now;
+            }
+        }
+        if g.tokens == budget.burst {
+            g.streak = 0;
+        }
+        let granted = if g.tokens == 0 {
+            g.degraded = true;
+            if self.tracer.enabled() {
+                self.tracer.record_audit(AuditRecord::RestartDenied {
+                    at_ns: now,
+                    partition,
+                    restarts: self.stats.restarts,
+                    burst: budget.burst,
+                });
+            }
+            false
+        } else {
+            g.tokens -= 1;
+            g.streak += 1;
+            let backoff = budget.backoff_ns << u64::from(g.streak - 1).min(10);
+            self.kernel.charge_time(backoff);
+            true
+        };
+        self.governors.insert(partition, g);
+        granted
     }
 
     /// Classifies a just-crashed agent's fault into an audit record:

@@ -50,7 +50,7 @@ use crate::trace::Tracer;
 use freepart_analysis::{HybridReport, SyscallProfile, TestCorpus};
 use freepart_frameworks::api::{ApiId, ApiRegistry};
 use freepart_frameworks::{ActionReport, FrameworkError, ObjectId, ObjectKind, ObjectStore, Value};
-use freepart_simos::{Addr, ChannelId, Kernel, Perms, Pid};
+use freepart_simos::{Addr, ChannelId, Kernel, Perms, Pid, ShmId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
@@ -149,6 +149,21 @@ impl Agent {
     }
 }
 
+/// Where a stateful object's payload lived when it was snapshotted,
+/// with the write epoch observed there. Two equal `SnapshotPlace`s at
+/// the same home pid prove the payload bytes unchanged (the bump
+/// allocator never reuses addresses, segments never change identity),
+/// which is what lets an incremental snapshot skip the copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SnapshotPlace {
+    /// No byte payload (or nothing comparable) — always copied.
+    None,
+    /// Private buffer pages in the home agent.
+    Buffer { addr: Addr, epoch: u64 },
+    /// A kernel-owned shared-memory segment.
+    Shm { seg: ShmId, epoch: u64 },
+}
+
 /// A snapshotted stateful object (for restart restoration, §A.2.4).
 #[derive(Debug, Clone)]
 struct SnapshotEntry {
@@ -156,6 +171,33 @@ struct SnapshotEntry {
     kind: ObjectKind,
     label: String,
     bytes: Vec<u8>,
+    /// The pid the object was homed at when snapshotted.
+    home: Pid,
+    /// Payload location + write epoch at snapshot time.
+    place: SnapshotPlace,
+}
+
+/// A pre-forked spare agent process, waiting to adopt a crashed
+/// sibling's partition: pid + RX code page, nothing else (channel,
+/// journal, and shm views are adopted from the crashed agent).
+#[derive(Debug, Clone, Copy)]
+struct Spare {
+    pid: Pid,
+    code_page: Addr,
+}
+
+/// Per-partition supervisor state: the token bucket of
+/// [`RestartBudget`](crate::policy::RestartBudget) plus the sticky
+/// degraded flag.
+#[derive(Debug, Clone, Copy)]
+struct RestartGovernor {
+    tokens: u32,
+    last_refill_ns: u64,
+    /// Consecutive restarts without the bucket refilling to full —
+    /// drives exponential backoff.
+    streak: u32,
+    /// Once true, the partition fails fast forever (no respawns).
+    degraded: bool,
 }
 
 /// Errors surfaced by [`Runtime::call`].
@@ -277,6 +319,13 @@ pub struct Runtime {
     /// member seq: `(first member's hook-entry ns, member count)`. The
     /// enclosing `batch` span is emitted when that member retires.
     batch_spans: BTreeMap<u64, (u64, usize)>,
+    /// Pre-forked spare agents per partition (`Policy::warm_spares`).
+    spares: BTreeMap<PartitionId, VecDeque<Spare>>,
+    /// Per-partition restart-budget state (`Policy::restart_budget`).
+    governors: BTreeMap<PartitionId, RestartGovernor>,
+    /// One-shot fault injection: force the next snapshot restore for
+    /// this partition to fail (exercises the quarantine path).
+    fail_next_restore: Option<PartitionId>,
 }
 
 impl fmt::Debug for Runtime {
@@ -342,6 +391,9 @@ impl Runtime {
             pipeline_window: 4,
             batch: None,
             batch_spans: BTreeMap::new(),
+            spares: BTreeMap::new(),
+            governors: BTreeMap::new(),
+            fail_next_restore: None,
         };
         rt.spawn_agent_set(ThreadId::MAIN);
         rt
@@ -380,6 +432,58 @@ impl Runtime {
                 cache: CompletionCache::new(64),
             },
         );
+        for _ in 0..self.policy.warm_spares {
+            self.prefork_spare(partition);
+        }
+    }
+
+    /// Pre-forks one spare agent process for `partition`: pid + RX code
+    /// page only. Everything else (channel, journal, shm views) is
+    /// adopted from the crashed sibling at restart time.
+    fn prefork_spare(&mut self, partition: PartitionId) {
+        let pid = self.kernel.spawn(&format!("agent:{partition}~"));
+        let code_page = self
+            .kernel
+            .alloc(pid, freepart_simos::PAGE_SIZE, Perms::RX)
+            .expect("fresh spare allocates");
+        self.spares
+            .entry(partition)
+            .or_default()
+            .push_back(Spare { pid, code_page });
+    }
+
+    /// Tops every partition's spare pool back up to
+    /// `Policy::warm_spares`. Restarts deliberately do *not* auto-refill
+    /// (the spawn cost would land inside the restart they are meant to
+    /// make cheap); call this off the critical path.
+    pub fn refill_spares(&mut self) {
+        let target = self.policy.warm_spares as usize;
+        let partitions: Vec<PartitionId> = self.agents.keys().copied().collect();
+        for p in partitions {
+            while self.spares.get(&p).map_or(0, VecDeque::len) < target {
+                self.prefork_spare(p);
+            }
+        }
+    }
+
+    /// Spare agents currently pooled for `partition`.
+    pub fn spare_count(&self, partition: PartitionId) -> usize {
+        self.spares.get(&partition).map_or(0, VecDeque::len)
+    }
+
+    /// True when the supervisor degraded `partition` to fail-fast
+    /// (restart budget exhausted, or an unsealable respawn).
+    pub fn is_degraded(&self, partition: PartitionId) -> bool {
+        self.governors.get(&partition).is_some_and(|g| g.degraded)
+    }
+
+    /// Partitions the supervisor has degraded, in id order.
+    pub fn degraded_partitions(&self) -> Vec<PartitionId> {
+        self.governors
+            .iter()
+            .filter(|(_, g)| g.degraded)
+            .map(|(p, _)| *p)
+            .collect()
     }
 
     // ------------------------------------------------------------------

@@ -358,6 +358,32 @@ impl Runtime {
     /// storm. Runs inside the drain barrier (no call in flight), so a
     /// stale agent's next access faults instead of racing the sweep.
     /// One audit record per revoked `(segment, pid)` pair.
+    /// Revokes every shared-memory view a dead process still holds —
+    /// the shm half of reaping a crashed agent, run inside the same
+    /// drain barrier as the respawn. One audit record per revoked view,
+    /// exactly as at framework-state transitions. (The kernel's `reap`
+    /// would drop the table entries silently; sweeping here first keeps
+    /// revocation audited.)
+    pub(super) fn revoke_views_of(&mut self, dead: Pid, seq: u64) {
+        let shm_objs: Vec<(ObjectId, ShmId)> = self
+            .objects
+            .iter()
+            .filter_map(|m| m.shm.map(|(seg, _)| (m.id, seg)))
+            .collect();
+        for (obj, seg) in shm_objs {
+            if self.kernel.shm_revoke(seg, dead).unwrap_or(false) && self.tracer.enabled() {
+                let at_ns = self.kernel.now_ns();
+                self.tracer.record_audit(AuditRecord::ShmRevoke {
+                    at_ns,
+                    object: obj,
+                    segment: seg,
+                    pid: dead,
+                    seq,
+                });
+            }
+        }
+    }
+
     pub(super) fn revoke_out_of_state_grants(&mut self, seq: u64) {
         let shm_objs: Vec<(ObjectId, ShmId, Pid)> = self
             .objects

@@ -471,6 +471,44 @@ pub enum AuditRecord {
         /// The denied syscall.
         syscall: String,
     },
+    /// The supervisor's restart budget ran dry: the partition was
+    /// degraded to fail-fast errors instead of respawned — the audited
+    /// detection of a DoS-by-restart loop.
+    RestartDenied {
+        /// Virtual time.
+        at_ns: u64,
+        /// The partition degraded.
+        partition: PartitionId,
+        /// Restarts this partition had consumed before denial.
+        restarts: u64,
+        /// The token-bucket burst size that was exhausted.
+        burst: u32,
+    },
+    /// `install_filter` failed while sealing a respawned agent. The
+    /// partition is degraded rather than left running unsandboxed.
+    SealFailed {
+        /// Virtual time.
+        at_ns: u64,
+        /// The partition that could not be sealed.
+        partition: PartitionId,
+        /// The agent pid the filter was rejected for.
+        pid: Pid,
+        /// The kernel error, stringified.
+        error: String,
+    },
+    /// A snapshot restore failed (allocation or write error in the fresh
+    /// agent); the object was quarantined instead of left pointing at
+    /// the reaped pid.
+    SnapshotLost {
+        /// Virtual time.
+        at_ns: u64,
+        /// The partition being restored.
+        partition: PartitionId,
+        /// The object dropped.
+        object: ObjectId,
+        /// Why the restore failed, stringified.
+        reason: String,
+    },
 }
 
 impl AuditRecord {

@@ -268,6 +268,34 @@ impl Kernel {
         fault
     }
 
+    /// Reaps a dead process: the corpse's address space is freed and
+    /// every grant or mapping it held on a shared-memory segment is
+    /// purged from the kernel tables. Returns the number of pages freed.
+    ///
+    /// Reaping is the supervisor's cleanup step, not a kill — the target
+    /// must already be crashed or exited ([`Errno::Eperm`] otherwise).
+    /// The pid's virtual timeline is kept so makespan stays monotone,
+    /// and nothing is charged: freeing a corpse is kernel bookkeeping,
+    /// off every measured path.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchProcess`] if the pid is unknown (double reap),
+    /// [`SimError::Errno`] (`EPERM`) if the process is still running.
+    pub fn reap(&mut self, pid: Pid) -> SimResult<u64> {
+        let p = self.procs.get(&pid).ok_or(SimError::NoSuchProcess(pid))?;
+        if p.is_running() {
+            return Err(SimError::Errno(Errno::Eperm));
+        }
+        let pages = p.aspace.mapped_bytes() / PAGE_SIZE;
+        self.procs.remove(&pid);
+        for seg in self.shm.values_mut() {
+            seg.purge(pid);
+        }
+        self.metrics.reaps += 1;
+        Ok(pages)
+    }
+
     fn require_running(&self, pid: Pid) -> SimResult<()> {
         let p = self.process(pid)?;
         if p.is_running() {
@@ -317,6 +345,19 @@ impl Kernel {
             Ok(()) => Ok(()),
             Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
         }
+    }
+
+    /// Sum of per-page write generations over `[addr, addr+len)` in
+    /// `pid`'s address space, or `None` if the process is gone, dead, or
+    /// the range is (partially) unmapped. See
+    /// [`AddressSpace::write_epoch`](crate::mem::AddressSpace::write_epoch);
+    /// reading an epoch charges nothing.
+    pub fn write_epoch(&self, pid: Pid, addr: Addr, len: u64) -> Option<u64> {
+        let p = self.procs.get(&pid)?;
+        if !p.is_running() {
+            return None;
+        }
+        p.aspace.write_epoch(addr, len)
     }
 
     /// Simulates executing code at `addr` (X permission check).
@@ -506,13 +547,21 @@ impl Kernel {
         if !ok {
             return Err(self.deliver_fault(pid, FaultKind::Protection, None).into());
         }
-        self.shm.get_mut(&id).expect("checked").data = bytes.to_vec();
+        let seg = self.shm.get_mut(&id).expect("checked");
+        seg.data = bytes.to_vec();
+        seg.writes += 1;
         Ok(())
     }
 
     /// Inspects a segment (grants, mapping, length), if it exists.
     pub fn shm_segment(&self, id: ShmId) -> Option<&ShmSegment> {
         self.shm.get(&id)
+    }
+
+    /// All live segments in id order — lets callers audit the whole
+    /// grant table (e.g. "no dead pid holds a view anywhere").
+    pub fn shm_segments(&self) -> impl Iterator<Item = (ShmId, &ShmSegment)> {
+        self.shm.iter().map(|(id, seg)| (*id, seg))
     }
 
     /// Destroys segment `id`, dropping payload and all grants.
@@ -944,6 +993,19 @@ impl Kernel {
     /// a frame.
     pub fn note_calls_batched(&mut self, n: u64) {
         self.metrics.calls_batched += n;
+    }
+
+    /// Records `bytes` of snapshot payload actually copied (a dirty
+    /// object). Snapshot reads are already uncharged in virtual time;
+    /// these counters exist so incremental snapshots are measurable.
+    pub fn note_snapshot_copy(&mut self, bytes: u64) {
+        self.metrics.snapshot_bytes_copied += bytes;
+    }
+
+    /// Records one stateful object a snapshot round proved clean via
+    /// write epochs and skipped.
+    pub fn note_snapshot_skip(&mut self) {
+        self.metrics.snapshot_objects_skipped += 1;
     }
 
     /// Re-binds a channel's B endpoint after an agent restart.
@@ -1422,5 +1484,71 @@ mod tests {
         k.shm_map(b, id).unwrap();
         let mapped_ns = k.now_ns() - t0;
         assert!(mapped_ns < k.cost_model().copy_cost(64 * 1024));
+    }
+
+    #[test]
+    fn reap_frees_pages_and_purges_shm_views() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        k.alloc(a, 3 * PAGE_SIZE, Perms::RW).unwrap();
+        let id = k.shm_create(a, vec![7; 64]).unwrap();
+        k.shm_grant(id, b, Perms::R).unwrap();
+        let before = k.total_pages();
+        k.deliver_fault(a, FaultKind::Abort, None);
+        let freed = k.reap(a).unwrap();
+        assert_eq!(freed, 3);
+        assert_eq!(k.total_pages(), before - 3);
+        assert_eq!(k.metrics().reaps, 1);
+        // The corpse's views are gone; the segment and b's grant survive.
+        let seg = k.shm_segment(id).unwrap();
+        assert_eq!(seg.grant_of(a), None);
+        assert!(!seg.is_mapped(a));
+        assert_eq!(seg.grant_of(b), Some(Perms::R));
+        // Double reap is an error, not a silent no-op.
+        assert!(matches!(k.reap(a), Err(SimError::NoSuchProcess(_))));
+    }
+
+    #[test]
+    fn reap_refuses_a_running_process() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        assert!(matches!(k.reap(a), Err(SimError::Errno(Errno::Eperm))));
+        assert!(k.is_running(a));
+    }
+
+    #[test]
+    fn write_epochs_change_only_on_writes() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let addr = k.alloc(a, 2 * PAGE_SIZE, Perms::RW).unwrap();
+        let e0 = k.write_epoch(a, addr, 2 * PAGE_SIZE).unwrap();
+        // Reads and protection flips leave the epoch alone.
+        k.mem_read(a, addr, 16).unwrap();
+        k.protect(a, addr, 2 * PAGE_SIZE, Perms::R).unwrap();
+        k.protect(a, addr, 2 * PAGE_SIZE, Perms::RW).unwrap();
+        assert_eq!(k.write_epoch(a, addr, 2 * PAGE_SIZE).unwrap(), e0);
+        // A write to the second page bumps the range epoch but not the
+        // first page's own epoch.
+        let p1 = k.write_epoch(a, addr, PAGE_SIZE).unwrap();
+        k.mem_write(a, Addr(addr.0 + PAGE_SIZE), &[9; 8]).unwrap();
+        assert!(k.write_epoch(a, addr, 2 * PAGE_SIZE).unwrap() > e0);
+        assert_eq!(k.write_epoch(a, addr, PAGE_SIZE).unwrap(), p1);
+        // Unmapped ranges and dead processes have no epoch.
+        assert_eq!(k.write_epoch(a, Addr(addr.0 + 64 * PAGE_SIZE), 1), None);
+        k.deliver_fault(a, FaultKind::Abort, None);
+        assert_eq!(k.write_epoch(a, addr, PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn shm_write_epoch_tracks_payload_replacement() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a");
+        let id = k.shm_create(a, vec![1; 128]).unwrap();
+        let e0 = k.shm_segment(id).unwrap().write_epoch();
+        k.shm_read(a, id).unwrap();
+        assert_eq!(k.shm_segment(id).unwrap().write_epoch(), e0);
+        k.shm_write(a, id, &[2; 128]).unwrap();
+        assert!(k.shm_segment(id).unwrap().write_epoch() > e0);
     }
 }

@@ -53,7 +53,7 @@ pub mod shm;
 pub mod syscall;
 
 pub use cost::{CostModel, VirtualClock};
-pub use device::{DeviceKind, Display, NetworkLog, WindowId};
+pub use device::{Camera, DeviceKind, Display, NetworkLog, WindowId};
 pub use error::{Errno, Fault, FaultKind, SimError, SimResult};
 pub use filter::{FdRule, FilterDecision, SyscallFilter};
 pub use fs::SimFs;

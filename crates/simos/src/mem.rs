@@ -105,11 +105,15 @@ impl fmt::Display for Perms {
     }
 }
 
-/// One 4 KiB page: backing bytes plus its protection word.
+/// One 4 KiB page: backing bytes plus its protection word and a
+/// write-generation counter (the soft-dirty bit of this simulation:
+/// incremental snapshots compare generations across an interval to
+/// prove a payload unchanged without reading it).
 #[derive(Clone)]
 struct Page {
     perms: Perms,
     data: Vec<u8>,
+    writes: u64,
 }
 
 impl Page {
@@ -117,6 +121,7 @@ impl Page {
         Page {
             perms,
             data: vec![0; PAGE_SIZE as usize],
+            writes: 0,
         }
     }
 }
@@ -299,6 +304,7 @@ impl AddressSpace {
             let take = src.len().min((PAGE_SIZE - cur.page_offset()) as usize);
             let page = self.pages.get_mut(&base).expect("checked");
             page.data[off..off + take].copy_from_slice(&src[..take]);
+            page.writes += 1;
             cur = cur.offset(take as u64);
             src = &src[take..];
         }
@@ -308,6 +314,24 @@ impl AddressSpace {
     /// Simulates an instruction fetch: checks execute permission at `addr`.
     pub fn fetch(&self, addr: Addr) -> AccessResult<()> {
         self.check(addr, 1, Perms::X)
+    }
+
+    /// Sum of the per-page write generations over `[addr, addr+len)`,
+    /// or `None` if any page in the range is unmapped. A page whose
+    /// permissions stayed read-only over an interval trivially keeps its
+    /// generation; the counter also catches writable-but-unwritten pages,
+    /// so an unchanged sum proves the range's bytes did not change (the
+    /// bump allocator never reuses addresses, ruling out remap aliasing).
+    pub fn write_epoch(&self, addr: Addr, len: u64) -> Option<u64> {
+        let first = addr.page_base();
+        let last = Addr(addr.0 + len.saturating_sub(1)).page_base();
+        let mut sum = 0u64;
+        let mut p = first;
+        while p <= last {
+            sum += self.pages.get(&p)?.writes;
+            p += PAGE_SIZE;
+        }
+        Some(sum)
     }
 
     /// Number of mapped pages.

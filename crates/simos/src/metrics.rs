@@ -44,6 +44,14 @@ pub struct Metrics {
     /// keeps counting *frames*, so `calls_batched / frames` shows the
     /// amortization honestly instead of hiding the calls.
     pub calls_batched: u64,
+    /// Payload bytes actually copied by `take_snapshot` (dirty objects).
+    pub snapshot_bytes_copied: u64,
+    /// Stateful objects a snapshot round proved clean via write epochs
+    /// and reused prior bytes for, copying nothing.
+    pub snapshot_objects_skipped: u64,
+    /// Dead processes reaped: address space freed, shm grant/map entries
+    /// purged.
+    pub reaps: u64,
 }
 
 impl Metrics {
@@ -73,6 +81,9 @@ impl Metrics {
         debug_assert!(self.shm_revokes >= earlier.shm_revokes);
         debug_assert!(self.shm_mapped_bytes >= earlier.shm_mapped_bytes);
         debug_assert!(self.calls_batched >= earlier.calls_batched);
+        debug_assert!(self.snapshot_bytes_copied >= earlier.snapshot_bytes_copied);
+        debug_assert!(self.snapshot_objects_skipped >= earlier.snapshot_objects_skipped);
+        debug_assert!(self.reaps >= earlier.reaps);
         Metrics {
             ipc_messages: self.ipc_messages - earlier.ipc_messages,
             ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
@@ -88,6 +99,10 @@ impl Metrics {
             shm_revokes: self.shm_revokes - earlier.shm_revokes,
             shm_mapped_bytes: self.shm_mapped_bytes - earlier.shm_mapped_bytes,
             calls_batched: self.calls_batched - earlier.calls_batched,
+            snapshot_bytes_copied: self.snapshot_bytes_copied - earlier.snapshot_bytes_copied,
+            snapshot_objects_skipped: self.snapshot_objects_skipped
+                - earlier.snapshot_objects_skipped,
+            reaps: self.reaps - earlier.reaps,
         }
     }
 
@@ -166,6 +181,23 @@ mod tests {
         let late = Metrics {
             ipc_messages: 3,
             calls_batched: 2,
+            ..Metrics::new()
+        };
+        let _ = late.since(&early);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot_bytes_copied")]
+    #[cfg(debug_assertions)]
+    fn since_rejects_non_monotone_snapshot_counters() {
+        let early = Metrics {
+            snapshot_bytes_copied: 4096,
+            ..Metrics::new()
+        };
+        let late = Metrics {
+            snapshot_bytes_copied: 64,
+            snapshot_objects_skipped: 3,
+            reaps: 1,
             ..Metrics::new()
         };
         let _ = late.since(&early);

@@ -46,6 +46,7 @@ pub struct ShmSegment {
     pub(crate) data: Vec<u8>,
     pub(crate) grants: BTreeMap<Pid, Perms>,
     pub(crate) mapped: BTreeSet<Pid>,
+    pub(crate) writes: u64,
 }
 
 impl ShmSegment {
@@ -54,6 +55,7 @@ impl ShmSegment {
             data,
             grants: BTreeMap::new(),
             mapped: BTreeSet::new(),
+            writes: 0,
         }
     }
 
@@ -80,6 +82,23 @@ impl ShmSegment {
     /// True when `pid` has page-mapped the segment.
     pub fn is_mapped(&self, pid: Pid) -> bool {
         self.mapped.contains(&pid)
+    }
+
+    /// Write generation of the payload: bumped by the kernel on every
+    /// `shm_write`. An unchanged generation across an interval proves the
+    /// payload bytes did not change — the shared-memory counterpart of
+    /// [`AddressSpace::write_epoch`](crate::mem::AddressSpace::write_epoch),
+    /// and what lets incremental snapshots skip shm-promoted objects.
+    pub fn write_epoch(&self) -> u64 {
+        self.writes
+    }
+
+    /// Drops every grant and mapping `pid` holds on this segment. Used
+    /// when reaping a dead process: the segment (kernel-owned) survives,
+    /// but the corpse's permission entries must not.
+    pub(crate) fn purge(&mut self, pid: Pid) {
+        self.grants.remove(&pid);
+        self.mapped.remove(&pid);
     }
 }
 
