@@ -11,7 +11,6 @@
 use freepart::CallError;
 use freepart_baselines::ApiSurface;
 use freepart_frameworks::{ExploitPayload, ObjectId, Value};
-use freepart_simos::device::Camera;
 
 /// Drone mission configuration.
 #[derive(Debug, Clone, Default)]
@@ -43,8 +42,11 @@ pub struct DroneResult {
 /// Flies the mission under any isolation scheme.
 pub fn run(surface: &mut dyn ApiSurface, cfg: &DroneConfig) -> DroneResult {
     if surface.kernel().camera.is_none() {
-        surface.kernel_mut().camera =
-            Some(Camera::new(77, freepart_frameworks::exec::CAMERA_FRAME_LEN));
+        // Logged attach: the camera seed lands in the commit log, so a
+        // recorded mission replays frame-identical.
+        surface
+            .kernel_mut()
+            .attach_camera(77, freepart_frameworks::exec::CAMERA_FRAME_LEN);
     }
     let speed_original = 0.3f64.to_le_bytes().to_vec();
     let speed = surface.host_data("self.speed", &speed_original);
@@ -85,7 +87,7 @@ pub fn run(surface: &mut dyn ApiSurface, cfg: &DroneConfig) -> DroneResult {
         if let Some((at, payload)) = &cfg.evil_frame {
             if *at == frame_idx {
                 let img = freepart_frameworks::image::Image::new(16, 16, 3);
-                surface.kernel_mut().fs.put(
+                surface.kernel_mut().fs_put(
                     &staged,
                     freepart_frameworks::fileio::encode_image(&img, Some(payload)),
                 );

@@ -1,0 +1,221 @@
+//! Flight-recorder **record → replay → audit** bench.
+//!
+//! Records the two drone attack scenarios (DoS frame, speed-corruption
+//! frame) under `Policy::freepart_recorded()`, replays each commit log
+//! against a fresh kernel asserting digest-identical state at every
+//! step, runs the kernel- and runtime-level invariant auditors, walks
+//! the forensic chain back from every crash, and re-derives the attack
+//! verdicts from the replayed kernel alone — proving the verdicts are
+//! reproducible from the log, not just observable live.
+//!
+//! Results land in `BENCH_replay.json` at the repo root (hand-rolled
+//! JSON; the suite carries no serde) and as a table on stdout.
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p freepart-bench --bin freepart-replay
+//! ```
+
+use freepart::{
+    crash_forensics, journal_exactly_once, transition_windows, w_grant_discipline, Policy, Runtime,
+};
+use freepart_apps::drone::{self, DroneConfig};
+use freepart_attacks::payloads;
+use freepart_bench::{workspace_root, Table};
+use freepart_frameworks::registry::standard_registry;
+use freepart_simos::replay::{audit, replay};
+use freepart_simos::FaultKind;
+
+/// One recorded-and-replayed attack scenario.
+struct Scenario {
+    name: &'static str,
+    /// Commit records in the log.
+    commits: u64,
+    /// Replay steps that diverged from the recorded digests.
+    divergences: usize,
+    /// Kernel-level invariant violations (`freepart_simos::replay::audit`).
+    kernel_violations: usize,
+    /// Runtime-level discipline violations (grant sweep, journal).
+    runtime_violations: usize,
+    /// Involuntary deaths found in the log.
+    crashes: usize,
+    /// Provenance-chain length of the attack's crash.
+    forensic_chain_len: usize,
+    /// Did the live run survive the attack (control loop alive)?
+    verdict_live: bool,
+    /// Does the replayed kernel agree (host running, attack fault
+    /// present in the log with the expected kind)?
+    verdict_replay: bool,
+}
+
+/// Records one drone mission, replays it, audits it, and reports.
+fn record_and_replay(name: &'static str, cfg: &DroneConfig, expect_fault: FaultKind) -> Scenario {
+    let mut rt = Runtime::install(standard_registry(), Policy::freepart_recorded());
+    rt.enable_tracing();
+    let result = drone::run(&mut rt, cfg);
+    let host = rt.host_pid();
+    let live_digest = rt.kernel.state_digest();
+    let log = rt.kernel.take_commit_log().expect("recording was on");
+
+    // Digest-identical replay from the log alone.
+    let (rebuilt, report) = replay(&log);
+    assert_eq!(report.steps, log.len(), "{name}: replay must cover the log");
+    assert!(
+        report.is_clean(),
+        "{name}: replay diverged: {:?}",
+        report.divergences
+    );
+    assert_eq!(
+        rebuilt.state_digest(),
+        live_digest,
+        "{name}: rebuilt kernel must match the live final state"
+    );
+
+    // Kernel-level whole-trace invariants.
+    let kernel_violations = audit(&log);
+    assert!(
+        kernel_violations.is_empty(),
+        "{name}: honest log flagged: {kernel_violations:?}"
+    );
+
+    // Runtime-level disciplines, joined through the tracer's windows.
+    let windows = transition_windows(rt.tracer());
+    let mut runtime_violations = w_grant_discipline(&log, &windows, host);
+    runtime_violations.extend(journal_exactly_once(rt.tracer()));
+    assert!(
+        runtime_violations.is_empty(),
+        "{name}: discipline violated: {runtime_violations:?}"
+    );
+
+    // Forensics: the attack's crash and its provenance chain.
+    let crashes = crash_forensics(&log);
+    let attack_crash = crashes
+        .iter()
+        .find(|c| c.kind == expect_fault)
+        .unwrap_or_else(|| panic!("{name}: expected a {expect_fault:?} crash in the log"));
+
+    // The verdict, re-derived from the replayed kernel alone: the host
+    // (control loop) survived, and the attack died inside an agent.
+    let verdict_replay = rebuilt.is_running(host) && attack_crash.pid != host;
+
+    Scenario {
+        name,
+        commits: log.len(),
+        divergences: report.divergences.len(),
+        kernel_violations: kernel_violations.len(),
+        runtime_violations: runtime_violations.len(),
+        crashes: crashes.len(),
+        forensic_chain_len: attack_crash.chain.len(),
+        verdict_live: result.control_loop_alive,
+        verdict_replay,
+    }
+}
+
+fn to_json(rows: &[Scenario]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"commits\": {}, \"divergences\": {}, \
+             \"kernel_violations\": {}, \"runtime_violations\": {}, \
+             \"crashes\": {}, \"forensic_chain_len\": {}, \
+             \"verdict_live\": {}, \"verdict_replay\": {}, \
+             \"verdict_reproduced\": {}}}{}\n",
+            r.name,
+            r.commits,
+            r.divergences,
+            r.kernel_violations,
+            r.runtime_violations,
+            r.crashes,
+            r.forensic_chain_len,
+            r.verdict_live,
+            r.verdict_replay,
+            r.verdict_live == r.verdict_replay,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    // Scenario 1 — DoS: a poisoned frame crashes the loading agent; the
+    // supervisor restarts it and the mission keeps flying.
+    let dos = record_and_replay(
+        "drone_dos",
+        &DroneConfig {
+            frames: 5,
+            evil_frame: Some((2, payloads::dos("CVE-2017-14136"))),
+        },
+        FaultKind::Abort,
+    );
+
+    // Scenario 2 — speed corruption: the exploit's write lands on a
+    // temporally-protected page and faults instead of flipping the
+    // steering sign. The target address comes from an identical probe
+    // mission (deterministic layout).
+    let addr = {
+        let mut probe = Runtime::install(standard_registry(), Policy::freepart_recorded());
+        let r = drone::run(
+            &mut probe,
+            &DroneConfig {
+                frames: 0,
+                evil_frame: None,
+            },
+        );
+        probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
+    };
+    let evil_speed = (-0.3f64).to_le_bytes().to_vec();
+    let corrupt = record_and_replay(
+        "drone_corruption",
+        &DroneConfig {
+            frames: 4,
+            evil_frame: Some((1, payloads::corrupt("CVE-2017-12606", addr.0, evil_speed))),
+        },
+        FaultKind::Protection,
+    );
+
+    let rows = [dos, corrupt];
+    let mut table = Table::new([
+        "scenario",
+        "commits",
+        "diverg.",
+        "kernel viol.",
+        "runtime viol.",
+        "crashes",
+        "chain len",
+        "verdict",
+    ]);
+    for r in &rows {
+        table.row([
+            r.name.to_string(),
+            r.commits.to_string(),
+            r.divergences.to_string(),
+            r.kernel_violations.to_string(),
+            r.runtime_violations.to_string(),
+            r.crashes.to_string(),
+            r.forensic_chain_len.to_string(),
+            if r.verdict_live && r.verdict_replay {
+                "survived (reproduced)".into()
+            } else {
+                "MISMATCH".into()
+            },
+        ]);
+    }
+    table.print("flight recorder: record → replay → audit");
+
+    for r in &rows {
+        assert_eq!(r.divergences, 0, "{}: replay diverged", r.name);
+        assert_eq!(r.kernel_violations + r.runtime_violations, 0);
+        assert!(
+            r.verdict_live && r.verdict_replay,
+            "{}: verdict not reproduced from the log",
+            r.name
+        );
+        assert!(r.forensic_chain_len >= 2, "{}: thin chain", r.name);
+    }
+
+    let json = to_json(&rows);
+    let out = workspace_root().join("BENCH_replay.json");
+    std::fs::write(&out, &json).expect("write BENCH_replay.json");
+    println!("\nwrote {} ({} scenarios)", out.display(), rows.len());
+}

@@ -76,12 +76,15 @@ fn main() {
     // Agent-side compute replaces the original's inline compute; what the
     // partitioning *adds* on the compute axis is the residual after the
     // three mechanism components are taken out of the FreePart total.
-    let mechanisms = buckets.marshal_ns + buckets.copy_ns + buckets.mprotect_ns;
+    // `other_ns` is the supervisor's share: restart and snapshot spans
+    // that used to fall outside the decomposition entirely.
+    let mechanisms = buckets.marshal_ns + buckets.copy_ns + buckets.mprotect_ns + buckets.other_ns;
     let compute_delta = (t_fp as i64 - mechanisms as i64) - t_orig as i64;
     let components = [
         ("marshal", buckets.marshal_ns as i64),
         ("copy", buckets.copy_ns as i64),
         ("mprotect", buckets.mprotect_ns as i64),
+        ("restart/snapshot", buckets.other_ns as i64),
         ("compute delta", compute_delta),
     ];
     let sum: i64 = components.iter().map(|(_, v)| v).sum();
@@ -159,9 +162,14 @@ fn main() {
         audited_pages, kernel_pages,
         "audit log must account for every mprotect page transition"
     );
+    let snapshots_skipped = rt.kernel.metrics().snapshot_objects_skipped;
     println!(
         "\naudit: {transitions} state transitions, {reprotects} reprotects, \
          {audited_pages} mprotect page transitions (= kernel counter) ✓"
+    );
+    println!(
+        "snapshots: {snapshots_skipped} clean objects skipped by the \
+         write-epoch incremental snapshotter"
     );
 
     // ---- batched submission: where the flushes come from ----

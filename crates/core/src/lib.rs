@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forensics;
 pub mod partition;
 pub mod policy;
 pub mod rpc;
@@ -37,6 +38,10 @@ pub mod state;
 pub mod syscall_policy;
 pub mod trace;
 
+pub use forensics::{
+    crash_forensics, journal_exactly_once, transition_windows, w_grant_discipline, CrashForensics,
+    TransitionWindow,
+};
 pub use partition::{PartitionId, PartitionPlan};
 pub use policy::{
     ChannelTransport, HostDataPlacement, Policy, RestartBudget, RestartPolicy, SandboxLevel,

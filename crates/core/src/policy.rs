@@ -149,6 +149,13 @@ pub struct Policy {
     /// Route type-neutral APIs to the calling context's agent instead of
     /// their own type's agent (§4.2).
     pub colocate_type_neutral: bool,
+    /// Kernel flight recorder: append every state-mutating kernel
+    /// transition to the commit log (with a running state digest) so the
+    /// whole run can be replayed bit-for-bit and audited after the fact.
+    /// Off by default — recording must not perturb the benchmark
+    /// artifacts, and a disabled recorder costs one branch per kernel
+    /// entry point.
+    pub record_commits: bool,
 }
 
 impl Default for Policy {
@@ -168,6 +175,7 @@ impl Default for Policy {
             warm_spares: 0,
             restart_budget: None,
             colocate_type_neutral: true,
+            record_commits: false,
         }
     }
 }
@@ -223,6 +231,17 @@ impl Policy {
         Policy {
             warm_spares: 2,
             restart_budget: Some(RestartBudget::default()),
+            ..Policy::default()
+        }
+    }
+
+    /// Full FreePart with the kernel flight recorder on: every
+    /// state-mutating kernel transition lands in the commit log, so the
+    /// run can be replayed digest-identical and audited from the log
+    /// alone (`freepart_simos::replay`).
+    pub fn freepart_recorded() -> Policy {
+        Policy {
+            record_commits: true,
             ..Policy::default()
         }
     }
@@ -302,6 +321,20 @@ mod tests {
         assert!(s.temporal_protection);
         assert_eq!(s.shm_threshold, None);
         assert_eq!(s.batch_window, None);
+    }
+
+    #[test]
+    fn recording_is_opt_in() {
+        // Seed-identical defaults: the flight recorder is off, so the
+        // benchmark artifacts stay byte-identical.
+        assert!(!Policy::default().record_commits);
+        let r = Policy::freepart_recorded();
+        assert!(r.record_commits);
+        // Everything else matches full FreePart.
+        assert!(r.lazy_data_copy);
+        assert!(r.temporal_protection);
+        assert_eq!(r.shm_threshold, None);
+        assert_eq!(r.batch_window, None);
     }
 
     #[test]

@@ -384,6 +384,9 @@ impl Runtime {
             } else {
                 None
             };
+            // Flight-recorder correlation: the commit-log slice covering
+            // this transition's mprotect storm + temporal-grant sweep.
+            let commits0 = self.kernel.commit_len();
             let sm = self.states.get_mut(&thread).expect("checked");
             let newly = sm.observe(api_type, &mut self.kernel, &self.objects).ok();
             let to = self.state_of(thread);
@@ -401,16 +404,20 @@ impl Runtime {
                     let prot1 = self.states[&thread].protected().len();
                     let locked = newly.unwrap_or(0);
                     let unlocked = (prot0 + locked).saturating_sub(prot1);
-                    self.tracer.record_audit(AuditRecord::StateTransition {
-                        at_ns: t0,
-                        thread,
-                        seq,
-                        from,
-                        to,
-                        objects_locked: locked,
-                        objects_unlocked: unlocked,
-                        pages,
-                    });
+                    let commits = (commits0, self.kernel.commit_len());
+                    self.tracer.record_audit_with_commits(
+                        AuditRecord::StateTransition {
+                            at_ns: t0,
+                            thread,
+                            seq,
+                            from,
+                            to,
+                            objects_locked: locked,
+                            objects_unlocked: unlocked,
+                            pages,
+                        },
+                        Some(commits),
+                    );
                     self.tracer.span(SpanEvent {
                         phase: SpanPhase::Transition,
                         seq,

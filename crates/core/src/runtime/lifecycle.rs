@@ -52,10 +52,11 @@ impl Runtime {
         match self.kernel.install_filter(pid, filter) {
             Ok(()) => {
                 // PR_SET_NO_NEW_PRIVS: the configuration is now immutable
-                // even from inside the process.
-                if let Ok(p) = self.kernel.process_mut(pid) {
-                    p.no_new_privs = true;
-                }
+                // even from inside the process. Goes through the logged
+                // kernel entry point so the seal lands in the commit log
+                // (the replay auditor's filter-immutability rule keys off
+                // this record).
+                let _ = self.kernel.set_no_new_privs(pid);
                 self.agents
                     .get_mut(&partition)
                     .expect("agent exists")
@@ -351,11 +352,10 @@ impl Runtime {
     /// restarts, budget-denied teardown) exits cleanly first.
     fn reap_agent(&mut self, old_pid: Pid) {
         self.revoke_views_of(old_pid, self.seq);
-        if self.kernel.is_running(old_pid) {
-            if let Ok(p) = self.kernel.process_mut(old_pid) {
-                p.state = ProcessState::Exited(0);
-            }
-        }
+        // Logged supervisor exit: a still-running target leaves an
+        // auditable `ForceExit` commit record instead of a silent
+        // process-table mutation.
+        self.kernel.force_exit(old_pid, 0);
         let _ = self.kernel.reap(old_pid);
     }
 

@@ -356,6 +356,11 @@ impl Runtime {
         policy: Policy,
     ) -> Runtime {
         let mut kernel = Kernel::new();
+        // The flight recorder must attach before the first mutation (the
+        // commit log's genesis digest is the pristine kernel).
+        if policy.record_commits {
+            kernel.enable_commit_log();
+        }
         let host = kernel.spawn("host");
         let temporal = policy.temporal_protection;
         let mut states = BTreeMap::new();

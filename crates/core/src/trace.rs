@@ -209,6 +209,7 @@ pub struct Log2Histogram {
     buckets: [u64; HIST_BUCKETS],
     count: u64,
     sum: u64,
+    min: u64,
     max: u64,
 }
 
@@ -218,6 +219,7 @@ impl Default for Log2Histogram {
             buckets: [0; HIST_BUCKETS],
             count: 0,
             sum: 0,
+            min: 0,
             max: 0,
         }
     }
@@ -242,6 +244,7 @@ impl Log2Histogram {
     /// Records one observation.
     pub fn record(&mut self, v: u64) {
         self.buckets[Self::bucket_of(v)] += 1;
+        self.min = if self.count == 0 { v } else { self.min.min(v) };
         self.count += 1;
         self.sum += v;
         self.max = self.max.max(v);
@@ -255,6 +258,11 @@ impl Log2Histogram {
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
     }
 
     /// Largest observation.
@@ -286,17 +294,26 @@ impl Log2Histogram {
     }
 
     /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
-    /// bucket containing the `q`-th observation.
+    /// bucket containing the `q`-th observation, clamped into
+    /// `[min, max]`. Edge cases are explicit, not loop fall-through:
+    /// an empty histogram returns 0, `q <= 0` returns the smallest
+    /// observation, `q >= 1` (and NaN) returns the largest.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q.is_nan() || q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_bound(i).min(self.max);
+                return Self::bucket_bound(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -307,6 +324,11 @@ impl Log2Histogram {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
+        self.min = match (self.count, other.count) {
+            (_, 0) => self.min,
+            (0, _) => other.min,
+            _ => self.min.min(other.min),
+        };
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
@@ -563,6 +585,10 @@ pub struct Tracer {
     events: Vec<SpanEvent>,
     marks: Vec<(u64, ThreadId, String)>,
     audit: Vec<AuditRecord>,
+    /// Commit-log index range `[start, end)` each audit record covers,
+    /// parallel to `audit`. `None` when the kernel flight recorder was
+    /// off (or the recording site predates correlation).
+    audit_commits: Vec<Option<(u64, u64)>>,
     stats: BTreeMap<(PartitionId, ApiId), ApiStats>,
     pending: BTreeMap<u64, PendingCall>,
     /// Batch flushes: `(virtual ns, thread, reason, member calls)`.
@@ -598,6 +624,29 @@ impl Tracer {
     /// The security audit log, in event order.
     pub fn audit_log(&self) -> &[AuditRecord] {
         &self.audit
+    }
+
+    /// Audit records from index `idx` on — incremental consumption for
+    /// pollers (each poll resumes at the previous `audit_log().len()`,
+    /// so a consumer sees every record exactly once).
+    pub fn audit_since(&self, idx: usize) -> &[AuditRecord] {
+        &self.audit[idx.min(self.audit.len())..]
+    }
+
+    /// Spans from index `idx` on — the incremental counterpart of
+    /// [`Tracer::events`].
+    pub fn events_since(&self, idx: usize) -> &[SpanEvent] {
+        &self.events[idx.min(self.events.len())..]
+    }
+
+    /// The commit-log index range `[start, end)` audit record `i`
+    /// covers, when the kernel flight recorder was on at recording time.
+    /// Joining an audit record to its commit slice is what lets the
+    /// forensic reporter walk from a runtime-level event (a denied
+    /// restart, a filter kill) into the exact kernel transitions that
+    /// produced it.
+    pub fn audit_commit_range(&self, i: usize) -> Option<(u64, u64)> {
+        self.audit_commits.get(i).copied().flatten()
     }
 
     /// Batch flushes recorded so far: `(virtual ns, thread, reason,
@@ -664,10 +713,17 @@ impl Tracer {
         }
     }
 
-    /// Appends an audit record.
+    /// Appends an audit record with no commit-log correlation.
     pub fn record_audit(&mut self, record: AuditRecord) {
+        self.record_audit_with_commits(record, None);
+    }
+
+    /// Appends an audit record correlated to the commit-log index range
+    /// `[start, end)` of the kernel transitions it covers.
+    pub fn record_audit_with_commits(&mut self, record: AuditRecord, commits: Option<(u64, u64)>) {
         if self.enabled {
             self.audit.push(record);
+            self.audit_commits.push(commits.filter(|(s, e)| e > s));
         }
     }
 
@@ -867,29 +923,69 @@ impl Tracer {
                 &mut first,
             );
         }
-        // Shared-memory grant lifecycle as global instant events, so the
-        // temporal-permission sweeps line up visually with transitions.
+        // Shared-memory grant lifecycle and supervisor actions as global
+        // instant events, so the temporal-permission sweeps and the
+        // crash-storm responses (denied restarts, failed seals, lost
+        // snapshots) line up visually with transitions.
         for rec in &self.audit {
-            let (name, at_ns) = match rec {
+            let (name, cat, at_ns) = match rec {
                 AuditRecord::ShmGrant {
                     at_ns,
                     object,
                     segment,
                     pid,
                     ..
-                } => (format!("shm_grant {segment} {object} -> pid{pid}"), *at_ns),
+                } => (
+                    format!("shm_grant {segment} {object} -> pid{pid}"),
+                    "shm",
+                    *at_ns,
+                ),
                 AuditRecord::ShmRevoke {
                     at_ns,
                     object,
                     segment,
                     pid,
                     ..
-                } => (format!("shm_revoke {segment} {object} -x pid{pid}"), *at_ns),
+                } => (
+                    format!("shm_revoke {segment} {object} -x pid{pid}"),
+                    "shm",
+                    *at_ns,
+                ),
+                AuditRecord::RestartDenied {
+                    at_ns,
+                    partition,
+                    restarts,
+                    burst,
+                } => (
+                    format!("restart_denied {partition} after {restarts} restarts (burst {burst})"),
+                    "supervisor",
+                    *at_ns,
+                ),
+                AuditRecord::SealFailed {
+                    at_ns,
+                    partition,
+                    pid,
+                    ..
+                } => (
+                    format!("seal_failed {partition} pid{pid}"),
+                    "supervisor",
+                    *at_ns,
+                ),
+                AuditRecord::SnapshotLost {
+                    at_ns,
+                    partition,
+                    object,
+                    ..
+                } => (
+                    format!("snapshot_lost {partition} {object}"),
+                    "supervisor",
+                    *at_ns,
+                ),
                 _ => continue,
             };
             push(
                 format!(
-                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"shm\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"s\":\"g\"}}",
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"{cat}\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"s\":\"g\"}}",
                     json_escape(&name),
                     at_ns as f64 / 1e3
                 ),
@@ -953,6 +1049,105 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 2300);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Log2Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_zero_returns_the_minimum_observation() {
+        let mut h = Log2Histogram::new();
+        for v in [100, 200, 400, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.quantile(0.0), 100);
+        assert_eq!(h.quantile(-0.5), 100, "q below range clamps to min");
+        // A single observation answers every quantile with itself.
+        let mut one = Log2Histogram::new();
+        one.record(37);
+        assert_eq!(one.quantile(0.0), 37);
+        assert_eq!(one.quantile(0.5), 37);
+        assert_eq!(one.quantile(1.0), 37);
+    }
+
+    #[test]
+    fn quantile_one_returns_the_maximum_observation() {
+        let mut h = Log2Histogram::new();
+        for v in [100, 200, 400, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), 800);
+        assert_eq!(h.quantile(7.0), 800, "q above range clamps to max");
+        assert_eq!(h.quantile(f64::NAN), 800, "NaN is not a loop fall-through");
+        // Merging keeps the min/max bounds coherent for the edges.
+        let mut other = Log2Histogram::new();
+        other.record(50);
+        h.merge(&other);
+        assert_eq!(h.quantile(0.0), 50);
+        assert_eq!(h.quantile(1.0), 800);
+    }
+
+    #[test]
+    fn incremental_accessors_resume_where_the_consumer_left_off() {
+        let mut t = Tracer::new();
+        t.enable();
+        let span = |seq| SpanEvent {
+            phase: SpanPhase::Execute,
+            seq,
+            api: None,
+            partition: None,
+            thread: ThreadId::MAIN,
+            start_ns: 0,
+            end_ns: 1,
+            bytes: 0,
+        };
+        t.span(span(1));
+        let mut cursor = 0;
+        let first: Vec<u64> = t.events_since(cursor).iter().map(|e| e.seq).collect();
+        cursor = t.events().len();
+        t.span(span(2));
+        t.span(span(3));
+        let second: Vec<u64> = t.events_since(cursor).iter().map(|e| e.seq).collect();
+        cursor = t.events().len();
+        assert_eq!(first, vec![1]);
+        assert_eq!(second, vec![2, 3]);
+        assert!(
+            t.events_since(cursor).is_empty(),
+            "nothing new, nothing seen"
+        );
+        assert!(t.events_since(9999).is_empty(), "out-of-range is empty");
+
+        t.record_audit(AuditRecord::Reprotect {
+            at_ns: 5,
+            object: ObjectId(1),
+            pages: 2,
+        });
+        assert_eq!(t.audit_since(0).len(), 1);
+        assert!(t.audit_since(1).is_empty());
+    }
+
+    #[test]
+    fn audit_commit_ranges_join_records_to_the_flight_recorder() {
+        let mut t = Tracer::new();
+        t.enable();
+        let rec = || AuditRecord::Reprotect {
+            at_ns: 0,
+            object: ObjectId(1),
+            pages: 1,
+        };
+        t.record_audit(rec());
+        t.record_audit_with_commits(rec(), Some((10, 14)));
+        t.record_audit_with_commits(rec(), Some((14, 14))); // empty range
+        assert_eq!(t.audit_commit_range(0), None);
+        assert_eq!(t.audit_commit_range(1), Some((10, 14)));
+        assert_eq!(t.audit_commit_range(2), None, "empty ranges are dropped");
+        assert_eq!(t.audit_commit_range(99), None, "out of range is None");
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! tracing, telemetry on the crash/replay path, and the Chrome
 //! `trace_event` export.
 
-use freepart::{AuditRecord, Policy, Runtime, SpanPhase};
+use freepart::{AuditRecord, Policy, RestartBudget, Runtime, SpanPhase};
 use freepart_frameworks::exec::CAMERA_FRAME_LEN;
 use freepart_frameworks::registry::standard_registry;
-use freepart_frameworks::{fileio, image::Image, Value};
+use freepart_frameworks::{fileio, image::Image, ExploitAction, ExploitPayload, Value};
 use freepart_simos::device::Camera;
+use freepart_simos::FaultKind;
 
 /// Drives the OMR grader's per-sample call shape: load → process
 /// (three hops) → contour extraction → display → store. Walks the
@@ -110,7 +111,20 @@ fn replay_after_crash_shows_up_as_journal_hit_and_restart_span() {
 fn chrome_export_gives_each_application_thread_its_own_row() {
     use freepart::ThreadId;
 
-    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    // A budgeted, snapshotting policy so the same two-thread run can
+    // also exercise the supervisor instants below.
+    let mut rt = Runtime::install(
+        standard_registry(),
+        Policy {
+            snapshot_interval: 1,
+            restart_budget: Some(RestartBudget {
+                burst: 1,
+                refill_ns: 1 << 40,
+                backoff_ns: 100,
+            }),
+            ..Policy::freepart()
+        },
+    );
     rt.enable_tracing();
     rt.kernel
         .fs
@@ -121,6 +135,38 @@ fn chrome_export_gives_each_application_thread_its_own_row() {
         .unwrap();
     rt.call_on(writer, "cv2.imwrite", &[Value::from("/out.simg"), img])
         .unwrap();
+
+    // Supervisor events: a snapshot lost to an injected restore failure
+    // (the restart burns the only budget token), then a crash whose
+    // respawn is denied on the empty bucket.
+    rt.kernel.camera = Some(Camera::new(5, CAMERA_FRAME_LEN));
+    let cap = rt.call("cv2.VideoCapture", &[Value::I64(0)]).unwrap();
+    rt.call("cv2.VideoCapture.read", std::slice::from_ref(&cap))
+        .unwrap();
+    let loading = rt.partition_of(rt.registry().id_of("cv2.VideoCapture.read").unwrap());
+    let pid = rt.agent(loading).unwrap().pid;
+    rt.inject_restore_failure(loading);
+    rt.kernel.deliver_fault(pid, FaultKind::Abort, None);
+    rt.restart_agent(loading);
+    let payload = ExploitPayload {
+        cve: "CVE-2017-14136".into(),
+        actions: vec![ExploitAction::CrashSelf],
+    };
+    rt.kernel.fs.put(
+        "/evil.simg",
+        fileio::encode_image(&Image::new(16, 16, 3), Some(&payload)),
+    );
+    let _ = rt.call("cv2.imread", &[Value::from("/evil.simg")]);
+    assert!(rt
+        .tracer()
+        .audit_log()
+        .iter()
+        .any(|r| matches!(r, AuditRecord::SnapshotLost { .. })));
+    assert!(rt
+        .tracer()
+        .audit_log()
+        .iter()
+        .any(|r| matches!(r, AuditRecord::RestartDenied { .. })));
 
     let json = rt.export_chrome_trace();
     // One thread_name metadata row per application thread that emitted
@@ -138,6 +184,65 @@ fn chrome_export_gives_each_application_thread_its_own_row() {
     );
     // And the spans themselves carry the real thread ids.
     assert!(json.contains(&format!("\"tid\":{},\"ts\"", writer.0)));
+
+    // The supervisor actions render as global instant events on the
+    // crash-storm timeline.
+    assert!(
+        json.contains("snapshot_lost"),
+        "SnapshotLost instant missing"
+    );
+    assert!(
+        json.contains("restart_denied"),
+        "RestartDenied instant missing"
+    );
+    assert!(
+        json.contains("\"cat\":\"supervisor\""),
+        "supervisor category missing"
+    );
+    assert!(
+        json.contains("\"ph\":\"i\"") && json.contains("\"s\":\"g\""),
+        "supervisor events must be global-scope instants"
+    );
+}
+
+#[test]
+fn a_poller_consuming_incrementally_sees_every_record_exactly_once() {
+    // The adaptive-controller consumption pattern: poll
+    // `events_since`/`audit_since` between calls, resuming each poll at
+    // the previous high-water mark. The concatenation of the polls must
+    // equal the full log — nothing dropped, nothing duplicated.
+    let mut rt = Runtime::install(standard_registry(), Policy::freepart());
+    rt.enable_tracing();
+    rt.kernel.fs.put(
+        "/in.simg",
+        fileio::encode_image(&Image::new(16, 16, 3), None),
+    );
+
+    let mut seen_events = Vec::new();
+    let mut seen_audit = Vec::new();
+    let mut ev_mark = 0;
+    let mut audit_mark = 0;
+    let mut poll = |rt: &Runtime, ev_mark: &mut usize, audit_mark: &mut usize| {
+        let t = rt.tracer();
+        seen_events.extend(t.events_since(*ev_mark).iter().cloned());
+        seen_audit.extend(t.audit_since(*audit_mark).iter().cloned());
+        *ev_mark = t.events().len();
+        *audit_mark = t.audit_log().len();
+    };
+
+    let img = rt.call("cv2.imread", &[Value::from("/in.simg")]).unwrap();
+    poll(&rt, &mut ev_mark, &mut audit_mark);
+    let gray = rt.call("cv2.cvtColor", &[img]).unwrap();
+    poll(&rt, &mut ev_mark, &mut audit_mark);
+    // An idle poll between calls yields nothing new.
+    poll(&rt, &mut ev_mark, &mut audit_mark);
+    rt.call("cv2.imwrite", &[Value::from("/out.simg"), gray])
+        .unwrap();
+    poll(&rt, &mut ev_mark, &mut audit_mark);
+
+    assert!(!seen_events.is_empty() && !seen_audit.is_empty());
+    assert_eq!(seen_events, rt.tracer().events());
+    assert_eq!(seen_audit, rt.tracer().audit_log());
 }
 
 #[test]

@@ -334,9 +334,9 @@ pub fn execute(reg: &ApiRegistry, api: ApiId, args: &[Value], ctx: &mut ApiCtx<'
             ctx.syscall(Syscall::Select { fds: vec![fd] })?;
             let win = match ctx.kernel.display.find_window(&title) {
                 Some(w) => w,
-                None => ctx.kernel.display.create_window(&title),
+                None => ctx.kernel.win_create(&title),
             };
-            ctx.kernel.display.present(win, img.data.len());
+            ctx.kernel.win_present(win, img.data.len());
             ctx.record_flow(FlowOp::write(Storage::Gui, Storage::Mem));
             charge(ctx, &spec, img.samples() / 4);
             Ok(Value::Unit)
@@ -871,9 +871,9 @@ pub fn execute(reg: &ApiRegistry, api: ApiId, args: &[Value], ctx: &mut ApiCtx<'
             ctx.syscall(Syscall::Send { fd, bytes })?;
             let win = match ctx.kernel.display.find_window("figure") {
                 Some(w) => w,
-                None => ctx.kernel.display.create_window("figure"),
+                None => ctx.kernel.win_create("figure"),
             };
-            ctx.kernel.display.present(win, meta.len() as usize);
+            ctx.kernel.win_present(win, meta.len() as usize);
             ctx.record_flow(FlowOp::write(Storage::Gui, Storage::Mem));
             charge(ctx, &spec, meta.len());
             Ok(Value::Unit)
@@ -969,7 +969,7 @@ fn run_window_op(ctx: &mut ApiCtx<'_>, spec: &ApiSpec, op: WindowOp, args: &[Val
                 fd,
                 bytes: title.clone().into_bytes(),
             })?;
-            let win = ctx.kernel.display.create_window(&title);
+            let win = ctx.kernel.win_create(&title);
             ctx.record_flow(FlowOp::write(Storage::Gui, Storage::Mem));
             charge(ctx, spec, 16);
             let id = ctx
@@ -993,14 +993,14 @@ fn run_window_op(ctx: &mut ApiCtx<'_>, spec: &ApiSpec, op: WindowOp, args: &[Val
                 fd,
                 bytes: vec![0; 4],
             })?;
-            ctx.kernel.display.destroy_all();
+            ctx.kernel.win_destroy_all();
             ctx.record_flow(FlowOp::write(Storage::Gui, Storage::Mem));
             charge(ctx, spec, 4);
             Ok(Value::Unit)
         }
         WindowOp::PollKey | WindowOp::WaitKey => {
             ctx.syscall(Syscall::Poll { fds: vec![] })?;
-            let key = ctx.kernel.display.poll_key();
+            let key = ctx.kernel.win_poll_key();
             ctx.record_flow(FlowOp::Read(Storage::Gui));
             charge(ctx, spec, 1);
             Ok(Value::I64(key.map_or(-1, |k| k as i64)))

@@ -7,6 +7,7 @@
 //! is how the evaluation's exfiltration analysis observes whether an
 //! attack managed to `send()` stolen bytes off-box.
 
+use crate::commit::{fold_bytes, hash_str, mix, FINGERPRINT_SEED};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -61,6 +62,16 @@ impl Camera {
     /// Number of frames handed out so far.
     pub fn frames_served(&self) -> u64 {
         self.frames_served
+    }
+
+    /// Digest of the camera's observable state. The generator stream is
+    /// fully determined by the seed and the frames served, so the pair
+    /// `(frame_len, frames_served)` pins it.
+    pub fn fingerprint(&self) -> u64 {
+        mix(
+            mix(FINGERPRINT_SEED, self.frame_len as u64),
+            self.frames_served,
+        )
     }
 }
 
@@ -190,6 +201,27 @@ impl Display {
             Some(self.key_queue.remove(0))
         }
     }
+
+    /// Digest of the whole display state: windows (live and destroyed
+    /// slots), pending keys, blit volume, and connection flag. Window
+    /// counts are tiny, so this walks rather than tracking incrementally.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix(
+            mix(FINGERPRINT_SEED, self.blitted_bytes),
+            u64::from(self.connected),
+        );
+        h = mix(h, self.windows.len() as u64);
+        for w in &self.windows {
+            h = match w {
+                None => mix(h, 0),
+                Some(w) => mix(
+                    mix(mix(mix(h, 1), hash_str(&w.title)), w.last_frame_len as u64),
+                    w.presents,
+                ),
+            };
+        }
+        fold_bytes(h, &self.key_queue)
+    }
 }
 
 /// One observed outbound transmission.
@@ -210,6 +242,7 @@ pub struct NetSend {
 #[derive(Debug, Default)]
 pub struct NetworkLog {
     sends: Vec<NetSend>,
+    fp: u64,
 }
 
 impl NetworkLog {
@@ -220,11 +253,21 @@ impl NetworkLog {
 
     /// Records an outbound transmission.
     pub fn record(&mut self, pid: u32, dest: &str, bytes: &[u8]) {
+        self.fp = fold_bytes(
+            mix(mix(mix(self.fp, 1), u64::from(pid)), hash_str(dest)),
+            bytes,
+        );
         self.sends.push(NetSend {
             pid,
             dest: dest.to_owned(),
             bytes: bytes.to_vec(),
         });
+    }
+
+    /// Incremental fingerprint over the egress history (including
+    /// clears), feeding the kernel state digest.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Every transmission so far.
@@ -250,6 +293,7 @@ impl NetworkLog {
 
     /// Clears the log (between experiments).
     pub fn clear(&mut self) {
+        self.fp = mix(self.fp, 2);
         self.sends.clear();
     }
 }

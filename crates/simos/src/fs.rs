@@ -5,6 +5,7 @@
 //! directory prefixes — because FreePart's behaviour depends only on *that
 //! file traffic happens*, not on a realistic VFS.
 
+use crate::commit::{fold_bytes, hash_str, mix, FINGERPRINT_SEED};
 use crate::error::Errno;
 use std::collections::BTreeMap;
 
@@ -20,10 +21,24 @@ use std::collections::BTreeMap;
 /// assert_eq!(fs.get("/data/img0.png").unwrap(), &[1, 2, 3]);
 /// assert!(fs.get("/nope").is_none());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimFs {
     files: BTreeMap<String, Vec<u8>>,
     dirs: BTreeMap<String, ()>,
+    /// Incremental fingerprint over the mutation history (puts, writes,
+    /// unlinks, renames, mkdirs), so the kernel state digest never has to
+    /// re-hash file contents.
+    fp: u64,
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        SimFs {
+            files: BTreeMap::new(),
+            dirs: BTreeMap::new(),
+            fp: FINGERPRINT_SEED,
+        }
+    }
 }
 
 impl SimFs {
@@ -36,7 +51,14 @@ impl SimFs {
 
     /// Creates or replaces a file (harness-side seeding; bypasses syscalls).
     pub fn put(&mut self, path: &str, bytes: Vec<u8>) {
+        self.fp = fold_bytes(mix(mix(self.fp, 1), hash_str(path)), &bytes);
         self.files.insert(path.to_owned(), bytes);
+    }
+
+    /// The mutation fingerprint (see the field docs on `fp`). Two file
+    /// systems built by the same mutation sequence report the same value.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Reads a whole file (harness-side inspection; bypasses syscalls).
@@ -62,6 +84,7 @@ impl SimFs {
         if self.files.contains_key(path) {
             Ok(())
         } else if create {
+            self.fp = mix(mix(self.fp, 2), hash_str(path));
             self.files.insert(path.to_owned(), Vec::new());
             Ok(())
         } else {
@@ -86,23 +109,28 @@ impl SimFs {
             file.resize(end, 0);
         }
         file[offset as usize..end].copy_from_slice(bytes);
+        self.fp = fold_bytes(mix(mix(mix(self.fp, 3), hash_str(path)), offset), bytes);
         Ok(bytes.len() as u64)
     }
 
     /// Removes a file.
     pub fn unlink(&mut self, path: &str) -> Result<(), Errno> {
-        self.files.remove(path).map(|_| ()).ok_or(Errno::Enoent)
+        self.files.remove(path).map(|_| ()).ok_or(Errno::Enoent)?;
+        self.fp = mix(mix(self.fp, 4), hash_str(path));
+        Ok(())
     }
 
     /// Renames a file.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
         let bytes = self.files.remove(from).ok_or(Errno::Enoent)?;
         self.files.insert(to.to_owned(), bytes);
+        self.fp = mix(mix(mix(self.fp, 5), hash_str(from)), hash_str(to));
         Ok(())
     }
 
     /// Records a directory (no hierarchy enforcement).
     pub fn mkdir(&mut self, path: &str) {
+        self.fp = mix(mix(self.fp, 6), hash_str(path));
         self.dirs.insert(path.to_owned(), ());
     }
 

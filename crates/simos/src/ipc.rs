@@ -9,6 +9,7 @@
 //! `try_recv` returning `None` — the driving harness never actually needs
 //! to park because request/response pairs are executed synchronously.
 
+use crate::commit::{fold_bytes, mix, FINGERPRINT_SEED};
 use crate::process::Pid;
 use bytes::Bytes;
 use std::collections::VecDeque;
@@ -60,6 +61,9 @@ pub struct RingChannel {
     b_to_a: VecDeque<Frame>,
     a_to_b_bytes: usize,
     b_to_a_bytes: usize,
+    /// Incremental fingerprint over the channel's traffic history
+    /// (sends, receives, rebinds), feeding the kernel state digest.
+    fp: u64,
 }
 
 /// Error cases for ring operations.
@@ -82,7 +86,13 @@ impl RingChannel {
             b_to_a: VecDeque::new(),
             a_to_b_bytes: 0,
             b_to_a_bytes: 0,
+            fp: FINGERPRINT_SEED,
         }
+    }
+
+    /// The traffic-history fingerprint (see the field docs on `fp`).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Which end `pid` holds, if any.
@@ -99,6 +109,7 @@ impl RingChannel {
     /// Re-binds endpoint B to a new pid (agent restart keeps the channel).
     pub fn rebind_b(&mut self, new_b: Pid) {
         self.b = new_b;
+        self.fp = mix(mix(self.fp, 3), u64::from(new_b.0));
     }
 
     /// Enqueues a message from `from` toward the opposite end, stamped
@@ -113,6 +124,10 @@ impl RingChannel {
             return Err(RingError::Full);
         }
         *used += payload.len();
+        self.fp = fold_bytes(
+            mix(mix(mix(self.fp, 1), u64::from(from.0)), send_ns),
+            &payload,
+        );
         queue.push_back(Frame {
             from,
             payload,
@@ -131,6 +146,7 @@ impl RingChannel {
         match queue.pop_front() {
             Some(frame) => {
                 *used -= frame.payload.len();
+                self.fp = mix(mix(self.fp, 2), frame.payload.len() as u64);
                 Ok(Some(frame))
             }
             None => Ok(None),

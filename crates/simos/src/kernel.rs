@@ -21,8 +21,9 @@
 //! merge (`recv = max(recv, frame.send_ns)` plus delivery latency),
 //! and the run's makespan is the max over all timelines.
 
+use crate::commit::{self, CommitLog, CommitOp, CommitOutcome, OpSummary};
 use crate::cost::{CostModel, VirtualClock};
-use crate::device::{Camera, DeviceKind, Display, NetworkLog};
+use crate::device::{Camera, DeviceKind, Display, NetworkLog, WindowId};
 use crate::error::{Errno, Fault, FaultKind, SimError, SimResult};
 use crate::filter::{FilterDecision, SyscallFilter};
 use crate::fs::SimFs;
@@ -78,6 +79,12 @@ pub struct Kernel {
     /// Kernel-owned shared-memory segments (see [`crate::shm`]).
     shm: BTreeMap<ShmId, ShmSegment>,
     next_shm: u64,
+    /// The flight recorder, when enabled (see [`Kernel::enable_commit_log`]).
+    commit: Option<CommitLog>,
+    /// Reentrancy depth of public mutating entry points: only the
+    /// outermost call records (e.g. `syscall` → `deliver_fault` must not
+    /// log the nested fault separately).
+    op_depth: u32,
 }
 
 impl Default for Kernel {
@@ -112,7 +119,174 @@ impl Kernel {
             rng: StdRng::seed_from_u64(0x5eed),
             shm: BTreeMap::new(),
             next_shm: 0,
+            commit: None,
+            op_depth: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Flight recorder
+    // ------------------------------------------------------------------
+
+    /// Turns on the commit log. Every state-mutating kernel transition
+    /// from this point on appends one [`CommitRecord`] with a post-state
+    /// digest, and the whole run becomes reproducible from the log alone
+    /// via [`crate::replay::replay`].
+    ///
+    /// Recording must start from a pristine kernel (no processes,
+    /// channels, segments, files, or elapsed time): replays rebuild
+    /// genesis as `Kernel::with_cost_model(log.genesis())`, and the fixed
+    /// rng seed makes two pristine kernels identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state has already been created.
+    ///
+    /// [`CommitRecord`]: crate::commit::CommitRecord
+    pub fn enable_commit_log(&mut self) {
+        assert!(
+            self.procs.is_empty()
+                && self.channels.is_empty()
+                && self.shm.is_empty()
+                && self.camera.is_none()
+                && self.fs.file_count() == 0
+                && self.clock.now_ns() == 0,
+            "commit log must be enabled on a pristine kernel"
+        );
+        self.commit = Some(CommitLog::new(self.cost.clone()));
+    }
+
+    /// True when the flight recorder is on.
+    pub fn recording(&self) -> bool {
+        self.commit.is_some()
+    }
+
+    /// The commit log so far, if recording.
+    pub fn commit_log(&self) -> Option<&CommitLog> {
+        self.commit.as_ref()
+    }
+
+    /// Number of records committed so far (0 when not recording). Used
+    /// by the runtime to correlate audit records with log positions.
+    pub fn commit_len(&self) -> u64 {
+        self.commit.as_ref().map_or(0, |l| l.len())
+    }
+
+    /// Detaches and returns the commit log, turning recording off.
+    pub fn take_commit_log(&mut self) -> Option<CommitLog> {
+        self.commit.take()
+    }
+
+    /// Marks entry into a public mutating entry point; true when this
+    /// call is the outermost one and recording is on (i.e. the caller
+    /// owns the record for whatever happens inside).
+    fn commit_enter(&mut self) -> bool {
+        self.op_depth += 1;
+        self.op_depth == 1 && self.commit.is_some()
+    }
+
+    /// Marks exit from a public mutating entry point, appending the
+    /// record when this call owned it (`op` is `Some`).
+    fn commit_exit(&mut self, op: Option<CommitOp>, outcome: CommitOutcome) {
+        self.op_depth -= 1;
+        if let Some(op) = op {
+            let digest = self.state_digest();
+            if let Some(log) = self.commit.as_mut() {
+                log.push(op, outcome, digest);
+            }
+        }
+    }
+
+    /// Digest of the complete observable kernel state: clocks and
+    /// timelines, counters, every process (address-space fingerprint,
+    /// state, filter, fd table), channels, segments and their grant
+    /// tables, the file system, and devices. Two kernels that evolved
+    /// through the same transition sequence report the same digest; the
+    /// replayer compares this after every re-applied op.
+    ///
+    /// Large payloads (page data, files, segment bytes, ring traffic)
+    /// enter through incrementally-maintained fingerprints, so a digest
+    /// is O(processes + segments + channels), not O(memory).
+    pub fn state_digest(&self) -> u64 {
+        let mut h = commit::FINGERPRINT_SEED;
+        h = commit::mix(h, self.clock.now_ns());
+        h = commit::mix(
+            h,
+            match self.mode {
+                TimelineMode::Global => 0,
+                TimelineMode::PerProcess => 1,
+            },
+        );
+        h = commit::mix(h, self.time_ctx.summary());
+        h = commit::mix(h, self.timelines.len() as u64);
+        for (pid, t) in &self.timelines {
+            h = commit::mix(commit::mix(h, u64::from(pid.0)), t.now_ns());
+        }
+        h = commit::mix(h, self.metrics.fingerprint());
+        h = commit::mix(h, u64::from(self.next_pid));
+        h = commit::mix(h, u64::from(self.next_channel));
+        h = commit::mix(h, self.next_shm);
+        for (pid, p) in &self.procs {
+            h = commit::mix(h, u64::from(pid.0));
+            h = commit::mix(h, commit::hash_str(&p.name));
+            h = match &p.state {
+                ProcessState::Running => commit::mix(h, 1),
+                ProcessState::Exited(code) => commit::mix(commit::mix(h, 2), *code as u64),
+                ProcessState::Crashed(f) => commit::mix(commit::mix(h, 3), f.summary()),
+            };
+            h = commit::mix(h, u64::from(p.no_new_privs));
+            h = commit::mix(h, p.cpu_ns);
+            h = commit::mix(h, p.aspace.fingerprint());
+            h = commit::mix(h, p.aspace.page_count() as u64);
+            h = commit::mix(h, p.fd_table.len() as u64);
+            for (fd, target) in &p.fd_table {
+                h = commit::mix(h, u64::from(fd.0));
+                h = match target {
+                    FdTarget::File { path, offset } => commit::mix(
+                        commit::mix(commit::mix(h, 1), commit::hash_str(path)),
+                        *offset,
+                    ),
+                    FdTarget::Device(kind) => {
+                        commit::mix(commit::mix(h, 2), commit::hash_str(&format!("{kind:?}")))
+                    }
+                    FdTarget::Socket { dest } => {
+                        commit::mix(commit::mix(h, 3), commit::hash_str(dest))
+                    }
+                };
+            }
+            h = match &p.filter {
+                None => commit::mix(h, 0),
+                Some(f) => {
+                    let mut fh = commit::mix(commit::mix(h, 1), u64::from(f.is_locked()));
+                    for no in f.allowed_numbers() {
+                        fh = commit::mix(fh, no as u64);
+                    }
+                    fh
+                }
+            };
+        }
+        for (id, ch) in &self.channels {
+            h = commit::mix(h, u64::from(id.0));
+            h = commit::mix(h, ch.fingerprint());
+            h = commit::mix(h, u64::from(ch.a.0));
+            h = commit::mix(h, u64::from(ch.b.0));
+        }
+        for (id, seg) in &self.shm {
+            h = commit::mix(h, id.0);
+            h = commit::mix(h, seg.fingerprint());
+            h = commit::mix(h, seg.write_epoch());
+            for (pid, perms) in seg.grants() {
+                h = commit::mix(commit::mix(h, u64::from(pid.0)), u64::from(perms.bits()));
+                h = commit::mix(h, u64::from(seg.is_mapped(pid)));
+            }
+        }
+        h = commit::mix(h, self.fs.fingerprint());
+        h = match &self.camera {
+            None => commit::mix(h, 0),
+            Some(c) => commit::mix(commit::mix(h, 1), c.fingerprint()),
+        };
+        h = commit::mix(h, self.display.fingerprint());
+        commit::mix(h, self.network.fingerprint())
     }
 
     // ------------------------------------------------------------------
@@ -150,6 +324,13 @@ impl Kernel {
     /// Switches to one-timeline-per-process virtual time. Existing
     /// processes' timelines are seeded at the current global time.
     pub fn enable_per_process_time(&mut self) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::EnablePerProcessTime);
+        self.enable_per_process_time_impl();
+        self.commit_exit(op, CommitOutcome::Ok(0));
+    }
+
+    fn enable_per_process_time_impl(&mut self) {
         if self.mode == TimelineMode::PerProcess {
             return;
         }
@@ -171,7 +352,11 @@ impl Kernel {
     /// time (no effect under the global clock). Returns the previous
     /// context so callers can restore it.
     pub fn set_time_context(&mut self, pid: Option<Pid>) -> Option<Pid> {
-        std::mem::replace(&mut self.time_ctx, pid)
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::SetTimeContext { pid });
+        let prev = std::mem::replace(&mut self.time_ctx, pid);
+        self.commit_exit(op, CommitOutcome::Ok(prev.summary()));
+        prev
     }
 
     /// Advances `pid`'s timeline to at least `ns` (a happens-before
@@ -179,6 +364,13 @@ impl Kernel {
     /// produced by an in-flight call). No-op under the global clock and
     /// when the timeline is already past `ns`.
     pub fn advance_timeline_to(&mut self, pid: Pid, ns: u64) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::AdvanceTimeline { pid, ns });
+        self.advance_timeline_to_impl(pid, ns);
+        self.commit_exit(op, CommitOutcome::Ok(0));
+    }
+
+    fn advance_timeline_to_impl(&mut self, pid: Pid, ns: u64) {
         if self.mode != TimelineMode::PerProcess {
             return;
         }
@@ -212,6 +404,16 @@ impl Kernel {
 
     /// Spawns a new process, charging the spawn cost.
     pub fn spawn(&mut self, name: &str) -> Pid {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::Spawn {
+            name: name.to_owned(),
+        });
+        let pid = self.spawn_impl(name);
+        self.commit_exit(op, CommitOutcome::Ok(pid.summary()));
+        pid
+    }
+
+    fn spawn_impl(&mut self, name: &str) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         self.procs.insert(pid, SimProcess::new(pid, name));
@@ -257,7 +459,24 @@ impl Kernel {
     }
 
     /// Delivers a fatal fault to `pid`, marking it crashed.
+    ///
+    /// When recording, a direct call (not one nested inside another
+    /// kernel op such as `syscall`) logs a [`CommitOp::DeliverFault`] —
+    /// this is how faults raised by otherwise-pure reads
+    /// ([`Kernel::mem_read`], [`Kernel::shm_read`]) enter the log.
     pub fn deliver_fault(&mut self, pid: Pid, kind: FaultKind, addr: Option<Addr>) -> Fault {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::DeliverFault {
+            pid,
+            kind: kind.clone(),
+            addr,
+        });
+        let fault = self.deliver_fault_impl(pid, kind, addr);
+        self.commit_exit(op, CommitOutcome::Ok(fault.summary()));
+        fault
+    }
+
+    fn deliver_fault_impl(&mut self, pid: Pid, kind: FaultKind, addr: Option<Addr>) -> Fault {
         let fault = Fault { pid, kind, addr };
         if let Some(p) = self.procs.get_mut(&pid) {
             if p.is_running() {
@@ -283,6 +502,14 @@ impl Kernel {
     /// [`SimError::NoSuchProcess`] if the pid is unknown (double reap),
     /// [`SimError::Errno`] (`EPERM`) if the process is still running.
     pub fn reap(&mut self, pid: Pid) -> SimResult<u64> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::Reap { pid });
+        let r = self.reap_impl(pid);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn reap_impl(&mut self, pid: Pid) -> SimResult<u64> {
         let p = self.procs.get(&pid).ok_or(SimError::NoSuchProcess(pid))?;
         if p.is_running() {
             return Err(SimError::Errno(Errno::Eperm));
@@ -313,6 +540,14 @@ impl Kernel {
     /// `mmap`; no syscall charge — agents' own allocations go through
     /// [`Syscall::Mmap`]).
     pub fn alloc(&mut self, pid: Pid, len: u64, perms: Perms) -> SimResult<Addr> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::Alloc { pid, len, perms });
+        let r = self.alloc_impl(pid, len, perms);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn alloc_impl(&mut self, pid: Pid, len: u64, perms: Perms) -> SimResult<Addr> {
         self.require_running(pid)?;
         Ok(self.process_mut(pid)?.aspace.alloc(len, perms))
     }
@@ -339,6 +574,18 @@ impl Kernel {
     /// Same crash semantics as [`Kernel::mem_read`]. A write to a page
     /// FreePart made read-only is exactly this fault.
     pub fn mem_write(&mut self, pid: Pid, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::MemWrite {
+            pid,
+            addr,
+            bytes: bytes.to_vec(),
+        });
+        let r = self.mem_write_impl(pid, addr, bytes);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn mem_write_impl(&mut self, pid: Pid, addr: Addr, bytes: &[u8]) -> SimResult<()> {
         self.require_running(pid)?;
         let p = self.procs.get_mut(&pid).expect("checked");
         match p.aspace.write(addr, bytes) {
@@ -378,6 +625,19 @@ impl Kernel {
     /// actually change are charged and counted, so re-protecting an
     /// already-read-only object costs (and audits) zero pages.
     pub fn protect(&mut self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> SimResult<u64> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::Protect {
+            pid,
+            addr,
+            len,
+            perms,
+        });
+        let r = self.protect_impl(pid, addr, len, perms);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn protect_impl(&mut self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> SimResult<u64> {
         self.require_running(pid)?;
         let p = self.procs.get_mut(&pid).expect("checked");
         match p.aspace.protect(addr, len, perms) {
@@ -414,6 +674,17 @@ impl Kernel {
     /// runtime promotes an existing buffer by remapping), so it charges
     /// only the per-page mapping cost, never [`CostModel::copy_cost`].
     pub fn shm_create(&mut self, owner: Pid, bytes: Vec<u8>) -> SimResult<ShmId> {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::ShmCreate {
+            owner,
+            bytes: bytes.clone(),
+        });
+        let r = self.shm_create_impl(owner, bytes);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn shm_create_impl(&mut self, owner: Pid, bytes: Vec<u8>) -> SimResult<ShmId> {
         self.require_running(owner)?;
         let id = ShmId(self.next_shm);
         self.next_shm += 1;
@@ -434,6 +705,14 @@ impl Kernel {
     /// A grant is a permission-table entry; it costs one syscall. Data
     /// only becomes addressable after [`Kernel::shm_map`].
     pub fn shm_grant(&mut self, id: ShmId, pid: Pid, perms: Perms) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ShmGrant { id, pid, perms });
+        let r = self.shm_grant_impl(id, pid, perms);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn shm_grant_impl(&mut self, id: ShmId, pid: Pid, perms: Perms) -> SimResult<()> {
         self.require_running(pid)?;
         let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
         seg.grants.insert(pid, perms);
@@ -450,6 +729,14 @@ impl Kernel {
     /// `metrics.shm_mapped_bytes`. Requires an existing grant. Mapping
     /// an already-mapped segment is a cheap no-op (one syscall).
     pub fn shm_map(&mut self, pid: Pid, id: ShmId) -> SimResult<u64> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ShmMap { pid, id });
+        let r = self.shm_map_impl(pid, id);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn shm_map_impl(&mut self, pid: Pid, id: ShmId) -> SimResult<u64> {
         self.require_running(pid)?;
         let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
         if !seg.grants.contains_key(&pid) {
@@ -475,6 +762,14 @@ impl Kernel {
     /// clear + TLB shootdown), to the *revoker's* time context, not the
     /// victim's. Returns whether a grant actually existed.
     pub fn shm_revoke(&mut self, id: ShmId, pid: Pid) -> SimResult<bool> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ShmRevoke { id, pid });
+        let r = self.shm_revoke_impl(id, pid);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn shm_revoke_impl(&mut self, id: ShmId, pid: Pid) -> SimResult<bool> {
         let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
         let existed = seg.grants.remove(&pid).is_some();
         seg.mapped.remove(&pid);
@@ -494,6 +789,14 @@ impl Kernel {
     /// per grant, exactly as [`Kernel::protect`] does for private pages,
     /// so audit-log page accounting stays whole.
     pub fn shm_protect_all(&mut self, id: ShmId, perms: Perms) -> SimResult<u64> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ShmProtectAll { id, perms });
+        let r = self.shm_protect_all_impl(id, perms);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn shm_protect_all_impl(&mut self, id: ShmId, perms: Perms) -> SimResult<u64> {
         let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
         let pages = seg.len().div_ceil(PAGE_SIZE).max(1);
         let mut changed = 0;
@@ -539,6 +842,18 @@ impl Kernel {
     /// and `pid` is crashed — the fault FreePart's temporal grants are
     /// designed to induce.
     pub fn shm_write(&mut self, pid: Pid, id: ShmId, bytes: &[u8]) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::ShmWrite {
+            pid,
+            id,
+            bytes: bytes.to_vec(),
+        });
+        let r = self.shm_write_impl(pid, id, bytes);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn shm_write_impl(&mut self, pid: Pid, id: ShmId, bytes: &[u8]) -> SimResult<()> {
         self.require_running(pid)?;
         let Some(seg) = self.shm.get(&id) else {
             return Err(self.deliver_fault(pid, FaultKind::Unmapped, None).into());
@@ -548,8 +863,7 @@ impl Kernel {
             return Err(self.deliver_fault(pid, FaultKind::Protection, None).into());
         }
         let seg = self.shm.get_mut(&id).expect("checked");
-        seg.data = bytes.to_vec();
-        seg.writes += 1;
+        seg.replace_data(bytes);
         Ok(())
     }
 
@@ -564,9 +878,14 @@ impl Kernel {
         self.shm.iter().map(|(id, seg)| (*id, seg))
     }
 
-    /// Destroys segment `id`, dropping payload and all grants.
-    pub fn shm_destroy(&mut self, id: ShmId) {
-        self.shm.remove(&id);
+    /// Destroys segment `id`, dropping payload and all grants. Returns
+    /// whether the segment existed.
+    pub fn shm_destroy(&mut self, id: ShmId) -> bool {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ShmDestroy { id });
+        let existed = self.shm.remove(&id).is_some();
+        self.commit_exit(op, CommitOutcome::Ok(existed.summary()));
+        existed
     }
 
     // ------------------------------------------------------------------
@@ -580,6 +899,17 @@ impl Kernel {
     /// `EPERM` once the process has set `PR_SET_NO_NEW_PRIVS` — the lock
     /// that stops a compromised agent from relaxing its own sandbox.
     pub fn install_filter(&mut self, pid: Pid, filter: SyscallFilter) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::InstallFilter {
+            pid,
+            filter: filter.clone(),
+        });
+        let r = self.install_filter_impl(pid, filter);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn install_filter_impl(&mut self, pid: Pid, filter: SyscallFilter) -> SimResult<()> {
         self.require_running(pid)?;
         let p = self.procs.get_mut(&pid).expect("checked");
         if p.no_new_privs {
@@ -610,6 +940,17 @@ impl Kernel {
     /// [`SimError::Errno`] for ordinary failures; [`SimError::Fault`]
     /// when the filter killed the process.
     pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::Syscall {
+            pid,
+            call: call.clone(),
+        });
+        let r = self.syscall_impl(pid, call);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn syscall_impl(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
         self.require_running(pid)?;
         // Filter check (seccomp runs before the syscall body).
         let decision = self
@@ -930,6 +1271,23 @@ impl Kernel {
         b: Pid,
         capacity_bytes: usize,
     ) -> SimResult<ChannelId> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::CreateChannel {
+            a,
+            b,
+            capacity: capacity_bytes,
+        });
+        let r = self.create_channel_impl(a, b, capacity_bytes);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn create_channel_impl(
+        &mut self,
+        a: Pid,
+        b: Pid,
+        capacity_bytes: usize,
+    ) -> SimResult<ChannelId> {
         self.require_running(a)?;
         self.require_running(b)?;
         let id = ChannelId(self.next_channel);
@@ -944,6 +1302,18 @@ impl Kernel {
     /// sender's virtual time *after* those charges, so a receiver on its
     /// own timeline can merge against the true completion of the send.
     pub fn ipc_send(&mut self, pid: Pid, chan: ChannelId, payload: &[u8]) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::IpcSend {
+            pid,
+            chan,
+            payload: payload.to_vec(),
+        });
+        let r = self.ipc_send_impl(pid, chan, payload);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn ipc_send_impl(&mut self, pid: Pid, chan: ChannelId, payload: &[u8]) -> SimResult<()> {
         self.require_running(pid)?;
         let latency = self.cost.ipc_latency_ns();
         let copy = self.cost.copy_cost(payload.len() as u64);
@@ -966,6 +1336,14 @@ impl Kernel {
     /// per-process time this applies the happens-before merge first:
     /// `recv = max(recv, frame.send_ns)`, then the delivery latency.
     pub fn ipc_recv(&mut self, pid: Pid, chan: ChannelId) -> SimResult<Option<Vec<u8>>> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::IpcRecv { pid, chan });
+        let r = self.ipc_recv_impl(pid, chan);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn ipc_recv_impl(&mut self, pid: Pid, chan: ChannelId) -> SimResult<Option<Vec<u8>>> {
         self.require_running(pid)?;
         let latency = self.cost.ipc_latency_ns();
         let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
@@ -992,24 +1370,41 @@ impl Kernel {
     /// counter keeps the per-call denominator honest when N calls share
     /// a frame.
     pub fn note_calls_batched(&mut self, n: u64) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::NoteCallsBatched { n });
         self.metrics.calls_batched += n;
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Records `bytes` of snapshot payload actually copied (a dirty
     /// object). Snapshot reads are already uncharged in virtual time;
     /// these counters exist so incremental snapshots are measurable.
     pub fn note_snapshot_copy(&mut self, bytes: u64) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::NoteSnapshotCopy { bytes });
         self.metrics.snapshot_bytes_copied += bytes;
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Records one stateful object a snapshot round proved clean via
     /// write epochs and skipped.
     pub fn note_snapshot_skip(&mut self) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::NoteSnapshotSkip);
         self.metrics.snapshot_objects_skipped += 1;
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Re-binds a channel's B endpoint after an agent restart.
     pub fn rebind_channel(&mut self, chan: ChannelId, new_b: Pid) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::RebindChannel { chan, new_b });
+        let r = self.rebind_channel_impl(chan, new_b);
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    fn rebind_channel_impl(&mut self, chan: ChannelId, new_b: Pid) -> SimResult<()> {
         let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
         channel.rebind_b(new_b);
         Ok(())
@@ -1018,26 +1413,35 @@ impl Kernel {
     /// Charges raw virtual time (transport penalties, modeled stalls)
     /// to the current time context.
     pub fn charge_time(&mut self, ns: u64) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ChargeTime { ns });
         self.charge_ctx(ns);
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Records a direct cross-address-space deep copy of `bytes` bytes
     /// (object marshalling / lazy-data-copy transfers), charged to the
     /// current time context.
     pub fn charge_copy(&mut self, bytes: u64) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ChargeCopy { bytes });
         let ns = self.cost.copy_cost(bytes);
         self.charge_ctx(ns);
         self.metrics.copied_bytes += bytes;
         self.metrics.copy_ops += 1;
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Charges `units` of framework compute to `pid`.
     pub fn charge_compute(&mut self, pid: Pid, units: u64) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ChargeCompute { pid, units });
         let ns = self.cost.compute_cost(units);
         self.charge_to(pid, ns);
         if let Some(p) = self.procs.get_mut(&pid) {
             p.cpu_ns += ns;
         }
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     // ------------------------------------------------------------------
@@ -1075,11 +1479,135 @@ impl Kernel {
     /// Resets clock, per-process timelines, and counters (not
     /// processes) between measurements.
     pub fn reset_accounting(&mut self) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ResetAccounting);
         self.clock.reset();
         for t in self.timelines.values_mut() {
             t.reset();
         }
         self.metrics = Metrics::new();
+        self.commit_exit(op, CommitOutcome::Ok(0));
+    }
+
+    // ------------------------------------------------------------------
+    // Logged harness/supervisor entry points
+    // ------------------------------------------------------------------
+    //
+    // These exist so every state mutation the FreePart runtime or the
+    // workload harness performs flows through a recordable kernel call
+    // instead of poking public fields — a prerequisite for deterministic
+    // replay.
+
+    /// Creates or replaces a file (harness-side seeding; bypasses
+    /// syscalls but is still a kernel state transition).
+    pub fn fs_put(&mut self, path: &str, bytes: Vec<u8>) {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::FsPut {
+            path: path.to_owned(),
+            bytes: bytes.clone(),
+        });
+        self.fs.put(path, bytes);
+        self.commit_exit(op, CommitOutcome::Ok(0));
+    }
+
+    /// Attaches a deterministic camera producing `frame_len`-byte frames
+    /// seeded from `seed` (replacing any previous camera).
+    pub fn attach_camera(&mut self, seed: u64, frame_len: usize) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::AttachCamera { seed, frame_len });
+        self.camera = Some(Camera::new(seed, frame_len));
+        self.commit_exit(op, CommitOutcome::Ok(0));
+    }
+
+    /// Seals `pid` against future privilege changes from the *outside*
+    /// (the runtime's supervisor-side `PR_SET_NO_NEW_PRIVS`): after this,
+    /// [`Kernel::install_filter`] on the pid fails with `EPERM`. Unlike
+    /// [`Syscall::PrctlNoNewPrivs`] issued by the process itself, this
+    /// does not lock an installed filter's rule set — the runtime seals
+    /// after installing exactly the filter it wants.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn set_no_new_privs(&mut self, pid: Pid) -> SimResult<()> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::SetNoNewPrivs { pid });
+        let r = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(SimError::NoSuchProcess(pid))
+            .map(|p| {
+                p.no_new_privs = true;
+            });
+        self.commit_exit(op, commit::outcome_of(&r));
+        r
+    }
+
+    /// Force-exits a running process with `code` (the supervisor's
+    /// pre-reap termination of a wedged agent). Returns whether the
+    /// process was running and is now exited; dead or unknown pids are
+    /// left untouched.
+    pub fn force_exit(&mut self, pid: Pid, code: i32) -> bool {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::ForceExit { pid, code });
+        let changed = match self.procs.get_mut(&pid) {
+            Some(p) if p.is_running() => {
+                p.state = ProcessState::Exited(code);
+                true
+            }
+            _ => false,
+        };
+        self.commit_exit(op, CommitOutcome::Ok(changed.summary()));
+        changed
+    }
+
+    // ------------------------------------------------------------------
+    // Logged GUI entry points
+    // ------------------------------------------------------------------
+
+    /// Creates a GUI window (the kernel-mediated `namedWindow`).
+    pub fn win_create(&mut self, title: &str) -> WindowId {
+        let rec = self.commit_enter();
+        let op = rec.then(|| CommitOp::WinCreate {
+            title: title.to_owned(),
+        });
+        let id = self.display.create_window(title);
+        self.commit_exit(op, CommitOutcome::Ok(id.summary()));
+        id
+    }
+
+    /// Presents `frame_len` bytes to `win`; false if the window is gone.
+    pub fn win_present(&mut self, win: WindowId, frame_len: usize) -> bool {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::WinPresent { win, frame_len });
+        let ok = self.display.present(win, frame_len);
+        self.commit_exit(op, CommitOutcome::Ok(ok.summary()));
+        ok
+    }
+
+    /// Destroys every GUI window (`destroyAllWindows`).
+    pub fn win_destroy_all(&mut self) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::WinDestroyAll);
+        self.display.destroy_all();
+        self.commit_exit(op, CommitOutcome::Ok(0));
+    }
+
+    /// Polls one key press off the GUI input queue (`pollKey`).
+    pub fn win_poll_key(&mut self) -> Option<u8> {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::WinPollKey);
+        let key = self.display.poll_key();
+        self.commit_exit(op, CommitOutcome::Ok(key.summary()));
+        key
+    }
+
+    /// Queues a synthetic key press (workload input).
+    pub fn push_key(&mut self, key: u8) {
+        let rec = self.commit_enter();
+        let op = rec.then_some(CommitOp::PushKey { key });
+        self.display.push_key(key);
+        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Number of pages currently mapped across all processes.

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod cost;
 pub mod device;
 pub mod error;
@@ -49,9 +50,11 @@ pub mod kernel;
 pub mod mem;
 pub mod metrics;
 pub mod process;
+pub mod replay;
 pub mod shm;
 pub mod syscall;
 
+pub use commit::{CommitLog, CommitOp, CommitOutcome, CommitRecord};
 pub use cost::{CostModel, VirtualClock};
 pub use device::{Camera, DeviceKind, Display, NetworkLog, WindowId};
 pub use error::{Errno, Fault, FaultKind, SimError, SimResult};
@@ -62,5 +65,6 @@ pub use kernel::{Kernel, TimelineMode};
 pub use mem::{Addr, AddressSpace, Perms, PAGE_SIZE};
 pub use metrics::Metrics;
 pub use process::{Pid, ProcessState, SimProcess};
+pub use replay::{replay, Divergence, DivergenceKind, InvariantViolation, ReplayReport};
 pub use shm::{ShmId, ShmSegment};
 pub use syscall::{Fd, Syscall, SyscallNo, SyscallRet};

@@ -10,6 +10,7 @@
 //! spaces names unrelated storage, which is precisely the isolation
 //! property cross-process exploits run into.
 
+use crate::commit::{fold_bytes, mix, FINGERPRINT_SEED};
 use crate::error::FaultKind;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -91,6 +92,12 @@ impl Perms {
     pub fn allows(self, needed: Perms) -> bool {
         self.0 & needed.0 == needed.0
     }
+
+    /// The raw permission bits (`r = 1`, `w = 2`, `x = 4`), for hashing
+    /// and compact serialization.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
 }
 
 impl fmt::Display for Perms {
@@ -145,6 +152,11 @@ pub(crate) type AccessResult<T> = Result<T, FaultKind>;
 pub struct AddressSpace {
     pages: BTreeMap<u64, Page>,
     brk: u64,
+    /// Incrementally-maintained mutation fingerprint: every mutating
+    /// operation folds an op tag plus its arguments in, so two address
+    /// spaces built by the same mutation sequence hash identically
+    /// without walking page contents. Feeds `Kernel::state_digest`.
+    fp: u64,
 }
 
 impl Default for AddressSpace {
@@ -159,7 +171,16 @@ impl AddressSpace {
         AddressSpace {
             pages: BTreeMap::new(),
             brk: HEAP_BASE,
+            fp: FINGERPRINT_SEED,
         }
+    }
+
+    /// The mutation fingerprint (see the field docs on `fp`). Two address
+    /// spaces that underwent the same mutation sequence report the same
+    /// fingerprint; any divergence in writes, allocations, unmaps, or
+    /// protection changes separates them.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Allocates `len` bytes of fresh zeroed memory with permissions
@@ -179,6 +200,10 @@ impl AddressSpace {
             self.pages.insert(base + i * PAGE_SIZE, Page::new(perms));
         }
         self.brk = base + pages * PAGE_SIZE;
+        self.fp = mix(
+            mix(mix(mix(self.fp, 1), base), pages),
+            u64::from(perms.bits()),
+        );
         Addr(base)
     }
 
@@ -187,10 +212,16 @@ impl AddressSpace {
     pub fn unmap(&mut self, addr: Addr, len: u64) {
         let first = addr.page_base();
         let last = Addr(addr.0 + len.saturating_sub(1)).page_base();
+        let mut removed = 0u64;
         let mut p = first;
         while p <= last {
-            self.pages.remove(&p);
+            if self.pages.remove(&p).is_some() {
+                removed += 1;
+            }
             p += PAGE_SIZE;
+        }
+        if removed > 0 {
+            self.fp = mix(mix(mix(self.fp, 2), first), removed);
         }
     }
 
@@ -221,6 +252,12 @@ impl AddressSpace {
                 changed += 1;
             }
             p += PAGE_SIZE;
+        }
+        if changed > 0 {
+            self.fp = mix(
+                mix(mix(mix(self.fp, 3), first), changed),
+                u64::from(perms.bits()),
+            );
         }
         Ok(changed)
     }
@@ -296,6 +333,7 @@ impl AddressSpace {
     /// written (the check precedes the copy).
     pub fn write(&mut self, addr: Addr, bytes: &[u8]) -> AccessResult<()> {
         self.check(addr, bytes.len() as u64, Perms::W)?;
+        self.fp = fold_bytes(mix(mix(self.fp, 4), addr.0), bytes);
         let mut cur = addr;
         let mut src = bytes;
         while !src.is_empty() {

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use crate::commit::{fold_bytes, mix, FINGERPRINT_SEED};
 use crate::mem::Perms;
 use crate::process::Pid;
 
@@ -47,16 +48,35 @@ pub struct ShmSegment {
     pub(crate) grants: BTreeMap<Pid, Perms>,
     pub(crate) mapped: BTreeSet<Pid>,
     pub(crate) writes: u64,
+    /// Incremental fingerprint over the payload's mutation history
+    /// (creation bytes plus every replacement), so the kernel state
+    /// digest never has to re-hash a large payload.
+    fp: u64,
 }
 
 impl ShmSegment {
     pub(crate) fn new(data: Vec<u8>) -> ShmSegment {
+        let fp = fold_bytes(FINGERPRINT_SEED, &data);
         ShmSegment {
             data,
             grants: BTreeMap::new(),
             mapped: BTreeSet::new(),
             writes: 0,
+            fp,
         }
+    }
+
+    /// Replaces the payload, folding the new bytes into the fingerprint
+    /// (the only mutation path the kernel uses for `shm_write`).
+    pub(crate) fn replace_data(&mut self, bytes: &[u8]) {
+        self.data = bytes.to_vec();
+        self.writes += 1;
+        self.fp = fold_bytes(mix(self.fp, 1), bytes);
+    }
+
+    /// The payload-mutation fingerprint (see the field docs on `fp`).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Payload length in bytes.
