@@ -425,4 +425,110 @@ mod tests {
         assert_eq!(r.completed, 3, "only the malicious submission is lost");
         assert!(r.results_written);
     }
+
+    // ---- the composed preset: shm + batching + supervision ----
+
+    #[test]
+    fn full_policy_omr_is_byte_identical_and_composes_every_mechanism() {
+        let mut sync_rt = Runtime::install(standard_registry(), Policy::freepart());
+        let sync = omr::run(&mut sync_rt, &OmrConfig::benign(6));
+
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_full());
+        let full = run_omr_batched(&mut rt, &OmrConfig::benign(6));
+        assert_eq!(full.scores, sync.scores, "byte-identical grading");
+        assert!(full.errors.is_empty());
+        assert!(full.results_written);
+        assert_eq!(rt.in_flight(), 0, "mission ends fully drained");
+        // All three mechanisms really engaged at once.
+        assert!(
+            rt.kernel.metrics().calls_batched > 0,
+            "batching engaged under the composed preset"
+        );
+        assert!(
+            rt.stats().shm_grants > 0,
+            "shm promotion engaged under the composed preset"
+        );
+        let loading = rt.partition_of(rt.registry().id_of("cv2.imread").unwrap());
+        assert!(
+            rt.spare_count(loading) > 0,
+            "warm spares pooled under the composed preset"
+        );
+    }
+
+    #[test]
+    fn full_policy_dos_restart_adopts_a_warm_spare() {
+        let cfg = OmrConfig {
+            samples: 4,
+            boxes_per_sample: 2,
+            evil_sample: Some((1, payloads::dos("CVE-2017-14136"))),
+            evil_imshow: None,
+        };
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_full());
+        let loading = rt.partition_of(rt.registry().id_of("cv2.imread").unwrap());
+        let spares_before = rt.spare_count(loading);
+        let r = run_omr_batched(&mut rt, &cfg);
+        assert!(rt.kernel.is_running(rt.host_pid()));
+        assert_eq!(r.completed, 3, "only the malicious submission is lost");
+        assert!(r.results_written);
+        assert!(rt.stats().restarts > 0, "the DoS really killed an agent");
+        assert!(
+            rt.spare_count(loading) < spares_before,
+            "the restart adopted a pooled warm spare"
+        );
+    }
+
+    // ---- attack verdicts under the adaptive controller ----
+
+    #[test]
+    fn dos_attack_verdict_is_unchanged_under_the_adaptive_policy() {
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_adaptive());
+        let cfg = DroneConfig {
+            frames: 5,
+            evil_frame: Some((2, payloads::dos("CVE-2017-14136"))),
+        };
+        let r = run_drone_batched(&mut rt, &cfg);
+        assert!(r.control_loop_alive, "control loop unaffected");
+        assert_eq!(r.frames_processed, 4);
+        assert_eq!(r.frames_lost, 1);
+        assert!(r.commands.iter().all(|c| *c > 0.0));
+    }
+
+    #[test]
+    fn speed_corruption_verdict_is_unchanged_under_the_adaptive_policy() {
+        // Probe under the same policy: host_data placement is identical,
+        // so the attacker aims at the same buffer address.
+        let addr = {
+            let mut probe = Runtime::install(standard_registry(), Policy::freepart_adaptive());
+            let r = run_drone_batched(&mut probe, &benign_drone(0));
+            probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
+        };
+        let evil_speed = (-0.3f64).to_le_bytes().to_vec();
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_adaptive());
+        let cfg = DroneConfig {
+            frames: 4,
+            evil_frame: Some((1, payloads::corrupt("CVE-2017-12606", addr.0, evil_speed))),
+        };
+        let r = run_drone_batched(&mut rt, &cfg);
+        assert!(r.control_loop_alive);
+        assert!(
+            r.commands.iter().all(|c| *c > 0.0),
+            "steering unaffected: {:?}",
+            r.commands
+        );
+    }
+
+    #[test]
+    fn omr_dos_attack_is_contained_under_the_adaptive_policy() {
+        let cfg = OmrConfig {
+            samples: 4,
+            boxes_per_sample: 2,
+            evil_sample: Some((1, payloads::dos("CVE-2017-14136"))),
+            evil_imshow: None,
+        };
+        let mut rt = Runtime::install(standard_registry(), Policy::freepart_adaptive());
+        let r = run_omr_batched(&mut rt, &cfg);
+        assert!(rt.kernel.is_running(rt.host_pid()));
+        assert_eq!(r.completed, 3, "only the malicious submission is lost");
+        assert!(r.results_written);
+    }
 }

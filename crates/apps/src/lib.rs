@@ -11,6 +11,8 @@
 //!   time) drone driver.
 //! * [`batched`]: the batched-submission OMR and drone drivers
 //!   (coalesced IPC frames, `Policy::batch_window`).
+//! * [`mixes`]: the adversarial workload mixes behind the adaptive
+//!   policy-controller benchmark.
 //! * [`study`]: the 56-application survey corpus behind Study 1,
 //!   Fig. 6, and Table 3.
 
@@ -21,6 +23,7 @@ pub mod batched;
 pub mod driver;
 pub mod drone;
 pub mod mcomix;
+pub mod mixes;
 pub mod omr;
 pub mod pipeline;
 pub mod spec;

@@ -214,6 +214,68 @@ fn main() {
         flushes.len()
     );
 
+    // ---- adaptive controller: decisions and their input estimates ----
+    // The phase-shifting mix forces a mid-run re-decision, so the
+    // tables below show the controller actually moving knobs.
+    let mix = freepart_apps::mixes::standard_mixes()
+        .into_iter()
+        .find(|m| m.name == "phase-shift")
+        .expect("phase-shift mix exists");
+    let mut rt = fast_install(Policy::freepart_adaptive());
+    rt.kernel.reset_accounting();
+    let r = freepart_apps::mixes::run_mix(&mut rt, &mix);
+    assert!(
+        r.completed > 0 && r.errors.is_empty(),
+        "benign mix must run clean"
+    );
+    let labels: std::collections::BTreeMap<_, _> = rt.partition_labels().into_iter().collect();
+    let label_of =
+        |p: &freepart::PartitionId| labels.get(p).cloned().unwrap_or_else(|| p.to_string());
+
+    let flows = rt.adaptive_flows();
+    assert!(!flows.is_empty(), "retired calls must leave flow estimates");
+    let mut table = Table::new(["Partition", "API", "EWMA B/call", "Samples"]);
+    for (p, api, ewma, samples) in &flows {
+        table.row([
+            label_of(p),
+            rt.registry().spec(*api).name.to_string(),
+            ewma.to_string(),
+            samples.to_string(),
+        ]);
+    }
+    table.print("Adaptive flow estimates by (partition, API) — phase-shift mix");
+
+    let decisions = rt.tracer().policy_decisions();
+    assert!(!decisions.is_empty(), "decision points must be reached");
+    assert!(
+        decisions.iter().any(|d| d.changed),
+        "the phase shift must move at least one knob"
+    );
+    let parts: std::collections::BTreeSet<_> = decisions.iter().map(|d| d.partition).collect();
+    let mut table = Table::new([
+        "Partition",
+        "Decisions",
+        "Changed",
+        "Shm",
+        "Batch",
+        "Pipeline",
+    ]);
+    for p in parts {
+        let of_p: Vec<_> = decisions.iter().filter(|d| d.partition == p).collect();
+        let knobs = rt.adaptive_knobs(p).expect("controller is on");
+        table.row([
+            label_of(&p),
+            of_p.len().to_string(),
+            of_p.iter().filter(|d| d.changed).count().to_string(),
+            if knobs.shm_promoted { "on" } else { "off" }.to_owned(),
+            knobs
+                .batch_window
+                .map_or_else(|| "off".to_owned(), |w| w.to_string()),
+            knobs.pipeline_window.to_string(),
+        ]);
+    }
+    table.print("Adaptive policy decisions by partition (final knobs)");
+
     // ---- traced batched drone run → Chrome trace export ----
     // Batched so the exported timeline shows `batch` spans enclosing
     // their member `call` spans and the flush-reason instants.

@@ -62,13 +62,16 @@ fn measure(scheme: &'static str, pipeline: &'static str, surface: &mut dyn ApiSu
     }
 }
 
-/// Runs one pipeline through its batched-submission driver
-/// (`Policy::batch_window`): same calls, same results, coalesced frames.
-/// The batched drivers take the concrete [`freepart::Runtime`] (they
-/// drive the asynchronous interface), so they get their own measure
-/// path; the global clock stays the time measure, as in `measure`.
-fn measure_batched(pipeline: &'static str) -> Run {
-    let mut rt = fast_install(Policy::freepart_batched());
+/// Runs one pipeline through the asynchronous batched-submission driver
+/// under an explicit policy: same calls, same results, coalesced
+/// frames. Serves both the static batched preset and the adaptive
+/// controller (whose warmup knobs *are* the batched preset). The
+/// drivers take the concrete [`freepart::Runtime`] (they drive the
+/// asynchronous interface), so they get their own measure path; the
+/// global clock stays the time measure, as in `measure`.
+fn measure_batched(scheme: &'static str, policy: Policy, pipeline: &'static str) -> Run {
+    let adaptive = policy.adaptive.is_some();
+    let mut rt = fast_install(policy);
     rt.kernel.reset_accounting();
     match pipeline {
         "omr" => {
@@ -84,8 +87,19 @@ fn measure_batched(pipeline: &'static str) -> Run {
     }
     let m = rt.kernel.metrics();
     assert!(m.calls_batched > 0, "calls actually rode in batches");
+    if adaptive {
+        let decisions = rt.tracer().policy_decisions();
+        assert!(
+            !decisions.is_empty(),
+            "controller must reach decision points"
+        );
+        assert!(
+            decisions.iter().any(|d| d.changed),
+            "controller must actually move a knob on this workload"
+        );
+    }
     Run {
-        scheme: "FreePart (batched)",
+        scheme,
         pipeline,
         time_ns: rt.kernel.clock().now_ns(),
         ipc: m.ipc_messages,
@@ -110,7 +124,18 @@ fn pipeline_runs(pipeline: &'static str, universe: &[ApiId]) -> Vec<Run> {
     rows.push(measure("FreePart (shm)", pipeline, &mut rt));
     // FreePart with same-partition call bursts coalesced into single
     // IPC frames.
-    rows.push(measure_batched(pipeline));
+    rows.push(measure_batched(
+        "FreePart (batched)",
+        Policy::freepart_batched(),
+        pipeline,
+    ));
+    // FreePart with the closed-loop controller picking transport,
+    // batch window, and pipeline window per partition at runtime.
+    rows.push(measure_batched(
+        "FreePart (adaptive)",
+        Policy::freepart_adaptive(),
+        pipeline,
+    ));
 
     let base_ns = rows
         .iter()
@@ -235,6 +260,29 @@ fn main() {
         "batch check: {} frames ({} ns) vs {} frames ({} ns) unbatched ✓",
         batched.ipc, batched.time_ns, unbatched.ipc, unbatched.time_ns
     );
+
+    // The whole point of the controller: self-tuned knobs must never
+    // cost more virtual time than the best hand-tuned static preset
+    // (batched) — on either pipeline.
+    for pipeline in ["omr", "drone"] {
+        let row = |scheme: &str| {
+            rows.iter()
+                .find(|r| r.pipeline == pipeline && r.scheme == scheme)
+                .expect("row present")
+        };
+        let adaptive = row("FreePart (adaptive)");
+        let batched = row("FreePart (batched)");
+        assert!(
+            adaptive.time_ns <= batched.time_ns,
+            "adaptive regressed on {pipeline}: {} ns adaptive vs {} ns batched",
+            adaptive.time_ns,
+            batched.time_ns
+        );
+        println!(
+            "adaptive check ({pipeline}): {} ns (adaptive) <= {} ns (batched) ✓",
+            adaptive.time_ns, batched.time_ns
+        );
+    }
 
     let json = to_json(&rows);
     let out = workspace_root().join("BENCH_hotpath.json");

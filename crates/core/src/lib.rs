@@ -44,12 +44,13 @@ pub use forensics::{
 };
 pub use partition::{PartitionId, PartitionPlan};
 pub use policy::{
-    ChannelTransport, HostDataPlacement, Policy, RestartBudget, RestartPolicy, SandboxLevel,
+    AdaptiveConfig, ChannelTransport, HostDataPlacement, Policy, RestartBudget, RestartPolicy,
+    SandboxLevel,
 };
 pub use runtime::transport::{Transport, TransportCtx};
-pub use runtime::{Agent, CallError, CallHandle, Runtime, RuntimeStats, ThreadId};
+pub use runtime::{AdaptiveKnobs, Agent, CallError, CallHandle, Runtime, RuntimeStats, ThreadId};
 pub use state::{FrameworkState, StateMachine};
 pub use trace::{
     ApiStats, AuditRecord, Bucket, BucketTotals, CallOutcome, FlushReason, Log2Histogram,
-    SpanEvent, SpanPhase, Tracer,
+    PolicyDecision, SpanEvent, SpanPhase, Tracer,
 };

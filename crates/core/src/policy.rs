@@ -95,6 +95,43 @@ impl Default for RestartBudget {
     }
 }
 
+/// Tuning constants for the closed-loop adaptive policy controller.
+///
+/// All fields are integers so controller state stays exactly
+/// reproducible (no float drift between runs) and the config itself is
+/// `Eq`-comparable. The EWMA smoothing factor is `1 / 2^ewma_shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Object-size threshold (bytes) the controller *may* enable per
+    /// partition: once a partition's payload evidence clears the
+    /// promotion band, objects at or above this size ride the zero-copy
+    /// shm transport there. Mirrors [`Policy::DEFAULT_SHM_THRESHOLD`].
+    pub shm_threshold: u64,
+    /// Upper bound on the per-partition batch window the controller can
+    /// pick. Mirrors [`Policy::DEFAULT_BATCH_WINDOW`].
+    pub max_batch_window: usize,
+    /// Upper bound on the per-partition pipeline (in-flight) window.
+    pub max_pipeline_window: usize,
+    /// EWMA smoothing: new estimates blend in at weight `1 / 2^shift`.
+    pub ewma_shift: u32,
+    /// Hysteresis hold-down: after any knob change the partition's
+    /// knobs are pinned for this many decision points, so estimates
+    /// hovering at a boundary cannot make decisions flap.
+    pub hold_points: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            shm_threshold: Policy::DEFAULT_SHM_THRESHOLD,
+            max_batch_window: Policy::DEFAULT_BATCH_WINDOW,
+            max_pipeline_window: 8,
+            ewma_shift: 1,
+            hold_points: 2,
+        }
+    }
+}
+
 /// Full runtime configuration.
 #[derive(Debug, Clone)]
 pub struct Policy {
@@ -156,6 +193,12 @@ pub struct Policy {
     /// artifacts, and a disabled recorder costs one branch per kernel
     /// entry point.
     pub record_commits: bool,
+    /// Closed-loop adaptive policy controller: per (partition, API)
+    /// EWMA estimators feed knob decisions (shm promotion, batch
+    /// window, pipeline window) taken only at state-transition drain
+    /// barriers, with hysteresis. `None` disables the controller
+    /// entirely, preserving the static-policy planes bit-for-bit.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for Policy {
@@ -176,6 +219,7 @@ impl Default for Policy {
             restart_budget: None,
             colocate_type_neutral: true,
             record_commits: false,
+            adaptive: None,
         }
     }
 }
@@ -242,6 +286,34 @@ impl Policy {
     pub fn freepart_recorded() -> Policy {
         Policy {
             record_commits: true,
+            ..Policy::default()
+        }
+    }
+
+    /// Full FreePart with every performance and availability mechanism
+    /// composed: size-thresholded shm transport, hooked-call batching,
+    /// and the supervised restart path (warm spares + token-bucket
+    /// budget). The mechanisms were each proven transparent in
+    /// isolation; this preset is the composition the interaction tests
+    /// exercise.
+    pub fn freepart_full() -> Policy {
+        Policy {
+            shm_threshold: Some(Policy::DEFAULT_SHM_THRESHOLD),
+            batch_window: Some(Policy::DEFAULT_BATCH_WINDOW),
+            warm_spares: 2,
+            restart_budget: Some(RestartBudget::default()),
+            ..Policy::default()
+        }
+    }
+
+    /// Full FreePart with the closed-loop adaptive controller: no
+    /// static transport/batching knobs are set — every (partition, API)
+    /// starts from the batched prior and the controller re-picks shm
+    /// promotion, batch window, and pipeline window from observed
+    /// evidence at state-transition drain barriers.
+    pub fn freepart_adaptive() -> Policy {
+        Policy {
+            adaptive: Some(AdaptiveConfig::default()),
             ..Policy::default()
         }
     }
@@ -335,6 +407,38 @@ mod tests {
         assert!(r.temporal_protection);
         assert_eq!(r.shm_threshold, None);
         assert_eq!(r.batch_window, None);
+    }
+
+    #[test]
+    fn adaptive_is_opt_in() {
+        // Seed-identical defaults: no controller, static planes only.
+        assert_eq!(Policy::default().adaptive, None);
+        let a = Policy::freepart_adaptive();
+        assert_eq!(a.adaptive, Some(AdaptiveConfig::default()));
+        // The static knobs stay unset — the controller owns them.
+        assert_eq!(a.shm_threshold, None);
+        assert_eq!(a.batch_window, None);
+        // Everything else matches full FreePart.
+        assert!(a.lazy_data_copy);
+        assert!(a.temporal_protection);
+        // The controller's bounds mirror the proven static presets.
+        let cfg = AdaptiveConfig::default();
+        assert_eq!(cfg.shm_threshold, Policy::DEFAULT_SHM_THRESHOLD);
+        assert_eq!(cfg.max_batch_window, Policy::DEFAULT_BATCH_WINDOW);
+    }
+
+    #[test]
+    fn full_composes_every_mechanism() {
+        let f = Policy::freepart_full();
+        assert_eq!(f.shm_threshold, Some(Policy::DEFAULT_SHM_THRESHOLD));
+        assert_eq!(f.batch_window, Some(Policy::DEFAULT_BATCH_WINDOW));
+        assert_eq!(f.warm_spares, 2);
+        assert_eq!(f.restart_budget, Some(RestartBudget::default()));
+        // Still full FreePart underneath.
+        assert!(f.lazy_data_copy);
+        assert!(f.temporal_protection);
+        assert_eq!(f.sandbox, SandboxLevel::PerAgent);
+        assert_eq!(f.adaptive, None);
     }
 
     #[test]

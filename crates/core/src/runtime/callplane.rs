@@ -396,6 +396,11 @@ impl Runtime {
                 // barrier as the mprotect storm — the in-flight queue is
                 // already drained, so no call can straddle the revokes.
                 self.revoke_out_of_state_grants(seq);
+                // Adaptive decision point: the system is quiescent here
+                // (batch flushed, in-flight retired into the registry,
+                // grants revoked), so the controller may re-pick knobs
+                // for the configuration epoch this call opens.
+                self.adaptive_decision_point(seq);
             }
             if let Some((t0, pages0, prot0)) = before {
                 if to != from {
@@ -456,7 +461,7 @@ impl Runtime {
                 .map(|b| b.members.len())
                 .unwrap_or(0);
             let units = q.len() - batch_members + usize::from(batch_members > 0);
-            if units < self.pipeline_window {
+            if units < self.pipeline_window_for(partition) {
                 break;
             }
             let oldest = q[0];
@@ -546,8 +551,8 @@ impl Runtime {
             .entry(partition)
             .or_default()
             .push_back(seq);
-        // Window-full flush: the batch reached `Policy::batch_window`.
-        if let (Some(window), Some(b)) = (self.policy.batch_window, self.batch.as_ref()) {
+        // Window-full flush: the batch reached the partition's window.
+        if let (Some(window), Some(b)) = (self.batch_window_for(partition), self.batch.as_ref()) {
             if b.members.len() >= window {
                 self.flush_batch(FlushReason::WindowFull);
             }

@@ -55,7 +55,7 @@ impl Runtime {
         // Batched mode buffers the encoded frame for the next batch
         // flush (one IPC frame for N calls) instead of sending it now;
         // execution stays eager either way.
-        let batched = self.policy.batch_window.is_some();
+        let batched = self.batch_window_for(partition).is_some();
         let tracing = self.tracer.enabled();
         let marshal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         let req = Request {
@@ -158,7 +158,7 @@ impl Runtime {
             self.kernel.advance_timeline_to(agent_pid, ns);
         }
         for obj in &needed {
-            self.move_to_agent(thread, seq, *obj, agent_pid)?;
+            self.move_to_agent(thread, partition, seq, *obj, agent_pid)?;
         }
 
         // --- execute in the agent's process context ---

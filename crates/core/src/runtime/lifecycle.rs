@@ -214,6 +214,13 @@ impl Runtime {
         let Some(agent) = self.agents.remove(&partition) else {
             return;
         };
+        // The respawned agent's traffic may look nothing like its
+        // predecessor's: drop the adaptive controller's accumulated
+        // estimates for this partition. Knobs are deliberately left
+        // alone — knob changes happen only at drain barriers.
+        if let Some(c) = self.controller.as_mut() {
+            c.reset_partition(partition);
+        }
         let chan = agent.chan;
         let was_sealed = agent.sealed;
         let old_pid = agent.pid;

@@ -37,10 +37,13 @@
 //! submodules each reopen `impl Runtime` for their slice of behavior.
 
 mod callplane;
+mod controller;
 mod dispatch;
 mod lifecycle;
 mod objstore;
 pub mod transport;
+
+pub use controller::AdaptiveKnobs;
 
 use crate::partition::PartitionId;
 use crate::policy::Policy;
@@ -76,6 +79,10 @@ impl fmt::Display for ThreadId {
 /// Partition-id namespace stride per thread: thread `t`'s instance of
 /// partition `p` is `PartitionId(t * THREAD_STRIDE + p)`.
 const THREAD_STRIDE: u32 = 1_000;
+
+/// The default per-partition in-flight window (also the adaptive
+/// controller's floor for sizing its pipeline knob).
+pub(super) const DEFAULT_PIPELINE_WINDOW: usize = 4;
 
 pub(super) fn thread_partition(thread: ThreadId, p: PartitionId) -> PartitionId {
     PartitionId(thread.0 * THREAD_STRIDE + p.0)
@@ -326,6 +333,10 @@ pub struct Runtime {
     /// One-shot fault injection: force the next snapshot restore for
     /// this partition to fail (exercises the quarantine path).
     fail_next_restore: Option<PartitionId>,
+    /// The closed-loop adaptive policy controller
+    /// (`Policy::adaptive`): per-partition knob decisions at
+    /// state-transition drain barriers. `None` = static policy only.
+    controller: Option<controller::Controller>,
 }
 
 impl fmt::Debug for Runtime {
@@ -369,6 +380,15 @@ impl Runtime {
         // agent creation, spawn_thread, and the call hot path all read
         // this table instead of recomputing the grouping.
         let routes = RoutingTable::build(&reg, &report, &policy);
+        // The adaptive controller reads its estimates from the metrics
+        // registry, so it force-enables tracing. Tracing only reads the
+        // virtual clock (never charges time), so this changes no
+        // deterministic result — the observability report asserts it.
+        let controller = policy.adaptive.map(controller::Controller::new);
+        let mut tracer = Tracer::new();
+        if controller.is_some() {
+            tracer.enable();
+        }
         let mut rt = Runtime {
             kernel,
             objects: ObjectStore::new(),
@@ -385,7 +405,7 @@ impl Runtime {
             exploit_log: Vec::new(),
             call_log: Vec::new(),
             stats: RuntimeStats::default(),
-            tracer: Tracer::new(),
+            tracer,
             snapshots: BTreeMap::new(),
             pinned: BTreeMap::new(),
             inflight: BTreeMap::new(),
@@ -393,12 +413,13 @@ impl Runtime {
             retired: BTreeMap::new(),
             last_touch: BTreeMap::new(),
             pipelining: false,
-            pipeline_window: 4,
+            pipeline_window: DEFAULT_PIPELINE_WINDOW,
             batch: None,
             batch_spans: BTreeMap::new(),
             spares: BTreeMap::new(),
             governors: BTreeMap::new(),
             fail_next_restore: None,
+            controller,
         };
         rt.spawn_agent_set(ThreadId::MAIN);
         rt

@@ -5,6 +5,7 @@
 
 use super::transport::{Transport, TransportCtx, EAGER, LAZY, SHM};
 use super::{CallError, Runtime, ThreadId};
+use crate::partition::PartitionId;
 use crate::policy::HostDataPlacement;
 use crate::state::StateMachine;
 use crate::trace::{AuditRecord, SpanEvent, SpanPhase};
@@ -217,14 +218,20 @@ impl Runtime {
     // Transport selection and delivery
     // ------------------------------------------------------------------
 
-    /// Picks the payload transport for one object: segments stay on the
-    /// Shm transport once promoted; payloads at or above the policy
-    /// threshold are promoted; everything else follows the LDC flag.
-    fn transport_for(&self, meta: &ObjectMeta) -> &'static dyn Transport {
+    /// Picks the payload transport for one object bound for
+    /// `partition`: segments stay on the Shm transport once promoted;
+    /// payloads at or above the threshold in force for the partition
+    /// (static policy, or the adaptive controller's per-partition knob)
+    /// are promoted; everything else follows the LDC flag.
+    fn transport_for(&self, partition: PartitionId, meta: &ObjectMeta) -> &'static dyn Transport {
         if meta.shm.is_some() {
             return &SHM;
         }
-        if meta.buffer.is_some() && self.policy.shm_threshold.is_some_and(|t| meta.len() >= t) {
+        if meta.buffer.is_some()
+            && self
+                .shm_threshold_for(partition)
+                .is_some_and(|t| meta.len() >= t)
+        {
             return &SHM;
         }
         if self.policy.lazy_data_copy {
@@ -239,6 +246,7 @@ impl Runtime {
     pub(super) fn move_to_agent(
         &mut self,
         thread: ThreadId,
+        partition: PartitionId,
         seq: u64,
         obj: ObjectId,
         agent_pid: Pid,
@@ -264,7 +272,7 @@ impl Runtime {
         if meta.shm.is_none() && !self.kernel.is_running(meta.home) {
             return Err(CallError::StateLost(obj));
         }
-        let transport = self.transport_for(&meta);
+        let transport = self.transport_for(partition, &meta);
         let tracing = self.tracer.enabled();
         let copy_t0 = if tracing { self.kernel.now_ns() } else { 0 };
         {

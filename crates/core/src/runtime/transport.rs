@@ -237,7 +237,10 @@ impl Transport for Shm {
             }
         }
         // Re-home: the agent is now the segment's current user. The
-        // payload itself never moved.
+        // payload itself never moved — the registry records the mapped
+        // length under `bytes_shm` so payload-size estimators keep
+        // seeing this object's traffic after promotion.
+        ctx.tracer.add_shm_bytes(ctx.seq, len);
         if let Some(m) = ctx.objects.meta_mut(obj) {
             m.home = agent;
         }

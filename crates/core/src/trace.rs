@@ -350,6 +350,10 @@ pub struct ApiStats {
     pub bytes_lazy: u64,
     /// Payload bytes moved eagerly through the host.
     pub bytes_eager: u64,
+    /// Payload bytes delivered zero-copy over shm segments (no byte is
+    /// moved — this is the mapped length, so payload-size estimators
+    /// keep seeing an object's traffic after shm promotion).
+    pub bytes_shm: u64,
     /// Duplicate deliveries answered from the completion journal.
     pub journal_hits: u64,
     /// Calls that ended in an agent crash (memory fault / abort).
@@ -365,6 +369,7 @@ impl ApiStats {
         self.latency.merge(&other.latency);
         self.bytes_lazy += other.bytes_lazy;
         self.bytes_eager += other.bytes_eager;
+        self.bytes_shm += other.bytes_shm;
         self.journal_hits += other.journal_hits;
         self.faults += other.faults;
         self.filter_kills += other.filter_kills;
@@ -547,6 +552,47 @@ impl AuditRecord {
 }
 
 // ----------------------------------------------------------------------
+// Adaptive-controller decisions
+// ----------------------------------------------------------------------
+
+/// One knob decision taken by the adaptive policy controller at a
+/// state-transition drain barrier, with the integer estimates that fed
+/// it. Every decision point emits one record per partition considered —
+/// `changed` distinguishes re-confirmations from actual knob moves — so
+/// the trace fully explains *why* each configuration was picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyDecision {
+    /// Virtual time of the decision point.
+    pub at_ns: u64,
+    /// The logical call whose state transition opened the barrier.
+    pub seq: u64,
+    /// The partition whose knobs this decision governs.
+    pub partition: PartitionId,
+    /// Whether the size-thresholded shm promotion rule is enabled for
+    /// this partition after the decision.
+    pub shm_promoted: bool,
+    /// The partition's batch window after the decision (`None` =
+    /// batching off, one frame per call).
+    pub batch_window: Option<usize>,
+    /// The partition's pipeline (in-flight) window after the decision.
+    pub pipeline_window: usize,
+    /// EWMA payload bytes per retired call (lazy + eager + shm).
+    pub est_bytes_per_call: u64,
+    /// EWMA virtual-ns gap between consecutive retirements.
+    pub est_gap_ns: u64,
+    /// EWMA calls per flushed batch, in 1/16ths (fixed-point ×16).
+    pub est_calls_per_batch_x16: u64,
+    /// Host dereferences observed since the previous decision point
+    /// (global — host-fetch spans carry no partition attribution).
+    pub est_host_fetches: u64,
+    /// Flush-reason mix since the previous decision point:
+    /// `[partition_switch, hazard, transition, window_full]`.
+    pub flush_mix: [u64; 4],
+    /// Whether any knob actually moved at this decision point.
+    pub changed: bool,
+}
+
+// ----------------------------------------------------------------------
 // The tracer
 // ----------------------------------------------------------------------
 
@@ -572,6 +618,7 @@ pub enum CallOutcome {
 struct PendingCall {
     bytes_lazy: u64,
     bytes_eager: u64,
+    bytes_shm: u64,
     journal_hit: bool,
     filter_kill: bool,
 }
@@ -593,6 +640,8 @@ pub struct Tracer {
     pending: BTreeMap<u64, PendingCall>,
     /// Batch flushes: `(virtual ns, thread, reason, member calls)`.
     flushes: Vec<(u64, ThreadId, FlushReason, usize)>,
+    /// Adaptive-controller decisions, in decision-point order.
+    decisions: Vec<PolicyDecision>,
 }
 
 impl Tracer {
@@ -665,6 +714,21 @@ impl Tracer {
     ) {
         if self.enabled {
             self.flushes.push((at_ns, thread, reason, calls));
+        }
+    }
+
+    /// Adaptive-controller decisions recorded so far, in decision-point
+    /// order.
+    pub fn policy_decisions(&self) -> &[PolicyDecision] {
+        &self.decisions
+    }
+
+    /// Records one adaptive-controller decision (no-op when disabled —
+    /// though the runtime force-enables tracing whenever the controller
+    /// is on, since the controller reads its estimates from here).
+    pub fn record_decision(&mut self, decision: PolicyDecision) {
+        if self.enabled {
+            self.decisions.push(decision);
         }
     }
 
@@ -748,6 +812,14 @@ impl Tracer {
         }
     }
 
+    /// Attributes zero-copy shm-delivered payload bytes to call `seq`
+    /// (the mapped segment length — nothing was copied).
+    pub fn add_shm_bytes(&mut self, seq: u64, bytes: u64) {
+        if self.enabled {
+            self.pending.entry(seq).or_default().bytes_shm += bytes;
+        }
+    }
+
     /// Flags call `seq` as answered from the journal.
     pub fn note_journal_hit(&mut self, seq: u64) {
         if self.enabled {
@@ -779,6 +851,7 @@ impl Tracer {
         let cell = self.stats.entry((partition, api)).or_default();
         cell.bytes_lazy += pending.bytes_lazy;
         cell.bytes_eager += pending.bytes_eager;
+        cell.bytes_shm += pending.bytes_shm;
         if pending.journal_hit {
             cell.journal_hits += 1;
         }
@@ -918,6 +991,41 @@ impl Tracer {
                     reason.name(),
                     thread.0,
                     *at_ns as f64 / 1e3
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        // Adaptive-controller decisions as instant events on the
+        // governed partition's process row, carrying the knob outcome
+        // and every input estimate — the trace fully explains each
+        // configuration move.
+        for d in &self.decisions {
+            let pid = pid_of.get(&d.partition).copied().unwrap_or(0);
+            let window = match d.batch_window {
+                Some(w) => w.to_string(),
+                None => "off".to_owned(),
+            };
+            let shm = if d.shm_promoted { "on" } else { "off" };
+            let verb = if d.changed { "decide" } else { "hold" };
+            push(
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"policy:{verb} shm={shm} batch={window} pipeline={}\",\
+                     \"cat\":\"policy\",\"pid\":{pid},\"tid\":0,\"ts\":{:.3},\"s\":\"p\",\
+                     \"args\":{{\"seq\":{},\"bytes_per_call\":{},\"gap_ns\":{},\
+                     \"calls_per_batch_x16\":{},\"host_fetches\":{},\
+                     \"flush_mix\":[{},{},{},{}]}}}}",
+                    d.pipeline_window,
+                    d.at_ns as f64 / 1e3,
+                    d.seq,
+                    d.est_bytes_per_call,
+                    d.est_gap_ns,
+                    d.est_calls_per_batch_x16,
+                    d.est_host_fetches,
+                    d.flush_mix[0],
+                    d.flush_mix[1],
+                    d.flush_mix[2],
+                    d.flush_mix[3],
                 ),
                 &mut out,
                 &mut first,

@@ -2,7 +2,7 @@
 //! must be functionally transparent (same results as no isolation) and
 //! must never destabilize the system.
 
-use freepart::{Policy, Runtime};
+use freepart::{AdaptiveConfig, Policy, Runtime};
 use freepart_frameworks::api::ApiKind;
 use freepart_frameworks::exec::execute;
 use freepart_frameworks::registry::standard_registry;
@@ -114,6 +114,41 @@ fn run_freepart_batched(
     let policy = Policy {
         batch_window: Some(window),
         ..base
+    };
+    let mut rt = Runtime::install(standard_registry(), policy);
+    rt.kernel.fs.put(
+        "/in.simg",
+        fileio::encode_image(&Image::new(side, side, 3), None),
+    );
+    let h = rt
+        .call_async("cv2.imread", &[Value::from("/in.simg")])
+        .unwrap();
+    let mut cur = rt.promise(h).unwrap();
+    for p in picks {
+        let api = filters[*p as usize % filters.len()];
+        let h = rt
+            .call_async_id_on(freepart::ThreadId::MAIN, api, &[cur], &[])
+            .unwrap();
+        cur = rt.promise(h).unwrap();
+    }
+    rt.drain_inflight();
+    let bytes = rt.fetch_bytes(cur.as_obj().unwrap()).unwrap();
+    (bytes, rt)
+}
+
+/// Runs the same chain under the closed-loop adaptive controller,
+/// through the same asynchronous submission plane as the batched
+/// runner (so controller-opened batch windows can actually fill).
+fn run_freepart_adaptive(cfg: AdaptiveConfig, picks: &[u16], side: u32) -> (Vec<u8>, Runtime) {
+    let reg = standard_registry();
+    let filters: Vec<_> = reg
+        .iter()
+        .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+        .map(|s| s.id)
+        .collect();
+    let policy = Policy {
+        adaptive: Some(cfg),
+        ..Policy::freepart()
     };
     let mut rt = Runtime::install(standard_registry(), policy);
     rt.kernel.fs.put(
@@ -283,5 +318,105 @@ proptest! {
         prop_assert_eq!(with_ldc, without);
         // And eager mode always costs at least as much virtual time.
         prop_assert!(rt2.kernel.clock().now_ns() >= rt.kernel.clock().now_ns());
+    }
+
+    /// Adaptive transparency: for any random filter chain, any maximum
+    /// batch window, and any promotion threshold, the closed-loop
+    /// controller's knob choices never change a single output byte
+    /// relative to a static-policy reference (and to no isolation at
+    /// all), never destabilize the system, and always reach at least
+    /// one decision point.
+    #[test]
+    fn adaptive_execution_is_functionally_transparent(
+        picks in proptest::collection::vec(any::<u16>(), 1..8),
+        side in 4u32..16,
+        window in 1usize..10,
+        threshold in 16u64..4096,
+    ) {
+        let mono = run_monolithic(&picks, side);
+        let (static_ref, _) = run_freepart_batched(Policy::freepart(), window, &picks, side);
+        let cfg = AdaptiveConfig {
+            max_batch_window: window,
+            shm_threshold: threshold,
+            ..AdaptiveConfig::default()
+        };
+        let (adaptive, rt) = run_freepart_adaptive(cfg, &picks, side);
+        prop_assert_eq!(&adaptive, &static_ref);
+        prop_assert_eq!(&adaptive, &mono);
+        prop_assert_eq!(rt.in_flight(), 0, "chain ends fully drained");
+        prop_assert!(
+            !rt.tracer().policy_decisions().is_empty(),
+            "controller must reach a decision point"
+        );
+        prop_assert!(rt.kernel.is_running(rt.host_pid()));
+        for p in rt.partitions() {
+            prop_assert!(rt.kernel.is_running(rt.agent(p).unwrap().pid));
+        }
+        prop_assert!(rt.exploit_log.is_empty());
+        prop_assert_eq!(rt.stats().restarts, 0);
+        prop_assert_eq!(rt.kernel.metrics().filter_kills, 0, "no benign call killed");
+    }
+
+    /// Adaptive + supervision under crash storms: with the same crash
+    /// schedule injected into a static supervised run and an adaptive
+    /// supervised run, every per-round output, the hooked-call log, and
+    /// the restart count are identical — controller estimator resets on
+    /// restart never leak into semantics.
+    #[test]
+    fn adaptive_crash_recovery_matches_static_supervision(
+        picks in proptest::collection::vec(any::<u16>(), 1..5),
+        side in 4u32..12,
+        crashes in proptest::collection::vec(any::<bool>(), 1..5),
+    ) {
+        let run = |policy: Policy| {
+            let reg = standard_registry();
+            let filters: Vec<_> = reg
+                .iter()
+                .filter(|s| matches!(s.kind, ApiKind::Filter(_)))
+                .map(|s| s.id)
+                .collect();
+            let mut rt = Runtime::install(standard_registry(), policy);
+            rt.kernel.fs.put(
+                "/in.simg",
+                fileio::encode_image(&Image::new(side, side, 3), None),
+            );
+            let loading = rt.partition_of(rt.registry().id_of("cv2.imread").unwrap());
+            // Per-round outcome: the final bytes, or the contained
+            // error (a crash may legitimately lose a round's payload —
+            // the point is that *both* runs lose exactly the same ones).
+            let mut outs: Vec<Result<Vec<u8>, String>> = Vec::new();
+            for crash in &crashes {
+                if *crash {
+                    // Kill the agent after execution, before the
+                    // response — the journal-replay window.
+                    rt.inject_crash_before_response(loading);
+                }
+                let out = (|| {
+                    let mut cur = rt
+                        .call("cv2.imread", &[Value::from("/in.simg")])
+                        .map_err(|e| e.to_string())?;
+                    for p in &picks {
+                        let api = filters[*p as usize % filters.len()];
+                        cur = rt.call_id(api, &[cur]).map_err(|e| e.to_string())?;
+                    }
+                    rt.fetch_bytes(cur.as_obj().unwrap())
+                        .map_err(|e| e.to_string())
+                })();
+                outs.push(out);
+            }
+            (outs, rt)
+        };
+        let (want, srt) = run(Policy::freepart_supervised());
+        let (got, art) = run(Policy {
+            adaptive: Some(AdaptiveConfig::default()),
+            ..Policy::freepart_supervised()
+        });
+        prop_assert_eq!(&got, &want, "outputs diverged under crashes");
+        prop_assert_eq!(art.call_log(), srt.call_log(), "call journal diverged");
+        prop_assert_eq!(art.stats().restarts, srt.stats().restarts);
+        if crashes.iter().any(|c| *c) {
+            prop_assert!(art.stats().restarts > 0, "crashes really happened");
+        }
+        prop_assert!(art.kernel.is_running(art.host_pid()));
     }
 }
