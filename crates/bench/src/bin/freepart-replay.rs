@@ -23,8 +23,9 @@ use freepart_apps::drone::{self, DroneConfig};
 use freepart_attacks::payloads;
 use freepart_bench::{workspace_root, Table};
 use freepart_frameworks::registry::standard_registry;
+use freepart_simos::core::step;
 use freepart_simos::replay::{audit, replay};
-use freepart_simos::FaultKind;
+use freepart_simos::{CommitLog, Effects, FaultKind, KernelState};
 
 /// One recorded-and-replayed attack scenario.
 struct Scenario {
@@ -48,8 +49,32 @@ struct Scenario {
     verdict_replay: bool,
 }
 
-/// Records one drone mission, replays it, audits it, and reports.
-fn record_and_replay(name: &'static str, cfg: &DroneConfig, expect_fault: FaultKind) -> Scenario {
+/// Raw pure-`step` throughput: folds the recorded log through a fresh
+/// [`KernelState`] `iters` times and reports (total steps, steps/sec).
+fn step_throughput(log: &CommitLog, iters: u32) -> (u64, f64) {
+    let mut fx = Effects::new();
+    let mut total: u64 = 0;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        let mut state = KernelState::with_cost_model(log.genesis().clone());
+        for rec in log.records() {
+            fx.clear();
+            let _ = step(&mut state, rec.op.clone(), &mut fx);
+            total += 1;
+        }
+        std::hint::black_box(state.digest());
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (total, total as f64 / secs)
+}
+
+/// Records one drone mission, replays it, audits it, and reports the
+/// scenario alongside its detached commit log.
+fn record_and_replay(
+    name: &'static str,
+    cfg: &DroneConfig,
+    expect_fault: FaultKind,
+) -> (Scenario, CommitLog) {
     let mut rt = Runtime::install(standard_registry(), Policy::freepart_recorded());
     rt.enable_tracing();
     let result = drone::run(&mut rt, cfg);
@@ -98,7 +123,7 @@ fn record_and_replay(name: &'static str, cfg: &DroneConfig, expect_fault: FaultK
     // (control loop) survived, and the attack died inside an agent.
     let verdict_replay = rebuilt.is_running(host) && attack_crash.pid != host;
 
-    Scenario {
+    let scenario = Scenario {
         name,
         commits: log.len(),
         divergences: report.divergences.len(),
@@ -108,10 +133,11 @@ fn record_and_replay(name: &'static str, cfg: &DroneConfig, expect_fault: FaultK
         forensic_chain_len: attack_crash.chain.len(),
         verdict_live: result.control_loop_alive,
         verdict_replay,
-    }
+    };
+    (scenario, log)
 }
 
-fn to_json(rows: &[Scenario]) -> String {
+fn to_json(rows: &[Scenario], throughput: (&str, u64, f64)) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -133,14 +159,18 @@ fn to_json(rows: &[Scenario]) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    let (log_name, steps, steps_per_sec) = throughput;
+    out.push_str(&format!(
+        "  ],\n  \"step_throughput\": {{\"log\": \"{log_name}\", \
+         \"steps\": {steps}, \"steps_per_sec\": {steps_per_sec:.1}}}\n}}\n"
+    ));
     out
 }
 
 fn main() {
     // Scenario 1 — DoS: a poisoned frame crashes the loading agent; the
     // supervisor restarts it and the mission keeps flying.
-    let dos = record_and_replay(
+    let (dos, dos_log) = record_and_replay(
         "drone_dos",
         &DroneConfig {
             frames: 5,
@@ -165,7 +195,7 @@ fn main() {
         probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
     };
     let evil_speed = (-0.3f64).to_le_bytes().to_vec();
-    let corrupt = record_and_replay(
+    let (corrupt, _corrupt_log) = record_and_replay(
         "drone_corruption",
         &DroneConfig {
             frames: 4,
@@ -214,8 +244,18 @@ fn main() {
         assert!(r.forensic_chain_len >= 2, "{}: thin chain", r.name);
     }
 
-    let json = to_json(&rows);
+    // Raw pure-step throughput over the recorded DoS log: replay cost
+    // with no shell, no commit log, no divergence checks — just the
+    // fold every replay-based tool pays per step.
+    let (steps, steps_per_sec) = step_throughput(&dos_log, 200);
+    println!(
+        "\npure-step throughput: {steps} steps over {} replays of drone_dos \
+         ({steps_per_sec:.0} steps/sec)",
+        200
+    );
+
+    let json = to_json(&rows, ("drone_dos", steps, steps_per_sec));
     let out = workspace_root().join("BENCH_replay.json");
     std::fs::write(&out, &json).expect("write BENCH_replay.json");
-    println!("\nwrote {} ({} scenarios)", out.display(), rows.len());
+    println!("wrote {} ({} scenarios)", out.display(), rows.len());
 }

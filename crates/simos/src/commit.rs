@@ -5,14 +5,15 @@
 //! public kernel entry point that can change kernel state appends one
 //! [`CommitRecord`] describing the operation ([`CommitOp`]), a compact
 //! summary of its result ([`CommitOutcome`]), and the kernel's
-//! [state digest](crate::Kernel::state_digest) *after* the operation
+//! [state digest](crate::KernelState::digest) *after* the operation
 //! applied. Pure reads record nothing; a read that faults surfaces as the
 //! [`CommitOp::DeliverFault`] transition it really is.
 //!
-//! The log is the ground truth for [`replay`](crate::replay): re-applying
-//! the ops to a fresh kernel built from the same [`CostModel`] must
-//! reproduce every outcome summary and every digest, bit for bit. It is
-//! also the substrate for whole-trace invariant auditing and forensic
+//! The log is the ground truth for [`replay`](crate::replay): folding the
+//! ops through the pure [`step`](crate::core::step) over a fresh
+//! [`KernelState`](crate::KernelState) built from the same [`CostModel`]
+//! must reproduce every outcome summary and every digest, bit for bit. It
+//! is also the substrate for whole-trace invariant auditing and forensic
 //! walks — see [`crate::replay`] and the `freepart-core` forensics layer.
 //!
 //! [`Kernel::enable_commit_log`]: crate::Kernel::enable_commit_log
@@ -399,7 +400,7 @@ pub struct CommitRecord {
     pub op: CommitOp,
     /// Result summary.
     pub outcome: CommitOutcome,
-    /// Kernel [state digest](crate::Kernel::state_digest) after the op.
+    /// Kernel [state digest](crate::KernelState::digest) after the op.
     pub digest: u64,
 }
 

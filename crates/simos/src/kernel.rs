@@ -13,83 +13,75 @@
 //! * [`Kernel::ipc_send`] / [`Kernel::ipc_recv`] — ring-buffer messaging
 //!   with per-byte cost accounting.
 //!
-//! Everything advances one [`VirtualClock`] by default, making run
-//! times deterministic and comparable across isolation schemes. For
-//! pipelined execution the kernel can instead keep one timeline per
-//! process ([`TimelineMode::PerProcess`]): each charge lands on the
-//! acting process's clock, message delivery applies a happens-before
-//! merge (`recv = max(recv, frame.send_ns)` plus delivery latency),
-//! and the run's makespan is the max over all timelines.
+//! Everything advances one [`VirtualClock`](crate::cost::VirtualClock)
+//! by default, making run times deterministic and comparable across
+//! isolation schemes. For pipelined execution the kernel can instead
+//! keep one timeline per process ([`TimelineMode::PerProcess`]): each
+//! charge lands on the acting process's clock, message delivery applies
+//! a happens-before merge (`recv = max(recv, frame.send_ns)` plus
+//! delivery latency), and the run's makespan is the max over all
+//! timelines.
+//!
+//! ## Shell over a pure core
+//!
+//! `Kernel` is a *shell*: the state machine itself lives in
+//! [`crate::core`]. Every mutating entry point below builds a
+//! [`CommitOp`] and folds it through the single pure transition
+//! function [`step`](crate::core::step) — there is no second
+//! implementation of any kernel behavior here. The shell's only jobs
+//! are translating typed arguments to ops (and [`StepValue`]s back to
+//! typed returns), appending each step's record to the commit log when
+//! recording, and exposing the pure reads of the underlying
+//! [`KernelState`] via `Deref`.
 
-use crate::commit::{self, CommitLog, CommitOp, CommitOutcome, OpSummary};
-use crate::cost::{CostModel, VirtualClock};
-use crate::device::{Camera, DeviceKind, Display, NetworkLog, WindowId};
-use crate::error::{Errno, Fault, FaultKind, SimError, SimResult};
-use crate::filter::{FilterDecision, SyscallFilter};
-use crate::fs::SimFs;
-use crate::ipc::{ChannelId, RingChannel, RingError};
-use crate::mem::{Addr, Perms, PAGE_SIZE};
-use crate::process::{FdTarget, Pid, ProcessState, SimProcess};
-use crate::shm::{ShmId, ShmSegment};
+use crate::commit::{CommitLog, CommitOp};
+use crate::core::effects::Effects;
+use crate::core::state::KernelState;
+use crate::core::step::{step, StepResult, StepValue};
+use crate::cost::CostModel;
+use crate::device::WindowId;
+use crate::error::{Fault, FaultKind, SimResult};
+use crate::filter::SyscallFilter;
+use crate::ipc::ChannelId;
+use crate::mem::{Addr, Perms};
+use crate::process::Pid;
+use crate::shm::ShmId;
 use crate::syscall::{Syscall, SyscallRet};
-use crate::Metrics;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
-/// How virtual time flows through the kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TimelineMode {
-    /// One global clock; every charge serializes (the classic model).
-    #[default]
-    Global,
-    /// One [`VirtualClock`] per process, merged on message delivery.
-    /// Concurrent work on different processes overlaps in virtual time;
-    /// the run's makespan is [`Kernel::makespan_ns`].
-    PerProcess,
-}
+pub use crate::core::state::TimelineMode;
 
-/// The simulated operating system kernel.
+/// The simulated operating system kernel: a thin, effects-interpreting
+/// shell around the pure [`KernelState`] + [`step`] core.
 ///
 /// See the [module docs](self) for the design; see the crate docs for a
-/// usage example.
+/// usage example. Pure reads ([`KernelState::metrics`],
+/// [`KernelState::now_ns`], the public `fs`/`camera`/`display`/`network`
+/// fields, …) are reachable directly on the kernel handle through
+/// `Deref`.
 pub struct Kernel {
-    procs: BTreeMap<Pid, SimProcess>,
-    next_pid: u32,
-    channels: BTreeMap<ChannelId, RingChannel>,
-    next_channel: u32,
-    /// The in-memory file system (public for harness seeding/inspection).
-    pub fs: SimFs,
-    /// Attached camera, if the workload uses one.
-    pub camera: Option<Camera>,
-    /// The GUI display subsystem.
-    pub display: Display,
-    /// Network egress log (exfiltration oracle).
-    pub network: NetworkLog,
-    clock: VirtualClock,
-    mode: TimelineMode,
-    /// Per-process timelines (populated in [`TimelineMode::PerProcess`]).
-    timelines: BTreeMap<Pid, VirtualClock>,
-    /// The process charged for pid-less costs (spawn, raw copies) under
-    /// per-process time; `None` falls back to the global clock.
-    time_ctx: Option<Pid>,
-    cost: CostModel,
-    metrics: Metrics,
-    rng: StdRng,
-    /// Kernel-owned shared-memory segments (see [`crate::shm`]).
-    shm: BTreeMap<ShmId, ShmSegment>,
-    next_shm: u64,
+    state: KernelState,
     /// The flight recorder, when enabled (see [`Kernel::enable_commit_log`]).
     commit: Option<CommitLog>,
-    /// Reentrancy depth of public mutating entry points: only the
-    /// outermost call records (e.g. `syscall` → `deliver_fault` must not
-    /// log the nested fault separately).
-    op_depth: u32,
+    /// Reusable effects buffer for the last step (cleared per step).
+    fx: Effects,
 }
 
 impl Default for Kernel {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::ops::Deref for Kernel {
+    type Target = KernelState;
+    fn deref(&self) -> &KernelState {
+        &self.state
+    }
+}
+
+impl std::ops::DerefMut for Kernel {
+    fn deref_mut(&mut self) -> &mut KernelState {
+        &mut self.state
     }
 }
 
@@ -101,27 +93,54 @@ impl Kernel {
 
     /// A fresh kernel with a custom cost model.
     pub fn with_cost_model(cost: CostModel) -> Kernel {
+        Kernel::from_state(KernelState::with_cost_model(cost))
+    }
+
+    /// Wraps an existing core state in a (non-recording) shell — how
+    /// [`crate::replay::replay`] hands back a kernel after folding a log.
+    pub fn from_state(state: KernelState) -> Kernel {
         Kernel {
-            procs: BTreeMap::new(),
-            next_pid: 1,
-            channels: BTreeMap::new(),
-            next_channel: 0,
-            fs: SimFs::new(),
-            camera: None,
-            display: Display::new(),
-            network: NetworkLog::new(),
-            clock: VirtualClock::new(),
-            mode: TimelineMode::Global,
-            timelines: BTreeMap::new(),
-            time_ctx: None,
-            cost,
-            metrics: Metrics::new(),
-            rng: StdRng::seed_from_u64(0x5eed),
-            shm: BTreeMap::new(),
-            next_shm: 0,
+            state,
             commit: None,
-            op_depth: 0,
+            fx: Effects::new(),
         }
+    }
+
+    /// The underlying pure state (every read is also available directly
+    /// on the kernel via `Deref`).
+    pub fn state(&self) -> &KernelState {
+        &self.state
+    }
+
+    /// Runs one op through the pure core, then interprets the effects:
+    /// the trailing [`Record`](crate::core::Effect::Record) goes to the
+    /// commit log (with a post-state digest) when recording.
+    fn do_step(&mut self, op: CommitOp) -> StepResult {
+        self.fx.clear();
+        let r = step(&mut self.state, op, &mut self.fx);
+        let (op, outcome) = self.fx.pop_record().expect("step always records");
+        if self.commit.is_some() {
+            let digest = self.state.digest();
+            if let Some(log) = self.commit.as_mut() {
+                log.push(op, outcome, digest);
+            }
+        }
+        r
+    }
+
+    /// Applies one [`CommitOp`] through the pure core, recorded exactly
+    /// like the typed entry point it corresponds to. This is the generic
+    /// form of every mutating method below; replay and forensics use it
+    /// to re-execute logged ops without caring which arm they are.
+    pub fn apply(&mut self, op: CommitOp) -> StepResult {
+        self.do_step(op)
+    }
+
+    /// The effects emitted by the most recent mutating entry point
+    /// (minus the commit record, which the shell consumes): time
+    /// charges, metrics deltas, faults, filter kills, in emission order.
+    pub fn last_effects(&self) -> &Effects {
+        &self.fx
     }
 
     // ------------------------------------------------------------------
@@ -136,7 +155,7 @@ impl Kernel {
     /// Recording must start from a pristine kernel (no processes,
     /// channels, segments, files, or elapsed time): replays rebuild
     /// genesis as `Kernel::with_cost_model(log.genesis())`, and the fixed
-    /// rng seed makes two pristine kernels identical.
+    /// entropy seed makes two pristine kernels identical.
     ///
     /// # Panics
     ///
@@ -145,15 +164,10 @@ impl Kernel {
     /// [`CommitRecord`]: crate::commit::CommitRecord
     pub fn enable_commit_log(&mut self) {
         assert!(
-            self.procs.is_empty()
-                && self.channels.is_empty()
-                && self.shm.is_empty()
-                && self.camera.is_none()
-                && self.fs.file_count() == 0
-                && self.clock.now_ns() == 0,
+            self.state.is_pristine(),
             "commit log must be enabled on a pristine kernel"
         );
-        self.commit = Some(CommitLog::new(self.cost.clone()));
+        self.commit = Some(CommitLog::new(self.state.cost.clone()));
     }
 
     /// True when the flight recorder is on.
@@ -177,186 +191,31 @@ impl Kernel {
         self.commit.take()
     }
 
-    /// Marks entry into a public mutating entry point; true when this
-    /// call is the outermost one and recording is on (i.e. the caller
-    /// owns the record for whatever happens inside).
-    fn commit_enter(&mut self) -> bool {
-        self.op_depth += 1;
-        self.op_depth == 1 && self.commit.is_some()
-    }
-
-    /// Marks exit from a public mutating entry point, appending the
-    /// record when this call owned it (`op` is `Some`).
-    fn commit_exit(&mut self, op: Option<CommitOp>, outcome: CommitOutcome) {
-        self.op_depth -= 1;
-        if let Some(op) = op {
-            let digest = self.state_digest();
-            if let Some(log) = self.commit.as_mut() {
-                log.push(op, outcome, digest);
-            }
-        }
-    }
-
-    /// Digest of the complete observable kernel state: clocks and
-    /// timelines, counters, every process (address-space fingerprint,
-    /// state, filter, fd table), channels, segments and their grant
-    /// tables, the file system, and devices. Two kernels that evolved
-    /// through the same transition sequence report the same digest; the
-    /// replayer compares this after every re-applied op.
-    ///
-    /// Large payloads (page data, files, segment bytes, ring traffic)
-    /// enter through incrementally-maintained fingerprints, so a digest
-    /// is O(processes + segments + channels), not O(memory).
+    /// Digest of the complete observable kernel state. Delegates to
+    /// [`KernelState::digest`] — the shell has no digest of its own, so
+    /// it cannot drift from what replay verifies against.
     pub fn state_digest(&self) -> u64 {
-        let mut h = commit::FINGERPRINT_SEED;
-        h = commit::mix(h, self.clock.now_ns());
-        h = commit::mix(
-            h,
-            match self.mode {
-                TimelineMode::Global => 0,
-                TimelineMode::PerProcess => 1,
-            },
-        );
-        h = commit::mix(h, self.time_ctx.summary());
-        h = commit::mix(h, self.timelines.len() as u64);
-        for (pid, t) in &self.timelines {
-            h = commit::mix(commit::mix(h, u64::from(pid.0)), t.now_ns());
-        }
-        h = commit::mix(h, self.metrics.fingerprint());
-        h = commit::mix(h, u64::from(self.next_pid));
-        h = commit::mix(h, u64::from(self.next_channel));
-        h = commit::mix(h, self.next_shm);
-        for (pid, p) in &self.procs {
-            h = commit::mix(h, u64::from(pid.0));
-            h = commit::mix(h, commit::hash_str(&p.name));
-            h = match &p.state {
-                ProcessState::Running => commit::mix(h, 1),
-                ProcessState::Exited(code) => commit::mix(commit::mix(h, 2), *code as u64),
-                ProcessState::Crashed(f) => commit::mix(commit::mix(h, 3), f.summary()),
-            };
-            h = commit::mix(h, u64::from(p.no_new_privs));
-            h = commit::mix(h, p.cpu_ns);
-            h = commit::mix(h, p.aspace.fingerprint());
-            h = commit::mix(h, p.aspace.page_count() as u64);
-            h = commit::mix(h, p.fd_table.len() as u64);
-            for (fd, target) in &p.fd_table {
-                h = commit::mix(h, u64::from(fd.0));
-                h = match target {
-                    FdTarget::File { path, offset } => commit::mix(
-                        commit::mix(commit::mix(h, 1), commit::hash_str(path)),
-                        *offset,
-                    ),
-                    FdTarget::Device(kind) => {
-                        commit::mix(commit::mix(h, 2), commit::hash_str(&format!("{kind:?}")))
-                    }
-                    FdTarget::Socket { dest } => {
-                        commit::mix(commit::mix(h, 3), commit::hash_str(dest))
-                    }
-                };
-            }
-            h = match &p.filter {
-                None => commit::mix(h, 0),
-                Some(f) => {
-                    let mut fh = commit::mix(commit::mix(h, 1), u64::from(f.is_locked()));
-                    for no in f.allowed_numbers() {
-                        fh = commit::mix(fh, no as u64);
-                    }
-                    fh
-                }
-            };
-        }
-        for (id, ch) in &self.channels {
-            h = commit::mix(h, u64::from(id.0));
-            h = commit::mix(h, ch.fingerprint());
-            h = commit::mix(h, u64::from(ch.a.0));
-            h = commit::mix(h, u64::from(ch.b.0));
-        }
-        for (id, seg) in &self.shm {
-            h = commit::mix(h, id.0);
-            h = commit::mix(h, seg.fingerprint());
-            h = commit::mix(h, seg.write_epoch());
-            for (pid, perms) in seg.grants() {
-                h = commit::mix(commit::mix(h, u64::from(pid.0)), u64::from(perms.bits()));
-                h = commit::mix(h, u64::from(seg.is_mapped(pid)));
-            }
-        }
-        h = commit::mix(h, self.fs.fingerprint());
-        h = match &self.camera {
-            None => commit::mix(h, 0),
-            Some(c) => commit::mix(commit::mix(h, 1), c.fingerprint()),
-        };
-        h = commit::mix(h, self.display.fingerprint());
-        commit::mix(h, self.network.fingerprint())
+        self.state.digest()
     }
 
     // ------------------------------------------------------------------
     // Virtual time
     // ------------------------------------------------------------------
 
-    /// Charges `ns` to `pid`'s timeline (per-process mode) or the global
-    /// clock. Every cost with a known acting process routes through here.
-    fn charge_to(&mut self, pid: Pid, ns: u64) {
-        match self.mode {
-            TimelineMode::Global => self.clock.charge(ns),
-            TimelineMode::PerProcess => self.timelines.entry(pid).or_default().charge(ns),
-        }
-    }
-
-    /// Charges `ns` to the current time context (per-process mode) or
-    /// the global clock, for costs with no obvious acting process.
-    fn charge_ctx(&mut self, ns: u64) {
-        match (self.mode, self.time_ctx) {
-            (TimelineMode::PerProcess, Some(pid)) => {
-                self.timelines.entry(pid).or_default().charge(ns)
-            }
-            _ => self.clock.charge(ns),
-        }
-    }
-
-    /// `pid`'s current virtual time (global clock under `Global` mode).
-    pub fn timeline_ns(&self, pid: Pid) -> u64 {
-        match self.mode {
-            TimelineMode::Global => self.clock.now_ns(),
-            TimelineMode::PerProcess => self.timelines.get(&pid).map_or(0, |c| c.now_ns()),
-        }
-    }
-
     /// Switches to one-timeline-per-process virtual time. Existing
     /// processes' timelines are seeded at the current global time.
     pub fn enable_per_process_time(&mut self) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::EnablePerProcessTime);
-        self.enable_per_process_time_impl();
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    fn enable_per_process_time_impl(&mut self) {
-        if self.mode == TimelineMode::PerProcess {
-            return;
-        }
-        self.mode = TimelineMode::PerProcess;
-        let now = self.clock.now_ns();
-        for pid in self.procs.keys().copied().collect::<Vec<_>>() {
-            let mut c = VirtualClock::new();
-            c.charge(now);
-            self.timelines.insert(pid, c);
-        }
-    }
-
-    /// The timeline mode in force.
-    pub fn timeline_mode(&self) -> TimelineMode {
-        self.mode
+        let _ = self.do_step(CommitOp::EnablePerProcessTime);
     }
 
     /// Sets the process charged for pid-less costs under per-process
     /// time (no effect under the global clock). Returns the previous
     /// context so callers can restore it.
     pub fn set_time_context(&mut self, pid: Option<Pid>) -> Option<Pid> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::SetTimeContext { pid });
-        let prev = std::mem::replace(&mut self.time_ctx, pid);
-        self.commit_exit(op, CommitOutcome::Ok(prev.summary()));
-        prev
+        match self.do_step(CommitOp::SetTimeContext { pid }) {
+            Ok(StepValue::ProcOpt(prev)) => prev,
+            _ => unreachable!("set_time_context is infallible"),
+        }
     }
 
     /// Advances `pid`'s timeline to at least `ns` (a happens-before
@@ -364,38 +223,7 @@ impl Kernel {
     /// produced by an in-flight call). No-op under the global clock and
     /// when the timeline is already past `ns`.
     pub fn advance_timeline_to(&mut self, pid: Pid, ns: u64) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::AdvanceTimeline { pid, ns });
-        self.advance_timeline_to_impl(pid, ns);
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    fn advance_timeline_to_impl(&mut self, pid: Pid, ns: u64) {
-        if self.mode != TimelineMode::PerProcess {
-            return;
-        }
-        let t = self.timelines.entry(pid).or_default();
-        if ns > t.now_ns() {
-            let delta = ns - t.now_ns();
-            t.charge(delta);
-            self.metrics.timeline_merges += 1;
-        }
-    }
-
-    /// End-to-end virtual duration of the run: the global clock under
-    /// `Global` mode, the max over all process timelines (and any
-    /// residual global charges) under `PerProcess`.
-    pub fn makespan_ns(&self) -> u64 {
-        match self.mode {
-            TimelineMode::Global => self.clock.now_ns(),
-            TimelineMode::PerProcess => self
-                .timelines
-                .values()
-                .map(|c| c.now_ns())
-                .chain(std::iter::once(self.clock.now_ns()))
-                .max()
-                .unwrap_or(0),
-        }
+        let _ = self.do_step(CommitOp::AdvanceTimeline { pid, ns });
     }
 
     // ------------------------------------------------------------------
@@ -404,87 +232,26 @@ impl Kernel {
 
     /// Spawns a new process, charging the spawn cost.
     pub fn spawn(&mut self, name: &str) -> Pid {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::Spawn {
+        match self.do_step(CommitOp::Spawn {
             name: name.to_owned(),
-        });
-        let pid = self.spawn_impl(name);
-        self.commit_exit(op, CommitOutcome::Ok(pid.summary()));
-        pid
-    }
-
-    fn spawn_impl(&mut self, name: &str) -> Pid {
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
-        self.procs.insert(pid, SimProcess::new(pid, name));
-        self.charge_ctx(self.cost.spawn_ns);
-        if self.mode == TimelineMode::PerProcess {
-            // The child exists once the spawner has paid the spawn cost:
-            // its timeline starts at the spawner's current time.
-            let birth = match self.time_ctx {
-                Some(p) => self.timeline_ns(p),
-                None => self.clock.now_ns(),
-            };
-            let mut c = VirtualClock::new();
-            c.charge(birth);
-            self.timelines.insert(pid, c);
+        }) {
+            Ok(StepValue::Proc(pid)) => pid,
+            _ => unreachable!("spawn is infallible"),
         }
-        self.metrics.spawns += 1;
-        pid
-    }
-
-    /// Immutable access to a process.
-    pub fn process(&self, pid: Pid) -> SimResult<&SimProcess> {
-        self.procs.get(&pid).ok_or(SimError::NoSuchProcess(pid))
-    }
-
-    /// Mutable access to a process (harness-level, not attacker-level).
-    pub fn process_mut(&mut self, pid: Pid) -> SimResult<&mut SimProcess> {
-        self.procs.get_mut(&pid).ok_or(SimError::NoSuchProcess(pid))
-    }
-
-    /// All pids, in spawn order.
-    pub fn pids(&self) -> Vec<Pid> {
-        self.procs.keys().copied().collect()
-    }
-
-    /// Number of processes ever spawned and still tracked.
-    pub fn process_count(&self) -> usize {
-        self.procs.len()
-    }
-
-    /// True when the process exists and is running.
-    pub fn is_running(&self, pid: Pid) -> bool {
-        self.procs.get(&pid).is_some_and(|p| p.is_running())
     }
 
     /// Delivers a fatal fault to `pid`, marking it crashed.
     ///
-    /// When recording, a direct call (not one nested inside another
-    /// kernel op such as `syscall`) logs a [`CommitOp::DeliverFault`] —
+    /// When recording, a direct call logs a [`CommitOp::DeliverFault`] —
     /// this is how faults raised by otherwise-pure reads
     /// ([`Kernel::mem_read`], [`Kernel::shm_read`]) enter the log.
+    /// Faults raised *inside* another kernel op (a denied write, a
+    /// filter kill) stay part of that op's single record.
     pub fn deliver_fault(&mut self, pid: Pid, kind: FaultKind, addr: Option<Addr>) -> Fault {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::DeliverFault {
-            pid,
-            kind: kind.clone(),
-            addr,
-        });
-        let fault = self.deliver_fault_impl(pid, kind, addr);
-        self.commit_exit(op, CommitOutcome::Ok(fault.summary()));
-        fault
-    }
-
-    fn deliver_fault_impl(&mut self, pid: Pid, kind: FaultKind, addr: Option<Addr>) -> Fault {
-        let fault = Fault { pid, kind, addr };
-        if let Some(p) = self.procs.get_mut(&pid) {
-            if p.is_running() {
-                p.state = ProcessState::Crashed(fault.clone());
-                self.metrics.faults += 1;
-            }
+        match self.do_step(CommitOp::DeliverFault { pid, kind, addr }) {
+            Ok(StepValue::Crash(fault)) => fault,
+            _ => unreachable!("deliver_fault is infallible"),
         }
-        fault
     }
 
     /// Reaps a dead process: the corpse's address space is freed and
@@ -501,34 +268,41 @@ impl Kernel {
     ///
     /// [`SimError::NoSuchProcess`] if the pid is unknown (double reap),
     /// [`SimError::Errno`] (`EPERM`) if the process is still running.
+    ///
+    /// [`Errno::Eperm`]: crate::error::Errno::Eperm
+    /// [`SimError::NoSuchProcess`]: crate::error::SimError::NoSuchProcess
+    /// [`SimError::Errno`]: crate::error::SimError::Errno
     pub fn reap(&mut self, pid: Pid) -> SimResult<u64> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::Reap { pid });
-        let r = self.reap_impl(pid);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
+        match self.do_step(CommitOp::Reap { pid })? {
+            StepValue::Num(pages) => Ok(pages),
+            _ => unreachable!("reap returns pages"),
+        }
     }
 
-    fn reap_impl(&mut self, pid: Pid) -> SimResult<u64> {
-        let p = self.procs.get(&pid).ok_or(SimError::NoSuchProcess(pid))?;
-        if p.is_running() {
-            return Err(SimError::Errno(Errno::Eperm));
-        }
-        let pages = p.aspace.mapped_bytes() / PAGE_SIZE;
-        self.procs.remove(&pid);
-        for seg in self.shm.values_mut() {
-            seg.purge(pid);
-        }
-        self.metrics.reaps += 1;
-        Ok(pages)
+    /// Seals `pid` against future privilege changes from the *outside*
+    /// (the runtime's supervisor-side `PR_SET_NO_NEW_PRIVS`): after this,
+    /// [`Kernel::install_filter`] on the pid fails with `EPERM`. Unlike
+    /// [`Syscall::PrctlNoNewPrivs`] issued by the process itself, this
+    /// does not lock an installed filter's rule set — the runtime seals
+    /// after installing exactly the filter it wants.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchProcess`](crate::error::SimError::NoSuchProcess)
+    /// if the pid is unknown.
+    pub fn set_no_new_privs(&mut self, pid: Pid) -> SimResult<()> {
+        self.do_step(CommitOp::SetNoNewPrivs { pid })?;
+        Ok(())
     }
 
-    fn require_running(&self, pid: Pid) -> SimResult<()> {
-        let p = self.process(pid)?;
-        if p.is_running() {
-            Ok(())
-        } else {
-            Err(SimError::ProcessDead(pid))
+    /// Force-exits a running process with `code` (the supervisor's
+    /// pre-reap termination of a wedged agent). Returns whether the
+    /// process was running and is now exited; dead or unknown pids are
+    /// left untouched.
+    pub fn force_exit(&mut self, pid: Pid, code: i32) -> bool {
+        match self.do_step(CommitOp::ForceExit { pid, code }) {
+            Ok(StepValue::Flag(changed)) => changed,
+            _ => unreachable!("force_exit is infallible"),
         }
     }
 
@@ -539,28 +313,30 @@ impl Kernel {
     /// Allocates fresh memory in `pid`'s address space (harness-level
     /// `mmap`; no syscall charge — agents' own allocations go through
     /// [`Syscall::Mmap`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the process is unknown or dead.
     pub fn alloc(&mut self, pid: Pid, len: u64, perms: Perms) -> SimResult<Addr> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::Alloc { pid, len, perms });
-        let r = self.alloc_impl(pid, len, perms);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn alloc_impl(&mut self, pid: Pid, len: u64, perms: Perms) -> SimResult<Addr> {
-        self.require_running(pid)?;
-        Ok(self.process_mut(pid)?.aspace.alloc(len, perms))
+        match self.do_step(CommitOp::Alloc { pid, len, perms })? {
+            StepValue::Addr(addr) => Ok(addr),
+            _ => unreachable!("alloc returns an address"),
+        }
     }
 
     /// Reads `len` bytes at `addr` in `pid`'s address space.
     ///
+    /// Reading mutates nothing, so it is not a logged transition — but a
+    /// violation crashes the reader through the (logged)
+    /// [`Kernel::deliver_fault`], the simulated `SIGSEGV`.
+    ///
     /// # Errors
     ///
     /// On a permission or mapping violation the process is crashed and
-    /// [`SimError::Fault`] is returned — the simulated `SIGSEGV`.
+    /// [`SimError::Fault`](crate::error::SimError::Fault) is returned.
     pub fn mem_read(&mut self, pid: Pid, addr: Addr, len: u64) -> SimResult<Vec<u8>> {
-        self.require_running(pid)?;
-        let p = self.procs.get_mut(&pid).expect("checked");
+        self.state.require_running(pid)?;
+        let p = self.state.procs.get_mut(&pid).expect("checked");
         match p.aspace.read(addr, len) {
             Ok(bytes) => Ok(bytes),
             Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
@@ -574,43 +350,22 @@ impl Kernel {
     /// Same crash semantics as [`Kernel::mem_read`]. A write to a page
     /// FreePart made read-only is exactly this fault.
     pub fn mem_write(&mut self, pid: Pid, addr: Addr, bytes: &[u8]) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::MemWrite {
+        self.do_step(CommitOp::MemWrite {
             pid,
             addr,
             bytes: bytes.to_vec(),
-        });
-        let r = self.mem_write_impl(pid, addr, bytes);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn mem_write_impl(&mut self, pid: Pid, addr: Addr, bytes: &[u8]) -> SimResult<()> {
-        self.require_running(pid)?;
-        let p = self.procs.get_mut(&pid).expect("checked");
-        match p.aspace.write(addr, bytes) {
-            Ok(()) => Ok(()),
-            Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
-        }
-    }
-
-    /// Sum of per-page write generations over `[addr, addr+len)` in
-    /// `pid`'s address space, or `None` if the process is gone, dead, or
-    /// the range is (partially) unmapped. See
-    /// [`AddressSpace::write_epoch`](crate::mem::AddressSpace::write_epoch);
-    /// reading an epoch charges nothing.
-    pub fn write_epoch(&self, pid: Pid, addr: Addr, len: u64) -> Option<u64> {
-        let p = self.procs.get(&pid)?;
-        if !p.is_running() {
-            return None;
-        }
-        p.aspace.write_epoch(addr, len)
+        })?;
+        Ok(())
     }
 
     /// Simulates executing code at `addr` (X permission check).
+    ///
+    /// # Errors
+    ///
+    /// Same crash semantics as [`Kernel::mem_read`].
     pub fn mem_fetch(&mut self, pid: Pid, addr: Addr) -> SimResult<()> {
-        self.require_running(pid)?;
-        let p = self.procs.get_mut(&pid).expect("checked");
+        self.state.require_running(pid)?;
+        let p = self.state.procs.get_mut(&pid).expect("checked");
         match p.aspace.fetch(addr) {
             Ok(()) => Ok(()),
             Err(kind) => Err(self.deliver_fault(pid, kind, Some(addr)).into()),
@@ -624,43 +379,21 @@ impl Kernel {
     /// Accounting is **differential**: only pages whose permissions
     /// actually change are charged and counted, so re-protecting an
     /// already-read-only object costs (and audits) zero pages.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` on an unmapped range; fails when the process is unknown
+    /// or dead.
     pub fn protect(&mut self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> SimResult<u64> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::Protect {
+        match self.do_step(CommitOp::Protect {
             pid,
             addr,
             len,
             perms,
-        });
-        let r = self.protect_impl(pid, addr, len, perms);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn protect_impl(&mut self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> SimResult<u64> {
-        self.require_running(pid)?;
-        let p = self.procs.get_mut(&pid).expect("checked");
-        match p.aspace.protect(addr, len, perms) {
-            Ok(changed) => {
-                if changed > 0 {
-                    let ns = self.cost.mprotect_cost(changed);
-                    self.charge_to(pid, ns);
-                    self.metrics.protected_pages += changed;
-                }
-                Ok(changed)
-            }
-            Err(_) => Err(SimError::Errno(Errno::Einval)),
+        })? {
+            StepValue::Num(changed) => Ok(changed),
+            _ => unreachable!("protect returns changed pages"),
         }
-    }
-
-    /// True when every page of `[addr, addr+len)` in `pid`'s address
-    /// space is already at exactly `perms` — a protection change would be
-    /// a no-op. Lets trusted callers skip the call (and its audit trail)
-    /// entirely when the permission delta is empty.
-    pub fn perms_match(&self, pid: Pid, addr: Addr, len: u64, perms: Perms) -> bool {
-        self.procs
-            .get(&pid)
-            .is_some_and(|p| p.is_running() && p.aspace.perms_match(addr, len, perms))
     }
 
     // ------------------------------------------------------------------
@@ -672,53 +405,30 @@ impl Kernel {
     ///
     /// Creation adopts the payload pages rather than copying them (the
     /// runtime promotes an existing buffer by remapping), so it charges
-    /// only the per-page mapping cost, never [`CostModel::copy_cost`].
+    /// only the per-page mapping cost, never
+    /// [`CostModel::copy_cost`](crate::cost::CostModel::copy_cost).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the owner is unknown or dead.
     pub fn shm_create(&mut self, owner: Pid, bytes: Vec<u8>) -> SimResult<ShmId> {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::ShmCreate {
-            owner,
-            bytes: bytes.clone(),
-        });
-        let r = self.shm_create_impl(owner, bytes);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn shm_create_impl(&mut self, owner: Pid, bytes: Vec<u8>) -> SimResult<ShmId> {
-        self.require_running(owner)?;
-        let id = ShmId(self.next_shm);
-        self.next_shm += 1;
-        let len = bytes.len() as u64;
-        let mut seg = ShmSegment::new(bytes);
-        seg.grants.insert(owner, Perms::RW);
-        seg.mapped.insert(owner);
-        self.shm.insert(id, seg);
-        let ns = self.cost.syscall_ns + self.cost.shm_map_cost(len);
-        self.charge_to(owner, ns);
-        self.metrics.shm_grants += 1;
-        self.metrics.shm_mapped_bytes += len;
-        Ok(id)
+        match self.do_step(CommitOp::ShmCreate { owner, bytes })? {
+            StepValue::Seg(id) => Ok(id),
+            _ => unreachable!("shm_create returns a segment id"),
+        }
     }
 
     /// Grants (or replaces) `pid`'s permissions on segment `id`.
     ///
     /// A grant is a permission-table entry; it costs one syscall. Data
     /// only becomes addressable after [`Kernel::shm_map`].
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on an unknown segment; fails when the grantee is unknown
+    /// or dead.
     pub fn shm_grant(&mut self, id: ShmId, pid: Pid, perms: Perms) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ShmGrant { id, pid, perms });
-        let r = self.shm_grant_impl(id, pid, perms);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn shm_grant_impl(&mut self, id: ShmId, pid: Pid, perms: Perms) -> SimResult<()> {
-        self.require_running(pid)?;
-        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
-        seg.grants.insert(pid, perms);
-        let ns = self.cost.syscall_ns;
-        self.charge_to(pid, ns);
-        self.metrics.shm_grants += 1;
+        self.do_step(CommitOp::ShmGrant { id, pid, perms })?;
         Ok(())
     }
 
@@ -728,30 +438,17 @@ impl Kernel {
     /// movement — and counts the segment length into
     /// `metrics.shm_mapped_bytes`. Requires an existing grant. Mapping
     /// an already-mapped segment is a cheap no-op (one syscall).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on an unknown segment, `EACCES` without a grant.
+    ///
+    /// [`CostModel::shm_map_cost`]: crate::cost::CostModel::shm_map_cost
     pub fn shm_map(&mut self, pid: Pid, id: ShmId) -> SimResult<u64> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ShmMap { pid, id });
-        let r = self.shm_map_impl(pid, id);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn shm_map_impl(&mut self, pid: Pid, id: ShmId) -> SimResult<u64> {
-        self.require_running(pid)?;
-        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
-        if !seg.grants.contains_key(&pid) {
-            return Err(SimError::Errno(Errno::Eacces));
+        match self.do_step(CommitOp::ShmMap { pid, id })? {
+            StepValue::Num(len) => Ok(len),
+            _ => unreachable!("shm_map returns the segment length"),
         }
-        let len = seg.len();
-        if seg.mapped.insert(pid) {
-            let ns = self.cost.syscall_ns + self.cost.shm_map_cost(len);
-            self.charge_to(pid, ns);
-            self.metrics.shm_mapped_bytes += len;
-        } else {
-            let ns = self.cost.syscall_ns;
-            self.charge_to(pid, ns);
-        }
-        Ok(len)
     }
 
     /// Revokes `pid`'s grant and mapping on segment `id`.
@@ -761,25 +458,15 @@ impl Kernel {
     /// disappears. Charged like an `mprotect` over the segment (PTE
     /// clear + TLB shootdown), to the *revoker's* time context, not the
     /// victim's. Returns whether a grant actually existed.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on an unknown segment.
     pub fn shm_revoke(&mut self, id: ShmId, pid: Pid) -> SimResult<bool> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ShmRevoke { id, pid });
-        let r = self.shm_revoke_impl(id, pid);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn shm_revoke_impl(&mut self, id: ShmId, pid: Pid) -> SimResult<bool> {
-        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
-        let existed = seg.grants.remove(&pid).is_some();
-        seg.mapped.remove(&pid);
-        if existed {
-            let pages = seg.len().div_ceil(PAGE_SIZE).max(1);
-            let ns = self.cost.mprotect_cost(pages);
-            self.charge_ctx(ns);
-            self.metrics.shm_revokes += 1;
+        match self.do_step(CommitOp::ShmRevoke { id, pid })? {
+            StepValue::Flag(existed) => Ok(existed),
+            _ => unreachable!("shm_revoke returns whether a grant existed"),
         }
-        Ok(existed)
     }
 
     /// Downgrades or upgrades every existing grant on `id` to `perms`
@@ -788,30 +475,15 @@ impl Kernel {
     /// Counts the affected pages into `metrics.protected_pages`, once
     /// per grant, exactly as [`Kernel::protect`] does for private pages,
     /// so audit-log page accounting stays whole.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on an unknown segment.
     pub fn shm_protect_all(&mut self, id: ShmId, perms: Perms) -> SimResult<u64> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ShmProtectAll { id, perms });
-        let r = self.shm_protect_all_impl(id, perms);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn shm_protect_all_impl(&mut self, id: ShmId, perms: Perms) -> SimResult<u64> {
-        let seg = self.shm.get_mut(&id).ok_or(SimError::Errno(Errno::Ebadf))?;
-        let pages = seg.len().div_ceil(PAGE_SIZE).max(1);
-        let mut changed = 0;
-        for p in seg.grants.values_mut() {
-            if *p != perms {
-                *p = perms;
-                changed += pages;
-            }
+        match self.do_step(CommitOp::ShmProtectAll { id, perms })? {
+            StepValue::Num(changed) => Ok(changed),
+            _ => unreachable!("shm_protect_all returns changed pages"),
         }
-        if changed > 0 {
-            let ns = self.cost.mprotect_cost(changed);
-            self.charge_ctx(ns);
-            self.metrics.protected_pages += changed;
-        }
-        Ok(changed)
     }
 
     /// Reads the whole payload of segment `id` as `pid`.
@@ -822,15 +494,15 @@ impl Kernel {
     /// and `pid` is crashed — identical semantics to
     /// [`Kernel::mem_read`] on a revoked page.
     pub fn shm_read(&mut self, pid: Pid, id: ShmId) -> SimResult<Vec<u8>> {
-        self.require_running(pid)?;
-        let Some(seg) = self.shm.get(&id) else {
+        self.state.require_running(pid)?;
+        let Some(seg) = self.state.shm.get(&id) else {
             return Err(self.deliver_fault(pid, FaultKind::Unmapped, None).into());
         };
         let ok = seg.is_mapped(pid) && seg.grant_of(pid).is_some_and(|p| p.readable());
         if !ok {
             return Err(self.deliver_fault(pid, FaultKind::Protection, None).into());
         }
-        Ok(self.shm.get(&id).expect("checked").data.clone())
+        Ok(self.state.shm.get(&id).expect("checked").data.clone())
     }
 
     /// Replaces the payload of segment `id` as `pid` (length may change;
@@ -842,54 +514,25 @@ impl Kernel {
     /// and `pid` is crashed — the fault FreePart's temporal grants are
     /// designed to induce.
     pub fn shm_write(&mut self, pid: Pid, id: ShmId, bytes: &[u8]) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::ShmWrite {
+        self.do_step(CommitOp::ShmWrite {
             pid,
             id,
             bytes: bytes.to_vec(),
-        });
-        let r = self.shm_write_impl(pid, id, bytes);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn shm_write_impl(&mut self, pid: Pid, id: ShmId, bytes: &[u8]) -> SimResult<()> {
-        self.require_running(pid)?;
-        let Some(seg) = self.shm.get(&id) else {
-            return Err(self.deliver_fault(pid, FaultKind::Unmapped, None).into());
-        };
-        let ok = seg.is_mapped(pid) && seg.grant_of(pid).is_some_and(|p| p.writable());
-        if !ok {
-            return Err(self.deliver_fault(pid, FaultKind::Protection, None).into());
-        }
-        let seg = self.shm.get_mut(&id).expect("checked");
-        seg.replace_data(bytes);
+        })?;
         Ok(())
-    }
-
-    /// Inspects a segment (grants, mapping, length), if it exists.
-    pub fn shm_segment(&self, id: ShmId) -> Option<&ShmSegment> {
-        self.shm.get(&id)
-    }
-
-    /// All live segments in id order — lets callers audit the whole
-    /// grant table (e.g. "no dead pid holds a view anywhere").
-    pub fn shm_segments(&self) -> impl Iterator<Item = (ShmId, &ShmSegment)> {
-        self.shm.iter().map(|(id, seg)| (*id, seg))
     }
 
     /// Destroys segment `id`, dropping payload and all grants. Returns
     /// whether the segment existed.
     pub fn shm_destroy(&mut self, id: ShmId) -> bool {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ShmDestroy { id });
-        let existed = self.shm.remove(&id).is_some();
-        self.commit_exit(op, CommitOutcome::Ok(existed.summary()));
-        existed
+        match self.do_step(CommitOp::ShmDestroy { id }) {
+            Ok(StepValue::Flag(existed)) => existed,
+            _ => unreachable!("shm_destroy is infallible"),
+        }
     }
 
     // ------------------------------------------------------------------
-    // Filters
+    // Filters and syscalls
     // ------------------------------------------------------------------
 
     /// Installs (or replaces) the seccomp-style filter on `pid`.
@@ -899,365 +542,28 @@ impl Kernel {
     /// `EPERM` once the process has set `PR_SET_NO_NEW_PRIVS` — the lock
     /// that stops a compromised agent from relaxing its own sandbox.
     pub fn install_filter(&mut self, pid: Pid, filter: SyscallFilter) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::InstallFilter {
-            pid,
-            filter: filter.clone(),
-        });
-        let r = self.install_filter_impl(pid, filter);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn install_filter_impl(&mut self, pid: Pid, filter: SyscallFilter) -> SimResult<()> {
-        self.require_running(pid)?;
-        let p = self.procs.get_mut(&pid).expect("checked");
-        if p.no_new_privs {
-            return Err(SimError::Errno(Errno::Eperm));
-        }
-        p.filter = Some(filter);
+        self.do_step(CommitOp::InstallFilter { pid, filter })?;
         Ok(())
     }
-
-    /// The filter currently installed on `pid`, if any.
-    pub fn filter_of(&self, pid: Pid) -> SimResult<Option<&SyscallFilter>> {
-        Ok(self.process(pid)?.filter.as_ref())
-    }
-
-    // ------------------------------------------------------------------
-    // Syscalls
-    // ------------------------------------------------------------------
 
     /// Executes one syscall on behalf of `pid`.
     ///
     /// The caller's filter is consulted first; a denied call kills the
     /// process (`SIGSYS`) and returns the fault. Allowed calls charge
-    /// [`CostModel::syscall_ns`] plus operation-specific costs and then
-    /// dispatch to the file system / devices / memory manager.
+    /// [`CostModel::syscall_ns`](crate::cost::CostModel) plus
+    /// operation-specific costs and then dispatch to the file system /
+    /// devices / memory manager.
     ///
     /// # Errors
     ///
-    /// [`SimError::Errno`] for ordinary failures; [`SimError::Fault`]
-    /// when the filter killed the process.
+    /// [`SimError::Errno`](crate::error::SimError::Errno) for ordinary
+    /// failures; [`SimError::Fault`](crate::error::SimError::Fault) when
+    /// the filter killed the process.
     pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::Syscall {
-            pid,
-            call: call.clone(),
-        });
-        let r = self.syscall_impl(pid, call);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn syscall_impl(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
-        self.require_running(pid)?;
-        // Filter check (seccomp runs before the syscall body).
-        let decision = self
-            .procs
-            .get(&pid)
-            .expect("checked")
-            .filter
-            .as_ref()
-            .map_or(FilterDecision::Allow, |f| f.evaluate(&call));
-        if decision == FilterDecision::Kill {
-            self.metrics.filter_kills += 1;
-            let fault = self.deliver_fault(pid, FaultKind::SyscallDenied(call.number()), None);
-            return Err(fault.into());
+        match self.do_step(CommitOp::Syscall { pid, call })? {
+            StepValue::Ret(ret) => Ok(ret),
+            _ => unreachable!("syscall returns a SyscallRet"),
         }
-        self.charge_to(pid, self.cost.syscall_ns);
-        self.metrics.syscalls += 1;
-        self.dispatch(pid, call)
-    }
-
-    fn dispatch(&mut self, pid: Pid, call: Syscall) -> SimResult<SyscallRet> {
-        use Syscall as S;
-        match call {
-            // ---------------- file I/O ----------------
-            S::Openat { path, create } => {
-                if path.starts_with("/dev/video") {
-                    let fd = self
-                        .process_mut(pid)?
-                        .install_fd(FdTarget::Device(DeviceKind::Camera));
-                    return Ok(SyscallRet::NewFd(fd));
-                }
-                self.fs.open(&path, create)?;
-                let fd = self
-                    .process_mut(pid)?
-                    .install_fd(FdTarget::File { path, offset: 0 });
-                Ok(SyscallRet::NewFd(fd))
-            }
-            S::Close { fd } => {
-                self.process_mut(pid)?.fd_table.remove(&fd);
-                Ok(SyscallRet::Ok)
-            }
-            S::Read { fd, len } => {
-                let target = self
-                    .process(pid)?
-                    .fd_target(fd)
-                    .cloned()
-                    .ok_or(Errno::Ebadf)?;
-                match target {
-                    FdTarget::File { path, offset } => {
-                        let bytes = self.fs.read_at(&path, offset, len)?;
-                        let ns = self.cost.file_cost(bytes.len() as u64);
-                        self.charge_to(pid, ns);
-                        if let Some(FdTarget::File { offset, .. }) =
-                            self.process_mut(pid)?.fd_table.get_mut(&fd)
-                        {
-                            *offset += bytes.len() as u64;
-                        }
-                        Ok(SyscallRet::Bytes(bytes))
-                    }
-                    FdTarget::Device(DeviceKind::Camera) => {
-                        let frame = self
-                            .camera
-                            .as_mut()
-                            .map(|c| c.capture())
-                            .ok_or(Errno::Enosys)?;
-                        let ns = self.cost.file_cost(frame.len() as u64);
-                        self.charge_to(pid, ns);
-                        Ok(SyscallRet::Bytes(frame))
-                    }
-                    _ => Err(Errno::Enosys.into()),
-                }
-            }
-            S::Write { fd, bytes } => {
-                let target = self
-                    .process(pid)?
-                    .fd_target(fd)
-                    .cloned()
-                    .ok_or(Errno::Ebadf)?;
-                match target {
-                    FdTarget::File { path, offset } => {
-                        let n = self.fs.write_at(&path, offset, &bytes)?;
-                        let ns = self.cost.file_cost(n);
-                        self.charge_to(pid, ns);
-                        if let Some(FdTarget::File { offset, .. }) =
-                            self.process_mut(pid)?.fd_table.get_mut(&fd)
-                        {
-                            *offset += n;
-                        }
-                        Ok(SyscallRet::Num(n))
-                    }
-                    FdTarget::Socket { dest } => {
-                        self.net_send(pid, &dest, &bytes);
-                        Ok(SyscallRet::Num(bytes.len() as u64))
-                    }
-                    FdTarget::Device(DeviceKind::GuiSocket) => {
-                        self.display.blitted_bytes += bytes.len() as u64;
-                        Ok(SyscallRet::Num(bytes.len() as u64))
-                    }
-                    _ => Err(Errno::Enosys.into()),
-                }
-            }
-            S::Lseek { fd, pos } => match self.process_mut(pid)?.fd_table.get_mut(&fd) {
-                Some(FdTarget::File { offset, .. }) => {
-                    *offset = pos;
-                    Ok(SyscallRet::Num(pos))
-                }
-                Some(_) => Err(Errno::Enosys.into()),
-                None => Err(Errno::Ebadf.into()),
-            },
-            S::Fstat { fd } => {
-                let target = self
-                    .process(pid)?
-                    .fd_target(fd)
-                    .cloned()
-                    .ok_or(Errno::Ebadf)?;
-                match target {
-                    FdTarget::File { path, .. } => Ok(SyscallRet::Num(self.fs.size(&path)?)),
-                    _ => Ok(SyscallRet::Num(0)),
-                }
-            }
-            S::Lstat { path } | S::Stat { path } | S::Access { path } => {
-                if self.fs.exists(&path) {
-                    Ok(SyscallRet::Num(self.fs.size(&path)?))
-                } else {
-                    Err(Errno::Enoent.into())
-                }
-            }
-            S::Getdents { path } => {
-                let listing = self.fs.list(&path).join("\n");
-                Ok(SyscallRet::Bytes(listing.into_bytes()))
-            }
-            S::Mkdir { path } => {
-                self.fs.mkdir(&path);
-                Ok(SyscallRet::Ok)
-            }
-            S::Unlink { path } => {
-                self.fs.unlink(&path)?;
-                Ok(SyscallRet::Ok)
-            }
-            S::Rename { from, to } => {
-                self.fs.rename(&from, &to)?;
-                Ok(SyscallRet::Ok)
-            }
-            S::Umask { mask } => Ok(SyscallRet::Num(mask as u64)),
-            S::Dup { fd } => {
-                let target = self
-                    .process(pid)?
-                    .fd_target(fd)
-                    .cloned()
-                    .ok_or(Errno::Ebadf)?;
-                let new = self.process_mut(pid)?.install_fd(target);
-                Ok(SyscallRet::NewFd(new))
-            }
-            S::Fcntl { fd } => {
-                self.process(pid)?.fd_target(fd).ok_or(Errno::Ebadf)?;
-                Ok(SyscallRet::Ok)
-            }
-
-            // ---------------- memory ----------------
-            S::Brk { grow } => {
-                let addr = self.process_mut(pid)?.aspace.alloc(grow.max(1), Perms::RW);
-                Ok(SyscallRet::Mapped(addr))
-            }
-            S::Mmap { len, perms } => {
-                let addr = self.process_mut(pid)?.aspace.alloc(len.max(1), perms);
-                Ok(SyscallRet::Mapped(addr))
-            }
-            S::Munmap { addr, len } => {
-                self.process_mut(pid)?.aspace.unmap(addr, len);
-                Ok(SyscallRet::Ok)
-            }
-            S::Mprotect { addr, len, perms } => {
-                let p = self.procs.get_mut(&pid).expect("checked");
-                match p.aspace.protect(addr, len, perms) {
-                    Ok(changed) => {
-                        if changed > 0 {
-                            let ns = self.cost.mprotect_cost(changed);
-                            self.charge_to(pid, ns);
-                            self.metrics.protected_pages += changed;
-                        }
-                        Ok(SyscallRet::Num(changed))
-                    }
-                    Err(_) => Err(Errno::Einval.into()),
-                }
-            }
-
-            // ---------------- process ----------------
-            S::Fork => {
-                // Semantically a no-op in the cooperative simulation; the
-                // call exists so fork-bomb payloads hit the filter.
-                self.charge_to(pid, self.cost.spawn_ns);
-                Ok(SyscallRet::Num(0))
-            }
-            S::Execve { .. } => Ok(SyscallRet::Ok),
-            S::Exit { code } => {
-                self.process_mut(pid)?.state = ProcessState::Exited(code);
-                Ok(SyscallRet::Ok)
-            }
-            S::Kill { target_pid } => {
-                self.deliver_fault(Pid(target_pid), FaultKind::Abort, None);
-                Ok(SyscallRet::Ok)
-            }
-            S::Getpid => Ok(SyscallRet::Num(pid.0 as u64)),
-            S::Getuid => Ok(SyscallRet::Num(1000)),
-            S::Getcwd => Ok(SyscallRet::Bytes(b"/".to_vec())),
-            S::Uname => Ok(SyscallRet::Bytes(b"simos 1.0".to_vec())),
-            S::SchedYield => Ok(SyscallRet::Ok),
-            S::Nanosleep { ns } => {
-                self.charge_to(pid, ns);
-                Ok(SyscallRet::Ok)
-            }
-            S::PrctlNoNewPrivs => {
-                let p = self.process_mut(pid)?;
-                p.no_new_privs = true;
-                if let Some(f) = &mut p.filter {
-                    f.lock();
-                }
-                Ok(SyscallRet::Ok)
-            }
-            S::Seccomp => Ok(SyscallRet::Ok),
-
-            // ---------------- devices ----------------
-            S::Ioctl { fd, .. } => match self.process(pid)?.fd_target(fd) {
-                Some(FdTarget::Device(_)) => Ok(SyscallRet::Ok),
-                Some(_) => Ok(SyscallRet::Ok),
-                None => Err(Errno::Ebadf.into()),
-            },
-            S::Select { .. } | S::Poll { .. } => Ok(SyscallRet::Ok),
-            S::Eventfd2 => {
-                let fd = self
-                    .process_mut(pid)?
-                    .install_fd(FdTarget::Device(DeviceKind::Event));
-                Ok(SyscallRet::NewFd(fd))
-            }
-
-            // ---------------- sockets ----------------
-            S::Socket => {
-                let fd = self.process_mut(pid)?.install_fd(FdTarget::Socket {
-                    dest: String::new(),
-                });
-                Ok(SyscallRet::NewFd(fd))
-            }
-            S::Connect { fd, dest } => {
-                let is_gui = dest.starts_with("gui");
-                match self.process_mut(pid)?.fd_table.get_mut(&fd) {
-                    Some(FdTarget::Socket { dest: d }) => {
-                        *d = dest;
-                        if is_gui {
-                            self.display.connect();
-                        }
-                        Ok(SyscallRet::Ok)
-                    }
-                    Some(_) => Err(Errno::Enosys.into()),
-                    None => Err(Errno::Ebadf.into()),
-                }
-            }
-            S::Bind { .. } | S::Listen { .. } => Ok(SyscallRet::Ok),
-            S::Accept { fd: _ } => {
-                let fd = self.process_mut(pid)?.install_fd(FdTarget::Socket {
-                    dest: String::new(),
-                });
-                Ok(SyscallRet::NewFd(fd))
-            }
-            S::Send { fd, bytes } => {
-                let dest = match self.process(pid)?.fd_target(fd) {
-                    Some(FdTarget::Socket { dest }) => dest.clone(),
-                    Some(_) => return Err(Errno::Enosys.into()),
-                    None => return Err(Errno::Ebadf.into()),
-                };
-                self.net_send(pid, &dest, &bytes);
-                Ok(SyscallRet::Num(bytes.len() as u64))
-            }
-            S::Sendto { fd, dest, bytes } => {
-                self.process(pid)?.fd_target(fd).ok_or(Errno::Ebadf)?;
-                self.net_send(pid, &dest, &bytes);
-                Ok(SyscallRet::Num(bytes.len() as u64))
-            }
-            S::Recvfrom { fd, len } => {
-                self.process(pid)?.fd_target(fd).ok_or(Errno::Ebadf)?;
-                Ok(SyscallRet::Bytes(vec![0; len as usize]))
-            }
-
-            // ---------------- sync / shm ----------------
-            S::Futex { .. } => Ok(SyscallRet::Ok),
-            S::ShmOpen { .. } => {
-                let fd = self
-                    .process_mut(pid)?
-                    .install_fd(FdTarget::Device(DeviceKind::Event));
-                Ok(SyscallRet::NewFd(fd))
-            }
-            S::ShmUnlink { .. } => Ok(SyscallRet::Ok),
-
-            // ---------------- misc ----------------
-            S::Getrandom { len } => {
-                let bytes: Vec<u8> = (0..len).map(|_| self.rng.gen()).collect();
-                Ok(SyscallRet::Bytes(bytes))
-            }
-            S::Gettimeofday | S::ClockGettime => Ok(SyscallRet::Num(self.timeline_ns(pid))),
-        }
-    }
-
-    fn net_send(&mut self, pid: Pid, dest: &str, bytes: &[u8]) {
-        let ns = self.cost.copy_cost(bytes.len() as u64);
-        self.charge_to(pid, ns);
-        if dest.starts_with("gui") {
-            self.display.blitted_bytes += bytes.len() as u64;
-        }
-        self.network.record(pid.0, dest, bytes);
     }
 
     // ------------------------------------------------------------------
@@ -1265,104 +571,91 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Creates a shared-memory ring channel between two processes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either endpoint is unknown or dead.
     pub fn create_channel(
         &mut self,
         a: Pid,
         b: Pid,
         capacity_bytes: usize,
     ) -> SimResult<ChannelId> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::CreateChannel {
+        match self.do_step(CommitOp::CreateChannel {
             a,
             b,
             capacity: capacity_bytes,
-        });
-        let r = self.create_channel_impl(a, b, capacity_bytes);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn create_channel_impl(
-        &mut self,
-        a: Pid,
-        b: Pid,
-        capacity_bytes: usize,
-    ) -> SimResult<ChannelId> {
-        self.require_running(a)?;
-        self.require_running(b)?;
-        let id = ChannelId(self.next_channel);
-        self.next_channel += 1;
-        self.channels
-            .insert(id, RingChannel::new(a, b, capacity_bytes));
-        Ok(id)
+        })? {
+            StepValue::Chan(id) => Ok(id),
+            _ => unreachable!("create_channel returns a channel id"),
+        }
     }
 
     /// Sends `payload` from `pid` over `chan`, charging the IPC round
     /// trip setup plus per-byte copy cost. The frame is stamped with the
     /// sender's virtual time *after* those charges, so a receiver on its
     /// own timeline can merge against the true completion of the send.
+    ///
+    /// # Errors
+    ///
+    /// `ENOSPC` when the ring is full,
+    /// [`SimError::BadChannel`](crate::error::SimError::BadChannel) for
+    /// an unknown channel or non-endpoint sender.
     pub fn ipc_send(&mut self, pid: Pid, chan: ChannelId, payload: &[u8]) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::IpcSend {
+        self.do_step(CommitOp::IpcSend {
             pid,
             chan,
             payload: payload.to_vec(),
-        });
-        let r = self.ipc_send_impl(pid, chan, payload);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn ipc_send_impl(&mut self, pid: Pid, chan: ChannelId, payload: &[u8]) -> SimResult<()> {
-        self.require_running(pid)?;
-        let latency = self.cost.ipc_latency_ns();
-        let copy = self.cost.copy_cost(payload.len() as u64);
-        let send_ns = self.timeline_ns(pid) + latency + copy;
-        let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
-        channel
-            .send(pid, bytes::Bytes::copy_from_slice(payload), send_ns)
-            .map_err(|e| match e {
-                RingError::Full => SimError::Errno(Errno::Enospc),
-                RingError::NotEndpoint => SimError::BadChannel,
-            })?;
-        self.charge_to(pid, latency);
-        self.charge_to(pid, copy);
-        self.metrics.ipc_messages += 1;
-        self.metrics.ipc_bytes += payload.len() as u64;
+        })?;
         Ok(())
     }
 
     /// Receives the next message for `pid` on `chan`, if any. Under
     /// per-process time this applies the happens-before merge first:
     /// `recv = max(recv, frame.send_ns)`, then the delivery latency.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadChannel`](crate::error::SimError::BadChannel) for
+    /// an unknown channel or non-endpoint receiver.
     pub fn ipc_recv(&mut self, pid: Pid, chan: ChannelId) -> SimResult<Option<Vec<u8>>> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::IpcRecv { pid, chan });
-        let r = self.ipc_recv_impl(pid, chan);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
+        match self.do_step(CommitOp::IpcRecv { pid, chan })? {
+            StepValue::PayloadOpt(payload) => Ok(payload),
+            _ => unreachable!("ipc_recv returns an optional payload"),
+        }
     }
 
-    fn ipc_recv_impl(&mut self, pid: Pid, chan: ChannelId) -> SimResult<Option<Vec<u8>>> {
-        self.require_running(pid)?;
-        let latency = self.cost.ipc_latency_ns();
-        let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
-        match channel.try_recv(pid) {
-            Ok(Some(frame)) => {
-                if self.mode == TimelineMode::PerProcess {
-                    let t = self.timelines.entry(pid).or_default();
-                    if frame.send_ns > t.now_ns() {
-                        let delta = frame.send_ns - t.now_ns();
-                        t.charge(delta);
-                        self.metrics.timeline_merges += 1;
-                    }
-                }
-                self.charge_to(pid, latency);
-                Ok(Some(frame.payload.to_vec()))
-            }
-            Ok(None) => Ok(None),
-            Err(_) => Err(SimError::BadChannel),
-        }
+    /// Re-binds a channel's B endpoint after an agent restart.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadChannel`](crate::error::SimError::BadChannel) for
+    /// an unknown channel.
+    pub fn rebind_channel(&mut self, chan: ChannelId, new_b: Pid) -> SimResult<()> {
+        self.do_step(CommitOp::RebindChannel { chan, new_b })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Charges raw virtual time (transport penalties, modeled stalls)
+    /// to the current time context.
+    pub fn charge_time(&mut self, ns: u64) {
+        let _ = self.do_step(CommitOp::ChargeTime { ns });
+    }
+
+    /// Records a direct cross-address-space deep copy of `bytes` bytes
+    /// (object marshalling / lazy-data-copy transfers), charged to the
+    /// current time context.
+    pub fn charge_copy(&mut self, bytes: u64) {
+        let _ = self.do_step(CommitOp::ChargeCopy { bytes });
+    }
+
+    /// Charges `units` of framework compute to `pid`.
+    pub fn charge_compute(&mut self, pid: Pid, units: u64) {
+        let _ = self.do_step(CommitOp::ChargeCompute { pid, units });
     }
 
     /// Records `n` hooked calls delivered inside one batched IPC frame.
@@ -1370,123 +663,26 @@ impl Kernel {
     /// counter keeps the per-call denominator honest when N calls share
     /// a frame.
     pub fn note_calls_batched(&mut self, n: u64) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::NoteCallsBatched { n });
-        self.metrics.calls_batched += n;
-        self.commit_exit(op, CommitOutcome::Ok(0));
+        let _ = self.do_step(CommitOp::NoteCallsBatched { n });
     }
 
     /// Records `bytes` of snapshot payload actually copied (a dirty
     /// object). Snapshot reads are already uncharged in virtual time;
     /// these counters exist so incremental snapshots are measurable.
     pub fn note_snapshot_copy(&mut self, bytes: u64) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::NoteSnapshotCopy { bytes });
-        self.metrics.snapshot_bytes_copied += bytes;
-        self.commit_exit(op, CommitOutcome::Ok(0));
+        let _ = self.do_step(CommitOp::NoteSnapshotCopy { bytes });
     }
 
     /// Records one stateful object a snapshot round proved clean via
     /// write epochs and skipped.
     pub fn note_snapshot_skip(&mut self) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::NoteSnapshotSkip);
-        self.metrics.snapshot_objects_skipped += 1;
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    /// Re-binds a channel's B endpoint after an agent restart.
-    pub fn rebind_channel(&mut self, chan: ChannelId, new_b: Pid) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::RebindChannel { chan, new_b });
-        let r = self.rebind_channel_impl(chan, new_b);
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    fn rebind_channel_impl(&mut self, chan: ChannelId, new_b: Pid) -> SimResult<()> {
-        let channel = self.channels.get_mut(&chan).ok_or(SimError::BadChannel)?;
-        channel.rebind_b(new_b);
-        Ok(())
-    }
-
-    /// Charges raw virtual time (transport penalties, modeled stalls)
-    /// to the current time context.
-    pub fn charge_time(&mut self, ns: u64) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ChargeTime { ns });
-        self.charge_ctx(ns);
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    /// Records a direct cross-address-space deep copy of `bytes` bytes
-    /// (object marshalling / lazy-data-copy transfers), charged to the
-    /// current time context.
-    pub fn charge_copy(&mut self, bytes: u64) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ChargeCopy { bytes });
-        let ns = self.cost.copy_cost(bytes);
-        self.charge_ctx(ns);
-        self.metrics.copied_bytes += bytes;
-        self.metrics.copy_ops += 1;
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    /// Charges `units` of framework compute to `pid`.
-    pub fn charge_compute(&mut self, pid: Pid, units: u64) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ChargeCompute { pid, units });
-        let ns = self.cost.compute_cost(units);
-        self.charge_to(pid, ns);
-        if let Some(p) = self.procs.get_mut(&pid) {
-            p.cpu_ns += ns;
-        }
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    // ------------------------------------------------------------------
-    // Introspection
-    // ------------------------------------------------------------------
-
-    /// The global virtual clock. Under [`TimelineMode::PerProcess`] this
-    /// stops advancing (charges land on per-process timelines); use
-    /// [`Kernel::makespan_ns`] / [`Kernel::timeline_ns`] instead.
-    pub fn clock(&self) -> VirtualClock {
-        self.clock
-    }
-
-    /// Current virtual time, in nanoseconds: the global clock, or the
-    /// current time context's timeline under per-process time. Reading
-    /// the clock never charges time — observability code can call this
-    /// freely without perturbing deterministic measurements.
-    pub fn now_ns(&self) -> u64 {
-        match (self.mode, self.time_ctx) {
-            (TimelineMode::PerProcess, Some(pid)) => self.timeline_ns(pid),
-            _ => self.clock.now_ns(),
-        }
-    }
-
-    /// The cost model in force.
-    pub fn cost_model(&self) -> &CostModel {
-        &self.cost
-    }
-
-    /// Counter snapshot.
-    pub fn metrics(&self) -> Metrics {
-        self.metrics
+        let _ = self.do_step(CommitOp::NoteSnapshotSkip);
     }
 
     /// Resets clock, per-process timelines, and counters (not
     /// processes) between measurements.
     pub fn reset_accounting(&mut self) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ResetAccounting);
-        self.clock.reset();
-        for t in self.timelines.values_mut() {
-            t.reset();
-        }
-        self.metrics = Metrics::new();
-        self.commit_exit(op, CommitOutcome::Ok(0));
+        let _ = self.do_step(CommitOp::ResetAccounting);
     }
 
     // ------------------------------------------------------------------
@@ -1501,64 +697,16 @@ impl Kernel {
     /// Creates or replaces a file (harness-side seeding; bypasses
     /// syscalls but is still a kernel state transition).
     pub fn fs_put(&mut self, path: &str, bytes: Vec<u8>) {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::FsPut {
+        let _ = self.do_step(CommitOp::FsPut {
             path: path.to_owned(),
-            bytes: bytes.clone(),
+            bytes,
         });
-        self.fs.put(path, bytes);
-        self.commit_exit(op, CommitOutcome::Ok(0));
     }
 
     /// Attaches a deterministic camera producing `frame_len`-byte frames
     /// seeded from `seed` (replacing any previous camera).
     pub fn attach_camera(&mut self, seed: u64, frame_len: usize) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::AttachCamera { seed, frame_len });
-        self.camera = Some(Camera::new(seed, frame_len));
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    /// Seals `pid` against future privilege changes from the *outside*
-    /// (the runtime's supervisor-side `PR_SET_NO_NEW_PRIVS`): after this,
-    /// [`Kernel::install_filter`] on the pid fails with `EPERM`. Unlike
-    /// [`Syscall::PrctlNoNewPrivs`] issued by the process itself, this
-    /// does not lock an installed filter's rule set — the runtime seals
-    /// after installing exactly the filter it wants.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::NoSuchProcess`] if the pid is unknown.
-    pub fn set_no_new_privs(&mut self, pid: Pid) -> SimResult<()> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::SetNoNewPrivs { pid });
-        let r = self
-            .procs
-            .get_mut(&pid)
-            .ok_or(SimError::NoSuchProcess(pid))
-            .map(|p| {
-                p.no_new_privs = true;
-            });
-        self.commit_exit(op, commit::outcome_of(&r));
-        r
-    }
-
-    /// Force-exits a running process with `code` (the supervisor's
-    /// pre-reap termination of a wedged agent). Returns whether the
-    /// process was running and is now exited; dead or unknown pids are
-    /// left untouched.
-    pub fn force_exit(&mut self, pid: Pid, code: i32) -> bool {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::ForceExit { pid, code });
-        let changed = match self.procs.get_mut(&pid) {
-            Some(p) if p.is_running() => {
-                p.state = ProcessState::Exited(code);
-                true
-            }
-            _ => false,
-        };
-        self.commit_exit(op, CommitOutcome::Ok(changed.summary()));
-        changed
+        let _ = self.do_step(CommitOp::AttachCamera { seed, frame_len });
     }
 
     // ------------------------------------------------------------------
@@ -1567,64 +715,47 @@ impl Kernel {
 
     /// Creates a GUI window (the kernel-mediated `namedWindow`).
     pub fn win_create(&mut self, title: &str) -> WindowId {
-        let rec = self.commit_enter();
-        let op = rec.then(|| CommitOp::WinCreate {
+        match self.do_step(CommitOp::WinCreate {
             title: title.to_owned(),
-        });
-        let id = self.display.create_window(title);
-        self.commit_exit(op, CommitOutcome::Ok(id.summary()));
-        id
+        }) {
+            Ok(StepValue::Win(id)) => id,
+            _ => unreachable!("win_create is infallible"),
+        }
     }
 
     /// Presents `frame_len` bytes to `win`; false if the window is gone.
     pub fn win_present(&mut self, win: WindowId, frame_len: usize) -> bool {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::WinPresent { win, frame_len });
-        let ok = self.display.present(win, frame_len);
-        self.commit_exit(op, CommitOutcome::Ok(ok.summary()));
-        ok
+        match self.do_step(CommitOp::WinPresent { win, frame_len }) {
+            Ok(StepValue::Flag(ok)) => ok,
+            _ => unreachable!("win_present is infallible"),
+        }
     }
 
     /// Destroys every GUI window (`destroyAllWindows`).
     pub fn win_destroy_all(&mut self) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::WinDestroyAll);
-        self.display.destroy_all();
-        self.commit_exit(op, CommitOutcome::Ok(0));
+        let _ = self.do_step(CommitOp::WinDestroyAll);
     }
 
     /// Polls one key press off the GUI input queue (`pollKey`).
     pub fn win_poll_key(&mut self) -> Option<u8> {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::WinPollKey);
-        let key = self.display.poll_key();
-        self.commit_exit(op, CommitOutcome::Ok(key.summary()));
-        key
+        match self.do_step(CommitOp::WinPollKey) {
+            Ok(StepValue::KeyOpt(key)) => key,
+            _ => unreachable!("win_poll_key is infallible"),
+        }
     }
 
     /// Queues a synthetic key press (workload input).
     pub fn push_key(&mut self, key: u8) {
-        let rec = self.commit_enter();
-        let op = rec.then_some(CommitOp::PushKey { key });
-        self.display.push_key(key);
-        self.commit_exit(op, CommitOutcome::Ok(0));
-    }
-
-    /// Number of pages currently mapped across all processes.
-    pub fn total_pages(&self) -> u64 {
-        self.procs
-            .values()
-            .map(|p| p.aspace.mapped_bytes() / PAGE_SIZE)
-            .sum()
+        let _ = self.do_step(CommitOp::PushKey { key });
     }
 }
 
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Kernel")
-            .field("procs", &self.procs.len())
-            .field("channels", &self.channels.len())
-            .field("clock_ns", &self.clock.now_ns())
+            .field("procs", &self.state.process_count())
+            .field("channels", &self.state.channels.len())
+            .field("clock_ns", &self.state.clock.now_ns())
             .finish()
     }
 }
@@ -1633,6 +764,7 @@ impl std::fmt::Debug for Kernel {
 mod tests {
     use super::*;
     use crate::syscall::SyscallNo;
+    use crate::{Camera, Errno, Metrics, SimError, PAGE_SIZE};
 
     #[test]
     fn spawn_and_alloc_isolated_address_spaces() {

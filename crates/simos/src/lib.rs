@@ -35,11 +35,24 @@
 //! No wall-clock time, no OS threads, no real file descriptors. All
 //! "time" is virtual nanoseconds advanced by the cost model; all
 //! randomness comes from seeded [`rand`] generators owned by the caller.
+//!
+//! ## Architecture: pure core, thin shell
+//!
+//! The kernel is a pure state machine. [`core::KernelState`] owns every
+//! piece of kernel state as plain data, and a single total function
+//! [`core::step`] performs every transition, describing its observable
+//! consequences as [`core::Effect`]s instead of performing them.
+//! [`Kernel`] is a thin shell over that core: it translates ~40 public
+//! entry points into [`CommitOp`]s, folds them through `step`, and
+//! interprets the effects (commit-log recording, in particular).
+//! [`replay`] is the same fold without a shell — which is why replay
+//! cannot drift from live execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commit;
+pub mod core;
 pub mod cost;
 pub mod device;
 pub mod error;
@@ -54,6 +67,7 @@ pub mod replay;
 pub mod shm;
 pub mod syscall;
 
+pub use crate::core::{Counter, Effect, Effects, KernelState, StepValue};
 pub use commit::{CommitLog, CommitOp, CommitOutcome, CommitRecord};
 pub use cost::{CostModel, VirtualClock};
 pub use device::{Camera, DeviceKind, Display, NetworkLog, WindowId};

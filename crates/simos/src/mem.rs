@@ -155,7 +155,7 @@ pub struct AddressSpace {
     /// Incrementally-maintained mutation fingerprint: every mutating
     /// operation folds an op tag plus its arguments in, so two address
     /// spaces built by the same mutation sequence hash identically
-    /// without walking page contents. Feeds `Kernel::state_digest`.
+    /// without walking page contents. Feeds `KernelState::digest`.
     fp: u64,
 }
 

@@ -2,10 +2,13 @@
 //! auditing.
 //!
 //! [`replay`] rebuilds a kernel from nothing but a log: a fresh
-//! [`Kernel`] is constructed from the log's genesis [`CostModel`], every
-//! [`CommitOp`] is re-applied through the same public entry points the
-//! original run used, and after each step both the outcome summary and
-//! the [state digest](Kernel::state_digest) are compared against what the
+//! [`KernelState`] is constructed from the log's genesis
+//! [`CostModel`](crate::CostModel),
+//! and the log is **folded through the same pure
+//! [`step`](crate::core::step) function live execution uses** — replay
+//! has no interpretation logic of its own, so it cannot drift from the
+//! kernel. After each step both the outcome summary and the
+//! [state digest](KernelState::digest) are compared against what the
 //! recorder wrote. Any mismatch is a [`Divergence`] — either the replayed
 //! operation returned something different ([`DivergenceKind::Outcome`])
 //! or the kernel ended up in a different state
@@ -26,7 +29,10 @@
 
 use std::collections::BTreeSet;
 
-use crate::commit::{outcome_of, CommitLog, CommitOp, CommitOutcome, OpSummary};
+use crate::commit::{CommitLog, CommitOp, CommitOutcome};
+use crate::core::effects::Effects;
+use crate::core::state::KernelState;
+use crate::core::step::{outcome_of_step, step};
 use crate::ipc::ChannelId;
 use crate::kernel::Kernel;
 use crate::process::Pid;
@@ -73,109 +79,27 @@ impl ReplayReport {
     }
 }
 
-/// Re-applies one logged operation to `k` through the same public entry
-/// point the recorder wrapped, returning the outcome summary via the
-/// shared [`outcome_of`] path so recorder and replayer cannot drift.
+/// Re-applies one logged operation to `k` through the recorded path
+/// ([`Kernel::apply`], i.e. the pure `step`), returning the outcome
+/// summary via the shared [`outcome_of_step`] path so recorder and
+/// replayer cannot drift. Kept as the op-at-a-time surface for
+/// forensics-style consumers that interleave re-execution with their
+/// own bookkeeping.
 pub fn apply_op(k: &mut Kernel, op: &CommitOp) -> CommitOutcome {
-    use CommitOp as O;
-    match op {
-        O::Spawn { name } => CommitOutcome::Ok(k.spawn(name).summary()),
-        O::DeliverFault { pid, kind, addr } => {
-            CommitOutcome::Ok(k.deliver_fault(*pid, kind.clone(), *addr).summary())
-        }
-        O::Reap { pid } => outcome_of(&k.reap(*pid)),
-        O::Alloc { pid, len, perms } => outcome_of(&k.alloc(*pid, *len, *perms)),
-        O::MemWrite { pid, addr, bytes } => outcome_of(&k.mem_write(*pid, *addr, bytes)),
-        O::Protect {
-            pid,
-            addr,
-            len,
-            perms,
-        } => outcome_of(&k.protect(*pid, *addr, *len, *perms)),
-        O::ShmCreate { owner, bytes } => outcome_of(&k.shm_create(*owner, bytes.clone())),
-        O::ShmGrant { id, pid, perms } => outcome_of(&k.shm_grant(*id, *pid, *perms)),
-        O::ShmMap { pid, id } => outcome_of(&k.shm_map(*pid, *id)),
-        O::ShmRevoke { id, pid } => outcome_of(&k.shm_revoke(*id, *pid)),
-        O::ShmProtectAll { id, perms } => outcome_of(&k.shm_protect_all(*id, *perms)),
-        O::ShmWrite { pid, id, bytes } => outcome_of(&k.shm_write(*pid, *id, bytes)),
-        O::ShmDestroy { id } => CommitOutcome::Ok(k.shm_destroy(*id).summary()),
-        O::InstallFilter { pid, filter } => outcome_of(&k.install_filter(*pid, filter.clone())),
-        O::Syscall { pid, call } => outcome_of(&k.syscall(*pid, call.clone())),
-        O::CreateChannel { a, b, capacity } => outcome_of(&k.create_channel(*a, *b, *capacity)),
-        O::IpcSend { pid, chan, payload } => outcome_of(&k.ipc_send(*pid, *chan, payload)),
-        O::IpcRecv { pid, chan } => outcome_of(&k.ipc_recv(*pid, *chan)),
-        O::RebindChannel { chan, new_b } => outcome_of(&k.rebind_channel(*chan, *new_b)),
-        O::ChargeTime { ns } => {
-            k.charge_time(*ns);
-            CommitOutcome::Ok(0)
-        }
-        O::ChargeCopy { bytes } => {
-            k.charge_copy(*bytes);
-            CommitOutcome::Ok(0)
-        }
-        O::ChargeCompute { pid, units } => {
-            k.charge_compute(*pid, *units);
-            CommitOutcome::Ok(0)
-        }
-        O::NoteCallsBatched { n } => {
-            k.note_calls_batched(*n);
-            CommitOutcome::Ok(0)
-        }
-        O::NoteSnapshotCopy { bytes } => {
-            k.note_snapshot_copy(*bytes);
-            CommitOutcome::Ok(0)
-        }
-        O::NoteSnapshotSkip => {
-            k.note_snapshot_skip();
-            CommitOutcome::Ok(0)
-        }
-        O::EnablePerProcessTime => {
-            k.enable_per_process_time();
-            CommitOutcome::Ok(0)
-        }
-        O::SetTimeContext { pid } => CommitOutcome::Ok(k.set_time_context(*pid).summary()),
-        O::AdvanceTimeline { pid, ns } => {
-            k.advance_timeline_to(*pid, *ns);
-            CommitOutcome::Ok(0)
-        }
-        O::ResetAccounting => {
-            k.reset_accounting();
-            CommitOutcome::Ok(0)
-        }
-        O::FsPut { path, bytes } => {
-            k.fs_put(path, bytes.clone());
-            CommitOutcome::Ok(0)
-        }
-        O::AttachCamera { seed, frame_len } => {
-            k.attach_camera(*seed, *frame_len);
-            CommitOutcome::Ok(0)
-        }
-        O::SetNoNewPrivs { pid } => outcome_of(&k.set_no_new_privs(*pid)),
-        O::ForceExit { pid, code } => CommitOutcome::Ok(k.force_exit(*pid, *code).summary()),
-        O::WinCreate { title } => CommitOutcome::Ok(k.win_create(title).summary()),
-        O::WinPresent { win, frame_len } => {
-            CommitOutcome::Ok(k.win_present(*win, *frame_len).summary())
-        }
-        O::WinDestroyAll => {
-            k.win_destroy_all();
-            CommitOutcome::Ok(0)
-        }
-        O::WinPollKey => CommitOutcome::Ok(k.win_poll_key().summary()),
-        O::PushKey { key } => {
-            k.push_key(*key);
-            CommitOutcome::Ok(0)
-        }
-    }
+    outcome_of_step(&k.apply(op.clone()))
 }
 
-/// Replays `log` against a fresh kernel, asserting digest-identical state
-/// at every step. Returns the rebuilt kernel (useful for re-deriving
+/// Replays `log` by folding the pure [`step`](crate::core::step) over a
+/// fresh [`KernelState`], asserting digest-identical state at every
+/// record. Returns the rebuilt kernel (useful for re-deriving
 /// end-of-run verdicts) and the divergence report.
 pub fn replay(log: &CommitLog) -> (Kernel, ReplayReport) {
-    let mut k = Kernel::with_cost_model(log.genesis().clone());
+    let mut state = KernelState::with_cost_model(log.genesis().clone());
+    let mut fx = Effects::new();
     let mut report = ReplayReport::default();
     for rec in log.records() {
-        let got = apply_op(&mut k, &rec.op);
+        fx.clear();
+        let got = outcome_of_step(&step(&mut state, rec.op.clone(), &mut fx));
         report.steps += 1;
         if got != rec.outcome {
             report.divergences.push(Divergence {
@@ -186,7 +110,7 @@ pub fn replay(log: &CommitLog) -> (Kernel, ReplayReport) {
                 got: got.raw(),
             });
         }
-        let digest = k.state_digest();
+        let digest = state.digest();
         if digest != rec.digest {
             report.divergences.push(Divergence {
                 index: rec.index,
@@ -197,7 +121,7 @@ pub fn replay(log: &CommitLog) -> (Kernel, ReplayReport) {
             });
         }
     }
-    (k, report)
+    (Kernel::from_state(state), report)
 }
 
 /// One whole-trace invariant violation found by [`audit`].
@@ -239,13 +163,15 @@ pub fn audit(log: &CommitLog) -> Vec<InvariantViolation> {
     let mut sealed: BTreeSet<Pid> = BTreeSet::new();
     let mut dead: BTreeSet<Pid> = BTreeSet::new();
     let mut grants: BTreeSet<(u64, u32)> = BTreeSet::new();
-    let mut shadow = Kernel::with_cost_model(log.genesis().clone());
+    let mut shadow = KernelState::with_cost_model(log.genesis().clone());
+    let mut fx = Effects::new();
     let mut expected_pages: u64 = 0;
 
     for rec in log.records() {
         let ok = rec.outcome.is_ok();
         let pages_before = shadow.metrics().protected_pages;
-        apply_op(&mut shadow, &rec.op);
+        fx.clear();
+        let _ = step(&mut shadow, rec.op.clone(), &mut fx);
         let pages_after = shadow.metrics().protected_pages;
         match &rec.op {
             O::SetNoNewPrivs { pid } if ok => {

@@ -38,10 +38,10 @@ impl fmt::Display for ShmId {
 /// One segment: payload bytes plus the grant and mapping tables.
 ///
 /// Constructed only through [`Kernel::shm_create`]; inspected through
-/// [`Kernel::shm_segment`].
+/// [`KernelState::shm_segment`].
 ///
 /// [`Kernel::shm_create`]: crate::kernel::Kernel::shm_create
-/// [`Kernel::shm_segment`]: crate::kernel::Kernel::shm_segment
+/// [`KernelState::shm_segment`]: crate::KernelState::shm_segment
 #[derive(Debug, Clone)]
 pub struct ShmSegment {
     pub(crate) data: Vec<u8>,

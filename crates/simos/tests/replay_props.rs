@@ -2,9 +2,11 @@
 //! sequences replay digest-identical and audit clean, and tampered logs
 //! are flagged.
 
+use freepart_simos::core::{outcome_of_step, step};
 use freepart_simos::replay::{audit, forensic_chain, replay, DivergenceKind};
 use freepart_simos::{
-    CommitLog, CommitOp, CommitOutcome, Kernel, Perms, Syscall, SyscallFilter, SyscallNo,
+    CommitLog, CommitOp, CommitOutcome, Effects, Kernel, KernelState, Perms, Syscall,
+    SyscallFilter, SyscallNo,
 };
 use proptest::prelude::*;
 
@@ -238,6 +240,24 @@ proptest! {
             prop_assert_eq!(k.state_digest(), last.digest);
         }
         prop_assert_eq!(audit(&log), Vec::new());
+    }
+
+    /// Differential test of shell vs. core: the shell [`Kernel`] driven
+    /// through its public entry points and a standalone [`KernelState`]
+    /// folded through the pure [`step`] agree on the outcome summary and
+    /// the state digest at **every** record — the shell adds nothing to
+    /// the semantics.
+    #[test]
+    fn shell_and_pure_core_agree_step_for_step(steps in proptest::collection::vec(arb_step(), 1..60)) {
+        let log = record(&steps);
+        let mut state = KernelState::with_cost_model(log.genesis().clone());
+        let mut fx = Effects::new();
+        for rec in log.records() {
+            fx.clear();
+            let got = outcome_of_step(&step(&mut state, rec.op.clone(), &mut fx));
+            prop_assert_eq!(got, rec.outcome, "outcome drift at index {}", rec.index);
+            prop_assert_eq!(state.digest(), rec.digest, "digest drift at index {}", rec.index);
+        }
     }
 
     /// Flipping any one op's payload byte, outcome, or digest in a
