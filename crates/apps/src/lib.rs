@@ -30,6 +30,7 @@ pub mod spec;
 pub mod stegonet;
 pub mod storm;
 pub mod study;
+pub mod tenants;
 
 pub use driver::{run_app, RunOptions, RunReport};
 pub use spec::{by_id, resolve, AppSpec, ResolvedApp, TABLE6};

@@ -137,7 +137,7 @@ fn record_and_replay(
     (scenario, log)
 }
 
-fn to_json(rows: &[Scenario], throughput: (&str, u64, f64)) -> String {
+fn to_json(rows: &[Scenario], throughput: &[(&str, u64, f64)]) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -159,11 +159,19 @@ fn to_json(rows: &[Scenario], throughput: (&str, u64, f64)) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    let (log_name, steps, steps_per_sec) = throughput;
-    out.push_str(&format!(
-        "  ],\n  \"step_throughput\": {{\"log\": \"{log_name}\", \
-         \"steps\": {steps}, \"steps_per_sec\": {steps_per_sec:.1}}}\n}}\n"
-    ));
+    let min = throughput
+        .iter()
+        .map(|&(_, _, sps)| sps)
+        .fold(f64::INFINITY, f64::min);
+    out.push_str("  ],\n  \"step_throughput\": {\"logs\": [\n");
+    for (i, (log_name, steps, steps_per_sec)) in throughput.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"log\": \"{log_name}\", \"steps\": {steps}, \
+             \"steps_per_sec\": {steps_per_sec:.1}}}{}\n",
+            if i + 1 < throughput.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!("  ], \"min_steps_per_sec\": {min:.1}}}\n}}\n"));
     out
 }
 
@@ -195,7 +203,7 @@ fn main() {
         probe.objects.meta(r.speed).unwrap().buffer.unwrap().0
     };
     let evil_speed = (-0.3f64).to_le_bytes().to_vec();
-    let (corrupt, _corrupt_log) = record_and_replay(
+    let (corrupt, corrupt_log) = record_and_replay(
         "drone_corruption",
         &DroneConfig {
             frames: 4,
@@ -244,17 +252,22 @@ fn main() {
         assert!(r.forensic_chain_len >= 2, "{}: thin chain", r.name);
     }
 
-    // Raw pure-step throughput over the recorded DoS log: replay cost
+    // Raw pure-step throughput over BOTH recorded logs: replay cost
     // with no shell, no commit log, no divergence checks — just the
-    // fold every replay-based tool pays per step.
-    let (steps, steps_per_sec) = step_throughput(&dos_log, 200);
-    println!(
-        "\npure-step throughput: {steps} steps over {} replays of drone_dos \
-         ({steps_per_sec:.0} steps/sec)",
-        200
-    );
+    // fold every replay-based tool pays per step. Folding only one log
+    // would let a regression on the other scenario's op mix slip by,
+    // so the JSON carries each log's rate plus the min across logs.
+    let mut throughput = Vec::new();
+    for (log_name, log) in [("drone_dos", &dos_log), ("drone_corruption", &corrupt_log)] {
+        let (steps, steps_per_sec) = step_throughput(log, 200);
+        println!(
+            "\npure-step throughput: {steps} steps over 200 replays of \
+             {log_name} ({steps_per_sec:.0} steps/sec)"
+        );
+        throughput.push((log_name, steps, steps_per_sec));
+    }
 
-    let json = to_json(&rows, ("drone_dos", steps, steps_per_sec));
+    let json = to_json(&rows, &throughput);
     let out = workspace_root().join("BENCH_replay.json");
     std::fs::write(&out, &json).expect("write BENCH_replay.json");
     println!("wrote {} ({} scenarios)", out.display(), rows.len());

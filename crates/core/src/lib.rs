@@ -44,11 +44,14 @@ pub use forensics::{
 };
 pub use partition::{PartitionId, PartitionPlan};
 pub use policy::{
-    AdaptiveConfig, ChannelTransport, HostDataPlacement, Policy, RestartBudget, RestartPolicy,
-    SandboxLevel,
+    AdaptiveConfig, ChannelTransport, HostDataPlacement, Policy, PoolConfig, RestartBudget,
+    RestartPolicy, SandboxLevel,
 };
 pub use runtime::transport::{Transport, TransportCtx};
-pub use runtime::{AdaptiveKnobs, Agent, CallError, CallHandle, Runtime, RuntimeStats, ThreadId};
+pub use runtime::{
+    AdaptiveKnobs, Agent, CallError, CallHandle, Runtime, RuntimeStats, TenantHandle, TenantId,
+    ThreadId,
+};
 pub use state::{FrameworkState, StateMachine};
 pub use trace::{
     ApiStats, AuditRecord, Bucket, BucketTotals, CallOutcome, FlushReason, Log2Histogram,

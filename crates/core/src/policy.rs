@@ -132,6 +132,31 @@ impl Default for AdaptiveConfig {
     }
 }
 
+/// Configuration for the pooled multi-tenant serving mode.
+///
+/// In pooled mode the runtime's four `part0..part3` agents are shared
+/// *pools*: every tenant pipeline routes its hooked calls to the same
+/// four agent processes instead of owning a private striped agent set,
+/// so the data plane runs 4 + N processes instead of 5N. Isolation
+/// inside each shared agent comes from per-tenant capability slots
+/// (object handles and shm grants are gated on the calling tenant's
+/// namespace) and fairness from deficit-round-robin run queues per
+/// pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Deficit-round-robin quantum: cost units (one per hooked call)
+    /// a tenant may consume per head-of-ring visit of a pool's run
+    /// queue. Larger quanta amortize switching at the price of a wider
+    /// worst-case scheduling window.
+    pub quantum: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { quantum: 2 }
+    }
+}
+
 /// Full runtime configuration.
 #[derive(Debug, Clone)]
 pub struct Policy {
@@ -199,6 +224,13 @@ pub struct Policy {
     /// barriers, with hysteresis. `None` disables the controller
     /// entirely, preserving the static-policy planes bit-for-bit.
     pub adaptive: Option<AdaptiveConfig>,
+    /// Multi-tenant pooled serving: N tenant pipelines share the four
+    /// `part0..part3` agent pools (4 + N processes instead of 5N), with
+    /// per-tenant capability slots inside each shared agent and
+    /// deficit-round-robin fair scheduling across tenants. `None`
+    /// disables pooling entirely, preserving the one-agent-set-per-
+    /// pipeline plane bit-for-bit.
+    pub pooled: Option<PoolConfig>,
 }
 
 impl Default for Policy {
@@ -220,6 +252,7 @@ impl Default for Policy {
             colocate_type_neutral: true,
             record_commits: false,
             adaptive: None,
+            pooled: None,
         }
     }
 }
@@ -314,6 +347,19 @@ impl Policy {
     pub fn freepart_adaptive() -> Policy {
         Policy {
             adaptive: Some(AdaptiveConfig::default()),
+            ..Policy::default()
+        }
+    }
+
+    /// Full FreePart in multi-tenant pooled serving mode: N tenant
+    /// pipelines multiplex hooked calls over the shared `part0..part3`
+    /// agent pools with per-tenant capability slots and deficit-round-
+    /// robin fairness. Everything else stays at the proven defaults —
+    /// pooling composes with shm, batching, supervision, and recording
+    /// by setting those knobs alongside `pooled`.
+    pub fn freepart_pooled() -> Policy {
+        Policy {
+            pooled: Some(PoolConfig::default()),
             ..Policy::default()
         }
     }
@@ -425,6 +471,21 @@ mod tests {
         let cfg = AdaptiveConfig::default();
         assert_eq!(cfg.shm_threshold, Policy::DEFAULT_SHM_THRESHOLD);
         assert_eq!(cfg.max_batch_window, Policy::DEFAULT_BATCH_WINDOW);
+    }
+
+    #[test]
+    fn pooling_is_opt_in() {
+        // Seed-identical defaults: every pipeline owns its agent set.
+        assert_eq!(Policy::default().pooled, None);
+        let p = Policy::freepart_pooled();
+        assert_eq!(p.pooled, Some(PoolConfig::default()));
+        assert!(PoolConfig::default().quantum >= 1);
+        // Everything else matches full FreePart.
+        assert!(p.lazy_data_copy);
+        assert!(p.temporal_protection);
+        assert_eq!(p.shm_threshold, None);
+        assert_eq!(p.batch_window, None);
+        assert_eq!(p.adaptive, None);
     }
 
     #[test]

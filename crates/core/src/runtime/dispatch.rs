@@ -145,6 +145,18 @@ impl Runtime {
         for a in &req.args {
             a.collect_objects(&mut needed);
         }
+        // Pooled capability gate: a call naming another tenant's object
+        // is refused *here* — before hazard merges, payload moves, or
+        // execution — so no foreign byte ever reaches the shared agent
+        // on the caller's behalf. O(args × log objects), independent of
+        // the tenant count.
+        if self.pooled() && thread != ThreadId::MAIN {
+            for obj in &needed {
+                if !self.tenant_may_access(thread, *obj) {
+                    return Err(self.deny_cross_tenant(thread, partition, *obj));
+                }
+            }
+        }
         // Object-table hazards: consuming an object a still-in-flight
         // call touched orders this call after *that producer only* —
         // the agent's timeline merges to the producer's completion.
@@ -240,12 +252,24 @@ impl Runtime {
         // The call is now complete agent-side: journal it *before* the
         // response leg, so a crash in the response window is recoverable
         // by replaying the journal instead of re-executing side effects.
+        // Pooled mode tags the entry with its tenant and mints the
+        // tenant's capability slots for everything the call legitimately
+        // touched or created — the agent-side record of which namespaces
+        // it has admitted, carried across restarts with the journal.
         let journal_t0 = if tracing { self.kernel.now_ns() } else { 0 };
-        self.agents
-            .get_mut(&partition)
-            .expect("agent exists")
-            .cache
-            .complete(req.seq, result.clone());
+        let tenant_tag = (self.pooled() && thread != ThreadId::MAIN).then_some(thread.0);
+        {
+            let agent = self.agents.get_mut(&partition).expect("agent exists");
+            agent
+                .cache
+                .complete_tagged(req.seq, result.clone(), tenant_tag);
+            if let Some(t) = tenant_tag {
+                let slots = agent.caps.entry(t).or_default();
+                slots.extend(needed.iter().copied());
+                slots.extend(new_ids.iter().copied());
+                slots.extend(result.as_obj());
+            }
+        }
         if tracing {
             let now = self.kernel.now_ns();
             self.tracer.span(SpanEvent {

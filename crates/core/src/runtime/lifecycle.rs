@@ -267,6 +267,10 @@ impl Runtime {
                 // channel, not the dead process: the respawned agent can
                 // still answer re-delivered requests it already executed.
                 cache: agent.cache,
+                // So do the tenant capability slots: every tenant's
+                // namespace is re-admitted wholesale, or cross-tenant
+                // denials after a restart would hit legitimate owners.
+                caps: agent.caps,
             },
         );
         // Reap the corpse inside the same drain barrier as the respawn:
@@ -376,6 +380,13 @@ impl Runtime {
         }
         self.pinned.remove(&id);
         self.last_touch.remove(&id);
+        self.shm_index.remove(&id);
+        if let Some(owner) = self.owner_of.remove(&id) {
+            if let Some(set) = self.shm_owned.get_mut(&owner) {
+                set.remove(&id);
+            }
+        }
+        self.shared_objs.remove(&id);
     }
 
     /// Spends one token from the partition's restart budget. Returns

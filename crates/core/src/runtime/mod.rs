@@ -41,9 +41,11 @@ mod controller;
 mod dispatch;
 mod lifecycle;
 mod objstore;
+mod pool;
 pub mod transport;
 
 pub use controller::AdaptiveKnobs;
+pub use pool::{TenantHandle, TenantId};
 
 use crate::partition::PartitionId;
 use crate::policy::Policy;
@@ -53,11 +55,12 @@ use crate::trace::Tracer;
 use freepart_analysis::{HybridReport, SyscallProfile, TestCorpus};
 use freepart_frameworks::api::{ApiId, ApiRegistry};
 use freepart_frameworks::{ActionReport, FrameworkError, ObjectId, ObjectKind, ObjectStore, Value};
-use freepart_simos::{Addr, ChannelId, Kernel, Perms, Pid, ShmId};
+use freepart_simos::{Addr, ChannelId, DrrScheduler, Kernel, Perms, Pid, ShmId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use callplane::{InFlight, PendingBatch};
+use pool::Ticket;
 
 /// Identifier of an application thread. Per the paper's §6, every
 /// thread gets its **own set of agent processes** (and its own
@@ -86,6 +89,26 @@ pub(super) const DEFAULT_PIPELINE_WINDOW: usize = 4;
 
 pub(super) fn thread_partition(thread: ThreadId, p: PartitionId) -> PartitionId {
     PartitionId(thread.0 * THREAD_STRIDE + p.0)
+}
+
+impl Runtime {
+    /// Whether the runtime serves in pooled multi-tenant mode
+    /// (`Policy::pooled`).
+    pub fn pooled(&self) -> bool {
+        self.pool_sched.is_some()
+    }
+
+    /// Resolves the partition a thread's call actually routes to: in
+    /// pooled mode every tenant shares the base `part0..part3` agent
+    /// pools (no per-thread striping); otherwise each thread owns its
+    /// striped agent set.
+    pub(super) fn route_partition(&self, thread: ThreadId, base: PartitionId) -> PartitionId {
+        if self.pool_sched.is_some() {
+            base
+        } else {
+            thread_partition(thread, base)
+        }
+    }
 }
 
 /// Precomputed `ApiId → PartitionId` routing, shared by install-time
@@ -140,6 +163,14 @@ pub struct Agent {
     /// Completed calls.
     pub calls: u64,
     cache: CompletionCache,
+    /// Pooled mode: per-tenant capability slots — the object handles
+    /// each tenant's namespace has been admitted to at this agent.
+    /// Minted when a tenant's own call defines or legitimately consumes
+    /// an object here; checked (against ownership) before any handle or
+    /// shm grant crosses into the agent on a tenant's behalf. Carried
+    /// across restarts with the journal, so a respawn re-admits every
+    /// tenant's namespace.
+    caps: BTreeMap<u32, BTreeSet<ObjectId>>,
 }
 
 impl Agent {
@@ -153,6 +184,24 @@ impl Agent {
     /// journal entries at or below it are pruned.
     pub fn journal_watermark(&self) -> u64 {
         self.cache.acked_watermark()
+    }
+
+    /// Capability slots held by one tenant's namespace at this agent
+    /// (pooled mode; 0 for tenants never admitted here).
+    pub fn cap_count(&self, tenant: u32) -> usize {
+        self.caps.get(&tenant).map_or(0, BTreeSet::len)
+    }
+
+    /// Journal sequence numbers currently held for one tenant's calls
+    /// (pooled mode): the per-tenant slice of the completion journal,
+    /// for proving exactly-once replay per namespace after a restart.
+    pub fn journal_entries_for(&self, tenant: u32) -> Vec<u64> {
+        self.cache.tenant_entries(tenant)
+    }
+
+    /// Tenants with at least one capability slot at this agent.
+    pub fn cap_tenants(&self) -> Vec<u32> {
+        self.caps.keys().copied().collect()
     }
 }
 
@@ -219,6 +268,15 @@ pub enum CallError {
     /// An argument object's payload died with a crashed process and
     /// could not be restored (§6 "Restoring States of Crashed Process").
     StateLost(ObjectId),
+    /// Pooled mode: the calling tenant's capability namespace does not
+    /// admit this object — a cross-tenant handle was denied at the
+    /// shared agent's gate (and audited).
+    TenantDenied {
+        /// The tenant whose call was denied.
+        tenant: u32,
+        /// The foreign object it tried to reach.
+        object: ObjectId,
+    },
     /// Ordinary framework failure (bad args, missing file, parse error).
     Framework(FrameworkError),
 }
@@ -230,6 +288,9 @@ impl fmt::Display for CallError {
             CallError::AgentUnavailable(p) => write!(f, "agent {p} is down"),
             CallError::AgentCrashed(p) => write!(f, "agent {p} crashed"),
             CallError::StateLost(id) => write!(f, "object {id} lost in a crash"),
+            CallError::TenantDenied { tenant, object } => {
+                write!(f, "tenant{tenant} denied access to foreign object {object}")
+            }
             CallError::Framework(e) => e.fmt(f),
         }
     }
@@ -273,6 +334,9 @@ pub struct RuntimeStats {
     /// Cumulative bytes delivered by page-mapping a segment instead of
     /// copying (the zero-copy counterpart of the copy counters).
     pub shm_mapped_bytes: u64,
+    /// Pooled mode: cross-tenant object accesses denied (and audited)
+    /// at the shared agents' capability gates.
+    pub tenant_denials: u64,
 }
 
 /// The installed FreePart runtime for one application.
@@ -289,6 +353,10 @@ pub struct Runtime {
     routes: RoutingTable,
     agents: BTreeMap<PartitionId, Agent>,
     states: BTreeMap<ThreadId, StateMachine>,
+    /// Next thread id to hand out — an O(1) counter, not a max-scan
+    /// over `states` (which was linear in the number of threads/tenants
+    /// on every spawn).
+    next_thread: u32,
     seq: u64,
     /// One-shot fault injection: kill this partition's agent after its
     /// next successful execution but before the response is delivered.
@@ -337,6 +405,38 @@ pub struct Runtime {
     /// (`Policy::adaptive`): per-partition knob decisions at
     /// state-transition drain barriers. `None` = static policy only.
     controller: Option<controller::Controller>,
+    /// Defining thread per object — lets re-protection and the
+    /// capability gate resolve an object's owner in O(log n) instead of
+    /// scanning every thread's state machine. First definer wins
+    /// (objects never change hands across tenants).
+    owner_of: BTreeMap<ObjectId, ThreadId>,
+    /// Objects defined in *every* thread's machine (annotated host
+    /// data): exempt from the per-tenant capability gate and still
+    /// swept via the all-threads path.
+    shared_objs: BTreeSet<ObjectId>,
+    /// Every object whose payload has been promoted to a shared-memory
+    /// segment — the temporal-grant sweeps walk this index instead of
+    /// the whole object store (which made every state transition linear
+    /// in global object count).
+    shm_index: BTreeSet<ObjectId>,
+    /// The shm index partitioned by owning thread, for the pooled
+    /// per-tenant sweep (a tenant's transition revokes only grants on
+    /// its own + shared segments: O(1) in the number of tenants).
+    shm_owned: BTreeMap<ThreadId, BTreeSet<ObjectId>>,
+    /// Pooled mode (`Policy::pooled`): the deficit-round-robin run
+    /// queues over tenants, one per pool partition. `None` = per-thread
+    /// agent sets (the seed model).
+    pool_sched: Option<DrrScheduler>,
+    /// Pooled tickets by handle id (queued and completed).
+    tickets: BTreeMap<u64, Ticket>,
+    next_ticket: u64,
+    /// Round-robin cursor over pools for `pump_one`.
+    pool_cursor: usize,
+    /// Each tenant's own pipeline process (its host-side context).
+    tenant_pids: BTreeMap<u32, Pid>,
+    /// Per-tenant call latencies (enqueue → retire, global clock), for
+    /// the p50/p99 curves and the starvation-freedom bound.
+    tenant_lat: BTreeMap<u32, Vec<u64>>,
 }
 
 impl fmt::Debug for Runtime {
@@ -385,6 +485,7 @@ impl Runtime {
         // virtual clock (never charges time), so this changes no
         // deterministic result — the observability report asserts it.
         let controller = policy.adaptive.map(controller::Controller::new);
+        let pool_sched = policy.pooled.map(|cfg| DrrScheduler::new(cfg.quantum));
         let mut tracer = Tracer::new();
         if controller.is_some() {
             tracer.enable();
@@ -400,6 +501,7 @@ impl Runtime {
             routes,
             agents: BTreeMap::new(),
             states,
+            next_thread: 1,
             seq: 0,
             crash_before_response: None,
             exploit_log: Vec::new(),
@@ -420,6 +522,16 @@ impl Runtime {
             governors: BTreeMap::new(),
             fail_next_restore: None,
             controller,
+            owner_of: BTreeMap::new(),
+            shared_objs: BTreeSet::new(),
+            shm_index: BTreeSet::new(),
+            shm_owned: BTreeMap::new(),
+            pool_sched,
+            tickets: BTreeMap::new(),
+            next_ticket: 0,
+            pool_cursor: 0,
+            tenant_pids: BTreeMap::new(),
+            tenant_lat: BTreeMap::new(),
         };
         rt.spawn_agent_set(ThreadId::MAIN);
         rt
@@ -456,6 +568,7 @@ impl Runtime {
                 sealed: false,
                 calls: 0,
                 cache: CompletionCache::new(64),
+                caps: BTreeMap::new(),
             },
         );
         for _ in 0..self.policy.warm_spares {
@@ -557,7 +670,8 @@ impl Runtime {
     /// the paper's multi-threading model (§6). Returns the thread id to
     /// pass to [`Runtime::call_on`].
     pub fn spawn_thread(&mut self) -> ThreadId {
-        let thread = ThreadId(self.states.keys().map(|t| t.0).max().unwrap_or(0) + 1);
+        let thread = ThreadId(self.next_thread);
+        self.next_thread += 1;
         self.states
             .insert(thread, StateMachine::new(self.policy.temporal_protection));
         self.spawn_agent_set(thread);

@@ -52,6 +52,10 @@ impl Runtime {
     }
 
     pub(super) fn define_on(&mut self, thread: ThreadId, id: ObjectId) {
+        // First definer wins the ownership record: the owner index is
+        // what lets the pooled hot paths (capability gate, per-tenant
+        // grant sweeps, re-protection) skip every other tenant's state.
+        self.owner_of.entry(id).or_insert(thread);
         self.states
             .entry(thread)
             .or_insert_with(|| StateMachine::new(self.policy.temporal_protection))
@@ -62,6 +66,7 @@ impl Runtime {
     /// machine: critical data must stay protected no matter which thread
     /// drives the pipeline past its defining state.
     fn define_everywhere(&mut self, id: ObjectId) {
+        self.shared_objs.insert(id);
         for sm in self.states.values_mut() {
             sm.define(id);
         }
@@ -302,6 +307,14 @@ impl Runtime {
                 bytes: meta.len(),
             });
         }
+        // Delivery is the only shm-promotion site: index the segment so
+        // the revocation sweeps never rescan the whole object table.
+        if self.objects.meta(obj).is_some_and(|m| m.shm.is_some()) {
+            self.shm_index.insert(obj);
+            if let Some(&owner) = self.owner_of.get(&obj) {
+                self.shm_owned.entry(owner).or_default().insert(obj);
+            }
+        }
         self.reapply_all(obj);
         Ok(())
     }
@@ -318,13 +331,24 @@ impl Runtime {
 
     /// Re-applies temporal protection from whichever thread's machine
     /// tracks the object (after a migration re-materialized it writable).
+    /// Owned objects consult only their owner's machine — O(1) in the
+    /// thread/tenant count; shared (annotated host) data still scans
+    /// every machine, as any thread may be protecting it.
     pub(super) fn reapply_all(&mut self, obj: ObjectId) {
-        let threads: Vec<ThreadId> = self
-            .states
-            .iter()
-            .filter(|(_, s)| s.is_protected(obj))
-            .map(|(t, _)| *t)
-            .collect();
+        let threads: Vec<ThreadId> = match self.owner_of.get(&obj) {
+            Some(&owner) if !self.shared_objs.contains(&obj) => self
+                .states
+                .get(&owner)
+                .filter(|s| s.is_protected(obj))
+                .map(|_| vec![owner])
+                .unwrap_or_default(),
+            _ => self
+                .states
+                .iter()
+                .filter(|(_, s)| s.is_protected(obj))
+                .map(|(t, _)| *t)
+                .collect(),
+        };
         if threads.is_empty() {
             return;
         }
@@ -373,10 +397,15 @@ impl Runtime {
     /// would drop the table entries silently; sweeping here first keeps
     /// revocation audited.)
     pub(super) fn revoke_views_of(&mut self, dead: Pid, seq: u64) {
+        debug_assert!(self.shm_index_consistent(), "shm index drifted");
         let shm_objs: Vec<(ObjectId, ShmId)> = self
-            .objects
+            .shm_index
             .iter()
-            .filter_map(|m| m.shm.map(|(seg, _)| (m.id, seg)))
+            .filter_map(|&id| {
+                self.objects
+                    .meta(id)
+                    .and_then(|m| m.shm.map(|(seg, _)| (id, seg)))
+            })
             .collect();
         for (obj, seg) in shm_objs {
             if self.kernel.shm_revoke(seg, dead).unwrap_or(false) && self.tracer.enabled() {
@@ -393,12 +422,44 @@ impl Runtime {
     }
 
     pub(super) fn revoke_out_of_state_grants(&mut self, seq: u64) {
-        let shm_objs: Vec<(ObjectId, ShmId, Pid)> = self
-            .objects
-            .iter()
-            .filter_map(|m| m.shm.map(|(seg, _)| (m.id, seg, m.home)))
-            .collect();
-        for (obj, seg, home) in shm_objs {
+        debug_assert!(self.shm_index_consistent(), "shm index drifted");
+        let objs: Vec<ObjectId> = self.shm_index.iter().copied().collect();
+        self.revoke_stale_grants_on(&objs, seq);
+    }
+
+    /// Per-tenant grant sweep for pooled mode: only the transitioning
+    /// tenant's segments (plus shared annotated data, which its state
+    /// machine also locks) are swept — O(1) in the tenant count, where
+    /// the global sweep is O(total shm objects).
+    pub(super) fn revoke_out_of_state_grants_for(&mut self, thread: ThreadId, seq: u64) {
+        let mut objs: Vec<ObjectId> = self
+            .shm_owned
+            .get(&thread)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for &obj in &self.shared_objs {
+            if self.shm_index.contains(&obj) {
+                objs.push(obj);
+            }
+        }
+        objs.sort_unstable();
+        objs.dedup();
+        self.revoke_stale_grants_on(&objs, seq);
+    }
+
+    /// Revokes every grant on `objs`' segments held by a process other
+    /// than the segment's current home. Ascending object order — the
+    /// same order the pre-index full table scan produced, so audit logs
+    /// and replay digests are unchanged.
+    fn revoke_stale_grants_on(&mut self, objs: &[ObjectId], seq: u64) {
+        for &obj in objs {
+            let Some((seg, home)) = self
+                .objects
+                .meta(obj)
+                .and_then(|m| m.shm.map(|(seg, _)| (seg, m.home)))
+            else {
+                continue;
+            };
             let stale: Vec<Pid> = self
                 .kernel
                 .shm_segment(seg)
@@ -417,5 +478,16 @@ impl Runtime {
                 }
             }
         }
+    }
+
+    /// Debug-build invariant: the shm index names exactly the objects the
+    /// store holds segment-backed.
+    fn shm_index_consistent(&self) -> bool {
+        let full: std::collections::BTreeSet<ObjectId> = self
+            .objects
+            .iter()
+            .filter_map(|m| m.shm.map(|_| m.id))
+            .collect();
+        full == self.shm_index
     }
 }

@@ -536,6 +536,21 @@ pub enum AuditRecord {
         /// Why the restore failed, stringified.
         reason: String,
     },
+    /// Pooled mode's capability gate refused a call that named another
+    /// tenant's object — the cross-tenant isolation boundary of the
+    /// shared-agent deployment, denied before any payload moved.
+    CrossTenantDenied {
+        /// Virtual time.
+        at_ns: u64,
+        /// The tenant whose call was refused.
+        tenant: u32,
+        /// The pool partition the call was bound for.
+        partition: PartitionId,
+        /// The foreign object the call named.
+        object: ObjectId,
+        /// The tenant that owns the object.
+        owner: u32,
+    },
 }
 
 impl AuditRecord {
@@ -1087,6 +1102,19 @@ impl Tracer {
                 } => (
                     format!("snapshot_lost {partition} {object}"),
                     "supervisor",
+                    *at_ns,
+                ),
+                AuditRecord::CrossTenantDenied {
+                    at_ns,
+                    tenant,
+                    partition,
+                    object,
+                    owner,
+                } => (
+                    format!(
+                        "cross_tenant_denied t{tenant} -> {object} (owner t{owner}) on {partition}"
+                    ),
+                    "tenant",
                     *at_ns,
                 ),
                 _ => continue,

@@ -64,6 +64,7 @@ pub mod mem;
 pub mod metrics;
 pub mod process;
 pub mod replay;
+pub mod sched;
 pub mod shm;
 pub mod syscall;
 
@@ -80,5 +81,6 @@ pub use mem::{Addr, AddressSpace, Perms, PAGE_SIZE};
 pub use metrics::Metrics;
 pub use process::{Pid, ProcessState, SimProcess};
 pub use replay::{replay, Divergence, DivergenceKind, InvariantViolation, ReplayReport};
+pub use sched::{DrrScheduler, PoolId, TenantKey};
 pub use shm::{ShmId, ShmSegment};
 pub use syscall::{Fd, Syscall, SyscallNo, SyscallRet};

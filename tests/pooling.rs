@@ -1,0 +1,336 @@
+//! Multi-tenant agent pools: transparency, isolation, fairness, and
+//! supervision — the pooled deployment model must change *scheduling
+//! and process count*, never outputs or the security story.
+
+use freepart_suite::apps::tenants::{run_chain_on, run_chain_pooled, stage_input, ChainOutput};
+use freepart_suite::core::{AuditRecord, CallError, Policy, RestartBudget, Runtime, TenantId};
+use freepart_suite::frameworks::registry::standard_registry;
+use freepart_suite::frameworks::Value;
+use proptest::prelude::*;
+
+fn pooled_rt() -> Runtime {
+    Runtime::install(standard_registry(), Policy::freepart_pooled())
+}
+
+/// A solo reference run: the same tenant input through a fresh pooled
+/// runtime with nobody else admitted — pure pipeline semantics with
+/// zero scheduling interference.
+fn solo_output(n: u32) -> ChainOutput {
+    let mut rt = pooled_rt();
+    let path = stage_input(&mut rt, n);
+    let t = rt.spawn_tenant();
+    run_chain_pooled(&mut rt, t, &path).expect("solo chain runs")
+}
+
+// ----------------------------------------------------------------------
+// Process census and basic transparency
+// ----------------------------------------------------------------------
+
+#[test]
+fn pooled_process_count_is_4_plus_n_not_5n() {
+    let mut pooled = pooled_rt();
+    let mut tenants = Vec::new();
+    for _ in 0..10 {
+        tenants.push(pooled.spawn_tenant());
+    }
+    let (agents, contexts) = pooled.pooled_process_count();
+    assert_eq!(agents, 4, "four shared pools");
+    assert_eq!(contexts, 10, "one lightweight context per tenant");
+
+    // Per-thread baseline: every spawned thread brings a full agent set.
+    let mut baseline = Runtime::install(standard_registry(), Policy::freepart());
+    for _ in 0..10 {
+        baseline.spawn_thread();
+    }
+    // 4 for MAIN + 4 per spawned thread.
+    assert_eq!(baseline.partitions().len(), 4 * 11);
+}
+
+#[test]
+fn pooled_chain_matches_per_thread_baseline_outputs() {
+    let mut pooled = pooled_rt();
+    let mut baseline = Runtime::install(standard_registry(), Policy::freepart());
+    for n in 0..3u32 {
+        let path_p = stage_input(&mut pooled, n);
+        let path_b = stage_input(&mut baseline, n);
+        let tenant = pooled.spawn_tenant();
+        let thread = baseline.spawn_thread();
+        let got = run_chain_pooled(&mut pooled, tenant, &path_p).unwrap();
+        let want = run_chain_on(&mut baseline, thread, &path_b).unwrap();
+        assert_eq!(got, want, "tenant {n} diverged from per-thread baseline");
+    }
+}
+
+// ----------------------------------------------------------------------
+// The capability gate
+// ----------------------------------------------------------------------
+
+#[test]
+fn cross_tenant_object_access_is_denied_and_audited() {
+    let mut rt = pooled_rt();
+    rt.enable_tracing();
+    let victim = rt.spawn_tenant();
+    let attacker = rt.spawn_tenant();
+    let path = stage_input(&mut rt, 0);
+    let img = rt
+        .call_tenant(victim, "cv2.imread", &[Value::from(path.as_str())])
+        .unwrap();
+    let obj = img.as_obj().unwrap();
+
+    // The attacker names the victim's object as a call argument…
+    let denied = rt.call_tenant(attacker, "cv2.GaussianBlur", std::slice::from_ref(&img));
+    assert!(
+        matches!(
+            denied,
+            Err(CallError::TenantDenied { tenant, object }) if tenant == attacker.0 && object == obj
+        ),
+        "expected TenantDenied, got {denied:?}"
+    );
+    // …and tries a direct fetch.
+    assert!(matches!(
+        rt.tenant_fetch(attacker, obj),
+        Err(CallError::TenantDenied { .. })
+    ));
+
+    // Both denials were counted and audited with full context.
+    assert_eq!(rt.stats().tenant_denials, 2);
+    let audits: Vec<_> = rt
+        .tracer()
+        .audit_log()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                AuditRecord::CrossTenantDenied { tenant, object, owner, .. }
+                    if *tenant == attacker.0 && *object == obj && *owner == victim.0
+            )
+        })
+        .collect();
+    assert_eq!(audits.len(), 2, "one audit record per denial");
+
+    // The victim's own access still works.
+    assert!(rt.tenant_fetch(victim, obj).is_ok());
+    assert!(rt.call_tenant(victim, "cv2.GaussianBlur", &[img]).is_ok());
+}
+
+#[test]
+fn capability_slots_are_minted_per_tenant() {
+    let mut rt = pooled_rt();
+    let a = rt.spawn_tenant();
+    let b = rt.spawn_tenant();
+    let pa = stage_input(&mut rt, 1);
+    let pb = stage_input(&mut rt, 2);
+    run_chain_pooled(&mut rt, a, &pa).unwrap();
+    run_chain_pooled(&mut rt, b, &pb).unwrap();
+    let mut admitted = 0;
+    for p in rt.partitions() {
+        let agent = rt.agent(p).unwrap();
+        admitted += agent.cap_count(a.0) + agent.cap_count(b.0);
+        // No slot names an object the other tenant owns (the gate never
+        // admitted a foreign handle anywhere).
+        for t in agent.cap_tenants() {
+            assert!(t == a.0 || t == b.0);
+        }
+    }
+    assert!(admitted > 0, "chains mint capability slots");
+}
+
+// ----------------------------------------------------------------------
+// Supervisor × pools: restart re-admits every tenant's namespace
+// ----------------------------------------------------------------------
+
+#[test]
+fn shared_pool_crash_restarts_once_and_readmits_every_tenant() {
+    let mut rt = Runtime::install(
+        standard_registry(),
+        Policy {
+            warm_spares: 2,
+            restart_budget: Some(RestartBudget::default()),
+            ..Policy::freepart_pooled()
+        },
+    );
+    let tenants: Vec<TenantId> = (0..3).map(|_| rt.spawn_tenant()).collect();
+    let paths: Vec<String> = (0..3).map(|n| stage_input(&mut rt, n)).collect();
+
+    // Every tenant loads its frame: all three namespaces now hold
+    // capability slots at the loading pool.
+    let imgs: Vec<Value> = tenants
+        .iter()
+        .zip(&paths)
+        .map(|(t, p)| {
+            rt.call_tenant(*t, "cv2.imread", &[Value::from(p.as_str())])
+                .unwrap()
+        })
+        .collect();
+    let load_pool = rt.partition_of(rt.registry().id_of("cv2.imread").expect("catalog API"));
+    let caps_before: Vec<usize> = tenants
+        .iter()
+        .map(|t| rt.agent(load_pool).unwrap().cap_count(t.0))
+        .collect();
+    assert!(caps_before.iter().all(|&c| c > 0));
+    let journal_before: Vec<Vec<u64>> = tenants
+        .iter()
+        .map(|t| rt.agent(load_pool).unwrap().journal_entries_for(t.0))
+        .collect();
+
+    // Kill the shared loading agent in the response window of the next
+    // call: the supervisor must restart it exactly once, and the
+    // journal must answer the retry without re-running side effects.
+    rt.inject_crash_before_response(load_pool);
+    let again = rt
+        .call_tenant(tenants[0], "cv2.imread", &[Value::from(paths[0].as_str())])
+        .unwrap();
+    assert!(matches!(again, Value::Obj(_)));
+    assert_eq!(rt.stats().restarts, 1, "exactly one supervised restart");
+
+    // Every tenant's capability namespace survived the respawn…
+    for (i, t) in tenants.iter().enumerate() {
+        let after = rt.agent(load_pool).unwrap().cap_count(t.0);
+        assert!(
+            after >= caps_before[i],
+            "tenant {i} lost capability slots across restart"
+        );
+        // …including its journal slice (exactly-once replay evidence):
+        // every pre-crash entry still present is still tagged to the
+        // same tenant.
+        let after_j = rt.agent(load_pool).unwrap().journal_entries_for(t.0);
+        for seq in &journal_before[i] {
+            assert!(
+                after_j.contains(seq) || *seq <= rt.agent(load_pool).unwrap().journal_watermark(),
+                "tenant {i} journal entry {seq} vanished un-acked"
+            );
+        }
+    }
+
+    // Every tenant can still run its full pipeline through the
+    // respawned pool (pre-crash payloads homed in the dead agent are
+    // legitimately lost — §6: crashed-process state is not restored —
+    // so each tenant reloads from its own staged file).
+    let fresh: Vec<Value> = tenants
+        .iter()
+        .zip(&paths)
+        .map(|(t, p)| {
+            let img = rt
+                .call_tenant(*t, "cv2.imread", &[Value::from(p.as_str())])
+                .unwrap();
+            rt.call_tenant(*t, "cv2.GaussianBlur", std::slice::from_ref(&img))
+                .unwrap();
+            img
+        })
+        .collect();
+    // And the gate still holds after the restart.
+    let denied = rt.call_tenant(tenants[1], "cv2.GaussianBlur", &[fresh[0].clone()]);
+    assert!(matches!(denied, Err(CallError::TenantDenied { .. })));
+    assert_eq!(rt.stats().restarts, 1, "still exactly one restart");
+    let _ = imgs;
+}
+
+// ----------------------------------------------------------------------
+// Properties: transparency under interleaving; starvation freedom
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings of N tenants' chains through the shared
+    /// pools produce per-tenant outputs byte-identical to each tenant's
+    /// solo run: DRR scheduling reorders service, never results.
+    #[test]
+    fn tenant_transparency_under_random_interleaving(
+        n_tenants in 2usize..5,
+        schedule in proptest::collection::vec(any::<u8>(), 8..64),
+    ) {
+        let mut rt = pooled_rt();
+        let tenants: Vec<TenantId> = (0..n_tenants).map(|_| rt.spawn_tenant()).collect();
+        let paths: Vec<String> =
+            (0..n_tenants as u32).map(|n| stage_input(&mut rt, n)).collect();
+
+        // Drive each tenant's 4-step chain with a data-dependent random
+        // schedule: at every step, pick the next eligible tenant from
+        // the schedule bytes, keeping queues genuinely contended.
+        let mut step = vec![0usize; n_tenants];
+        let mut val: Vec<Value> =
+            paths.iter().map(|p| Value::from(p.as_str())).collect();
+        let mut blurred: Vec<Option<freepart_suite::frameworks::ObjectId>> =
+            vec![None; n_tenants];
+        const CHAIN: [&str; 4] =
+            ["cv2.imread", "cv2.cvtColor", "cv2.GaussianBlur", "cv2.findContours"];
+        let mut cursor = 0usize;
+        while step.iter().any(|&s| s < CHAIN.len()) {
+            let pick = schedule[cursor % schedule.len()] as usize % n_tenants;
+            cursor += 1;
+            let i = (0..n_tenants)
+                .map(|k| (pick + k) % n_tenants)
+                .find(|&k| step[k] < CHAIN.len())
+                .expect("some tenant has steps left");
+            let api = CHAIN[step[i]];
+            let out = rt.call_tenant(tenants[i], api, &[val[i].clone()]).unwrap();
+            if api == "cv2.GaussianBlur" {
+                blurred[i] = out.as_obj();
+            }
+            val[i] = out;
+            step[i] += 1;
+        }
+
+        for i in 0..n_tenants {
+            let bytes = rt
+                .tenant_fetch(tenants[i], blurred[i].expect("blur ran"))
+                .unwrap();
+            let got = ChainOutput { rects: val[i].clone(), bytes };
+            let want = solo_output(i as u32);
+            prop_assert_eq!(&got, &want, "tenant {} output depends on interleaving", i);
+        }
+    }
+
+    /// Deficit-round-robin starvation freedom: no matter how hard one
+    /// tenant floods a pool, every victim's single queued call is
+    /// served within the DRR window implied by the quantum.
+    #[test]
+    fn no_tenant_starves_under_a_flood(
+        flood in 8u32..64,
+        n_victims in 1usize..4,
+    ) {
+        let mut rt = pooled_rt();
+        let chatty = rt.spawn_tenant();
+        let victims: Vec<TenantId> = (0..n_victims).map(|_| rt.spawn_tenant()).collect();
+        let path = stage_input(&mut rt, 0);
+
+        // The chatty tenant floods the loading pool…
+        let mut handles = Vec::new();
+        for _ in 0..flood {
+            handles.push(
+                rt.tenant_submit(chatty, "cv2.imread", &[Value::from(path.as_str())])
+                    .unwrap(),
+            );
+        }
+        // …then every victim queues one call behind the flood.
+        let victim_handles: Vec<_> = victims
+            .iter()
+            .map(|v| {
+                rt.tenant_submit(*v, "cv2.imread", &[Value::from(path.as_str())])
+                    .unwrap()
+            })
+            .collect();
+        rt.pump_all();
+
+        let quantum = 2u64; // PoolConfig::default().quantum
+        let n_other = n_victims as u64; // other tenants sharing the pool with chatty
+        for (i, h) in victim_handles.iter().enumerate() {
+            let (foreign, own_ahead) = rt.ticket_fairness(*h).expect("pumped");
+            prop_assert_eq!(own_ahead, 0, "victims queued one call each");
+            // One full DRR window: every other tenant may be served at
+            // most quantum items per ring pass, and a single-item
+            // backlog is served within ceil(1/Q)+1 = 2 passes.
+            let bound = (n_other + 1) * quantum * 2;
+            prop_assert!(
+                foreign <= bound,
+                "victim {} waited behind {} foreign items (bound {})",
+                i, foreign, bound
+            );
+        }
+        // The flood itself completed too (work conservation).
+        for h in &handles {
+            prop_assert!(rt.tenant_wait(*h).is_ok());
+        }
+    }
+}
